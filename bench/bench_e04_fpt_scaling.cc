@@ -1,0 +1,35 @@
+// E4 — Theorem 3.1(3): when cc_vertex and treewidth are bounded,
+// parameterized evaluation is FPT — time f(|q|) · |D|^c with a constant c
+// independent of the query.
+//
+// Workload: chain queries indexed by k (the parameter) over growing
+// databases. The series lets one fit the |D|-exponent per k: it should not
+// grow with k (only the f(k) factor does).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "eval/planner.h"
+#include "graphdb/generators.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+void BM_FptGrid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));       // Query parameter.
+  const int n = static_cast<int>(state.range(1));       // Database size.
+  const GraphDb db = CycleGraph(n, "ab");
+  const EcrpqQuery query = ChainEqLenQuery(db.alphabet(), k).ValueOrDie();
+  for (auto _ : state) {
+    EvalResult result = EvaluatePlanned(db, query).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["k"] = k;
+  state.counters["vertices"] = n;
+}
+BENCHMARK(BM_FptGrid)
+    ->ArgsProduct({{2, 4, 6, 8}, {4, 8, 16, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,64 @@
+// E5 — Lemma 5.4 / Theorem 3.1(1): p-IE FPT-reduces to p-eval-ECRPQ.
+//
+// Random k-DFA families are pushed through both reduction cases; the series
+// report (a) reduction build time (linear in the instance), (b) end-to-end
+// ECRPQ evaluation time vs the direct on-the-fly INE solver, as k grows.
+#include <benchmark/benchmark.h>
+
+#include "automata/ine.h"
+#include "eval/generic_eval.h"
+#include "reductions/pie_to_ecrpq.h"
+#include "workloads/db_gen.h"
+
+namespace ecrpq {
+namespace {
+
+void BM_PieReductionBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(21);
+  const PieInstance pie = RandomPieInstance(&rng, k, 6, 2, true);
+  int db_vertices = 0;
+  for (auto _ : state) {
+    IneReduction reduction = PieToEcrpqBoundedHyperedges(pie).ValueOrDie();
+    db_vertices = reduction.db.NumVertices();
+    benchmark::DoNotOptimize(reduction);
+  }
+  state.counters["k"] = k;
+  state.counters["db_vertices"] = db_vertices;
+}
+BENCHMARK(BM_PieReductionBuild)->DenseRange(2, 6)->Unit(benchmark::kMicrosecond);
+
+void BM_PieViaEcrpqChain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(22);
+  const PieInstance pie = RandomPieInstance(&rng, k, 5, 2, true);
+  const IneReduction reduction =
+      PieToEcrpqBoundedHyperedges(pie).ValueOrDie();
+  bool satisfiable = false;
+  for (auto _ : state) {
+    EvalResult result =
+        EvaluateGeneric(reduction.db, reduction.query).ValueOrDie();
+    satisfiable = result.satisfiable;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["k"] = k;
+  state.counters["satisfiable"] = satisfiable ? 1 : 0;
+}
+BENCHMARK(BM_PieViaEcrpqChain)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+void BM_PieDirectSolver(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(22);  // Same seed as the chain variant: same instances.
+  const PieInstance pie = RandomPieInstance(&rng, k, 5, 2, true);
+  std::vector<const Dfa*> ptrs;
+  for (const Dfa& dfa : pie.automata) ptrs.push_back(&dfa);
+  for (auto _ : state) {
+    IneResult result = IntersectionNonEmpty(ptrs);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_PieDirectSolver)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

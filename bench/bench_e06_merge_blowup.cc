@@ -1,0 +1,66 @@
+// E6 — Lemma 4.1: merging a G^rel component into a single product relation
+// costs (state-wise) the product of the member automata sizes, times a
+// letter-universe factor — polynomial exactly when cc_vertex and cc_hedge
+// are constants.
+//
+// Sweeps: (a) number of chained binary atoms (cc_hedge) at fixed arity;
+// (b) joint arity (cc_vertex) at a single atom.
+#include <benchmark/benchmark.h>
+
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet& Ab() {
+  static const Alphabet alphabet = Alphabet::OfChars("ab");
+  return alphabet;
+}
+
+void BM_MergeChainedAtoms(benchmark::State& state) {
+  // Component: hamming1(t0,t1), hamming1(t1,t2), ..., L atoms over L+1 tapes.
+  const int num_atoms = static_cast<int>(state.range(0));
+  const SyncRelation hamming =
+      HammingAtMostRelation(Ab(), 1).ValueOrDie();
+  std::vector<TapeMapping> parts;
+  for (int i = 0; i < num_atoms; ++i) {
+    parts.push_back(TapeMapping{&hamming, {i, i + 1}});
+  }
+  int merged_states = 0;
+  for (auto _ : state) {
+    SyncRelation merged =
+        JoinComponents(Ab(), parts, num_atoms + 1).ValueOrDie();
+    merged_states = merged.nfa().NumStates();
+    benchmark::DoNotOptimize(merged);
+  }
+  state.counters["cc_hedge"] = num_atoms;
+  state.counters["cc_vertex"] = num_atoms + 1;
+  state.counters["merged_states"] = merged_states;
+}
+BENCHMARK(BM_MergeChainedAtoms)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_MergeArity(benchmark::State& state) {
+  // A single k-ary eq-len atom reindexed into k+1 joint tapes (one free).
+  const int k = static_cast<int>(state.range(0));
+  const SyncRelation eqlen = EqualLengthRelation(Ab(), k).ValueOrDie();
+  std::vector<int> tape_map;
+  for (int i = 0; i < k; ++i) tape_map.push_back(i);
+  std::vector<TapeMapping> parts = {TapeMapping{&eqlen, tape_map}};
+  int merged_states = 0;
+  size_t merged_transitions = 0;
+  for (auto _ : state) {
+    SyncRelation merged = JoinComponents(Ab(), parts, k + 1).ValueOrDie();
+    merged_states = merged.nfa().NumStates();
+    merged_transitions = merged.nfa().NumTransitions();
+    benchmark::DoNotOptimize(merged);
+  }
+  state.counters["cc_vertex"] = k + 1;
+  state.counters["merged_states"] = merged_states;
+  state.counters["merged_transitions"] =
+      static_cast<double>(merged_transitions);
+}
+BENCHMARK(BM_MergeArity)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

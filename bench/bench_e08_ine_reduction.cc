@@ -1,0 +1,76 @@
+// E8 — Lemma 5.1: INE reduces to eval-ECRPQ in polynomial time; the output
+// database is linear in the input automata and the query depends only on
+// the shape. Both proof cases are exercised; the end-to-end verdict is
+// cross-checked against the direct solver inside the benchmark loop.
+#include <benchmark/benchmark.h>
+
+#include "automata/ine.h"
+#include "common/check.h"
+#include "eval/generic_eval.h"
+#include "reductions/ine_to_ecrpq.h"
+#include "workloads/db_gen.h"
+
+namespace ecrpq {
+namespace {
+
+void BM_IneReductionBuildLinear(benchmark::State& state) {
+  const int states_each = static_cast<int>(state.range(0));
+  Rng rng(31);
+  const IneInstance ine = RandomIneInstance(&rng, 3, states_each, 2, true);
+  int vertices = 0;
+  for (auto _ : state) {
+    IneReduction reduction =
+        IneToEcrpq(ine, IneWitnessShapeCase1(3)).ValueOrDie();
+    vertices = reduction.db.NumVertices();
+    benchmark::DoNotOptimize(reduction);
+  }
+  state.counters["automaton_states"] = states_each;
+  state.counters["db_vertices"] = vertices;
+}
+BENCHMARK(BM_IneReductionBuildLinear)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IneEndToEndCase1(benchmark::State& state) {
+  Rng rng(32 + state.range(0));
+  const IneInstance ine =
+      RandomIneInstance(&rng, static_cast<int>(state.range(0)), 4, 2, true);
+  std::vector<const Nfa*> ptrs;
+  for (const Nfa& nfa : ine.languages) ptrs.push_back(&nfa);
+  const bool direct = IntersectionNonEmpty(ptrs).non_empty;
+  const IneReduction reduction =
+      IneToEcrpq(ine, IneWitnessShapeCase1(static_cast<int>(state.range(0))))
+          .ValueOrDie();
+  for (auto _ : state) {
+    EvalResult result =
+        EvaluateGeneric(reduction.db, reduction.query).ValueOrDie();
+    ECRPQ_CHECK_EQ(result.satisfiable, direct);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n_languages"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IneEndToEndCase1)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+void BM_IneEndToEndCase2(benchmark::State& state) {
+  Rng rng(33 + state.range(0));
+  const IneInstance ine =
+      RandomIneInstance(&rng, static_cast<int>(state.range(0)), 6, 2, true);
+  std::vector<const Nfa*> ptrs;
+  for (const Nfa& nfa : ine.languages) ptrs.push_back(&nfa);
+  const bool direct = IntersectionNonEmpty(ptrs).non_empty;
+  const IneReduction reduction =
+      IneToEcrpq(ine, IneWitnessShapeCase2(static_cast<int>(state.range(0))))
+          .ValueOrDie();
+  for (auto _ : state) {
+    EvalResult result =
+        EvaluateGeneric(reduction.db, reduction.query).ValueOrDie();
+    ECRPQ_CHECK_EQ(result.satisfiable, direct);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n_languages"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IneEndToEndCase2)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,56 @@
+// E11 — §3 of the paper: the *data* complexity of RPQ, CRPQ and ECRPQ is
+// the same (NL-complete). Operationally: for any fixed query — whatever its
+// regime for combined complexity — evaluation time scales as a low-degree
+// polynomial in |D|, with the regime affecting only the constant.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "eval/generic_eval.h"
+#include "workloads/db_gen.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+GraphDb Db(int width) {
+  Rng rng(61);
+  return LayeredDag(&rng, 4, width, 2, 2);
+}
+
+void RunFixedQuery(benchmark::State& state, const EcrpqQuery& query) {
+  const GraphDb db = Db(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    EvalResult result = EvaluateGeneric(db, query).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vertices"] = db.NumVertices();
+}
+
+void BM_DataTractableQuery(benchmark::State& state) {
+  RunFixedQuery(state,
+                ChainEqLenQuery(Alphabet::OfChars("ab"), 3).ValueOrDie());
+}
+void BM_DataNpRegimeQuery(benchmark::State& state) {
+  RunFixedQuery(state,
+                CliqueCrpqQuery(Alphabet::OfChars("ab"), 3, "a*").ValueOrDie());
+}
+void BM_DataPspaceRegimeQuery(benchmark::State& state) {
+  RunFixedQuery(state,
+                EqLenStarQuery(Alphabet::OfChars("ab"), 3).ValueOrDie());
+}
+
+BENCHMARK(BM_DataTractableQuery)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DataNpRegimeQuery)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DataPspaceRegimeQuery)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,93 @@
+// X1 (supplementary) — cost profile of the synchronous-relation algebra:
+// normalization, complement, composition, and the bounded-lag edit-distance
+// construction. Not tied to a single paper claim; quantifies the engine-room
+// operations the upper bounds rely on.
+#include <benchmark/benchmark.h>
+
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet& Ab() {
+  static const Alphabet alphabet = Alphabet::OfChars("ab");
+  return alphabet;
+}
+
+void BM_EditDistanceConstruction(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  int states = 0;
+  for (auto _ : state) {
+    SyncRelation rel = EditDistanceAtMostRelation(Ab(), d).ValueOrDie();
+    states = rel.nfa().NumStates();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["d"] = d;
+  state.counters["nfa_states"] = states;  // ~ 2·|A|^d·d growth.
+}
+BENCHMARK(BM_EditDistanceConstruction)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComplementOfHamming(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const SyncRelation rel = HammingAtMostRelation(Ab(), d).ValueOrDie();
+  int states = 0;
+  for (auto _ : state) {
+    SyncRelation complement = Complement(rel).ValueOrDie();
+    states = complement.nfa().NumStates();
+    benchmark::DoNotOptimize(complement);
+  }
+  state.counters["d"] = d;
+  state.counters["states"] = states;
+}
+BENCHMARK(BM_ComplementOfHamming)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NormalizeArity(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SyncRelation rel = UniversalRelation(Ab(), k).ValueOrDie();
+  int states = 0;
+  for (auto _ : state) {
+    SyncRelation normalized = rel.Normalized();
+    states = normalized.nfa().NumStates();
+    benchmark::DoNotOptimize(normalized);
+  }
+  state.counters["arity"] = k;
+  state.counters["states"] = states;  // Reachable (state, mask) pairs.
+}
+BENCHMARK(BM_NormalizeArity)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
+
+void BM_ComposeChain(benchmark::State& state) {
+  // Repeated self-composition of hamming<=1: budgets add, automata grow.
+  const int reps = static_cast<int>(state.range(0));
+  const SyncRelation h1 = HammingAtMostRelation(Ab(), 1).ValueOrDie();
+  int states = 0;
+  for (auto _ : state) {
+    SyncRelation acc = h1;
+    for (int i = 1; i < reps; ++i) {
+      acc = Compose(acc, h1).ValueOrDie();
+    }
+    states = acc.nfa().NumStates();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["reps"] = reps;
+  state.counters["states"] = states;
+}
+BENCHMARK(BM_ComposeChain)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  const SyncRelation a = EqualLengthRelation(Ab(), 2).ValueOrDie();
+  const SyncRelation b = Intersect(a, UniversalRelation(Ab(), 2).ValueOrDie())
+                             .ValueOrDie();
+  for (auto _ : state) {
+    bool equivalent = EquivalentRelations(a, b).ValueOrDie();
+    benchmark::DoNotOptimize(equivalent);
+  }
+}
+BENCHMARK(BM_EquivalenceCheck)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,68 @@
+// X4 (supplementary) — static simplification ablation: evaluating a query
+// bloated with universal atoms and redundant unary constraints, with and
+// without the SimplifyQuery pass. Dropping a universal binary atom
+// disconnects a would-be component, moving the query to a cheaper regime.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "eval/generic_eval.h"
+#include "query/parser.h"
+#include "query/simplify.h"
+#include "workloads/db_gen.h"
+
+namespace ecrpq {
+namespace {
+
+EcrpqQuery BloatedQuery() {
+  return ParseEcrpq(
+             "q(x) := x -[p1]-> y, y -[p2]-> z, z -[p3]-> w,"
+             " universal(p1, p2), universal(p2, p3),"
+             " lang(/a(a|b)*/, p1), lang(/(a|b)*/, p1),"
+             " lang(/(a|b)(a|b)*/, p2), lang(/b(a|b)*/, p3)",
+             Alphabet::OfChars("ab"))
+      .ValueOrDie();
+}
+
+void BM_EvaluateBloated(benchmark::State& state) {
+  Rng rng(91);
+  const GraphDb db = LayeredDag(&rng, 4, static_cast<int>(state.range(0)),
+                                2, 2);
+  const EcrpqQuery query = BloatedQuery();
+  for (auto _ : state) {
+    EvalResult result = EvaluateGeneric(db, query).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vertices"] = db.NumVertices();
+}
+BENCHMARK(BM_EvaluateBloated)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateSimplified(benchmark::State& state) {
+  Rng rng(91);
+  const GraphDb db = LayeredDag(&rng, 4, static_cast<int>(state.range(0)),
+                                2, 2);
+  const EcrpqQuery query = SimplifyQuery(BloatedQuery()).ValueOrDie();
+  for (auto _ : state) {
+    EvalResult result = EvaluateGeneric(db, query).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vertices"] = db.NumVertices();
+}
+BENCHMARK(BM_EvaluateSimplified)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplifyPassItself(benchmark::State& state) {
+  const EcrpqQuery query = BloatedQuery();
+  for (auto _ : state) {
+    EcrpqQuery simplified = SimplifyQuery(query).ValueOrDie();
+    benchmark::DoNotOptimize(simplified);
+  }
+}
+BENCHMARK(BM_SimplifyPassItself)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

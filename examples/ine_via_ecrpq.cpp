@@ -1,0 +1,50 @@
+// Lemma 5.1 in action: solving DFA intersection non-emptiness *through* the
+// ECRPQ engine, by the paper's polynomial-time reduction, and checking the
+// verdict against the direct on-the-fly product solver.
+#include <cstdio>
+
+#include "automata/ine.h"
+#include "eval/generic_eval.h"
+#include "reductions/ine_to_ecrpq.h"
+#include "workloads/db_gen.h"
+
+using namespace ecrpq;
+
+int main() {
+  Rng rng(2022);
+  std::printf("=== INE -> ECRPQ (Lemma 5.1), 6 random instances ===\n\n");
+  for (int trial = 0; trial < 6; ++trial) {
+    const bool plant = trial % 2 == 0;
+    const IneInstance ine = RandomIneInstance(&rng, 3, 5, 2, plant);
+
+    // Direct verdict.
+    std::vector<const Nfa*> ptrs;
+    for (const Nfa& nfa : ine.languages) ptrs.push_back(&nfa);
+    const IneResult direct = IntersectionNonEmpty(ptrs);
+
+    // Reduction + ECRPQ evaluation (case 1: one 3-ary hyperedge).
+    Result<IneReduction> reduction = IneToEcrpq(ine, IneWitnessShapeCase1(3));
+    reduction.status().Check();
+    Result<EvalResult> eval = EvaluateGeneric(reduction->db, reduction->query);
+    eval.status().Check();
+
+    std::printf("instance %d (%s): direct=%s  via-ECRPQ=%s  %s\n", trial,
+                plant ? "planted " : "random  ",
+                direct.non_empty ? "non-empty" : "empty    ",
+                eval->satisfiable ? "non-empty" : "empty    ",
+                direct.non_empty == eval->satisfiable ? "AGREE" : "MISMATCH");
+    std::printf(
+        "  reduction: |D| = %d vertices, %zu edges; query: %d path vars; "
+        "product states explored: %zu\n",
+        reduction->db.NumVertices(), reduction->db.NumEdges(),
+        reduction->query.NumPathVars(), eval->stats.product_states);
+    if (direct.non_empty) {
+      std::printf("  witness length: %zu\n", direct.witness.size());
+    }
+  }
+  std::printf(
+      "\nThe query never embeds the input automata (they live in the\n"
+      "database), which is what makes the Lemma 5.4 variant an FPT\n"
+      "reduction with parameter |q| = f(k).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's §1 hierarchy, computed: Recognizable ⊊ Synchronous ⊊
+// Rational, and why ECRPQ = CRPQ+Synchronous is the sweet spot.
+//
+//  - Recognizable relations collapse CRPQ+R to unions of CRPQs (we expand
+//    one and count the disjuncts);
+//  - synchronous relations power ECRPQ (decidable, closed under Boolean
+//    operations — we complement and intersect live);
+//  - rational relations (suffix/factor/subword, as transducers) are
+//    strictly beyond: CRPQ+Rational evaluation is undecidable, so the
+//    library offers membership only.
+#include <cstdio>
+
+#include "automata/regex.h"
+#include "query/recognizable.h"
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+#include "synchro/rational.h"
+
+using namespace ecrpq;
+
+int main() {
+  const Alphabet alphabet = Alphabet::OfChars("ab");
+
+  std::printf("== 1. Recognizable: unions of products of languages ==\n");
+  std::vector<RecognizableRelation::Product> products(2);
+  Alphabet scratch = alphabet;
+  products[0].languages.push_back(*CompileRegex("a*", &scratch));
+  products[0].languages.push_back(*CompileRegex("b*", &scratch));
+  products[1].languages.push_back(*CompileRegex("ab", &scratch));
+  products[1].languages.push_back(*CompileRegex("ba", &scratch));
+  RecognizableRelation rec =
+      RecognizableRelation::Create(alphabet, 2, std::move(products))
+          .ValueOrDie();
+  RecognizableQuery q(alphabet);
+  const NodeVarId x = q.NodeVar("x");
+  const NodeVarId y = q.NodeVar("y");
+  const PathVarId p1 = q.PathVar("p1");
+  const PathVarId p2 = q.PathVar("p2");
+  q.Reach(x, p1, y);
+  q.Reach(x, p2, y);
+  q.Relate(std::make_shared<const RecognizableRelation>(rec), {p1, p2});
+  const UecrpqQuery expanded = q.ToUcrpq().ValueOrDie();
+  std::printf(
+      "CRPQ + (a* x b*) ∪ (ab x ba) expands to %zu CRPQ disjuncts:\n",
+      expanded.disjuncts.size());
+  for (const EcrpqQuery& d : expanded.disjuncts) {
+    std::printf("  %s\n", d.ToString().c_str());
+  }
+
+  std::printf("\n== 2. Synchronous: Boolean-closed, decidable ==\n");
+  const SyncRelation eqlen = EqualLengthRelation(alphabet, 2).ValueOrDie();
+  const SyncRelation hamming1 =
+      HammingAtMostRelation(alphabet, 1).ValueOrDie();
+  const SyncRelation same_len_but_far =
+      Intersect(eqlen, Complement(hamming1).ValueOrDie()).ValueOrDie();
+  std::printf("eq-len ∩ ¬(hamming<=1): sample tuples:\n");
+  for (const auto& tuple : EnumerateTuples(same_len_but_far, 4).ValueOrDie()) {
+    std::printf("  %s\n", same_len_but_far.FormatTuple(tuple).c_str());
+  }
+  std::printf("eq ⊆ eq-len: %s\n",
+              *RelationIncluded(EqualityRelation(alphabet, 2).ValueOrDie(),
+                                eqlen)
+                  ? "yes"
+                  : "no");
+
+  std::printf("\n== 3. Rational: beyond synchronous ==\n");
+  const Transducer suffix = SuffixTransducer(alphabet);
+  const Word bab = {1, 0, 1};
+  Word padded = bab;
+  for (int shift = 0; shift <= 3; ++shift) {
+    std::printf("suffix(bab, %s): %s\n",
+                std::string(shift, 'a').append("bab").c_str(),
+                suffix.Contains(bab, padded) ? "yes" : "no");
+    padded.insert(padded.begin(), 0);
+  }
+  std::printf(
+      "(suffix needs an unbounded shift buffer — no synchronous automaton\n"
+      " tracks it, and CRPQ+Rational evaluation is undecidable, which is\n"
+      " why ECRPQ stops at synchronous relations.)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "automata/alphabet.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+Alphabet Alphabet::OfChars(std::string_view chars) {
+  Alphabet a;
+  for (char c : chars) a.Intern(std::string_view(&c, 1));
+  return a;
+}
+
+Alphabet Alphabet::OfSize(int n) {
+  Alphabet a;
+  for (int i = 0; i < n; ++i) a.Intern("a" + std::to_string(i));
+  return a;
+}
+
+Symbol Alphabet::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<Symbol> Alphabet::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<Symbol> Alphabet::Require(std::string_view name) const {
+  auto found = Find(name);
+  if (!found.has_value()) {
+    return Status::NotFound("symbol not in alphabet: " + std::string(name));
+  }
+  return *found;
+}
+
+const std::string& Alphabet::Name(Symbol s) const {
+  ECRPQ_CHECK_LT(s, names_.size());
+  return names_[s];
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,63 @@
+// Alphabet: interning of edge-label symbols.
+//
+// Graph databases, regular expressions and synchronous relations all share a
+// finite alphabet A of edge labels. Symbols are interned to dense ids so that
+// automata transitions and packed multi-tape labels are plain integers.
+#ifndef ECRPQ_AUTOMATA_ALPHABET_H_
+#define ECRPQ_AUTOMATA_ALPHABET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ecrpq {
+
+// Dense id of an interned symbol. Ids are assigned in interning order,
+// starting at 0.
+using Symbol = uint32_t;
+
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  // Convenience: an alphabet of single-character symbols "a", "b", ... taken
+  // from `chars` in order.
+  static Alphabet OfChars(std::string_view chars);
+
+  // Convenience: an alphabet {a0, a1, ..., a<n-1>} of n synthetic symbols.
+  static Alphabet OfSize(int n);
+
+  // Returns the id of `name`, interning it if new.
+  Symbol Intern(std::string_view name);
+
+  // Returns the id of `name` if present.
+  std::optional<Symbol> Find(std::string_view name) const;
+
+  // Returns the id of `name`, or an error if absent.
+  Result<Symbol> Require(std::string_view name) const;
+
+  // Name of an interned symbol. Dies on out-of-range ids.
+  const std::string& Name(Symbol s) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  bool operator==(const Alphabet& other) const {
+    return names_ == other.names_;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_ALPHABET_H_

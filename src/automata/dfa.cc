@@ -1,0 +1,124 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace ecrpq {
+
+Dfa::Dfa(int num_states, std::vector<Label> labels)
+    : num_states_(num_states), labels_(std::move(labels)) {
+  ECRPQ_CHECK_GT(num_states_, 0);
+  ECRPQ_DCHECK(std::is_sorted(labels_.begin(), labels_.end()));
+  table_.assign(static_cast<size_t>(num_states_) * labels_.size(), 0);
+  accepting_.assign(num_states_, false);
+}
+
+int Dfa::LabelIndex(Label label) const {
+  const int idx = FindLabelIndex(label);
+  ECRPQ_CHECK_GE(idx, 0);
+  return idx;
+}
+
+int Dfa::FindLabelIndex(Label label) const {
+  auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return -1;
+  return static_cast<int>(it - labels_.begin());
+}
+
+bool Dfa::Accepts(std::span<const Label> word) const {
+  StateId s = initial_;
+  for (const Label a : word) {
+    const int idx = FindLabelIndex(a);
+    if (idx < 0) return false;
+    s = Next(s, idx);
+  }
+  return accepting_[s];
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa nfa(num_states_);
+  nfa.SetInitial(initial_);
+  for (int s = 0; s < num_states_; ++s) {
+    if (accepting_[s]) nfa.SetAccepting(s);
+    for (size_t li = 0; li < labels_.size(); ++li) {
+      nfa.AddTransition(s, labels_[li], Next(s, static_cast<int>(li)));
+    }
+  }
+  return nfa;
+}
+
+void Dfa::Complement() {
+  for (int s = 0; s < num_states_; ++s) accepting_[s] = !accepting_[s];
+}
+
+Dfa Dfa::Minimize() const {
+  const int n = num_states_;
+  const int nl = static_cast<int>(labels_.size());
+
+  // Restrict to reachable states first.
+  std::vector<int> reach_id(n, -1);
+  std::vector<StateId> order;
+  reach_id[initial_] = 0;
+  order.push_back(initial_);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const StateId s = order[i];
+    for (int li = 0; li < nl; ++li) {
+      const StateId t = Next(s, li);
+      if (reach_id[t] < 0) {
+        reach_id[t] = static_cast<int>(order.size());
+        order.push_back(t);
+      }
+    }
+  }
+  const int m = static_cast<int>(order.size());
+
+  // Moore refinement on reachable states.
+  std::vector<int> block(m);
+  for (int i = 0; i < m; ++i) block[i] = accepting_[order[i]] ? 1 : 0;
+  int num_blocks = 2;
+  // If all states agree on acceptance there is a single block.
+  {
+    bool has0 = false, has1 = false;
+    for (int b : block) (b ? has1 : has0) = true;
+    if (!has0 || !has1) {
+      for (int& b : block) b = 0;
+      num_blocks = 1;
+    }
+  }
+  while (true) {
+    // Signature of each state: (block, block of successor per label).
+    std::map<std::vector<int>, int> sig_to_block;
+    std::vector<int> new_block(m);
+    for (int i = 0; i < m; ++i) {
+      std::vector<int> sig;
+      sig.reserve(nl + 1);
+      sig.push_back(block[i]);
+      for (int li = 0; li < nl; ++li) {
+        sig.push_back(block[reach_id[Next(order[i], li)]]);
+      }
+      auto [it, inserted] =
+          sig_to_block.emplace(std::move(sig), static_cast<int>(
+                                                   sig_to_block.size()));
+      new_block[i] = it->second;
+    }
+    const int new_num_blocks = static_cast<int>(sig_to_block.size());
+    block = std::move(new_block);
+    if (new_num_blocks == num_blocks) break;
+    num_blocks = new_num_blocks;
+  }
+
+  Dfa out(num_blocks, labels_);
+  out.SetInitial(block[0]);  // order[0] == initial_.
+  for (int i = 0; i < m; ++i) {
+    const StateId s = order[i];
+    if (accepting_[s]) out.SetAccepting(block[i]);
+    for (int li = 0; li < nl; ++li) {
+      out.SetNext(block[i], li, block[reach_id[Next(s, li)]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,77 @@
+// Dfa: complete deterministic finite automaton over an explicit label set.
+//
+// The transition function is stored as a dense table indexed by
+// (state, label-index). Completeness is an invariant: every state has a
+// transition for every label (constructions add a sink state if needed),
+// which makes complementation a matter of flipping accepting bits.
+#ifndef ECRPQ_AUTOMATA_DFA_H_
+#define ECRPQ_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/check.h"
+
+namespace ecrpq {
+
+class Dfa {
+ public:
+  // Creates a complete DFA with `num_states` states over the given sorted,
+  // deduplicated label set. All transitions initially self-loop on state 0;
+  // callers are expected to set them all.
+  Dfa(int num_states, std::vector<Label> labels);
+
+  int NumStates() const { return num_states_; }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  StateId initial() const { return initial_; }
+  void SetInitial(StateId s) {
+    ECRPQ_DCHECK(s < static_cast<StateId>(num_states_));
+    initial_ = s;
+  }
+
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  void SetAccepting(StateId s, bool accepting = true) {
+    accepting_[s] = accepting;
+  }
+
+  // Index of `label` in the label set; dies if absent (see FindLabelIndex).
+  int LabelIndex(Label label) const;
+
+  // Index of `label`, or -1 if the label is not part of this DFA's alphabet.
+  int FindLabelIndex(Label label) const;
+
+  StateId Next(StateId s, int label_index) const {
+    return table_[static_cast<size_t>(s) * labels_.size() + label_index];
+  }
+  void SetNext(StateId s, int label_index, StateId to) {
+    table_[static_cast<size_t>(s) * labels_.size() + label_index] = to;
+  }
+
+  // Membership. Words containing labels outside the alphabet are rejected.
+  bool Accepts(std::span<const Label> word) const;
+
+  // Converts to an equivalent NFA (same states, same transitions).
+  Nfa ToNfa() const;
+
+  // In-place complement (flips accepting states). Valid because the DFA is
+  // complete by construction.
+  void Complement();
+
+  // Returns the minimal DFA for the same language (Moore's partition
+  // refinement followed by removal of unreachable states).
+  Dfa Minimize() const;
+
+ private:
+  int num_states_;
+  std::vector<Label> labels_;
+  std::vector<StateId> table_;
+  StateId initial_ = 0;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_DFA_H_

@@ -1,0 +1,48 @@
+// Intersection non-emptiness (INE) — the paper's complexity yardstick.
+//
+// INE for regular languages is PSPACE-complete [Kozen'77]; its parameterized
+// version p-IE (parameter = number of automata) is XNL-complete [20 in the
+// paper]. The lower-bound reductions of Lemmas 5.1 and 5.4 reduce (p-)INE to
+// (p-)eval-ECRPQ; this module provides the independent solver used to
+// differential-test those reductions and to benchmark against.
+#ifndef ECRPQ_AUTOMATA_INE_H_
+#define ECRPQ_AUTOMATA_INE_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace ecrpq {
+
+struct IneOptions {
+  // Abort after this many product states have been explored; returns nullopt
+  // from the *Witness variants and treats the instance as "unknown". 0 means
+  // unlimited.
+  size_t max_states = 0;
+};
+
+struct IneResult {
+  // True iff the intersection is non-empty (valid only if !aborted).
+  bool non_empty = false;
+  // Shortest word in the intersection when non-empty.
+  std::vector<Label> witness;
+  // Number of product states explored (the PSPACE-ness made visible).
+  size_t explored_states = 0;
+  // Search hit options.max_states before reaching a verdict.
+  bool aborted = false;
+};
+
+// On-the-fly BFS over the product of the automata. Never materializes the
+// product automaton. Works for NFAs with ε-transitions.
+IneResult IntersectionNonEmpty(const std::vector<const Nfa*>& automata,
+                               const IneOptions& options = {});
+
+// Convenience overload for DFAs.
+IneResult IntersectionNonEmpty(const std::vector<const Dfa*>& automata,
+                               const IneOptions& options = {});
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_INE_H_

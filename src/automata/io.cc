@@ -1,0 +1,112 @@
+#include "automata/io.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ecrpq {
+namespace {
+
+Result<uint64_t> ParseUint(std::string_view token) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("not an unsigned integer: '" +
+                              std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string NfaToString(const Nfa& nfa) {
+  std::ostringstream out;
+  out << "states " << nfa.NumStates() << "\n";
+  out << "initial";
+  for (StateId s : nfa.initial()) out << " " << s;
+  out << "\n";
+  out << "accepting";
+  for (StateId s = 0; s < static_cast<StateId>(nfa.NumStates()); ++s) {
+    if (nfa.IsAccepting(s)) out << " " << s;
+  }
+  out << "\n";
+  for (StateId s = 0; s < static_cast<StateId>(nfa.NumStates()); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      out << "trans " << s << " ";
+      if (t.label == kEpsilon) {
+        out << "eps";
+      } else {
+        out << t.label;
+      }
+      out << " " << t.to << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<Nfa> NfaFromString(std::string_view text) {
+  Nfa nfa;
+  bool have_states = false;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& tok : SplitString(line, ' ')) {
+      if (!tok.empty()) tokens.push_back(tok);
+    }
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+    if (kind == "states") {
+      if (tokens.size() != 2) return Status::ParseError("states: want count");
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t n, ParseUint(tokens[1]));
+      nfa = Nfa(static_cast<int>(n));
+      have_states = true;
+    } else if (kind == "initial") {
+      if (!have_states) return Status::ParseError("initial before states");
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        ECRPQ_ASSIGN_OR_RAISE(uint64_t s, ParseUint(tokens[i]));
+        if (s >= static_cast<uint64_t>(nfa.NumStates())) {
+          return Status::ParseError("initial state out of range");
+        }
+        nfa.SetInitial(static_cast<StateId>(s));
+      }
+    } else if (kind == "accepting") {
+      if (!have_states) return Status::ParseError("accepting before states");
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        ECRPQ_ASSIGN_OR_RAISE(uint64_t s, ParseUint(tokens[i]));
+        if (s >= static_cast<uint64_t>(nfa.NumStates())) {
+          return Status::ParseError("accepting state out of range");
+        }
+        nfa.SetAccepting(static_cast<StateId>(s));
+      }
+    } else if (kind == "trans") {
+      if (!have_states) return Status::ParseError("trans before states");
+      if (tokens.size() != 4) {
+        return Status::ParseError("trans: want 'trans from label to'");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t from, ParseUint(tokens[1]));
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t to, ParseUint(tokens[3]));
+      if (from >= static_cast<uint64_t>(nfa.NumStates()) ||
+          to >= static_cast<uint64_t>(nfa.NumStates())) {
+        return Status::ParseError("trans state out of range");
+      }
+      Label label;
+      if (tokens[2] == "eps") {
+        label = kEpsilon;
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(label, ParseUint(tokens[2]));
+      }
+      nfa.AddTransition(static_cast<StateId>(from), label,
+                        static_cast<StateId>(to));
+    } else {
+      return Status::ParseError("unknown directive: " + kind);
+    }
+  }
+  if (!have_states) return Status::ParseError("missing 'states' line");
+  return nfa;
+}
+
+}  // namespace ecrpq

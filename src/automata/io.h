@@ -1,0 +1,26 @@
+// Text serialization of NFAs — a small line-oriented format used by tests,
+// examples, and the CLI tools.
+//
+//   states <n>
+//   initial <s> [<s> ...]
+//   accepting <s> [<s> ...]
+//   trans <from> <label|'eps'> <to>
+//   ... (one trans line per transition)
+#ifndef ECRPQ_AUTOMATA_IO_H_
+#define ECRPQ_AUTOMATA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "automata/nfa.h"
+#include "common/result.h"
+
+namespace ecrpq {
+
+std::string NfaToString(const Nfa& nfa);
+
+Result<Nfa> NfaFromString(std::string_view text);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_IO_H_

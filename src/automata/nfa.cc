@@ -1,0 +1,209 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace ecrpq {
+
+void Nfa::EpsilonClose(std::vector<StateId>* states) const {
+  std::vector<StateId> stack(*states);
+  std::vector<bool> in_set(transitions_.size(), false);
+  for (StateId s : *states) in_set[s] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (const Transition& t : transitions_[s]) {
+      if (t.label == kEpsilon && !in_set[t.to]) {
+        in_set[t.to] = true;
+        states->push_back(t.to);
+        stack.push_back(t.to);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+  states->erase(std::unique(states->begin(), states->end()), states->end());
+}
+
+bool Nfa::Accepts(std::span<const Label> word) const {
+  std::vector<StateId> current(initial_);
+  EpsilonClose(&current);
+  for (const Label a : word) {
+    std::vector<StateId> next;
+    for (StateId s : current) {
+      for (const Transition& t : transitions_[s]) {
+        if (t.label == a) next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    EpsilonClose(&next);
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  for (StateId s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+bool Nfa::IsEmpty() const { return !ShortestWitness().has_value(); }
+
+std::optional<std::vector<Label>> Nfa::ShortestWitness() const {
+  // BFS over states; ε-transitions contribute no letters.
+  struct Parent {
+    StateId from;
+    Label label;  // kEpsilon for ε steps.
+  };
+  std::vector<bool> visited(transitions_.size(), false);
+  std::vector<Parent> parent(transitions_.size());
+  std::deque<StateId> queue;
+  for (StateId s : initial_) {
+    if (!visited[s]) {
+      visited[s] = true;
+      parent[s] = Parent{s, kEpsilon};
+      queue.push_back(s);
+    }
+  }
+  // Note: a plain FIFO BFS does not give shortest *words* in the presence of
+  // ε-transitions (an ε step is free). We use a 0/1-BFS: ε steps go to the
+  // front of the deque.
+  std::optional<StateId> goal;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    if (accepting_[s]) {
+      goal = s;
+      break;
+    }
+    for (const Transition& t : transitions_[s]) {
+      if (visited[t.to]) continue;
+      visited[t.to] = true;
+      parent[t.to] = Parent{s, t.label};
+      if (t.label == kEpsilon) {
+        queue.push_front(t.to);
+      } else {
+        queue.push_back(t.to);
+      }
+    }
+  }
+  if (!goal.has_value()) return std::nullopt;
+  std::vector<Label> word;
+  StateId s = *goal;
+  while (parent[s].from != s || parent[s].label != kEpsilon) {
+    if (parent[s].label != kEpsilon) word.push_back(parent[s].label);
+    const StateId prev = parent[s].from;
+    if (prev == s) break;
+    s = prev;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+std::vector<Label> Nfa::CollectLabels() const {
+  std::vector<Label> labels;
+  for (const auto& row : transitions_) {
+    for (const Transition& t : row) {
+      if (t.label != kEpsilon) labels.push_back(t.label);
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+void Nfa::Trim() {
+  const int n = NumStates();
+  // Forward reachability.
+  std::vector<bool> fwd(n, false);
+  {
+    std::vector<StateId> stack;
+    for (StateId s : initial_) {
+      if (!fwd[s]) {
+        fwd[s] = true;
+        stack.push_back(s);
+      }
+    }
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (const Transition& t : transitions_[s]) {
+        if (!fwd[t.to]) {
+          fwd[t.to] = true;
+          stack.push_back(t.to);
+        }
+      }
+    }
+  }
+  // Backward reachability from accepting states (over reversed edges).
+  std::vector<std::vector<StateId>> rev(n);
+  for (int s = 0; s < n; ++s) {
+    for (const Transition& t : transitions_[s]) {
+      rev[t.to].push_back(static_cast<StateId>(s));
+    }
+  }
+  std::vector<bool> bwd(n, false);
+  {
+    std::vector<StateId> stack;
+    for (int s = 0; s < n; ++s) {
+      if (accepting_[s] && !bwd[s]) {
+        bwd[s] = true;
+        stack.push_back(static_cast<StateId>(s));
+      }
+    }
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (StateId p : rev[s]) {
+        if (!bwd[p]) {
+          bwd[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+  // Renumber kept states.
+  std::vector<StateId> remap(n, ~StateId{0});
+  StateId next = 0;
+  for (int s = 0; s < n; ++s) {
+    if (fwd[s] && bwd[s]) remap[s] = next++;
+  }
+  std::vector<std::vector<Transition>> new_transitions(next);
+  std::vector<bool> new_accepting(next, false);
+  std::vector<StateId> new_initial;
+  for (int s = 0; s < n; ++s) {
+    if (remap[s] == ~StateId{0}) continue;
+    new_accepting[remap[s]] = accepting_[s];
+    for (const Transition& t : transitions_[s]) {
+      if (remap[t.to] != ~StateId{0}) {
+        new_transitions[remap[s]].push_back(Transition{t.label, remap[t.to]});
+      }
+    }
+  }
+  for (StateId s : initial_) {
+    if (remap[s] != ~StateId{0}) new_initial.push_back(remap[s]);
+  }
+  std::sort(new_initial.begin(), new_initial.end());
+  new_initial.erase(std::unique(new_initial.begin(), new_initial.end()),
+                    new_initial.end());
+  transitions_ = std::move(new_transitions);
+  accepting_ = std::move(new_accepting);
+  initial_ = std::move(new_initial);
+}
+
+void Nfa::Normalize() {
+  for (auto& row : transitions_) {
+    std::sort(row.begin(), row.end(),
+              [](const Transition& a, const Transition& b) {
+                return a.label != b.label ? a.label < b.label : a.to < b.to;
+              });
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  std::sort(initial_.begin(), initial_.end());
+  initial_.erase(std::unique(initial_.begin(), initial_.end()),
+                 initial_.end());
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,113 @@
+// Nfa: nondeterministic finite automaton with 64-bit transition labels.
+//
+// The label space is deliberately opaque: word automata use Symbol ids,
+// synchronous-relation automata use packed multi-tape letters (see
+// synchro/tape_pack.h). The reserved label kEpsilon marks ε-transitions.
+#ifndef ECRPQ_AUTOMATA_NFA_H_
+#define ECRPQ_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+using StateId = uint32_t;
+using Label = uint64_t;
+
+inline constexpr Label kEpsilon = ~Label{0};
+
+class Nfa {
+ public:
+  struct Transition {
+    Label label;
+    StateId to;
+    bool operator==(const Transition&) const = default;
+  };
+
+  Nfa() = default;
+  explicit Nfa(int num_states) { AddStates(num_states); }
+
+  StateId AddState() {
+    transitions_.emplace_back();
+    accepting_.push_back(false);
+    return static_cast<StateId>(transitions_.size() - 1);
+  }
+
+  void AddStates(int n) {
+    for (int i = 0; i < n; ++i) AddState();
+  }
+
+  int NumStates() const { return static_cast<int>(transitions_.size()); }
+
+  size_t NumTransitions() const {
+    size_t n = 0;
+    for (const auto& t : transitions_) n += t.size();
+    return n;
+  }
+
+  void AddTransition(StateId from, Label label, StateId to) {
+    ECRPQ_DCHECK(from < transitions_.size());
+    ECRPQ_DCHECK(to < transitions_.size());
+    transitions_[from].push_back(Transition{label, to});
+  }
+
+  void SetInitial(StateId s) {
+    ECRPQ_DCHECK(s < transitions_.size());
+    initial_.push_back(s);
+  }
+
+  void SetAccepting(StateId s, bool accepting = true) {
+    ECRPQ_DCHECK(s < transitions_.size());
+    accepting_[s] = accepting;
+  }
+
+  bool IsAccepting(StateId s) const {
+    ECRPQ_DCHECK(s < transitions_.size());
+    return accepting_[s];
+  }
+
+  const std::vector<StateId>& initial() const { return initial_; }
+
+  std::span<const Transition> TransitionsFrom(StateId s) const {
+    ECRPQ_DCHECK(s < transitions_.size());
+    return transitions_[s];
+  }
+
+  // ε-closure of a state set, in-place (the set is kept sorted and deduped).
+  void EpsilonClose(std::vector<StateId>* states) const;
+
+  // Membership: does the automaton accept `word` (sequence of labels)?
+  bool Accepts(std::span<const Label> word) const;
+
+  // True iff the accepted language is empty.
+  bool IsEmpty() const;
+
+  // A shortest accepted word, or nullopt if the language is empty.
+  std::optional<std::vector<Label>> ShortestWitness() const;
+
+  // All distinct non-ε labels appearing on transitions, sorted.
+  std::vector<Label> CollectLabels() const;
+
+  // Removes states that are not both reachable from an initial state and
+  // co-reachable from an accepting state. Renumbers states.
+  void Trim();
+
+  // Sorts each state's transition list by (label, to) and removes duplicates.
+  void Normalize();
+
+  // Deep equality of representation (not language equivalence).
+  bool operator==(const Nfa&) const = default;
+
+ private:
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<StateId> initial_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_NFA_H_

@@ -1,0 +1,191 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace ecrpq {
+
+Dfa Determinize(const Nfa& nfa, const std::vector<Label>& universe) {
+  ECRPQ_DCHECK(std::is_sorted(universe.begin(), universe.end()));
+
+  std::map<std::vector<StateId>, StateId> subset_id;
+  std::vector<std::vector<StateId>> subsets;
+
+  auto intern = [&](std::vector<StateId> subset) -> std::pair<StateId, bool> {
+    auto [it, inserted] =
+        subset_id.emplace(subset, static_cast<StateId>(subsets.size()));
+    if (inserted) subsets.push_back(std::move(subset));
+    return {it->second, inserted};
+  };
+
+  std::vector<StateId> start(nfa.initial());
+  nfa.EpsilonClose(&start);
+  intern(std::move(start));
+
+  // Rows of the eventual table, built as we discover subsets.
+  std::vector<std::vector<StateId>> rows;
+  for (size_t cur = 0; cur < subsets.size(); ++cur) {
+    std::vector<StateId> row(universe.size());
+    for (size_t li = 0; li < universe.size(); ++li) {
+      const Label a = universe[li];
+      std::vector<StateId> next;
+      for (StateId s : subsets[cur]) {
+        for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+          if (t.label == a) next.push_back(t.to);
+        }
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      nfa.EpsilonClose(&next);
+      row[li] = intern(std::move(next)).first;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa dfa(static_cast<int>(subsets.size()), universe);
+  dfa.SetInitial(0);
+  for (size_t s = 0; s < subsets.size(); ++s) {
+    for (size_t li = 0; li < universe.size(); ++li) {
+      dfa.SetNext(static_cast<StateId>(s), static_cast<int>(li), rows[s][li]);
+    }
+    for (StateId q : subsets[s]) {
+      if (nfa.IsAccepting(q)) {
+        dfa.SetAccepting(static_cast<StateId>(s));
+        break;
+      }
+    }
+  }
+  return dfa;
+}
+
+Nfa Intersect(const Nfa& a, const Nfa& b) {
+  // Pair states (sa, sb), discovered on the fly. ε in either component moves
+  // independently.
+  std::unordered_map<uint64_t, StateId> pair_id;
+  std::vector<std::pair<StateId, StateId>> pairs;
+  Nfa out;
+
+  auto key = [&](StateId sa, StateId sb) {
+    return (static_cast<uint64_t>(sa) << 32) | sb;
+  };
+  auto intern = [&](StateId sa, StateId sb) -> StateId {
+    auto [it, inserted] =
+        pair_id.emplace(key(sa, sb), static_cast<StateId>(pairs.size()));
+    if (inserted) {
+      pairs.emplace_back(sa, sb);
+      const StateId id = out.AddState();
+      ECRPQ_DCHECK(id == it->second);
+      if (a.IsAccepting(sa) && b.IsAccepting(sb)) out.SetAccepting(id);
+    }
+    return it->second;
+  };
+
+  for (StateId sa : a.initial()) {
+    for (StateId sb : b.initial()) {
+      out.SetInitial(intern(sa, sb));
+    }
+  }
+  for (size_t cur = 0; cur < pairs.size(); ++cur) {
+    const auto [sa, sb] = pairs[cur];
+    for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
+      if (ta.label == kEpsilon) {
+        out.AddTransition(static_cast<StateId>(cur), kEpsilon,
+                          intern(ta.to, sb));
+        continue;
+      }
+      for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+        if (tb.label == ta.label) {
+          out.AddTransition(static_cast<StateId>(cur), ta.label,
+                            intern(ta.to, tb.to));
+        }
+      }
+    }
+    for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+      if (tb.label == kEpsilon) {
+        out.AddTransition(static_cast<StateId>(cur), kEpsilon,
+                          intern(sa, tb.to));
+      }
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Nfa Union(const Nfa& a, const Nfa& b) {
+  Nfa out(a.NumStates() + b.NumStates());
+  const StateId offset = static_cast<StateId>(a.NumStates());
+  for (StateId s = 0; s < static_cast<StateId>(a.NumStates()); ++s) {
+    if (a.IsAccepting(s)) out.SetAccepting(s);
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      out.AddTransition(s, t.label, t.to);
+    }
+  }
+  for (StateId s = 0; s < static_cast<StateId>(b.NumStates()); ++s) {
+    if (b.IsAccepting(s)) out.SetAccepting(offset + s);
+    for (const Nfa::Transition& t : b.TransitionsFrom(s)) {
+      out.AddTransition(offset + s, t.label, offset + t.to);
+    }
+  }
+  for (StateId s : a.initial()) out.SetInitial(s);
+  for (StateId s : b.initial()) out.SetInitial(offset + s);
+  return out;
+}
+
+Nfa Complement(const Nfa& nfa, const std::vector<Label>& universe) {
+  Dfa dfa = Determinize(nfa, universe);
+  dfa.Complement();
+  return dfa.ToNfa();
+}
+
+bool Included(const Nfa& a, const Nfa& b,
+              const std::vector<Label>& universe) {
+  // L(a) ⊆ L(b)  iff  L(a) ∩ ¬L(b) = ∅.
+  Nfa not_b = Complement(b, universe);
+  return Intersect(a, not_b).IsEmpty();
+}
+
+bool Equivalent(const Nfa& a, const Nfa& b,
+                const std::vector<Label>& universe) {
+  return Included(a, b, universe) && Included(b, a, universe);
+}
+
+Nfa RemoveEpsilon(const Nfa& nfa) {
+  const int n = nfa.NumStates();
+  Nfa out(n);
+  for (StateId s = 0; s < static_cast<StateId>(n); ++s) {
+    std::vector<StateId> closure{s};
+    nfa.EpsilonClose(&closure);
+    bool accepting = false;
+    for (StateId c : closure) {
+      accepting = accepting || nfa.IsAccepting(c);
+      for (const Nfa::Transition& t : nfa.TransitionsFrom(c)) {
+        if (t.label != kEpsilon) out.AddTransition(s, t.label, t.to);
+      }
+    }
+    if (accepting) out.SetAccepting(s);
+  }
+  for (StateId s : nfa.initial()) out.SetInitial(s);
+  out.Normalize();
+  out.Trim();
+  return out;
+}
+
+std::vector<Label> UnionLabels(const std::vector<const Nfa*>& nfas,
+                               const std::vector<Label>& extra) {
+  std::vector<Label> labels(extra);
+  for (const Nfa* nfa : nfas) {
+    const std::vector<Label> ls = nfa->CollectLabels();
+    labels.insert(labels.end(), ls.begin(), ls.end());
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,47 @@
+// Language-level operations on automata: determinization, product,
+// union, complement, equivalence.
+//
+// Operations that need the full label universe (complement, equivalence)
+// take it explicitly: an NFA only records the labels it uses, but the
+// language complement depends on the alphabet it is interpreted over.
+#ifndef ECRPQ_AUTOMATA_OPS_H_
+#define ECRPQ_AUTOMATA_OPS_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace ecrpq {
+
+// Subset construction. `universe` must be sorted and contain every label
+// appearing in `nfa`. The result is complete over `universe`.
+Dfa Determinize(const Nfa& nfa, const std::vector<Label>& universe);
+
+// Product automaton accepting L(a) ∩ L(b). On-the-fly: only reachable pairs
+// are materialized. ε-transitions in either operand are handled.
+Nfa Intersect(const Nfa& a, const Nfa& b);
+
+// Disjoint union accepting L(a) ∪ L(b).
+Nfa Union(const Nfa& a, const Nfa& b);
+
+// Complement of L(nfa) relative to universe^*.
+Nfa Complement(const Nfa& nfa, const std::vector<Label>& universe);
+
+// Language equivalence over the given universe.
+bool Equivalent(const Nfa& a, const Nfa& b, const std::vector<Label>& universe);
+
+// Language inclusion L(a) ⊆ L(b) over the given universe.
+bool Included(const Nfa& a, const Nfa& b, const std::vector<Label>& universe);
+
+// Union of the label sets of several automata with `extra` added, sorted.
+std::vector<Label> UnionLabels(const std::vector<const Nfa*>& nfas,
+                               const std::vector<Label>& extra = {});
+
+// Equivalent NFA without ε-transitions (same state count; standard closure
+// construction). Polynomial.
+Nfa RemoveEpsilon(const Nfa& nfa);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_OPS_H_

@@ -1,0 +1,63 @@
+#include "automata/random.h"
+
+namespace ecrpq {
+
+Dfa RandomDfa(Rng* rng, const RandomDfaOptions& options) {
+  std::vector<Label> labels;
+  for (int a = 0; a < options.alphabet_size; ++a) {
+    labels.push_back(static_cast<Label>(a));
+  }
+  Dfa dfa(options.num_states, std::move(labels));
+  dfa.SetInitial(0);
+  bool any_accepting = false;
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int li = 0; li < options.alphabet_size; ++li) {
+      dfa.SetNext(s, li,
+                  static_cast<StateId>(rng->Below(options.num_states)));
+    }
+    if (rng->Chance(options.accept_prob)) {
+      dfa.SetAccepting(s);
+      any_accepting = true;
+    }
+  }
+  if (!any_accepting && options.force_accepting) {
+    dfa.SetAccepting(static_cast<StateId>(rng->Below(options.num_states)));
+  }
+  return dfa;
+}
+
+Nfa RandomNfa(Rng* rng, const RandomNfaOptions& options) {
+  Nfa nfa(options.num_states);
+  nfa.SetInitial(0);
+  const double per_edge_prob =
+      options.density / static_cast<double>(options.num_states);
+  bool any_accepting = false;
+  for (int s = 0; s < options.num_states; ++s) {
+    for (int a = 0; a < options.alphabet_size; ++a) {
+      for (int t = 0; t < options.num_states; ++t) {
+        if (rng->Chance(per_edge_prob)) {
+          nfa.AddTransition(s, static_cast<Label>(a),
+                            static_cast<StateId>(t));
+        }
+      }
+    }
+    if (rng->Chance(options.accept_prob)) {
+      nfa.SetAccepting(s);
+      any_accepting = true;
+    }
+  }
+  if (!any_accepting && options.force_accepting) {
+    nfa.SetAccepting(static_cast<StateId>(rng->Below(options.num_states)));
+  }
+  return nfa;
+}
+
+std::vector<Label> RandomWord(Rng* rng, int length, int alphabet_size) {
+  std::vector<Label> word(length);
+  for (int i = 0; i < length; ++i) {
+    word[i] = static_cast<Label>(rng->Below(alphabet_size));
+  }
+  return word;
+}
+
+}  // namespace ecrpq

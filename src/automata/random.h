@@ -1,0 +1,42 @@
+// Seeded random automata and word generators for tests and benchmarks.
+#ifndef ECRPQ_AUTOMATA_RANDOM_H_
+#define ECRPQ_AUTOMATA_RANDOM_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "common/rng.h"
+
+namespace ecrpq {
+
+struct RandomDfaOptions {
+  int num_states = 8;
+  // Labels 0..alphabet_size-1.
+  int alphabet_size = 2;
+  double accept_prob = 0.3;
+  // Guarantee at least one accepting state.
+  bool force_accepting = true;
+};
+
+// Uniform random complete DFA over labels {0, ..., alphabet_size-1}.
+Dfa RandomDfa(Rng* rng, const RandomDfaOptions& options);
+
+struct RandomNfaOptions {
+  int num_states = 8;
+  int alphabet_size = 2;
+  // Expected number of outgoing transitions per (state, label).
+  double density = 1.2;
+  double accept_prob = 0.3;
+  bool force_accepting = true;
+};
+
+// Random NFA (no ε-transitions) over labels {0, ..., alphabet_size-1}.
+Nfa RandomNfa(Rng* rng, const RandomNfaOptions& options);
+
+// Random word of the given length over labels {0, ..., alphabet_size-1}.
+std::vector<Label> RandomWord(Rng* rng, int length, int alphabet_size);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_RANDOM_H_

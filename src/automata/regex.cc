@@ -1,0 +1,297 @@
+#include "automata/regex.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr std::string_view kMetaChars = "()|*+?.\\<>";
+
+bool IsMeta(char c) { return kMetaChars.find(c) != std::string_view::npos; }
+
+RegexPtr MakeNode(RegexNode::Kind kind) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = kind;
+  return node;
+}
+
+// Recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<RegexPtr> Parse() {
+    ECRPQ_ASSIGN_OR_RAISE(RegexPtr node, ParseAlt());
+    if (pos_ != input_.size()) {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, input_[pos_]) +
+                                "' at position " + std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  Result<RegexPtr> ParseAlt() {
+    ECRPQ_ASSIGN_OR_RAISE(RegexPtr first, ParseConcat());
+    if (AtEnd() || Peek() != '|') return first;
+    RegexPtr alt = MakeNode(RegexNode::Kind::kAlt);
+    alt->children.push_back(std::move(first));
+    while (!AtEnd() && Peek() == '|') {
+      ++pos_;
+      ECRPQ_ASSIGN_OR_RAISE(RegexPtr next, ParseConcat());
+      alt->children.push_back(std::move(next));
+    }
+    return alt;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    std::vector<RegexPtr> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      ECRPQ_ASSIGN_OR_RAISE(RegexPtr part, ParseRep());
+      parts.push_back(std::move(part));
+    }
+    if (parts.empty()) return MakeNode(RegexNode::Kind::kEpsilon);
+    if (parts.size() == 1) return std::move(parts[0]);
+    RegexPtr concat = MakeNode(RegexNode::Kind::kConcat);
+    concat->children = std::move(parts);
+    return concat;
+  }
+
+  Result<RegexPtr> ParseRep() {
+    ECRPQ_ASSIGN_OR_RAISE(RegexPtr node, ParseAtom());
+    while (!AtEnd()) {
+      RegexNode::Kind kind;
+      switch (Peek()) {
+        case '*':
+          kind = RegexNode::Kind::kStar;
+          break;
+        case '+':
+          kind = RegexNode::Kind::kPlus;
+          break;
+        case '?':
+          kind = RegexNode::Kind::kOpt;
+          break;
+        default:
+          return node;
+      }
+      ++pos_;
+      RegexPtr rep = MakeNode(kind);
+      rep->children.push_back(std::move(node));
+      node = std::move(rep);
+    }
+    return node;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    if (AtEnd()) return Status::ParseError("unexpected end of pattern");
+    const char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      ECRPQ_ASSIGN_OR_RAISE(RegexPtr inner, ParseAlt());
+      if (AtEnd() || Peek() != ')') {
+        return Status::ParseError("missing ')' at position " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '.') {
+      ++pos_;
+      return MakeNode(RegexNode::Kind::kAny);
+    }
+    if (c == '\\') {
+      ++pos_;
+      if (AtEnd()) return Status::ParseError("dangling escape at end");
+      RegexPtr sym = MakeNode(RegexNode::Kind::kSymbol);
+      sym->symbol = std::string(1, input_[pos_]);
+      ++pos_;
+      return sym;
+    }
+    if (c == '<') {
+      // Multi-character symbol literal: <name> (e.g. inverse labels a~).
+      ++pos_;
+      std::string name;
+      while (!AtEnd() && Peek() != '>') {
+        name += Peek();
+        ++pos_;
+      }
+      if (AtEnd()) return Status::ParseError("missing '>' in symbol literal");
+      ++pos_;
+      if (name.empty()) {
+        return Status::ParseError("empty <> symbol literal");
+      }
+      RegexPtr sym = MakeNode(RegexNode::Kind::kSymbol);
+      sym->symbol = name;
+      return sym;
+    }
+    if (IsMeta(c)) {
+      return Status::ParseError("unexpected metacharacter '" +
+                                std::string(1, c) + "' at position " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    RegexPtr sym = MakeNode(RegexNode::Kind::kSymbol);
+    sym->symbol = std::string(1, c);
+    return sym;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+// Thompson fragments: a sub-NFA with one entry and one exit state.
+struct Fragment {
+  StateId entry;
+  StateId exit;
+};
+
+Fragment Compile(const RegexNode& node, Alphabet* alphabet, Nfa* nfa) {
+  switch (node.kind) {
+    case RegexNode::Kind::kEpsilon: {
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      nfa->AddTransition(s, kEpsilon, t);
+      return {s, t};
+    }
+    case RegexNode::Kind::kSymbol: {
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      nfa->AddTransition(s, alphabet->Intern(node.symbol), t);
+      return {s, t};
+    }
+    case RegexNode::Kind::kAny: {
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      for (Symbol a = 0; a < static_cast<Symbol>(alphabet->size()); ++a) {
+        nfa->AddTransition(s, a, t);
+      }
+      return {s, t};
+    }
+    case RegexNode::Kind::kConcat: {
+      ECRPQ_CHECK_GE(node.children.size(), 2u);
+      Fragment acc = Compile(*node.children[0], alphabet, nfa);
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        Fragment next = Compile(*node.children[i], alphabet, nfa);
+        nfa->AddTransition(acc.exit, kEpsilon, next.entry);
+        acc.exit = next.exit;
+      }
+      return acc;
+    }
+    case RegexNode::Kind::kAlt: {
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      for (const RegexPtr& child : node.children) {
+        Fragment f = Compile(*child, alphabet, nfa);
+        nfa->AddTransition(s, kEpsilon, f.entry);
+        nfa->AddTransition(f.exit, kEpsilon, t);
+      }
+      return {s, t};
+    }
+    case RegexNode::Kind::kStar: {
+      Fragment inner = Compile(*node.children[0], alphabet, nfa);
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      nfa->AddTransition(s, kEpsilon, inner.entry);
+      nfa->AddTransition(inner.exit, kEpsilon, t);
+      nfa->AddTransition(s, kEpsilon, t);
+      nfa->AddTransition(inner.exit, kEpsilon, inner.entry);
+      return {s, t};
+    }
+    case RegexNode::Kind::kPlus: {
+      Fragment inner = Compile(*node.children[0], alphabet, nfa);
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      nfa->AddTransition(s, kEpsilon, inner.entry);
+      nfa->AddTransition(inner.exit, kEpsilon, t);
+      nfa->AddTransition(inner.exit, kEpsilon, inner.entry);
+      return {s, t};
+    }
+    case RegexNode::Kind::kOpt: {
+      Fragment inner = Compile(*node.children[0], alphabet, nfa);
+      const StateId s = nfa->AddState();
+      const StateId t = nfa->AddState();
+      nfa->AddTransition(s, kEpsilon, inner.entry);
+      nfa->AddTransition(inner.exit, kEpsilon, t);
+      nfa->AddTransition(s, kEpsilon, t);
+      return {s, t};
+    }
+  }
+  ECRPQ_CHECK(false) << "unreachable regex kind";
+  return {0, 0};
+}
+
+std::string EscapeSymbol(const std::string& s) {
+  if (s.size() == 1 && IsMeta(s[0])) return "\\" + s;
+  if (s.size() > 1) return "<" + s + ">";
+  return s;
+}
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view pattern) {
+  return Parser(pattern).Parse();
+}
+
+Nfa CompileRegex(const RegexNode& regex, Alphabet* alphabet) {
+  Nfa nfa;
+  const Fragment f = Compile(regex, alphabet, &nfa);
+  nfa.SetInitial(f.entry);
+  nfa.SetAccepting(f.exit);
+  return nfa;
+}
+
+Result<Nfa> CompileRegex(std::string_view pattern, Alphabet* alphabet) {
+  ECRPQ_ASSIGN_OR_RAISE(RegexPtr regex, ParseRegex(pattern));
+  return CompileRegex(*regex, alphabet);
+}
+
+std::string RegexToString(const RegexNode& regex) {
+  switch (regex.kind) {
+    case RegexNode::Kind::kEpsilon:
+      return "()";
+    case RegexNode::Kind::kSymbol:
+      return EscapeSymbol(regex.symbol);
+    case RegexNode::Kind::kAny:
+      return ".";
+    case RegexNode::Kind::kConcat: {
+      std::string out;
+      for (const RegexPtr& c : regex.children) {
+        const bool paren = c->kind == RegexNode::Kind::kAlt;
+        if (paren) out += "(";
+        out += RegexToString(*c);
+        if (paren) out += ")";
+      }
+      return out;
+    }
+    case RegexNode::Kind::kAlt: {
+      std::string out;
+      for (size_t i = 0; i < regex.children.size(); ++i) {
+        if (i > 0) out += "|";
+        out += RegexToString(*regex.children[i]);
+      }
+      return out;
+    }
+    case RegexNode::Kind::kStar:
+    case RegexNode::Kind::kPlus:
+    case RegexNode::Kind::kOpt: {
+      const RegexNode& child = *regex.children[0];
+      const bool paren = child.kind == RegexNode::Kind::kConcat ||
+                         child.kind == RegexNode::Kind::kAlt;
+      std::string out = paren ? "(" + RegexToString(child) + ")"
+                              : RegexToString(child);
+      out += regex.kind == RegexNode::Kind::kStar  ? "*"
+             : regex.kind == RegexNode::Kind::kPlus ? "+"
+                                                    : "?";
+      return out;
+    }
+  }
+  ECRPQ_CHECK(false) << "unreachable regex kind";
+  return "";
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,55 @@
+// Regular expressions over an Alphabet, compiled to NFAs via the Thompson
+// construction.
+//
+// Grammar (POSIX-ish subset):
+//   alt    :=  concat ('|' concat)*
+//   concat :=  rep*                        (empty concat denotes ε)
+//   rep    :=  atom ('*' | '+' | '?')*
+//   atom   :=  sym | '.' | '(' alt ')'
+//   sym    :=  any character except ( ) | * + ? . \   or   '\' c  (escape)
+//
+// Each non-escaped character is one symbol of the alphabet. '.' stands for
+// any symbol of the alphabet (at compile time). Symbols are interned into the
+// supplied alphabet on demand.
+#ifndef ECRPQ_AUTOMATA_REGEX_H_
+#define ECRPQ_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+
+namespace ecrpq {
+
+struct RegexNode;
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+struct RegexNode {
+  enum class Kind { kEpsilon, kSymbol, kAny, kConcat, kAlt, kStar, kPlus, kOpt };
+  Kind kind;
+  std::string symbol;            // kSymbol only.
+  std::vector<RegexPtr> children;  // kConcat/kAlt: 2+; kStar/kPlus/kOpt: 1.
+};
+
+// Parses a regular expression. Does not touch any alphabet (symbols stay
+// strings until compilation).
+Result<RegexPtr> ParseRegex(std::string_view pattern);
+
+// Compiles a parsed regex to an NFA, interning symbols into `alphabet`.
+// '.' expands to the symbols present in `alphabet` at call time, so intern
+// the full alphabet before compiling patterns that use '.'.
+Nfa CompileRegex(const RegexNode& regex, Alphabet* alphabet);
+
+// Parse + compile in one step.
+Result<Nfa> CompileRegex(std::string_view pattern, Alphabet* alphabet);
+
+// Renders the regex back to a string (parenthesized, parse-stable).
+std::string RegexToString(const RegexNode& regex);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_REGEX_H_

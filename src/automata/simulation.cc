@@ -1,0 +1,124 @@
+#include "automata/simulation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "automata/ops.h"
+#include "common/check.h"
+
+namespace ecrpq {
+
+std::vector<std::vector<bool>> SimulationPreorder(const Nfa& input) {
+  // Work on an ε-free automaton.
+  bool has_epsilon = false;
+  for (StateId s = 0; s < static_cast<StateId>(input.NumStates()); ++s) {
+    for (const Nfa::Transition& t : input.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) {
+        has_epsilon = true;
+        break;
+      }
+    }
+  }
+  const Nfa nfa = has_epsilon ? RemoveEpsilon(input) : input;
+  const int n = nfa.NumStates();
+
+  // Per state: transitions grouped by label.
+  std::vector<std::map<Label, std::vector<StateId>>> moves(n);
+  for (StateId s = 0; s < static_cast<StateId>(n); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      moves[s][t.label].push_back(t.to);
+    }
+  }
+
+  // Greatest fixpoint: start from the acceptance-compatible full relation
+  // and remove violating pairs until stable.
+  std::vector<std::vector<bool>> sim(n, std::vector<bool>(n, true));
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (nfa.IsAccepting(s) && !nfa.IsAccepting(t)) sim[s][t] = false;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n; ++s) {
+      for (int t = 0; t < n; ++t) {
+        if (!sim[s][t]) continue;
+        // Every s -a-> s' must be matched by some t -a-> t' with
+        // sim[s'][t'].
+        bool ok = true;
+        for (const auto& [label, succs] : moves[s]) {
+          auto it = moves[t].find(label);
+          for (StateId sp : succs) {
+            bool matched = false;
+            if (it != moves[t].end()) {
+              for (StateId tp : it->second) {
+                if (sim[sp][tp]) {
+                  matched = true;
+                  break;
+                }
+              }
+            }
+            if (!matched) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+        if (!ok) {
+          sim[s][t] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return sim;
+}
+
+Nfa ReduceBySimulation(const Nfa& input) {
+  bool has_epsilon = false;
+  for (StateId s = 0; s < static_cast<StateId>(input.NumStates()); ++s) {
+    for (const Nfa::Transition& t : input.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) {
+        has_epsilon = true;
+        break;
+      }
+    }
+  }
+  const Nfa nfa = has_epsilon ? RemoveEpsilon(input) : input;
+  const int n = nfa.NumStates();
+  if (n == 0) return nfa;
+
+  const std::vector<std::vector<bool>> sim = SimulationPreorder(nfa);
+
+  // Equivalence classes of mutual simulation; representative = smallest id.
+  std::vector<int> rep(n);
+  for (int s = 0; s < n; ++s) {
+    rep[s] = s;
+    for (int t = 0; t < s; ++t) {
+      if (sim[s][t] && sim[t][s]) {
+        rep[s] = rep[t];
+        break;
+      }
+    }
+  }
+  std::vector<int> dense(n, -1);
+  int num_classes = 0;
+  for (int s = 0; s < n; ++s) {
+    if (rep[s] == s) dense[s] = num_classes++;
+  }
+  Nfa out(num_classes);
+  for (StateId s : nfa.initial()) out.SetInitial(dense[rep[s]]);
+  for (int s = 0; s < n; ++s) {
+    if (nfa.IsAccepting(s)) out.SetAccepting(dense[rep[s]]);
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      out.AddTransition(dense[rep[s]], t.label, dense[rep[t.to]]);
+    }
+  }
+  out.Normalize();
+  out.Trim();
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,29 @@
+// Simulation preorders and simulation-quotient reduction for NFAs.
+//
+// Quotienting an NFA by simulation equivalence preserves its language and
+// can shrink it substantially without the exponential cost of
+// determinization — useful before the product constructions of Lemma 4.1,
+// whose cost multiplies across member automata sizes.
+#ifndef ECRPQ_AUTOMATA_SIMULATION_H_
+#define ECRPQ_AUTOMATA_SIMULATION_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace ecrpq {
+
+// The (greatest) forward simulation preorder: result[s][t] iff t simulates
+// s — acceptance of s implies acceptance of t, and every move of s can be
+// matched by a move of t to a simulating state. ε-transitions are
+// eliminated internally first, so indices refer to RemoveEpsilon(nfa)'s
+// states when the input has ε-transitions.
+std::vector<std::vector<bool>> SimulationPreorder(const Nfa& nfa);
+
+// Quotient of the NFA by simulation equivalence (mutual simulation).
+// L(result) == L(nfa); never has more states.
+Nfa ReduceBySimulation(const Nfa& nfa);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_SIMULATION_H_

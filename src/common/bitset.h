@@ -1,0 +1,71 @@
+// DynamicBitset: a simple resizable bitset used for visited-state tracking in
+// product-space searches where the state space is dense and enumerable.
+#ifndef ECRPQ_COMMON_BITSET_H_
+#define ECRPQ_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t n, bool value = false)
+      : size_(n), words_((n + 63) / 64, value ? ~uint64_t{0} : 0) {
+    TrimLast();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    ECRPQ_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    ECRPQ_DCHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    ECRPQ_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  // Sets bit i, returning whether it was previously unset (i.e. "newly
+  // visited"). The common BFS idiom.
+  bool TestAndSet(size_t i) {
+    ECRPQ_DCHECK(i < size_);
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    const bool was_set = words_[i >> 6] & mask;
+    words_[i >> 6] |= mask;
+    return !was_set;
+  }
+
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+ private:
+  void TrimLast() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_BITSET_H_

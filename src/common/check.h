@@ -1,0 +1,63 @@
+// CHECK macros for programmer-error invariants (not for recoverable input
+// errors — those use Status/Result).
+#ifndef ECRPQ_COMMON_CHECK_H_
+#define ECRPQ_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ecrpq {
+namespace internal {
+
+// Accumulates a message and aborts on destruction. Used by ECRPQ_CHECK.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  // Lvalue access for the voidify trick in ECRPQ_CHECK.
+  CheckFailStream& Ref() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+struct CheckVoidify {
+  void operator&(CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace ecrpq
+
+#define ECRPQ_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                         \
+         : ::ecrpq::internal::CheckVoidify() &                             \
+               ::ecrpq::internal::CheckFailStream(__FILE__, __LINE__, #cond) \
+                   .Ref()
+
+#define ECRPQ_CHECK_EQ(a, b) ECRPQ_CHECK((a) == (b))
+#define ECRPQ_CHECK_NE(a, b) ECRPQ_CHECK((a) != (b))
+#define ECRPQ_CHECK_LT(a, b) ECRPQ_CHECK((a) < (b))
+#define ECRPQ_CHECK_LE(a, b) ECRPQ_CHECK((a) <= (b))
+#define ECRPQ_CHECK_GT(a, b) ECRPQ_CHECK((a) > (b))
+#define ECRPQ_CHECK_GE(a, b) ECRPQ_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(true || (cond))
+#else
+#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(cond)
+#endif
+
+#endif  // ECRPQ_COMMON_CHECK_H_

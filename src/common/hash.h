@@ -1,0 +1,44 @@
+// Hash combinators for composite keys (state tuples, packed labels, ...).
+#ifndef ECRPQ_COMMON_HASH_H_
+#define ECRPQ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ecrpq {
+
+// 64-bit mix (splitmix64 finalizer). Good avalanche, cheap.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline size_t HashCombine(size_t seed, uint64_t v) {
+  return static_cast<size_t>(HashMix64(seed ^ HashMix64(v)));
+}
+
+// Hash for vectors of integral values.
+template <typename Int>
+struct VectorHash {
+  size_t operator()(const std::vector<Int>& v) const {
+    size_t h = 0x51afb00dULL + v.size();
+    for (const Int x : v) h = HashCombine(h, static_cast<uint64_t>(x));
+    return h;
+  }
+};
+
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(static_cast<uint64_t>(p.first) * 0x9e3779b9ULL,
+                       static_cast<uint64_t>(p.second));
+  }
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+// Result<T>: a value or a non-OK Status, in the style of arrow::Result.
+#ifndef ECRPQ_COMMON_RESULT_H_
+#define ECRPQ_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace ecrpq {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from values and from error Statuses keep call sites
+  // terse: `return 42;` or `return Status::Invalid(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    ECRPQ_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    ECRPQ_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    ECRPQ_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  // By value on rvalue Results: returning T&& into the dying temporary is a
+  // dangling-reference trap (e.g. range-for over `f().ValueOrDie()`).
+  T ValueOrDie() && {
+    ECRPQ_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace ecrpq
+
+// ECRPQ_ASSIGN_OR_RAISE(lhs, expr): evaluates `expr` (a Result<T>); on error
+// returns the Status from the enclosing function, otherwise moves the value
+// into `lhs` (which may be a declaration).
+#define ECRPQ_ASSIGN_OR_RAISE_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ECRPQ_ASSIGN_OR_RAISE_CONCAT_INNER(a, b) a##b
+#define ECRPQ_ASSIGN_OR_RAISE_CONCAT(a, b) \
+  ECRPQ_ASSIGN_OR_RAISE_CONCAT_INNER(a, b)
+
+#define ECRPQ_ASSIGN_OR_RAISE(lhs, expr)                                     \
+  ECRPQ_ASSIGN_OR_RAISE_IMPL(                                                \
+      ECRPQ_ASSIGN_OR_RAISE_CONCAT(_ecrpq_result_, __LINE__), lhs, expr)
+
+#endif  // ECRPQ_COMMON_RESULT_H_

@@ -1,0 +1,71 @@
+// Deterministic, seedable pseudo-random generator used by all randomized
+// components (generators, property tests, benchmarks). We deliberately do not
+// use std::mt19937 so that sequences are stable across standard libraries.
+#ifndef ECRPQ_COMMON_RNG_H_
+#define ECRPQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace ecrpq {
+
+// xoshiro256** — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // Seed expansion via splitmix64, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s_[i] = HashMix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    ECRPQ_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+    uint64_t x;
+    do {
+      x = Next();
+    } while (x >= limit);
+    return x % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    ECRPQ_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Bernoulli with probability p.
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_RNG_H_

@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecrpq {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kCapacityExceeded:
+      return "Capacity exceeded";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_shared<const State>(State{code, std::move(msg)})) {}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+void Status::Check() const {
+  if (ok()) return;
+  std::fprintf(stderr, "ecrpq: fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,89 @@
+// Status: lightweight error propagation for non-exceptional failure paths.
+//
+// Modeled on the Status idiom used by Apache Arrow and RocksDB: operations
+// that can fail due to bad input (malformed regex, arity overflow, unknown
+// symbol, ...) return Status or Result<T> (see result.h) rather than
+// throwing. Programmer errors (violated invariants) use ECRPQ_DCHECK.
+#ifndef ECRPQ_COMMON_STATUS_H_
+#define ECRPQ_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ecrpq {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotImplemented = 3,
+  kParseError = 4,
+  kCapacityExceeded = 5,
+  kNotFound = 6,
+  kInternal = 7,
+};
+
+// Returns a human-readable name ("Invalid argument", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK (cheap: a null pointer) or carries a code + message.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  std::string ToString() const;
+
+  // Dies with the status message if not OK. For use in tests/examples and at
+  // startup, where failure is unrecoverable.
+  void Check() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace ecrpq
+
+// Propagates a non-OK Status to the caller.
+#define ECRPQ_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::ecrpq::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // ECRPQ_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared by parsers and serializers.
+#ifndef ECRPQ_COMMON_STRINGS_H_
+#define ECRPQ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecrpq {
+
+// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Joins elements with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_STRINGS_H_

@@ -1,0 +1,184 @@
+#include "cq/count.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "cq/eval_backtrack.h"
+#include "eval/reduce_to_cq.h"
+#include "structure/tree_decomposition.h"
+#include "structure/treewidth.h"
+
+namespace ecrpq {
+namespace {
+
+using u128 = unsigned __int128;
+
+Result<uint64_t> Narrow(u128 value) {
+  if (value > static_cast<u128>(~uint64_t{0})) {
+    return Status::CapacityExceeded("assignment count exceeds 2^64-1");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+std::vector<uint32_t> ProjectTuple(const std::vector<int>& vars,
+                                   const std::vector<uint32_t>& tuple,
+                                   const std::vector<int>& onto) {
+  std::vector<uint32_t> out;
+  out.reserve(onto.size());
+  size_t j = 0;
+  for (int v : onto) {
+    while (j < vars.size() && vars[j] < v) ++j;
+    ECRPQ_CHECK(j < vars.size() && vars[j] == v);
+    out.push_back(tuple[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<uint64_t> CountAssignments(const RelationalDb& db,
+                                  const CqQuery& query) {
+  ECRPQ_RETURN_NOT_OK(ValidateCq(db, query));
+  if (query.num_vars == 0) return uint64_t{1};
+
+  const SimpleGraph gaifman = query.GaifmanGraph();
+  const TreewidthResult tw = TreewidthBest(gaifman);
+  const TreeDecomposition td =
+      DecompositionFromEliminationOrder(gaifman, tw.elimination_order);
+  const int num_bags = static_cast<int>(td.bags.size());
+
+  // Tree structure rooted at 0.
+  std::vector<std::vector<int>> adj(num_bags);
+  for (const auto& [a, b] : td.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(num_bags, -1);
+  std::vector<std::vector<int>> children(num_bags);
+  std::vector<int> order;  // Pre-order.
+  {
+    std::vector<int> stack{0};
+    std::vector<bool> seen(num_bags, false);
+    seen[0] = true;
+    while (!stack.empty()) {
+      const int b = stack.back();
+      stack.pop_back();
+      order.push_back(b);
+      for (int nb : adj[b]) {
+        if (!seen[nb]) {
+          seen[nb] = true;
+          parent[nb] = b;
+          children[b].push_back(nb);
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // Assign every atom to one bag containing its variables.
+  std::vector<std::vector<size_t>> atoms_of_bag(num_bags);
+  for (size_t a = 0; a < query.atoms.size(); ++a) {
+    std::vector<int> avars;
+    for (CqVarId v : query.atoms[a].vars) avars.push_back(static_cast<int>(v));
+    std::sort(avars.begin(), avars.end());
+    avars.erase(std::unique(avars.begin(), avars.end()), avars.end());
+    bool placed = false;
+    for (int b = 0; b < num_bags && !placed; ++b) {
+      if (std::includes(td.bags[b].begin(), td.bags[b].end(), avars.begin(),
+                        avars.end())) {
+        atoms_of_bag[b].push_back(a);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return Status::Internal("atom not covered by the tree decomposition");
+    }
+  }
+
+  // Materialize bag tuples.
+  std::vector<std::vector<std::vector<uint32_t>>> bag_tuples(num_bags);
+  for (int b = 0; b < num_bags; ++b) {
+    CqQuery sub;
+    sub.num_vars = query.num_vars;
+    for (int v : td.bags[b]) sub.free_vars.push_back(static_cast<CqVarId>(v));
+    for (size_t a : atoms_of_bag[b]) sub.atoms.push_back(query.atoms[a]);
+    ECRPQ_ASSIGN_OR_RAISE(CqEvalResult result,
+                          CqEvaluateBacktracking(db, sub));
+    bag_tuples[b] = std::move(result.answers);
+  }
+
+  // Bottom-up DP: counts[b][i] = #assignments of subtree(b)'s variables
+  // restricting to bag tuple i.
+  std::vector<std::vector<u128>> counts(num_bags);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int b = *it;
+    counts[b].assign(bag_tuples[b].size(), 1);
+    for (int c : children[b]) {
+      // Separator = bag(b) ∩ bag(c).
+      std::vector<int> sep;
+      std::set_intersection(td.bags[b].begin(), td.bags[b].end(),
+                            td.bags[c].begin(), td.bags[c].end(),
+                            std::back_inserter(sep));
+      // Child contributions grouped by separator projection.
+      std::unordered_map<std::vector<uint32_t>, u128, VectorHash<uint32_t>>
+          by_sep;
+      for (size_t i = 0; i < bag_tuples[c].size(); ++i) {
+        by_sep[ProjectTuple(td.bags[c], bag_tuples[c][i], sep)] +=
+            counts[c][i];
+      }
+      for (size_t i = 0; i < bag_tuples[b].size(); ++i) {
+        auto found = by_sep.find(ProjectTuple(td.bags[b], bag_tuples[b][i],
+                                              sep));
+        // 128-bit intermediates; the final Narrow() guards the result. (A
+        // count needing more than 128 bits would require ~2^64 vertices.)
+        counts[b][i] *= (found == by_sep.end()) ? 0 : found->second;
+      }
+    }
+  }
+
+  u128 total = 0;
+  for (const u128 c : counts[0]) total += c;
+  return Narrow(total);
+}
+
+Result<uint64_t> CountAssignmentsBrute(const RelationalDb& db,
+                                       const CqQuery& query) {
+  ECRPQ_RETURN_NOT_OK(ValidateCq(db, query));
+  const uint32_t n = db.domain_size();
+  if (query.num_vars == 0) return uint64_t{1};
+  if (n == 0) return uint64_t{0};
+  std::vector<uint32_t> assignment(query.num_vars, 0);
+  u128 count = 0;
+  while (true) {
+    bool ok = true;
+    for (const CqAtom& atom : query.atoms) {
+      std::vector<uint32_t> tuple;
+      for (CqVarId v : atom.vars) tuple.push_back(assignment[v]);
+      if (!db.Find(atom.relation)->Contains(tuple)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++count;
+    int i = 0;
+    for (; i < query.num_vars; ++i) {
+      if (++assignment[i] < n) break;
+      assignment[i] = 0;
+    }
+    if (i == query.num_vars) break;
+  }
+  return Narrow(count);
+}
+
+Result<uint64_t> CountEcrpqNodeAssignments(const GraphDb& db,
+                                           const EcrpqQuery& query) {
+  if (db.NumVertices() == 0) {
+    return static_cast<uint64_t>(query.NumNodeVars() == 0 ? 1 : 0);
+  }
+  ECRPQ_ASSIGN_OR_RAISE(CqReduction reduction, ReduceToCq(db, query));
+  return CountAssignments(*reduction.db, reduction.query);
+}
+
+}  // namespace ecrpq

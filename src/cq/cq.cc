@@ -1,0 +1,68 @@
+#include "cq/cq.h"
+
+#include <sstream>
+
+namespace ecrpq {
+
+SimpleGraph CqQuery::GaifmanGraph() const {
+  SimpleGraph g(num_vars);
+  for (const CqAtom& atom : atoms) {
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      for (size_t j = i + 1; j < atom.vars.size(); ++j) {
+        g.AddEdge(static_cast<int>(atom.vars[i]),
+                  static_cast<int>(atom.vars[j]));
+      }
+    }
+  }
+  return g;
+}
+
+std::string CqQuery::ToString() const {
+  auto var_name = [this](CqVarId v) {
+    if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+    return "v" + std::to_string(v);
+  };
+  std::ostringstream out;
+  out << "q(";
+  for (size_t i = 0; i < free_vars.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << var_name(free_vars[i]);
+  }
+  out << ") := ";
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    if (a > 0) out << ", ";
+    out << atoms[a].relation << "(";
+    for (size_t i = 0; i < atoms[a].vars.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << var_name(atoms[a].vars[i]);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+Status ValidateCq(const RelationalDb& db, const CqQuery& query) {
+  for (const CqAtom& atom : query.atoms) {
+    const Relation* rel = db.Find(atom.relation);
+    if (rel == nullptr) {
+      return Status::Invalid("CQ uses unknown relation " + atom.relation);
+    }
+    if (static_cast<int>(atom.vars.size()) != rel->arity()) {
+      return Status::Invalid("CQ atom width does not match arity of " +
+                             atom.relation);
+    }
+    for (CqVarId v : atom.vars) {
+      if (v >= static_cast<CqVarId>(query.num_vars)) {
+        return Status::Invalid("CQ atom uses out-of-range variable");
+      }
+    }
+  }
+  for (CqVarId v : query.free_vars) {
+    if (v >= static_cast<CqVarId>(query.num_vars)) {
+      return Status::Invalid("CQ free variable out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,40 @@
+// Conjunctive queries over a RelationalDb.
+#ifndef ECRPQ_CQ_CQ_H_
+#define ECRPQ_CQ_CQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cq/relational_db.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+using CqVarId = uint32_t;
+
+struct CqAtom {
+  std::string relation;
+  std::vector<CqVarId> vars;  // Size must match the relation's arity.
+};
+
+struct CqQuery {
+  int num_vars = 0;
+  std::vector<std::string> var_names;  // Optional; sized num_vars if used.
+  std::vector<CqVarId> free_vars;      // Empty = Boolean.
+  std::vector<CqAtom> atoms;
+
+  // Gaifman graph: vars as vertices, cliques over each atom's vars.
+  SimpleGraph GaifmanGraph() const;
+
+  std::string ToString() const;
+};
+
+// Shape checks against a database (relations exist, arities match, var ids
+// in range).
+Status ValidateCq(const RelationalDb& db, const CqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CQ_CQ_H_

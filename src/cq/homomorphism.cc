@@ -1,0 +1,199 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "structure/treewidth.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr CqVarId kUnset = ~CqVarId{0};
+
+// Backtracking enumeration of homomorphisms from `from` into `to`,
+// pre-seeded with `seed` (kUnset = unassigned). Calls `visit` on every
+// total homomorphism; stops early when visit returns true. Returns whether
+// any visit returned true.
+bool ForEachHomomorphism(
+    const CqQuery& from, const CqQuery& to, std::vector<CqVarId> seed,
+    const std::function<bool(const std::vector<CqVarId>&)>& visit) {
+  // Index `to`'s atoms by relation name.
+  std::map<std::string, std::vector<const CqAtom*>> to_atoms;
+  for (const CqAtom& atom : to.atoms) {
+    to_atoms[atom.relation].push_back(&atom);
+  }
+  bool stopped = false;
+
+  auto recurse = [&](auto&& self, size_t atom_idx) -> void {
+    if (stopped) return;
+    if (atom_idx == from.atoms.size()) {
+      // Total function: map still-unset variables to 0 if possible.
+      std::vector<CqVarId> h = seed;
+      for (CqVarId& v : h) {
+        if (v == kUnset) {
+          if (to.num_vars == 0) return;
+          v = 0;
+        }
+      }
+      stopped = visit(h);
+      return;
+    }
+    const CqAtom& atom = from.atoms[atom_idx];
+    auto it = to_atoms.find(atom.relation);
+    if (it == to_atoms.end()) return;
+    for (const CqAtom* candidate : it->second) {
+      ECRPQ_DCHECK(candidate->vars.size() == atom.vars.size());
+      std::vector<CqVarId> newly;
+      bool consistent = true;
+      for (size_t i = 0; i < atom.vars.size() && consistent; ++i) {
+        const CqVarId v = atom.vars[i];
+        const CqVarId target = candidate->vars[i];
+        if (seed[v] == kUnset) {
+          seed[v] = target;
+          newly.push_back(v);
+        } else if (seed[v] != target) {
+          consistent = false;
+        }
+      }
+      if (consistent) self(self, atom_idx + 1);
+      for (CqVarId v : newly) seed[v] = kUnset;
+      if (stopped) return;
+    }
+  };
+  recurse(recurse, 0);
+  return stopped;
+}
+
+Status CheckShapes(const CqQuery& from, const CqQuery& to) {
+  if (from.free_vars.size() != to.free_vars.size()) {
+    return Status::Invalid(
+        "homomorphism requires equal numbers of free variables");
+  }
+  return Status::OK();
+}
+
+// Variables of `q` that occur in atoms or are free.
+std::vector<bool> UsedVars(const CqQuery& q) {
+  std::vector<bool> used(q.num_vars, false);
+  for (const CqAtom& atom : q.atoms) {
+    for (CqVarId v : atom.vars) used[v] = true;
+  }
+  for (CqVarId v : q.free_vars) used[v] = true;
+  return used;
+}
+
+// Drops unused variables and renumbers.
+CqQuery Compact(const CqQuery& q) {
+  const std::vector<bool> used = UsedVars(q);
+  std::vector<CqVarId> remap(q.num_vars, kUnset);
+  CqQuery out;
+  for (int v = 0; v < q.num_vars; ++v) {
+    if (used[v]) {
+      remap[v] = static_cast<CqVarId>(out.num_vars++);
+      if (v < static_cast<int>(q.var_names.size())) {
+        out.var_names.push_back(q.var_names[v]);
+      } else {
+        out.var_names.push_back("v" + std::to_string(v));
+      }
+    }
+  }
+  for (const CqAtom& atom : q.atoms) {
+    CqAtom mapped = atom;
+    for (CqVarId& v : mapped.vars) v = remap[v];
+    out.atoms.push_back(std::move(mapped));
+  }
+  for (CqVarId v : q.free_vars) out.free_vars.push_back(remap[v]);
+  // Deduplicate atoms.
+  std::sort(out.atoms.begin(), out.atoms.end(),
+            [](const CqAtom& a, const CqAtom& b) {
+              return std::tie(a.relation, a.vars) <
+                     std::tie(b.relation, b.vars);
+            });
+  out.atoms.erase(std::unique(out.atoms.begin(), out.atoms.end(),
+                              [](const CqAtom& a, const CqAtom& b) {
+                                return a.relation == b.relation &&
+                                       a.vars == b.vars;
+                              }),
+                  out.atoms.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<std::vector<CqVarId>>> FindCqHomomorphism(
+    const CqQuery& from, const CqQuery& to) {
+  ECRPQ_RETURN_NOT_OK(CheckShapes(from, to));
+  std::vector<CqVarId> seed(from.num_vars, kUnset);
+  for (size_t i = 0; i < from.free_vars.size(); ++i) {
+    const CqVarId v = from.free_vars[i];
+    if (seed[v] != kUnset && seed[v] != to.free_vars[i]) {
+      return std::optional<std::vector<CqVarId>>{};
+    }
+    seed[v] = to.free_vars[i];
+  }
+  std::optional<std::vector<CqVarId>> found;
+  ForEachHomomorphism(from, to, std::move(seed),
+                      [&](const std::vector<CqVarId>& h) {
+                        found = h;
+                        return true;
+                      });
+  return found;
+}
+
+Result<bool> CqContainedIn(const CqQuery& q1, const CqQuery& q2) {
+  ECRPQ_ASSIGN_OR_RAISE(std::optional<std::vector<CqVarId>> hom,
+                        FindCqHomomorphism(q2, q1));
+  return hom.has_value();
+}
+
+Result<bool> CqEquivalent(const CqQuery& q1, const CqQuery& q2) {
+  ECRPQ_ASSIGN_OR_RAISE(bool sub, CqContainedIn(q1, q2));
+  if (!sub) return false;
+  return CqContainedIn(q2, q1);
+}
+
+Result<CqQuery> CqCore(const CqQuery& query) {
+  CqQuery current = Compact(query);
+  while (true) {
+    // Look for a proper endomorphism (free variables fixed, image smaller
+    // than the full variable set).
+    std::vector<CqVarId> seed(current.num_vars, kUnset);
+    for (CqVarId v : current.free_vars) seed[v] = v;
+    std::optional<std::vector<CqVarId>> proper;
+    ForEachHomomorphism(
+        current, current, std::move(seed),
+        [&](const std::vector<CqVarId>& h) {
+          std::set<CqVarId> image(h.begin(), h.end());
+          if (static_cast<int>(image.size()) < current.num_vars) {
+            proper = h;
+            return true;
+          }
+          return false;
+        });
+    if (!proper.has_value()) return current;
+    // Retract: map every atom through h, then compact.
+    CqQuery retract;
+    retract.num_vars = current.num_vars;
+    retract.var_names = current.var_names;
+    retract.free_vars = current.free_vars;
+    for (const CqAtom& atom : current.atoms) {
+      CqAtom mapped = atom;
+      for (CqVarId& v : mapped.vars) v = (*proper)[v];
+      retract.atoms.push_back(std::move(mapped));
+    }
+    current = Compact(retract);
+  }
+}
+
+Result<int> SemanticTreewidth(const CqQuery& query) {
+  ECRPQ_ASSIGN_OR_RAISE(CqQuery core, CqCore(query));
+  ECRPQ_ASSIGN_OR_RAISE(TreewidthResult tw,
+                        TreewidthExact(core.GaifmanGraph()));
+  return tw.width;
+}
+
+}  // namespace ecrpq

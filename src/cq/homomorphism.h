@@ -1,0 +1,50 @@
+// CQ homomorphisms, containment, cores and semantic treewidth.
+//
+// Background (paper §2, Prop. 2.5 citing [14]): for classes of CQs the
+// right tractability criterion is not the treewidth of the query as
+// written but of its *core* — the minimal homomorphic retract. A CQ class
+// is tractable iff each query is equivalent to one of bounded treewidth,
+// and the canonical such equivalent is the core. This module supplies the
+// classical machinery: homomorphism search, containment via the
+// Chandra–Merlin criterion, core computation, and the induced "semantic
+// treewidth" of a query.
+//
+// All algorithms are exact and exponential in the query size (the problems
+// are NP-hard); intended for the small queries where this matters.
+#ifndef ECRPQ_CQ_HOMOMORPHISM_H_
+#define ECRPQ_CQ_HOMOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/cq.h"
+
+namespace ecrpq {
+
+// A homomorphism h : vars(from) → vars(to) such that every atom R(x̄) of
+// `from` becomes an atom R(h(x̄)) present in `to`, and h(free_i(from)) =
+// free_i(to) (answer variables correspond positionwise). Queries must have
+// the same number of free variables. Returns nullopt if none exists.
+Result<std::optional<std::vector<CqVarId>>> FindCqHomomorphism(
+    const CqQuery& from, const CqQuery& to);
+
+// Chandra–Merlin: q1 ⊆ q2 (answers of q1 contained in q2's on every
+// database) iff there is a homomorphism q2 → q1.
+Result<bool> CqContainedIn(const CqQuery& q1, const CqQuery& q2);
+
+// Both containments.
+Result<bool> CqEquivalent(const CqQuery& q1, const CqQuery& q2);
+
+// The core: an equivalent subquery with the minimum number of variables
+// (unique up to isomorphism). Free variables are always retained.
+Result<CqQuery> CqCore(const CqQuery& query);
+
+// Exact treewidth of the core's Gaifman graph — the measure Prop. 2.5's
+// tractability criterion bounds. Errors if the core is too large for the
+// exact treewidth algorithm.
+Result<int> SemanticTreewidth(const CqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CQ_HOMOMORPHISM_H_

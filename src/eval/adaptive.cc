@@ -1,0 +1,50 @@
+#include "eval/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecrpq {
+
+Result<EvalResult> EvaluateAdaptive(const GraphDb& db,
+                                    const EcrpqQuery& query,
+                                    const AdaptiveOptions& options,
+                                    AdaptiveReport* report) {
+  const QueryClassification classification =
+      ClassifyQuery(query, options.thresholds);
+  if (report != nullptr) {
+    report->classification = classification;
+    report->fell_back = false;
+  }
+
+  // Phase-1 budget: enough to cover an easy instance's reachable product
+  // space, small enough to bail out before exponential blowup.
+  const double n = std::max(1, db.NumVertices());
+  const int r = std::min(classification.measures.cc_vertex,
+                         options.cc_vertex_cap);
+  const double raw = options.budget_factor * std::pow(n, r) *
+                     std::max(1, classification.measures.cc_hedge);
+  // At least 1: a budget of 0 would mean "unlimited" downstream.
+  const size_t budget =
+      std::max<size_t>(1, static_cast<size_t>(std::min(raw, 1e9)));
+  if (report != nullptr) report->phase1_budget = budget;
+
+  EvalOptions phase1 = options.eval;
+  phase1.max_product_states = budget;
+  ECRPQ_ASSIGN_OR_RAISE(EvalResult lazy, EvaluateGeneric(db, query, phase1));
+  if (!lazy.aborted) return lazy;
+
+  // Phase 2: regime-prescribed engine, unbudgeted.
+  if (report != nullptr) {
+    report->fell_back = true;
+    report->fallback_engine = classification.engine;
+  }
+  if (classification.engine == EngineChoice::kGeneric) {
+    // PSPACE regime: nothing structurally better; lift the budget.
+    EvalOptions unbounded = options.eval;
+    unbounded.max_product_states = 0;
+    return EvaluateGeneric(db, query, unbounded);
+  }
+  return EvaluatePlanned(db, query, options.eval, options.thresholds);
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,104 @@
+#include "eval/crpq_eval.h"
+
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/eval_backtrack.h"
+#include "cq/eval_treedec.h"
+#include "cq/relational_db.h"
+#include "graphdb/rpq_reach.h"
+#include "query/validate.h"
+#include "synchro/tape_pack.h"
+
+namespace ecrpq {
+
+Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
+                                bool use_treedec, size_t max_answers) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (!query.IsCrpq()) {
+    return Status::Invalid("EvaluateCrpq requires a CRPQ");
+  }
+  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
+    return Status::Invalid(
+        "database alphabet is not an id-aligned prefix of the query "
+        "alphabet");
+  }
+  EvalResult out;
+  if (db.NumVertices() == 0) {
+    out.satisfiable = (query.NumNodeVars() == 0);
+    if (out.satisfiable) out.answers.push_back({});
+    return out;
+  }
+
+  // Language per path variable (A* when unconstrained). Relation NFAs of
+  // arity 1 use packed letters (symbol+1); unpack back to Symbol labels.
+  std::vector<const SyncRelation*> lang_of(query.NumPathVars(), nullptr);
+  for (const RelAtom& atom : query.rel_atoms()) {
+    lang_of[atom.paths[0]] = &query.relation(atom.relation);
+  }
+
+  RelationalDb rdb(static_cast<uint32_t>(db.NumVertices()));
+  CqQuery cq;
+  cq.num_vars = query.NumNodeVars();
+  for (int v = 0; v < cq.num_vars; ++v) {
+    cq.var_names.push_back(query.NodeVarName(v));
+  }
+  for (NodeVarId v : query.free_vars()) cq.free_vars.push_back(v);
+
+  for (size_t a = 0; a < query.reach_atoms().size(); ++a) {
+    const ReachAtom& atom = query.reach_atoms()[a];
+    // Build the Symbol-labelled language NFA.
+    Nfa lang;
+    if (lang_of[atom.path] == nullptr) {
+      // A*: one accepting state looping on every symbol.
+      lang.AddState();
+      lang.SetInitial(0);
+      lang.SetAccepting(0);
+      for (Symbol s = 0; s < static_cast<Symbol>(query.alphabet().size());
+           ++s) {
+        lang.AddTransition(0, static_cast<Label>(s), 0);
+      }
+    } else {
+      const SyncRelation& rel = *lang_of[atom.path];
+      lang.AddStates(rel.nfa().NumStates());
+      for (StateId s : rel.nfa().initial()) lang.SetInitial(s);
+      for (StateId s = 0; s < static_cast<StateId>(rel.nfa().NumStates());
+           ++s) {
+        if (rel.nfa().IsAccepting(s)) lang.SetAccepting(s);
+        for (const Nfa::Transition& t : rel.nfa().TransitionsFrom(s)) {
+          if (t.label == kEpsilon) {
+            lang.AddTransition(s, kEpsilon, t.to);
+          } else {
+            const TapeLetter letter = rel.pack().Get(t.label, 0);
+            if (letter == kBlank) continue;  // ⊥ never occurs on arity 1.
+            lang.AddTransition(s, static_cast<Label>(letter), t.to);
+          }
+        }
+      }
+    }
+    const std::string name = "reach" + std::to_string(a);
+    ECRPQ_ASSIGN_OR_RAISE(Relation * rel, rdb.AddRelation(name, 2));
+    for (const auto& [u, v] : RpqReachAll(db, lang)) {
+      const uint32_t row[2] = {u, v};
+      rel->Add(row);
+    }
+    cq.atoms.push_back(CqAtom{name, {atom.from, atom.to}});
+  }
+  rdb.FinalizeAll();
+
+  CqEvalOptions options;
+  options.max_answers = query.IsBoolean() ? 1 : max_answers;
+  ECRPQ_ASSIGN_OR_RAISE(CqEvalResult cq_result,
+                        use_treedec
+                            ? CqEvaluateTreeDec(rdb, cq, options)
+                            : CqEvaluateBacktracking(rdb, cq, options));
+  out.satisfiable = cq_result.satisfiable;
+  out.aborted = cq_result.aborted;
+  for (auto& answer : cq_result.answers) {
+    out.answers.push_back(std::move(answer));
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,24 @@
+// CRPQ fast path (Corollary 2.4): each atom x -L-> y is replaced by the
+// binary reachability relation R_L, computed in polynomial time by product
+// BFS (graphdb/rpq_reach.h); the query becomes a CQ over binary relations
+// whose Gaifman graph is the CRPQ abstraction.
+#ifndef ECRPQ_EVAL_CRPQ_EVAL_H_
+#define ECRPQ_EVAL_CRPQ_EVAL_H_
+
+#include "common/result.h"
+#include "eval/generic_eval.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+// Errors with InvalidArgument if !query.IsCrpq(). `use_treedec` selects the
+// tree-decomposition CQ engine (polynomial for bounded-treewidth queries)
+// over the backtracking engine.
+Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
+                                bool use_treedec = true,
+                                size_t max_answers = 0);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_CRPQ_EVAL_H_

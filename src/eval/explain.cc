@@ -1,0 +1,130 @@
+#include "eval/explain.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "eval/merge.h"
+#include "graphdb/tuple_search.h"
+#include "query/validate.h"
+
+namespace ecrpq {
+
+std::string Explanation::ToString(const EcrpqQuery& query,
+                                  const GraphDb& db) const {
+  std::ostringstream out;
+  for (int v = 0; v < query.NumNodeVars(); ++v) {
+    if (v < static_cast<int>(node_assignment.size()) &&
+        node_assignment[v] != ~VertexId{0}) {
+      out << query.NodeVarName(v) << " = " << node_assignment[v] << "\n";
+    }
+  }
+  for (int p = 0; p < query.NumPathVars(); ++p) {
+    out << query.PathVarName(p) << ":";
+    if (p < static_cast<int>(paths.size())) {
+      if (paths[p].empty()) out << " (empty path)";
+      for (const PathStep& step : paths[p]) {
+        out << " " << step.from << " -"
+            << db.alphabet().Name(step.symbol) << "-> " << step.to;
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<std::optional<Explanation>> ExplainAnswer(
+    const GraphDb& db, const EcrpqQuery& query,
+    const std::vector<VertexId>& answer) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (answer.size() != query.free_vars().size()) {
+    return Status::Invalid("answer arity does not match the free variables");
+  }
+  EvalOptions options;
+  options.capture_assignment = true;
+  options.max_answers = 1;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    options.pin.emplace_back(query.free_vars()[i], answer[i]);
+  }
+  ECRPQ_ASSIGN_OR_RAISE(EvalResult result,
+                        EvaluateGeneric(db, query, options));
+  if (!result.satisfiable) return std::optional<Explanation>{};
+  ECRPQ_CHECK_EQ(static_cast<int>(result.first_assignment.size()),
+                 query.NumNodeVars());
+
+  Explanation explanation;
+  explanation.node_assignment = result.first_assignment;
+  explanation.paths.resize(query.NumPathVars());
+
+  // Re-run the per-component searches with witness tracking.
+  for (const ComponentPlan& plan : PlanComponents(query)) {
+    ECRPQ_ASSIGN_OR_RAISE(
+        JoinMachine machine,
+        JoinMachine::Create(query.alphabet(), plan.machine_components,
+                            static_cast<int>(plan.paths.size())));
+    ECRPQ_ASSIGN_OR_RAISE(TupleSearcher searcher,
+                          TupleSearcher::Create(&db, &machine));
+    std::vector<VertexId> sources, targets;
+    for (size_t t = 0; t < plan.paths.size(); ++t) {
+      sources.push_back(explanation.node_assignment[plan.sources[t]]);
+      targets.push_back(explanation.node_assignment[plan.targets[t]]);
+    }
+    auto witness = searcher.WitnessPaths(sources, targets);
+    if (!witness.has_value()) {
+      return Status::Internal(
+          "satisfying assignment lost its component witness");
+    }
+    for (size_t t = 0; t < plan.paths.size(); ++t) {
+      explanation.paths[plan.paths[t]] = std::move((*witness)[t]);
+    }
+  }
+  return std::optional<Explanation>(std::move(explanation));
+}
+
+Status ValidateExplanation(const GraphDb& db, const EcrpqQuery& query,
+                           const Explanation& explanation) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (static_cast<int>(explanation.paths.size()) != query.NumPathVars() ||
+      static_cast<int>(explanation.node_assignment.size()) !=
+          query.NumNodeVars()) {
+    return Status::Invalid("explanation shape does not match the query");
+  }
+  // Reachability atoms: endpoints and real edges.
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    const std::vector<PathStep>& path = explanation.paths[atom.path];
+    VertexId cur = explanation.node_assignment[atom.from];
+    for (const PathStep& step : path) {
+      if (step.from != cur) {
+        return Status::Invalid("path " + query.PathVarName(atom.path) +
+                               " is not connected");
+      }
+      if (!db.HasEdge(step.from, step.symbol, step.to)) {
+        return Status::Invalid("path " + query.PathVarName(atom.path) +
+                               " uses a non-existent edge");
+      }
+      cur = step.to;
+    }
+    if (cur != explanation.node_assignment[atom.to]) {
+      return Status::Invalid("path " + query.PathVarName(atom.path) +
+                             " ends at the wrong vertex");
+    }
+  }
+  // Relation atoms: labels jointly accepted.
+  for (const RelAtom& atom : query.rel_atoms()) {
+    std::vector<Word> words;
+    for (PathVarId p : atom.paths) {
+      Word w;
+      for (const PathStep& step : explanation.paths[p]) {
+        w.push_back(step.symbol);
+      }
+      words.push_back(std::move(w));
+    }
+    if (!query.relation(atom.relation).Contains(words)) {
+      return Status::Invalid("relation atom " +
+                             query.relation_display_names()[atom.relation] +
+                             " rejects the witness labels");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecrpq

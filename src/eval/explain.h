@@ -1,0 +1,46 @@
+// Answer explanation: certify one concrete answer tuple with a full
+// satisfying assignment and explicit witness paths, one per path variable.
+//
+// Returned paths realize the reachability atoms and their labels jointly
+// satisfy every relation atom — a checkable certificate of membership.
+#ifndef ECRPQ_EVAL_EXPLAIN_H_
+#define ECRPQ_EVAL_EXPLAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/generic_eval.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/rpq_reach.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+struct Explanation {
+  // Assignment per node variable (indexed by NodeVarId). Variables the
+  // witness never had to bind hold ~0u.
+  std::vector<VertexId> node_assignment;
+  // One witness path per path variable (indexed by PathVarId).
+  std::vector<std::vector<PathStep>> paths;
+
+  // Human-readable rendering (variable names from the query).
+  std::string ToString(const EcrpqQuery& query, const GraphDb& db) const;
+};
+
+// Explains `answer` (values for the query's free variables, in order).
+// Returns nullopt if the tuple is not actually an answer on `db`.
+Result<std::optional<Explanation>> ExplainAnswer(
+    const GraphDb& db, const EcrpqQuery& query,
+    const std::vector<VertexId>& answer);
+
+// Validates an explanation against the database and the query: paths are
+// real edge sequences with the right endpoints, and all relation atoms
+// accept the path labels.
+Status ValidateExplanation(const GraphDb& db, const EcrpqQuery& query,
+                           const Explanation& explanation);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_EXPLAIN_H_

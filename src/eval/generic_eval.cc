@@ -1,0 +1,221 @@
+#include "eval/generic_eval.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "eval/merge.h"
+#include "query/validate.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr VertexId kUnset = ~VertexId{0};
+
+struct Engine {
+  const GraphDb& db;
+  const EcrpqQuery& query;
+  const EvalOptions& options;
+
+  std::vector<ComponentPlan> plans;
+  std::vector<std::unique_ptr<JoinMachine>> machines;
+  std::vector<std::unique_ptr<TupleSearcher>> searchers;
+
+  std::vector<VertexId> assignment;
+  std::unordered_set<std::vector<VertexId>, VectorHash<VertexId>> answers;
+  EvalResult result;
+  bool done = false;
+
+  void Emit() {
+    std::vector<VertexId> answer;
+    answer.reserve(query.free_vars().size());
+    for (NodeVarId v : query.free_vars()) answer.push_back(assignment[v]);
+    const auto [it, inserted] = answers.insert(std::move(answer));
+    if (inserted && options.on_answer && !options.on_answer(*it)) {
+      done = true;
+    }
+    if (options.capture_assignment && !result.satisfiable) {
+      result.first_assignment = assignment;
+    }
+    result.satisfiable = true;
+    if (query.IsBoolean() ||
+        (options.max_answers != 0 && answers.size() >= options.max_answers)) {
+      done = true;
+    }
+  }
+
+  // Stage 3: free variables that occur in no reachability atom range over
+  // the whole vertex set.
+  void AssignIsolated(const std::vector<NodeVarId>& isolated_free,
+                      size_t idx) {
+    if (done) return;
+    if (idx == isolated_free.size()) {
+      Emit();
+      return;
+    }
+    const NodeVarId v = isolated_free[idx];
+    if (assignment[v] != kUnset) {  // Pinned.
+      AssignIsolated(isolated_free, idx + 1);
+      return;
+    }
+    for (VertexId value = 0;
+         value < static_cast<VertexId>(db.NumVertices()) && !done; ++value) {
+      assignment[v] = value;
+      AssignIsolated(isolated_free, idx + 1);
+    }
+    assignment[v] = kUnset;
+  }
+
+  // Stage 2 for one component: source variables are fully assigned; iterate
+  // accepting target tuples and bind target variables.
+  void SolveTargets(size_t comp, const std::vector<NodeVarId>& isolated_free) {
+    const ComponentPlan& plan = plans[comp];
+    std::vector<VertexId> sources(plan.paths.size());
+    for (size_t i = 0; i < plan.paths.size(); ++i) {
+      sources[i] = assignment[plan.sources[i]];
+      ECRPQ_DCHECK(sources[i] != kUnset);
+    }
+    const ReachSet& reach = searchers[comp]->Reach(sources);
+    if (reach.aborted) {
+      result.aborted = true;
+      done = true;
+      return;
+    }
+    for (const std::vector<VertexId>& targets : reach.targets) {
+      ++result.stats.assignments_tried;
+      std::vector<NodeVarId> newly;
+      bool consistent = true;
+      for (size_t i = 0; i < plan.paths.size() && consistent; ++i) {
+        const NodeVarId tv = plan.targets[i];
+        if (assignment[tv] == kUnset) {
+          assignment[tv] = targets[i];
+          newly.push_back(tv);
+        } else if (assignment[tv] != targets[i]) {
+          consistent = false;
+        }
+      }
+      if (consistent) SolveComponent(comp + 1, isolated_free);
+      for (NodeVarId v : newly) assignment[v] = kUnset;
+      if (done) return;
+    }
+  }
+
+  // Stage 1 for one component: enumerate values for unassigned source
+  // variables, then hand over to SolveTargets.
+  void SolveSources(size_t comp, const std::vector<NodeVarId>& unassigned,
+                    size_t idx, const std::vector<NodeVarId>& isolated_free) {
+    if (done) return;
+    if (idx == unassigned.size()) {
+      SolveTargets(comp, isolated_free);
+      return;
+    }
+    const NodeVarId v = unassigned[idx];
+    for (VertexId value = 0;
+         value < static_cast<VertexId>(db.NumVertices()) && !done; ++value) {
+      ++result.stats.assignments_tried;
+      assignment[v] = value;
+      SolveSources(comp, unassigned, idx + 1, isolated_free);
+    }
+    assignment[v] = kUnset;
+  }
+
+  void SolveComponent(size_t comp, const std::vector<NodeVarId>& isolated_free) {
+    if (done) return;
+    if (comp == plans.size()) {
+      AssignIsolated(isolated_free, 0);
+      return;
+    }
+    std::vector<NodeVarId> unassigned;
+    for (NodeVarId v : plans[comp].sources) {
+      if (assignment[v] == kUnset &&
+          std::find(unassigned.begin(), unassigned.end(), v) ==
+              unassigned.end()) {
+        unassigned.push_back(v);
+      }
+    }
+    SolveSources(comp, unassigned, 0, isolated_free);
+  }
+};
+
+}  // namespace
+
+Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
+                                   const EvalOptions& options) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
+    return Status::Invalid(
+        "database alphabet is not an id-aligned prefix of the query "
+        "alphabet");
+  }
+
+  EvalResult empty_result;
+  if (db.NumVertices() == 0) {
+    empty_result.satisfiable = (query.NumNodeVars() == 0);
+    if (empty_result.satisfiable) empty_result.answers.push_back({});
+    return empty_result;
+  }
+
+  Engine engine{db, query, options, {}, {}, {}, {}, {}, {}, false};
+  engine.plans = PlanComponents(query);
+  // Solve small components first: they bind variables cheaply and their
+  // memoized reach sets are reused across backtracking branches.
+  std::sort(engine.plans.begin(), engine.plans.end(),
+            [](const ComponentPlan& a, const ComponentPlan& b) {
+              return a.paths.size() < b.paths.size();
+            });
+  for (const ComponentPlan& plan : engine.plans) {
+    ECRPQ_ASSIGN_OR_RAISE(
+        JoinMachine machine,
+        JoinMachine::Create(query.alphabet(), plan.machine_components,
+                            static_cast<int>(plan.paths.size())));
+    engine.machines.push_back(
+        std::make_unique<JoinMachine>(std::move(machine)));
+    TupleSearchOptions search_options;
+    search_options.max_states = options.max_product_states;
+    search_options.disable_memo = options.disable_memo;
+    ECRPQ_ASSIGN_OR_RAISE(
+        TupleSearcher searcher,
+        TupleSearcher::Create(&db, engine.machines.back().get(),
+                              search_options));
+    engine.searchers.push_back(
+        std::make_unique<TupleSearcher>(std::move(searcher)));
+  }
+
+  engine.assignment.assign(query.NumNodeVars(), kUnset);
+  for (const auto& [var, value] : options.pin) {
+    if (var >= static_cast<NodeVarId>(query.NumNodeVars())) {
+      return Status::Invalid("pinned variable out of range");
+    }
+    if (value >= static_cast<VertexId>(db.NumVertices())) {
+      return Status::Invalid("pinned value out of range");
+    }
+    engine.assignment[var] = value;
+  }
+
+  // Free variables not touched by any reachability atom.
+  std::vector<NodeVarId> isolated_free;
+  {
+    std::vector<bool> covered(query.NumNodeVars(), false);
+    for (const ReachAtom& atom : query.reach_atoms()) {
+      covered[atom.from] = true;
+      covered[atom.to] = true;
+    }
+    for (NodeVarId v : query.free_vars()) {
+      if (!covered[v]) isolated_free.push_back(v);
+    }
+  }
+
+  engine.SolveComponent(0, isolated_free);
+
+  engine.result.answers.assign(engine.answers.begin(), engine.answers.end());
+  std::sort(engine.result.answers.begin(), engine.result.answers.end());
+  for (const auto& searcher : engine.searchers) {
+    engine.result.stats.product_states += searcher->TotalExploredStates();
+    engine.result.stats.reach_queries += searcher->NumMemoizedSources();
+  }
+  return engine.result;
+}
+
+}  // namespace ecrpq

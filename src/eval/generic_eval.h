@@ -1,0 +1,74 @@
+// GenericEvaluator: sound and complete evaluation for arbitrary ECRPQ.
+//
+// The algorithm mirrors the PSPACE upper bound (Prop. 2.2 / Lemma 4.2): per
+// G^rel component, paths are searched simultaneously in the product of
+// |component| copies of the database with the component's joint relation
+// automaton (lazy Lemma 4.1 join). Node variables are assigned by
+// backtracking; for each component, unassigned source variables are
+// enumerated, the memoized reachability set Reach(ū) is computed once, and
+// its accepting target tuples drive the assignment of target variables.
+//
+// Cost is exponential only in cc_vertex (tuple width) and in the treewidth
+// of the node-variable constraint structure — exactly the measures of the
+// characterization.
+#ifndef ECRPQ_EVAL_GENERIC_EVAL_H_
+#define ECRPQ_EVAL_GENERIC_EVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/tuple_search.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+struct EvalOptions {
+  // Abort any single component search beyond this many product states
+  // (0 = unlimited).
+  size_t max_product_states = 0;
+  // Stop after this many distinct answers (0 = unlimited; Boolean queries
+  // stop at the first satisfying assignment regardless).
+  size_t max_answers = 0;
+  // Pre-pinned node-variable values (e.g. to certify one concrete answer
+  // tuple; see eval/explain.h). Pinned variables are never re-enumerated.
+  std::vector<std::pair<NodeVarId, VertexId>> pin;
+  // Record the full node assignment of the first satisfying solution in
+  // EvalResult::first_assignment.
+  bool capture_assignment = false;
+  // Disable per-source memoization in the component searches (ablation).
+  bool disable_memo = false;
+  // Streaming: invoked once per *distinct* answer as it is found (before
+  // the final sorted answer vector is produced). Returning false stops the
+  // evaluation early. Boolean queries stream at most one (empty) tuple.
+  std::function<bool(const std::vector<VertexId>&)> on_answer;
+};
+
+struct EvalStats {
+  size_t product_states = 0;     // Total across component searches.
+  size_t reach_queries = 0;      // Source tuples BFS'd.
+  size_t assignments_tried = 0;  // Backtracking nodes.
+};
+
+struct EvalResult {
+  bool satisfiable = false;
+  // Distinct answers projected to the free variables, sorted. For Boolean
+  // queries: one empty tuple when satisfiable.
+  std::vector<std::vector<VertexId>> answers;
+  bool aborted = false;
+  EvalStats stats;
+  // With EvalOptions::capture_assignment: the node assignment of the first
+  // satisfying solution (indexed by NodeVarId; ~0u for variables the
+  // solution never had to bind). Empty when unsatisfiable or not requested.
+  std::vector<VertexId> first_assignment;
+};
+
+// One-shot evaluation.
+Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
+                                   const EvalOptions& options = {});
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_GENERIC_EVAL_H_

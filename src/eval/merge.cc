@@ -1,0 +1,88 @@
+#include "eval/merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "query/abstraction.h"
+#include "query/builder.h"
+#include "structure/derived.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+
+std::vector<ComponentPlan> PlanComponents(const EcrpqQuery& query) {
+  const TwoLevelGraph g =
+      QueryAbstraction(query, /*implicit_universal_singletons=*/true);
+  const std::vector<RelComponent> components = RelComponents(g);
+
+  // Endpoints per path variable.
+  std::vector<NodeVarId> from_of(query.NumPathVars());
+  std::vector<NodeVarId> to_of(query.NumPathVars());
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    from_of[atom.path] = atom.from;
+    to_of[atom.path] = atom.to;
+  }
+
+  std::vector<ComponentPlan> plans;
+  plans.reserve(components.size());
+  for (const RelComponent& comp : components) {
+    ComponentPlan plan;
+    plan.paths.assign(comp.edges.begin(), comp.edges.end());
+    std::sort(plan.paths.begin(), plan.paths.end());
+    std::map<PathVarId, int> tape_of;
+    for (size_t i = 0; i < plan.paths.size(); ++i) {
+      tape_of[plan.paths[i]] = static_cast<int>(i);
+      plan.sources.push_back(from_of[plan.paths[i]]);
+      plan.targets.push_back(to_of[plan.paths[i]]);
+    }
+    for (int h : comp.hyperedges) {
+      // Hyperedges beyond the real relation atoms are the implicit universal
+      // singletons added by the abstraction; they impose no constraint.
+      if (h >= static_cast<int>(query.rel_atoms().size())) continue;
+      const RelAtom& atom = query.rel_atoms()[h];
+      JoinMachine::Component mc;
+      mc.relation = &query.relation(atom.relation);
+      for (PathVarId p : atom.paths) {
+        mc.tape_map.push_back(tape_of.at(p));
+      }
+      plan.machine_components.push_back(std::move(mc));
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+Result<EcrpqQuery> MergeQueryComponents(const EcrpqQuery& query) {
+  const std::vector<ComponentPlan> plans = PlanComponents(query);
+
+  EcrpqBuilder builder(query.alphabet());
+  // Reproduce variables in the same order so ids are stable.
+  for (int v = 0; v < query.NumNodeVars(); ++v) {
+    builder.NodeVar(query.NodeVarName(v));
+  }
+  for (int p = 0; p < query.NumPathVars(); ++p) {
+    builder.PathVar(query.PathVarName(p));
+  }
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    builder.Reach(atom.from, atom.path, atom.to);
+  }
+  for (const ComponentPlan& plan : plans) {
+    if (plan.machine_components.empty()) continue;
+    std::vector<TapeMapping> parts;
+    parts.reserve(plan.machine_components.size());
+    for (const JoinMachine::Component& mc : plan.machine_components) {
+      parts.push_back(TapeMapping{mc.relation, mc.tape_map});
+    }
+    ECRPQ_ASSIGN_OR_RAISE(
+        SyncRelation merged,
+        JoinComponents(query.alphabet(), parts,
+                       static_cast<int>(plan.paths.size())));
+    builder.Relate(std::make_shared<const SyncRelation>(std::move(merged)),
+                   plan.paths, "merged");
+  }
+  builder.Free(query.free_vars());
+  return builder.Build();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,45 @@
+// Component planning and merging (Lemma 4.1).
+//
+// PlanComponents groups the relation atoms of a query by G^rel connected
+// component and lays out each component's path variables as the tapes of a
+// joint relation. GenericEvaluator and ReduceToCq consume the plan with the
+// *lazy* JoinMachine; MergeQueryComponents is the materialized construction
+// of Lemma 4.1 (one explicit product relation per component), used by the
+// merge-blowup experiment (E6) and available as a standalone rewrite.
+#ifndef ECRPQ_EVAL_MERGE_H_
+#define ECRPQ_EVAL_MERGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "synchro/join.h"
+
+namespace ecrpq {
+
+struct ComponentPlan {
+  // Tape i of the joint relation is path variable paths[i] (sorted ids).
+  std::vector<PathVarId> paths;
+  // Per tape: endpoints of the unique reachability atom using that path.
+  std::vector<NodeVarId> sources;
+  std::vector<NodeVarId> targets;
+  // One entry per relation atom in this component (implicitly-universal
+  // singleton components have none).
+  std::vector<JoinMachine::Component> machine_components;
+};
+
+// One plan per G^rel component (with implicit universal singletons for
+// unconstrained path variables). The query must outlive the plans (machine
+// components point into its relations).
+std::vector<ComponentPlan> PlanComponents(const EcrpqQuery& query);
+
+// Lemma 4.1: an equivalent query whose G^rel components each consist of a
+// single hyperedge, by replacing each component's atoms with their product
+// relation. Costs up to the product of the component's NFA sizes times the
+// (|A|+1)^r letter enumeration — polynomial when cc_vertex and cc_hedge are
+// constants.
+Result<EcrpqQuery> MergeQueryComponents(const EcrpqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_MERGE_H_

@@ -1,0 +1,192 @@
+#include "eval/naive_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/merge.h"
+#include "query/validate.h"
+
+namespace ecrpq {
+namespace {
+
+// All target tuples v̄ such that paths ū_i → v̄_i jointly satisfy `rel`.
+// Configurations are (v̄, NFA state, frozen mask), explored to fixpoint with
+// ordered sets.
+std::set<std::vector<VertexId>> NaiveReach(const GraphDb& db,
+                                           const SyncRelation& rel,
+                                           const std::vector<VertexId>& start) {
+  const int r = rel.arity();
+  using Config = std::tuple<std::vector<VertexId>, StateId, uint32_t>;
+  std::set<Config> visited;
+  std::vector<Config> worklist;
+  std::set<std::vector<VertexId>> accepted;
+
+  auto push = [&](Config c) {
+    if (visited.insert(c).second) worklist.push_back(std::move(c));
+  };
+
+  for (StateId q : rel.nfa().initial()) {
+    push(Config{start, q, 0});
+  }
+  while (!worklist.empty()) {
+    const auto [verts, q, mask] = worklist.back();
+    worklist.pop_back();
+    if (rel.nfa().IsAccepting(q)) accepted.insert(verts);
+    for (const Nfa::Transition& t : rel.nfa().TransitionsFrom(q)) {
+      if (t.label == kEpsilon) {
+        push(Config{verts, t.to, mask});
+        continue;
+      }
+      // Decode the packed letter; every tape must either take a matching
+      // edge (if its letter is a symbol) or stand still (if ⊥). A frozen
+      // tape may only see ⊥.
+      if (rel.pack().AllTapesBlank(t.label)) continue;
+      std::vector<std::vector<VertexId>> choices(r);
+      uint32_t new_mask = mask;
+      bool feasible = true;
+      for (int i = 0; i < r && feasible; ++i) {
+        const TapeLetter letter = rel.pack().Get(t.label, i);
+        if (letter == kBlank) {
+          new_mask |= uint32_t{1} << i;
+          choices[i] = {verts[i]};
+        } else if (mask & (uint32_t{1} << i)) {
+          feasible = false;
+        } else {
+          for (const LabeledEdge& e : db.OutEdges(verts[i])) {
+            if (e.symbol == static_cast<Symbol>(letter)) {
+              choices[i].push_back(e.to);
+            }
+          }
+          if (choices[i].empty()) feasible = false;
+        }
+      }
+      if (!feasible) continue;
+      // Cartesian product of per-tape choices.
+      std::vector<size_t> idx(r, 0);
+      while (true) {
+        std::vector<VertexId> next(r);
+        for (int i = 0; i < r; ++i) next[i] = choices[i][idx[i]];
+        push(Config{std::move(next), t.to, new_mask});
+        int i = 0;
+        for (; i < r; ++i) {
+          if (++idx[i] < choices[i].size()) break;
+          idx[i] = 0;
+        }
+        if (i == r) break;
+      }
+    }
+  }
+  return accepted;
+}
+
+// Plain reachability closure (for unconstrained path variables).
+std::vector<std::vector<bool>> ReachabilityClosure(const GraphDb& db) {
+  const int n = db.NumVertices();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (int s = 0; s < n; ++s) {
+    std::vector<VertexId> stack{static_cast<VertexId>(s)};
+    reach[s][s] = true;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const LabeledEdge& e : db.OutEdges(v)) {
+        if (!reach[s][e.to]) {
+          reach[s][e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+Result<EvalResult> EvaluateNaive(const GraphDb& db, const EcrpqQuery& query,
+                                 size_t max_answers) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  EvalResult out;
+  if (db.NumVertices() == 0) {
+    out.satisfiable = (query.NumNodeVars() == 0);
+    if (out.satisfiable) out.answers.push_back({});
+    return out;
+  }
+
+  // Lemma 4.1 (materialized): one relation atom per component.
+  ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery merged, MergeQueryComponents(query));
+
+  // Per merged atom: endpoints per tape.
+  std::vector<NodeVarId> from_of(merged.NumPathVars());
+  std::vector<NodeVarId> to_of(merged.NumPathVars());
+  for (const ReachAtom& atom : merged.reach_atoms()) {
+    from_of[atom.path] = atom.from;
+    to_of[atom.path] = atom.to;
+  }
+  std::vector<bool> constrained(merged.NumPathVars(), false);
+  for (const RelAtom& atom : merged.rel_atoms()) {
+    for (PathVarId p : atom.paths) constrained[p] = true;
+  }
+
+  const std::vector<std::vector<bool>> closure = ReachabilityClosure(db);
+  const int n = db.NumVertices();
+  const int num_vars = merged.NumNodeVars();
+
+  // Memoized per-atom reach sets.
+  std::vector<std::map<std::vector<VertexId>, std::set<std::vector<VertexId>>>>
+      memo(merged.rel_atoms().size());
+
+  std::set<std::vector<VertexId>> answers;
+  std::vector<VertexId> assignment(num_vars, 0);
+
+  bool done = false;
+  auto enumerate = [&](auto&& self, int var) -> void {
+    if (done) return;
+    if (var == num_vars) {
+      // Check unconstrained path variables (plain reachability).
+      for (const ReachAtom& atom : merged.reach_atoms()) {
+        if (!constrained[atom.path] &&
+            !closure[assignment[atom.from]][assignment[atom.to]]) {
+          return;
+        }
+      }
+      // Check merged relation atoms.
+      for (size_t a = 0; a < merged.rel_atoms().size(); ++a) {
+        const RelAtom& atom = merged.rel_atoms()[a];
+        const SyncRelation& rel = merged.relation(atom.relation);
+        std::vector<VertexId> sources, targets;
+        for (PathVarId p : atom.paths) {
+          sources.push_back(assignment[from_of[p]]);
+          targets.push_back(assignment[to_of[p]]);
+        }
+        auto it = memo[a].find(sources);
+        if (it == memo[a].end()) {
+          it = memo[a].emplace(sources, NaiveReach(db, rel, sources)).first;
+        }
+        if (it->second.count(targets) == 0) return;
+      }
+      std::vector<VertexId> answer;
+      for (NodeVarId v : merged.free_vars()) answer.push_back(assignment[v]);
+      answers.insert(std::move(answer));
+      out.satisfiable = true;
+      if (merged.IsBoolean() ||
+          (max_answers != 0 && answers.size() >= max_answers)) {
+        done = true;
+      }
+      return;
+    }
+    for (int value = 0; value < n && !done; ++value) {
+      assignment[var] = static_cast<VertexId>(value);
+      self(self, var + 1);
+    }
+  };
+  enumerate(enumerate, 0);
+
+  out.answers.assign(answers.begin(), answers.end());
+  return out;
+}
+
+}  // namespace ecrpq

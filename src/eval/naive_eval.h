@@ -1,0 +1,30 @@
+// NaiveEvaluator: a deliberately independent brute-force oracle for
+// differential testing.
+//
+// It shares as little code as possible with the production engines:
+//  - components are merged with the *materialized* Lemma 4.1 construction
+//    (synchro/ops.h Reindex + Intersect), not the lazy JoinMachine;
+//  - path-tuple reachability runs over single NFA states (nondeterministic
+//    product) with ordered sets, not per-component determinized subsets with
+//    hash-interned states;
+//  - node variables are assigned by exhaustive enumeration of |V|^{#vars},
+//    not by component-guided backtracking.
+//
+// Complete (no length bounds: the configuration space is finite) but
+// exponential in everything; use on small instances only.
+#ifndef ECRPQ_EVAL_NAIVE_EVAL_H_
+#define ECRPQ_EVAL_NAIVE_EVAL_H_
+
+#include "common/result.h"
+#include "eval/generic_eval.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+Result<EvalResult> EvaluateNaive(const GraphDb& db, const EcrpqQuery& query,
+                                 size_t max_answers = 0);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_NAIVE_EVAL_H_

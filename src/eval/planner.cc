@@ -1,0 +1,120 @@
+#include "eval/planner.h"
+
+#include <sstream>
+
+#include "eval/crpq_eval.h"
+#include "eval/reduce_to_cq.h"
+#include "query/abstraction.h"
+
+namespace ecrpq {
+
+const char* EvalRegimeName(EvalRegime r) {
+  switch (r) {
+    case EvalRegime::kPolynomialTime:
+      return "polynomial-time (Thm 3.2(3))";
+    case EvalRegime::kNp:
+      return "NP (Thm 3.2(2))";
+    case EvalRegime::kPspace:
+      return "PSPACE (Thm 3.2(1))";
+  }
+  return "?";
+}
+
+const char* ParamRegimeName(ParamRegime r) {
+  switch (r) {
+    case ParamRegime::kFpt:
+      return "FPT (Thm 3.1(3))";
+    case ParamRegime::kW1:
+      return "W[1]-complete (Thm 3.1(2))";
+    case ParamRegime::kXnl:
+      return "XNL-complete (Thm 3.1(1))";
+  }
+  return "?";
+}
+
+const char* EngineChoiceName(EngineChoice e) {
+  switch (e) {
+    case EngineChoice::kCrpqPipeline:
+      return "crpq-pipeline";
+    case EngineChoice::kCqReduction:
+      return "cq-reduction/treedec";
+    case EngineChoice::kCqReductionNp:
+      return "cq-reduction/backtracking";
+    case EngineChoice::kGeneric:
+      return "generic-product";
+  }
+  return "?";
+}
+
+std::string QueryClassification::ToString() const {
+  std::ostringstream out;
+  out << "cc_vertex=" << measures.cc_vertex
+      << " cc_hedge=" << measures.cc_hedge << " tw(G^node)="
+      << measures.treewidth << (measures.treewidth_exact ? "" : " (approx)")
+      << (is_crpq ? " [CRPQ]" : "") << "\n";
+  out << "  eval:   " << EvalRegimeName(eval_regime) << "\n";
+  out << "  p-eval: " << ParamRegimeName(param_regime) << "\n";
+  out << "  engine: " << EngineChoiceName(engine);
+  return out.str();
+}
+
+QueryClassification ClassifyQuery(const EcrpqQuery& query,
+                                  const PlannerThresholds& thresholds) {
+  QueryClassification c;
+  const TwoLevelGraph g = QueryAbstraction(query);
+  c.measures = ComputeMeasures(g);
+  c.is_crpq = query.IsCrpq();
+
+  const bool ccv_ok = c.measures.cc_vertex <= thresholds.max_cc_vertex;
+  const bool cch_ok = c.measures.cc_hedge <= thresholds.max_cc_hedge;
+  const bool tw_ok = c.measures.treewidth <= thresholds.max_treewidth;
+
+  if (ccv_ok && cch_ok) {
+    c.eval_regime =
+        tw_ok ? EvalRegime::kPolynomialTime : EvalRegime::kNp;
+  } else {
+    c.eval_regime = EvalRegime::kPspace;
+  }
+  if (ccv_ok) {
+    c.param_regime = tw_ok ? ParamRegime::kFpt : ParamRegime::kW1;
+  } else {
+    c.param_regime = ParamRegime::kXnl;
+  }
+
+  if (c.is_crpq) {
+    c.engine = EngineChoice::kCrpqPipeline;
+  } else if (c.eval_regime == EvalRegime::kPolynomialTime) {
+    c.engine = EngineChoice::kCqReduction;
+  } else if (c.eval_regime == EvalRegime::kNp) {
+    c.engine = EngineChoice::kCqReductionNp;
+  } else {
+    c.engine = EngineChoice::kGeneric;
+  }
+  return c;
+}
+
+Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,
+                                   const EvalOptions& options,
+                                   const PlannerThresholds& thresholds,
+                                   QueryClassification* classification_out) {
+  const QueryClassification c = ClassifyQuery(query, thresholds);
+  if (classification_out != nullptr) *classification_out = c;
+  ReduceOptions reduce_options;
+  reduce_options.max_product_states = options.max_product_states;
+  switch (c.engine) {
+    case EngineChoice::kCrpqPipeline:
+      return EvaluateCrpq(db, query, /*use_treedec=*/true,
+                          options.max_answers);
+    case EngineChoice::kCqReduction:
+      return EvaluateViaCqReduction(db, query, /*use_treedec=*/true,
+                                    reduce_options, options.max_answers);
+    case EngineChoice::kCqReductionNp:
+      return EvaluateViaCqReduction(db, query, /*use_treedec=*/false,
+                                    reduce_options, options.max_answers);
+    case EngineChoice::kGeneric:
+      return EvaluateGeneric(db, query, options);
+  }
+  return Status::Internal("unknown engine choice");
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,79 @@
+// Planner: the characterization of Theorems 3.1 / 3.2 as an executable
+// classifier + engine router.
+//
+// For a single query the three measures (cc_vertex, cc_hedge, treewidth of
+// G^node) are of course finite; the regimes of the theorems speak about
+// *classes* of queries where a measure is unbounded. The classifier reports
+// the regime of the smallest natural class containing the query relative to
+// configurable thresholds: a query whose measures are within thresholds is
+// evaluated with the polynomial pipeline the upper-bound proofs describe;
+// one with bounded cc but large treewidth falls to the NP engine; anything
+// else runs the generic (PSPACE-shaped) evaluator.
+#ifndef ECRPQ_EVAL_PLANNER_H_
+#define ECRPQ_EVAL_PLANNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "eval/generic_eval.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+#include "structure/measures.h"
+
+namespace ecrpq {
+
+// Combined-complexity regimes of Theorem 3.2.
+enum class EvalRegime {
+  kPolynomialTime,  // cc_vertex, cc_hedge, tw all bounded.
+  kNp,              // cc bounded, tw unbounded.
+  kPspace,          // cc_vertex or cc_hedge unbounded.
+};
+
+// Parameterized regimes of Theorem 3.1.
+enum class ParamRegime {
+  kFpt,  // cc_vertex, tw bounded.
+  kW1,   // cc_vertex bounded, tw unbounded.
+  kXnl,  // cc_vertex unbounded.
+};
+
+const char* EvalRegimeName(EvalRegime r);
+const char* ParamRegimeName(ParamRegime r);
+
+struct PlannerThresholds {
+  int max_cc_vertex = 2;
+  int max_cc_hedge = 3;
+  int max_treewidth = 2;
+};
+
+enum class EngineChoice {
+  kCrpqPipeline,      // Corollary 2.4: R_L materialization + tree-dec CQ.
+  kCqReduction,       // Lemma 4.3 pipeline + tree-dec CQ (poly regime).
+  kCqReductionNp,     // Lemma 4.3 pipeline + backtracking CQ (NP regime).
+  kGeneric,           // Lazy product evaluator (PSPACE regime).
+};
+
+const char* EngineChoiceName(EngineChoice e);
+
+struct QueryClassification {
+  TwoLevelMeasures measures;
+  bool is_crpq = false;
+  EvalRegime eval_regime = EvalRegime::kPspace;
+  ParamRegime param_regime = ParamRegime::kXnl;
+  EngineChoice engine = EngineChoice::kGeneric;
+
+  std::string ToString() const;
+};
+
+QueryClassification ClassifyQuery(const EcrpqQuery& query,
+                                  const PlannerThresholds& thresholds = {});
+
+// Classifies and routes. `classification_out` (optional) receives the plan.
+Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,
+                                   const EvalOptions& options = {},
+                                   const PlannerThresholds& thresholds = {},
+                                   QueryClassification* classification_out =
+                                       nullptr);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_PLANNER_H_

@@ -1,0 +1,128 @@
+#include "eval/reduce_to_cq.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "cq/eval_backtrack.h"
+#include "cq/eval_treedec.h"
+#include "eval/merge.h"
+#include "graphdb/tuple_search.h"
+#include "query/validate.h"
+#include "synchro/join.h"
+
+namespace ecrpq {
+
+Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
+                               const ReduceOptions& options) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
+    return Status::Invalid(
+        "database alphabet is not an id-aligned prefix of the query "
+        "alphabet");
+  }
+  CqReduction reduction;
+  reduction.db = std::make_unique<RelationalDb>(
+      static_cast<uint32_t>(db.NumVertices()));
+  reduction.query.num_vars = query.NumNodeVars();
+  for (int v = 0; v < query.NumNodeVars(); ++v) {
+    reduction.query.var_names.push_back(query.NodeVarName(v));
+  }
+  for (NodeVarId v : query.free_vars()) {
+    reduction.query.free_vars.push_back(v);
+  }
+
+  const std::vector<ComponentPlan> plans = PlanComponents(query);
+  const VertexId n = static_cast<VertexId>(db.NumVertices());
+
+  size_t total_tuples = 0;
+  for (size_t c = 0; c < plans.size() && n > 0; ++c) {
+    const ComponentPlan& plan = plans[c];
+    const int r = static_cast<int>(plan.paths.size());
+    const std::string name = "comp" + std::to_string(c);
+
+    ECRPQ_ASSIGN_OR_RAISE(
+        JoinMachine machine,
+        JoinMachine::Create(query.alphabet(), plan.machine_components, r));
+    TupleSearchOptions search_options;
+    search_options.max_states = options.max_product_states;
+    ECRPQ_ASSIGN_OR_RAISE(TupleSearcher searcher,
+                          TupleSearcher::Create(&db, &machine, search_options));
+
+    ECRPQ_ASSIGN_OR_RAISE(Relation * rel,
+                          reduction.db->AddRelation(name, 2 * r));
+    // Enumerate all |V|^r source tuples — the O(|D|^{2 cc_vertex}) step.
+    std::vector<VertexId> sources(r, 0);
+    std::vector<uint32_t> row(2 * r);
+    while (true) {
+      ++reduction.source_tuples_enumerated;
+      const ReachSet& reach = searcher.Reach(sources);
+      if (reach.aborted) {
+        return Status::CapacityExceeded(
+            "component search exceeded the product-state budget");
+      }
+      for (const std::vector<VertexId>& targets : reach.targets) {
+        for (int i = 0; i < r; ++i) {
+          row[2 * i] = sources[i];
+          row[2 * i + 1] = targets[i];
+        }
+        rel->Add(row);
+        ++total_tuples;
+        if (options.max_tuples != 0 && total_tuples > options.max_tuples) {
+          return Status::CapacityExceeded(
+              "materialized relations exceeded the tuple budget");
+        }
+      }
+      // Mixed-radix increment of the source tuple.
+      int i = 0;
+      for (; i < r; ++i) {
+        if (++sources[i] < n) break;
+        sources[i] = 0;
+      }
+      if (i == r || n == 0) break;
+    }
+    reduction.product_states += searcher.TotalExploredStates();
+
+    // The CQ atom R'_C(x_1, y_1, ..., x_r, y_r).
+    CqAtom atom;
+    atom.relation = name;
+    for (int i = 0; i < r; ++i) {
+      atom.vars.push_back(plan.sources[i]);
+      atom.vars.push_back(plan.targets[i]);
+    }
+    reduction.query.atoms.push_back(std::move(atom));
+  }
+  reduction.db->FinalizeAll();
+  return reduction;
+}
+
+Result<EvalResult> EvaluateViaCqReduction(const GraphDb& db,
+                                          const EcrpqQuery& query,
+                                          bool use_treedec,
+                                          const ReduceOptions& options,
+                                          size_t max_answers) {
+  EvalResult out;
+  if (db.NumVertices() == 0) {
+    out.satisfiable = (query.NumNodeVars() == 0);
+    if (out.satisfiable) out.answers.push_back({});
+    return out;
+  }
+  ECRPQ_ASSIGN_OR_RAISE(CqReduction reduction, ReduceToCq(db, query, options));
+  CqEvalOptions cq_options;
+  cq_options.max_answers = query.IsBoolean() ? 1 : max_answers;
+  ECRPQ_ASSIGN_OR_RAISE(
+      CqEvalResult cq_result,
+      use_treedec
+          ? CqEvaluateTreeDec(*reduction.db, reduction.query, cq_options)
+          : CqEvaluateBacktracking(*reduction.db, reduction.query,
+                                   cq_options));
+  out.satisfiable = cq_result.satisfiable;
+  out.aborted = cq_result.aborted;
+  out.stats.product_states = reduction.product_states;
+  for (auto& answer : cq_result.answers) {
+    out.answers.push_back(std::move(answer));
+  }
+  return out;
+}
+
+}  // namespace ecrpq

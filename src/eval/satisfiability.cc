@@ -1,0 +1,104 @@
+#include "eval/satisfiability.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/merge.h"
+#include "query/validate.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Result<SatisfiabilityResult> CheckSatisfiable(const EcrpqQuery& query) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  SatisfiabilityResult out;
+
+  const std::vector<ComponentPlan> plans = PlanComponents(query);
+  // Per component: a witness word tuple (tape order = plan.paths).
+  std::vector<std::vector<Word>> witnesses;
+  witnesses.reserve(plans.size());
+  for (const ComponentPlan& plan : plans) {
+    if (plan.machine_components.empty()) {
+      // Unconstrained component: ε on every tape.
+      witnesses.emplace_back(plan.paths.size());
+      continue;
+    }
+    std::vector<TapeMapping> parts;
+    for (const JoinMachine::Component& mc : plan.machine_components) {
+      parts.push_back(TapeMapping{mc.relation, mc.tape_map});
+    }
+    ECRPQ_ASSIGN_OR_RAISE(
+        SyncRelation joint,
+        JoinComponents(query.alphabet(), parts,
+                       static_cast<int>(plan.paths.size())));
+    std::optional<std::vector<Word>> witness = joint.Witness();
+    if (!witness.has_value()) {
+      out.satisfiable = false;
+      return out;
+    }
+    witnesses.push_back(std::move(*witness));
+  }
+  out.satisfiable = true;
+
+  // Build the canonical witness database. ε-labelled paths glue their
+  // endpoints together.
+  UnionFind uf(query.NumNodeVars());
+  for (size_t c = 0; c < plans.size(); ++c) {
+    for (size_t t = 0; t < plans[c].paths.size(); ++t) {
+      if (witnesses[c][t].empty()) {
+        uf.Merge(static_cast<int>(plans[c].sources[t]),
+                 static_cast<int>(plans[c].targets[t]));
+      }
+    }
+  }
+  GraphDb db(query.alphabet());
+  std::vector<VertexId> vertex_of(query.NumNodeVars(), 0);
+  std::vector<int> rep_vertex(query.NumNodeVars(), -1);
+  for (int v = 0; v < query.NumNodeVars(); ++v) {
+    const int rep = uf.Find(v);
+    if (rep_vertex[rep] < 0) {
+      rep_vertex[rep] = static_cast<int>(db.AddVertex());
+    }
+    vertex_of[v] = static_cast<VertexId>(rep_vertex[rep]);
+  }
+  if (db.NumVertices() == 0) db.AddVertex();  // Queries with no variables.
+  for (size_t c = 0; c < plans.size(); ++c) {
+    for (size_t t = 0; t < plans[c].paths.size(); ++t) {
+      const Word& w = witnesses[c][t];
+      if (w.empty()) continue;
+      VertexId cur = vertex_of[plans[c].sources[t]];
+      for (size_t i = 0; i + 1 < w.size(); ++i) {
+        const VertexId next = db.AddVertex();
+        db.AddEdge(cur, w[i], next);
+        cur = next;
+      }
+      db.AddEdge(cur, w.back(), vertex_of[plans[c].targets[t]]);
+    }
+  }
+  out.witness = std::move(db);
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,34 @@
+// ECRPQ satisfiability: is there *some* graph database satisfying q?
+//
+// For synchronous relations this is decidable (contrast: CRPQ+Rational
+// satisfiability is undecidable, paper §1 citing [2]). The key fact: a
+// Boolean ECRPQ is satisfiable iff every G^rel component's joint relation
+// (Lemma 4.1) is non-empty. One direction is immediate; for the other, a
+// witness database is built from any tuple of words accepted by each
+// component: draw each path variable's word as a fresh chain of edges
+// between the endpoint vertices chosen for its node variables (one vertex
+// per node variable). Empty words force their endpoints to coincide, which
+// a union-find over node variables resolves.
+#ifndef ECRPQ_EVAL_SATISFIABILITY_H_
+#define ECRPQ_EVAL_SATISFIABILITY_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+struct SatisfiabilityResult {
+  bool satisfiable = false;
+  // A canonical database on which the query holds (present iff
+  // satisfiable). Its alphabet is the query's alphabet.
+  std::optional<GraphDb> witness;
+};
+
+Result<SatisfiabilityResult> CheckSatisfiable(const EcrpqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_EVAL_SATISFIABILITY_H_

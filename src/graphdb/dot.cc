@@ -1,0 +1,41 @@
+#include "graphdb/dot.h"
+
+#include <sstream>
+
+namespace ecrpq {
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GraphDbToDot(const GraphDb& db, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph ecrpq {\n";
+  if (options.rankdir_lr) out << "  rankdir=LR;\n";
+  out << "  node [shape=circle];\n";
+  for (VertexId v = 0; v < static_cast<VertexId>(db.NumVertices()); ++v) {
+    out << "  v" << v;
+    if (v < options.vertex_names.size()) {
+      out << " [label=\"" << EscapeDot(options.vertex_names[v]) << "\"]";
+    }
+    out << ";\n";
+  }
+  for (VertexId v = 0; v < static_cast<VertexId>(db.NumVertices()); ++v) {
+    for (const LabeledEdge& e : db.OutEdges(v)) {
+      out << "  v" << v << " -> v" << e.to << " [label=\""
+          << EscapeDot(db.alphabet().Name(e.symbol)) << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ecrpq

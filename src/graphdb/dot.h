@@ -1,0 +1,22 @@
+// Graphviz (DOT) export of graph databases — for docs, debugging and the
+// CLI's `dot` subcommand.
+#ifndef ECRPQ_GRAPHDB_DOT_H_
+#define ECRPQ_GRAPHDB_DOT_H_
+
+#include <string>
+
+#include "graphdb/graph_db.h"
+
+namespace ecrpq {
+
+struct DotOptions {
+  // Optional vertex names; vertices beyond the vector use their id.
+  std::vector<std::string> vertex_names;
+  bool rankdir_lr = true;
+};
+
+std::string GraphDbToDot(const GraphDb& db, const DotOptions& options = {});
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_DOT_H_

@@ -1,0 +1,100 @@
+#include "graphdb/generators.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+Alphabet LatinAlphabet(int size) {
+  ECRPQ_CHECK_LE(size, 26);
+  Alphabet alphabet;
+  for (int i = 0; i < size; ++i) {
+    const char c = static_cast<char>('a' + i);
+    alphabet.Intern(std::string_view(&c, 1));
+  }
+  return alphabet;
+}
+
+}  // namespace
+
+GraphDb RandomGraph(Rng* rng, int n, double avg_out_degree,
+                    int alphabet_size) {
+  GraphDb db(LatinAlphabet(alphabet_size));
+  db.AddVertices(n);
+  const uint64_t total_edges =
+      static_cast<uint64_t>(avg_out_degree * n + 0.5);
+  for (uint64_t e = 0; e < total_edges; ++e) {
+    const VertexId from = static_cast<VertexId>(rng->Below(n));
+    const VertexId to = static_cast<VertexId>(rng->Below(n));
+    const Symbol symbol = static_cast<Symbol>(rng->Below(alphabet_size));
+    db.AddEdge(from, symbol, to);
+  }
+  return db;
+}
+
+GraphDb CycleGraph(int n, std::string_view label_pattern) {
+  ECRPQ_CHECK_GT(n, 0);
+  ECRPQ_CHECK(!label_pattern.empty());
+  Alphabet alphabet;
+  for (char c : label_pattern) alphabet.Intern(std::string_view(&c, 1));
+  GraphDb db(std::move(alphabet));
+  db.AddVertices(n);
+  for (int i = 0; i < n; ++i) {
+    const char c = label_pattern[i % label_pattern.size()];
+    db.AddEdge(static_cast<VertexId>(i), std::string_view(&c, 1),
+               static_cast<VertexId>((i + 1) % n));
+  }
+  return db;
+}
+
+GraphDb GridGraph(int w, int h) {
+  ECRPQ_CHECK_GT(w, 0);
+  ECRPQ_CHECK_GT(h, 0);
+  Alphabet alphabet;
+  const Symbol right = alphabet.Intern("r");
+  const Symbol down = alphabet.Intern("d");
+  GraphDb db(std::move(alphabet));
+  db.AddVertices(w * h);
+  auto id = [w](int x, int y) { return static_cast<VertexId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) db.AddEdge(id(x, y), right, id(x + 1, y));
+      if (y + 1 < h) db.AddEdge(id(x, y), down, id(x, y + 1));
+    }
+  }
+  return db;
+}
+
+GraphDb PathGraph(int n, std::string_view label_pattern) {
+  ECRPQ_CHECK_GT(n, 0);
+  ECRPQ_CHECK(!label_pattern.empty());
+  Alphabet alphabet;
+  for (char c : label_pattern) alphabet.Intern(std::string_view(&c, 1));
+  GraphDb db(std::move(alphabet));
+  db.AddVertices(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    const char c = label_pattern[i % label_pattern.size()];
+    db.AddEdge(static_cast<VertexId>(i), std::string_view(&c, 1),
+               static_cast<VertexId>(i + 1));
+  }
+  return db;
+}
+
+GraphDb DfaTransitionGraph(const Dfa& dfa, const Alphabet& alphabet) {
+  ECRPQ_CHECK_GE(alphabet.size(), static_cast<int>(dfa.labels().size()));
+  GraphDb db(alphabet);
+  db.AddVertices(dfa.NumStates());
+  for (StateId s = 0; s < static_cast<StateId>(dfa.NumStates()); ++s) {
+    for (size_t li = 0; li < dfa.labels().size(); ++li) {
+      const Label label = dfa.labels()[li];
+      ECRPQ_CHECK_LT(label, static_cast<Label>(alphabet.size()));
+      db.AddEdge(s, static_cast<Symbol>(label),
+                 dfa.Next(s, static_cast<int>(li)));
+    }
+  }
+  return db;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,37 @@
+// Seeded graph-database generators for tests, examples and benchmarks.
+#ifndef ECRPQ_GRAPHDB_GENERATORS_H_
+#define ECRPQ_GRAPHDB_GENERATORS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/rng.h"
+#include "graphdb/graph_db.h"
+
+namespace ecrpq {
+
+// Random digraph: n vertices, each with out-degree ~`avg_out_degree`,
+// uniformly random heads and labels over an alphabet of `alphabet_size`
+// single-letter symbols (a, b, c, ...).
+GraphDb RandomGraph(Rng* rng, int n, double avg_out_degree,
+                    int alphabet_size);
+
+// Directed cycle of n vertices whose edge labels repeat `label_pattern`
+// (e.g. "ab" yields a/b alternation around the cycle).
+GraphDb CycleGraph(int n, std::string_view label_pattern);
+
+// w×h grid with "r" (right) and "d" (down) edges.
+GraphDb GridGraph(int w, int h);
+
+// Simple directed path of n vertices labelled with `label_pattern` repeated.
+GraphDb PathGraph(int n, std::string_view label_pattern);
+
+// The transition graph of a DFA whose labels are {0..alphabet-1}, rendered
+// with single-letter symbol names. Vertex v of the result = DFA state v.
+// Useful for the INE reductions of Lemmas 5.1 / 5.4.
+GraphDb DfaTransitionGraph(const Dfa& dfa, const Alphabet& alphabet);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_GENERATORS_H_

@@ -1,0 +1,64 @@
+#include "graphdb/graph_db.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+void GraphDb::AddEdge(VertexId from, Symbol symbol, VertexId to) {
+  ECRPQ_CHECK_LT(from, out_.size());
+  ECRPQ_CHECK_LT(to, out_.size());
+  ECRPQ_CHECK_LT(symbol, static_cast<Symbol>(alphabet_.size()));
+  out_[from].push_back(LabeledEdge{symbol, to});
+  in_[to].push_back(LabeledEdge{symbol, from});
+  ++num_edges_;
+}
+
+void GraphDb::AddEdge(VertexId from, std::string_view symbol_name,
+                      VertexId to) {
+  AddEdge(from, alphabet_.Intern(symbol_name), to);
+}
+
+bool GraphDb::HasEdge(VertexId from, Symbol symbol, VertexId to) const {
+  ECRPQ_CHECK_LT(from, out_.size());
+  for (const LabeledEdge& e : out_[from]) {
+    if (e.symbol == symbol && e.to == to) return true;
+  }
+  return false;
+}
+
+VertexId GraphDb::AppendDisjoint(const GraphDb& other) {
+  const VertexId offset = static_cast<VertexId>(out_.size());
+  // Merge alphabets by name; build a symbol remap.
+  std::vector<Symbol> remap(other.alphabet_.size());
+  for (int s = 0; s < other.alphabet_.size(); ++s) {
+    remap[s] = alphabet_.Intern(other.alphabet_.names()[s]);
+  }
+  AddVertices(other.NumVertices());
+  for (VertexId v = 0; v < static_cast<VertexId>(other.NumVertices()); ++v) {
+    for (const LabeledEdge& e : other.OutEdges(v)) {
+      AddEdge(offset + v, remap[e.symbol], offset + e.to);
+    }
+  }
+  return offset;
+}
+
+GraphDb WithInverses(const GraphDb& db, std::string_view suffix) {
+  Alphabet alphabet = db.alphabet();
+  const int base = alphabet.size();
+  std::vector<Symbol> inverse(base);
+  for (int s = 0; s < base; ++s) {
+    inverse[s] = alphabet.Intern(db.alphabet().names()[s] +
+                                 std::string(suffix));
+  }
+  GraphDb out(std::move(alphabet));
+  out.AddVertices(db.NumVertices());
+  for (VertexId v = 0; v < static_cast<VertexId>(db.NumVertices()); ++v) {
+    for (const LabeledEdge& e : db.OutEdges(v)) {
+      out.AddEdge(v, e.symbol, e.to);
+      out.AddEdge(e.to, inverse[e.symbol], v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,89 @@
+// GraphDb: a finite edge-labelled directed graph — the paper's data model.
+//
+// D = (V, E) with E ⊆ V × A × V. Vertices are dense ids; edges are stored in
+// forward and backward adjacency lists sorted by (symbol, endpoint) for
+// binary-searchable access.
+#ifndef ECRPQ_GRAPHDB_GRAPH_DB_H_
+#define ECRPQ_GRAPHDB_GRAPH_DB_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+
+namespace ecrpq {
+
+using VertexId = uint32_t;
+
+struct LabeledEdge {
+  Symbol symbol;
+  VertexId to;
+  bool operator==(const LabeledEdge&) const = default;
+};
+
+class GraphDb {
+ public:
+  explicit GraphDb(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  Alphabet* mutable_alphabet() { return &alphabet_; }
+
+  VertexId AddVertex() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<VertexId>(out_.size() - 1);
+  }
+
+  void AddVertices(int n) {
+    for (int i = 0; i < n; ++i) AddVertex();
+  }
+
+  int NumVertices() const { return static_cast<int>(out_.size()); }
+  size_t NumEdges() const { return num_edges_; }
+
+  // Adds edge (from, symbol, to). Duplicate edges are kept (the data model
+  // is a set, but duplicates only cost memory, never change query answers).
+  void AddEdge(VertexId from, Symbol symbol, VertexId to);
+
+  // Interns the symbol name and adds the edge.
+  void AddEdge(VertexId from, std::string_view symbol_name, VertexId to);
+
+  // Outgoing edges of v: (symbol, head) pairs.
+  std::span<const LabeledEdge> OutEdges(VertexId v) const {
+    ECRPQ_DCHECK(v < out_.size());
+    return out_[v];
+  }
+
+  // Incoming edges of v: (symbol, tail) pairs.
+  std::span<const LabeledEdge> InEdges(VertexId v) const {
+    ECRPQ_DCHECK(v < in_.size());
+    return in_[v];
+  }
+
+  bool HasEdge(VertexId from, Symbol symbol, VertexId to) const;
+
+  // Appends a disjoint copy of `other` (alphabets are merged by name).
+  // Returns the id offset: vertex v of `other` becomes offset + v.
+  VertexId AppendDisjoint(const GraphDb& other);
+
+ private:
+  Alphabet alphabet_;
+  std::vector<std::vector<LabeledEdge>> out_;
+  std::vector<std::vector<LabeledEdge>> in_;
+  size_t num_edges_ = 0;
+};
+
+// Two-way navigation (2RPQ/C2RPQ support): a copy of `db` where every
+// symbol `a` gains an inverse symbol `a<suffix>` and every edge u -a-> v a
+// reverse edge v -a<suffix>-> u. Queries can then traverse edges backwards
+// with ordinary regexes (e.g. /a~* b/) — the same alphabet-extension trick
+// the paper's Lemma 5.3 uses to fix atom orientations.
+GraphDb WithInverses(const GraphDb& db, std::string_view suffix = "~");
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_GRAPH_DB_H_

@@ -1,0 +1,81 @@
+#include "graphdb/io.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ecrpq {
+namespace {
+
+Result<uint64_t> ParseUint(std::string_view token) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("not an unsigned integer: '" +
+                              std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string GraphDbToString(const GraphDb& db) {
+  std::ostringstream out;
+  out << "alphabet";
+  for (const std::string& name : db.alphabet().names()) out << " " << name;
+  out << "\n";
+  out << "vertices " << db.NumVertices() << "\n";
+  for (VertexId v = 0; v < static_cast<VertexId>(db.NumVertices()); ++v) {
+    for (const LabeledEdge& e : db.OutEdges(v)) {
+      out << "edge " << v << " " << db.alphabet().Name(e.symbol) << " "
+          << e.to << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<GraphDb> GraphDbFromString(std::string_view text) {
+  Alphabet alphabet;
+  GraphDb db(alphabet);
+  bool have_vertices = false;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& tok : SplitString(line, ' ')) {
+      if (!tok.empty()) tokens.push_back(tok);
+    }
+    if (tokens.empty()) continue;
+    if (tokens[0] == "alphabet") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        db.mutable_alphabet()->Intern(tokens[i]);
+      }
+    } else if (tokens[0] == "vertices") {
+      if (tokens.size() != 2) return Status::ParseError("vertices: want count");
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t n, ParseUint(tokens[1]));
+      db.AddVertices(static_cast<int>(n));
+      have_vertices = true;
+    } else if (tokens[0] == "edge") {
+      if (!have_vertices) return Status::ParseError("edge before vertices");
+      if (tokens.size() != 4) {
+        return Status::ParseError("edge: want 'edge from label to'");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t from, ParseUint(tokens[1]));
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t to, ParseUint(tokens[3]));
+      if (from >= static_cast<uint64_t>(db.NumVertices()) ||
+          to >= static_cast<uint64_t>(db.NumVertices())) {
+        return Status::ParseError("edge endpoint out of range");
+      }
+      db.AddEdge(static_cast<VertexId>(from), tokens[2],
+                 static_cast<VertexId>(to));
+    } else {
+      return Status::ParseError("unknown directive: " + tokens[0]);
+    }
+  }
+  if (!have_vertices) return Status::ParseError("missing 'vertices' line");
+  return db;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,24 @@
+// Text serialization of graph databases.
+//
+//   alphabet a b c
+//   vertices 5
+//   edge 0 a 1
+//   ...
+#ifndef ECRPQ_GRAPHDB_IO_H_
+#define ECRPQ_GRAPHDB_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graphdb/graph_db.h"
+
+namespace ecrpq {
+
+std::string GraphDbToString(const GraphDb& db);
+
+Result<GraphDb> GraphDbFromString(std::string_view text);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_IO_H_

@@ -1,0 +1,127 @@
+#include "graphdb/rpq_reach.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitset.h"
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+// Product-space BFS from (source, initial states). Product states are coded
+// v * |Q| + q. Returns the visited bitset.
+constexpr Symbol kEpsilonStep = ~Symbol{0};
+
+DynamicBitset ProductBfs(const GraphDb& db, const Nfa& lang, VertexId source,
+                         std::vector<std::pair<uint32_t, Symbol>>* parents) {
+  const size_t nq = static_cast<size_t>(lang.NumStates());
+  DynamicBitset visited(static_cast<size_t>(db.NumVertices()) * nq);
+  if (parents != nullptr) {
+    parents->assign(visited.size(), {~uint32_t{0}, kEpsilonStep});
+  }
+  std::deque<uint32_t> queue;
+  std::vector<StateId> init(lang.initial());
+  lang.EpsilonClose(&init);
+  for (StateId q : init) {
+    const uint32_t code = static_cast<uint32_t>(source * nq + q);
+    if (visited.TestAndSet(code)) {
+      if (parents != nullptr) (*parents)[code] = {code, 0};
+      queue.push_back(code);
+    }
+  }
+  while (!queue.empty()) {
+    const uint32_t code = queue.front();
+    queue.pop_front();
+    const VertexId v = static_cast<VertexId>(code / nq);
+    const StateId q = static_cast<StateId>(code % nq);
+    // ε-transitions of the automaton: vertex stays put. 0/1-BFS keeps path
+    // lengths minimal.
+    for (const Nfa::Transition& t : lang.TransitionsFrom(q)) {
+      if (t.label != kEpsilon) continue;
+      const uint32_t next = static_cast<uint32_t>(v * nq + t.to);
+      if (visited.TestAndSet(next)) {
+        if (parents != nullptr) (*parents)[next] = {code, kEpsilonStep};
+        queue.push_front(next);
+      }
+    }
+    for (const LabeledEdge& e : db.OutEdges(v)) {
+      for (const Nfa::Transition& t : lang.TransitionsFrom(q)) {
+        if (t.label != static_cast<Label>(e.symbol)) continue;
+        const uint32_t next = static_cast<uint32_t>(e.to * nq + t.to);
+        if (visited.TestAndSet(next)) {
+          if (parents != nullptr) (*parents)[next] = {code, e.symbol};
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
+                                   VertexId source) {
+  const size_t nq = static_cast<size_t>(lang.NumStates());
+  std::vector<VertexId> out;
+  if (nq == 0) return out;
+  const DynamicBitset visited = ProductBfs(db, lang, source, nullptr);
+  for (VertexId v = 0; v < static_cast<VertexId>(db.NumVertices()); ++v) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (lang.IsAccepting(static_cast<StateId>(q)) &&
+          visited.Test(v * nq + q)) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
+                                                       const Nfa& lang) {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (VertexId u = 0; u < static_cast<VertexId>(db.NumVertices()); ++u) {
+    for (VertexId v : RpqReachFrom(db, lang, u)) {
+      out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<PathStep>> RpqWitnessPath(const GraphDb& db,
+                                                    const Nfa& lang,
+                                                    VertexId source,
+                                                    VertexId target) {
+  const size_t nq = static_cast<size_t>(lang.NumStates());
+  if (nq == 0) return std::nullopt;
+  std::vector<std::pair<uint32_t, Symbol>> parents;
+  const DynamicBitset visited = ProductBfs(db, lang, source, &parents);
+  // Find an accepting product state at `target` (any; BFS order makes the
+  // first-found path shortest up to ε bookkeeping).
+  std::optional<uint32_t> goal;
+  for (size_t q = 0; q < nq; ++q) {
+    if (lang.IsAccepting(static_cast<StateId>(q)) &&
+        visited.Test(target * nq + q)) {
+      goal = static_cast<uint32_t>(target * nq + q);
+      break;
+    }
+  }
+  if (!goal.has_value()) return std::nullopt;
+  std::vector<PathStep> path;
+  uint32_t code = *goal;
+  while (parents[code].first != code) {
+    const uint32_t prev = parents[code].first;
+    if (parents[code].second != kEpsilonStep) {
+      path.push_back(PathStep{static_cast<VertexId>(prev / nq),
+                              parents[code].second,
+                              static_cast<VertexId>(code / nq)});
+    }
+    code = prev;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,42 @@
+// RPQ reachability: for a regular language L, the binary relation
+// R_L = {(u, v) : some path u →* v has label in L}.
+//
+// R_L is computable in polynomial time by BFS over the product D × A — the
+// fact behind Corollary 2.4 (CRPQ evaluation reduces to CQ evaluation).
+#ifndef ECRPQ_GRAPHDB_RPQ_REACH_H_
+#define ECRPQ_GRAPHDB_RPQ_REACH_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "graphdb/graph_db.h"
+
+namespace ecrpq {
+
+// A step of a witness path.
+struct PathStep {
+  VertexId from;
+  Symbol symbol;
+  VertexId to;
+  bool operator==(const PathStep&) const = default;
+};
+
+// All v reachable from `source` along a path with label in L(lang).
+// `lang` has Symbol labels (ε allowed).
+std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
+                                   VertexId source);
+
+// The full relation R_L as sorted (u, v) pairs. O(|V|·(|V|·|Q| + |E|·|δ|)).
+std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
+                                                       const Nfa& lang);
+
+// A shortest witness path from `source` to `target` with label in L(lang).
+std::optional<std::vector<PathStep>> RpqWitnessPath(const GraphDb& db,
+                                                    const Nfa& lang,
+                                                    VertexId source,
+                                                    VertexId target);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_RPQ_REACH_H_

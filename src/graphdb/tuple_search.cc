@@ -1,0 +1,215 @@
+#include "graphdb/tuple_search.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+// Coded search state: [v_0 .. v_{r-1}, finished_mask, machine components...].
+using Coded = std::vector<uint32_t>;
+
+}  // namespace
+
+Result<TupleSearcher> TupleSearcher::Create(const GraphDb* db,
+                                            JoinMachine* machine,
+                                            TupleSearchOptions options) {
+  if (db == nullptr || machine == nullptr) {
+    return Status::Invalid("null database or machine");
+  }
+  if (machine->joint_arity() >= 31) {
+    return Status::CapacityExceeded(
+        "component has too many path variables for the finished-tape mask "
+        "(limit 30)");
+  }
+  // The machine packs graph symbols; their ids must agree.
+  // (JoinMachine components were checked against the machine alphabet.)
+  return TupleSearcher(db, machine, options);
+}
+
+const ReachSet& TupleSearcher::Reach(const std::vector<VertexId>& sources) {
+  if (options_.disable_memo) {
+    unmemoized_scratch_ = RunBfs(sources, nullptr, nullptr);
+    total_explored_ += unmemoized_scratch_.explored_states;
+    any_aborted_ = any_aborted_ || unmemoized_scratch_.aborted;
+    return unmemoized_scratch_;
+  }
+  auto it = memo_.find(sources);
+  if (it != memo_.end()) return *it->second;
+  auto result = std::make_unique<ReachSet>(RunBfs(sources, nullptr, nullptr));
+  total_explored_ += result->explored_states;
+  any_aborted_ = any_aborted_ || result->aborted;
+  auto [inserted_it, ok] = memo_.emplace(sources, std::move(result));
+  ECRPQ_DCHECK(ok);
+  return *inserted_it->second;
+}
+
+bool TupleSearcher::Check(const std::vector<VertexId>& sources,
+                          const std::vector<VertexId>& targets) {
+  const ReachSet& reach = Reach(sources);
+  return reach.targets.count(targets) > 0;
+}
+
+std::optional<std::vector<std::vector<PathStep>>> TupleSearcher::WitnessPaths(
+    const std::vector<VertexId>& sources,
+    const std::vector<VertexId>& targets) {
+  std::optional<std::vector<std::vector<PathStep>>> witness;
+  RunBfs(sources, &targets, &witness);
+  return witness;
+}
+
+ReachSet TupleSearcher::RunBfs(
+    const std::vector<VertexId>& sources,
+    const std::vector<VertexId>* stop_at_target,
+    std::optional<std::vector<std::vector<PathStep>>>* witness_out) {
+  const int r = arity();
+  ECRPQ_CHECK_EQ(static_cast<int>(sources.size()), r);
+  ECRPQ_DCHECK(r < 31);  // Enforced with a Status in Create().
+
+  ReachSet result;
+  const bool track_parents = witness_out != nullptr;
+
+  std::unordered_map<Coded, uint32_t, VectorHash<uint32_t>> id_of;
+  std::vector<Coded> states;
+  // parent[i] = (predecessor id, packed joint label).
+  std::vector<std::pair<uint32_t, Label>> parents;
+  std::deque<uint32_t> queue;
+
+  auto intern = [&](Coded coded, uint32_t from, Label label) -> bool {
+    auto [it, inserted] =
+        id_of.emplace(std::move(coded), static_cast<uint32_t>(states.size()));
+    if (!inserted) return true;
+    if (options_.max_states != 0 && states.size() >= options_.max_states) {
+      result.aborted = true;
+      return false;
+    }
+    states.push_back(it->first);
+    if (track_parents) parents.emplace_back(from, label);
+    queue.push_back(it->second);
+    return true;
+  };
+
+  // Seed state.
+  {
+    const JoinMachine::State m0 = machine_->Initial();
+    Coded seed;
+    seed.reserve(r + 1 + m0.size());
+    for (VertexId v : sources) seed.push_back(v);
+    seed.push_back(0);  // Mask: no tape finished yet.
+    for (uint32_t m : m0) seed.push_back(m);
+    if (!machine_->IsDead(m0)) {
+      auto [it, inserted] = id_of.emplace(std::move(seed), 0u);
+      ECRPQ_DCHECK(inserted);
+      states.push_back(it->first);
+      if (track_parents) parents.emplace_back(0u, 0u);
+      queue.push_back(0);
+    }
+  }
+
+  const size_t machine_size = states.empty() ? 0 : states[0].size() - r - 1;
+
+  auto machine_state_of = [&](const Coded& coded) {
+    return JoinMachine::State(coded.begin() + r + 1, coded.end());
+  };
+
+  std::vector<TapeLetter> letters(r);
+  Coded scratch;
+
+  while (!queue.empty()) {
+    const uint32_t id = queue.front();
+    queue.pop_front();
+    const Coded current = states[id];  // Copy: `states` grows below.
+    const JoinMachine::State mstate = machine_state_of(current);
+
+    if (machine_->IsAccepting(mstate)) {
+      std::vector<VertexId> targets(current.begin(), current.begin() + r);
+      if (stop_at_target != nullptr && targets == *stop_at_target) {
+        if (witness_out != nullptr) {
+          // Reconstruct per-tape paths from parent pointers.
+          std::vector<std::vector<PathStep>> paths(r);
+          uint32_t cur = id;
+          while (parents[cur].first != cur || cur != 0) {
+            const uint32_t prev = parents[cur].first;
+            const Label label = parents[cur].second;
+            for (int i = 0; i < r; ++i) {
+              const TapeLetter letter = machine_->pack().Get(label, i);
+              if (letter != kBlank) {
+                paths[i].push_back(PathStep{states[prev][i],
+                                            static_cast<Symbol>(letter),
+                                            states[cur][i]});
+              }
+            }
+            cur = prev;
+            if (cur == 0) break;
+          }
+          for (auto& p : paths) std::reverse(p.begin(), p.end());
+          *witness_out = std::move(paths);
+        }
+        result.targets.insert(std::move(targets));
+        result.explored_states = states.size();
+        return result;
+      }
+      result.targets.insert(std::move(targets));
+    }
+
+    // Successors: each unfinished tape takes an out-edge or finishes (⊥);
+    // finished tapes stay frozen. At least one tape must read a letter.
+    const uint32_t mask = current[r];
+    scratch = current;
+
+    // Recursive enumeration over tapes.
+    auto recurse = [&](auto&& self, int tape, uint32_t new_mask,
+                       bool any_letter) -> bool {
+      if (tape == r) {
+        if (!any_letter) return true;  // All-blank column: not a step.
+        const Label label = machine_->pack().Pack(letters);
+        const JoinMachine::State next_m =
+            machine_->Next(mstate, label);
+        if (machine_->IsDead(next_m)) return true;
+        Coded next;
+        next.reserve(r + 1 + machine_size);
+        next.assign(scratch.begin(), scratch.begin() + r);
+        next.push_back(new_mask);
+        for (uint32_t m : next_m) next.push_back(m);
+        return intern(std::move(next), id, label);
+      }
+      const uint32_t bit = uint32_t{1} << tape;
+      if (mask & bit) {
+        letters[tape] = kBlank;
+        scratch[tape] = current[tape];
+        return self(self, tape + 1, new_mask, any_letter);
+      }
+      // Option 1: finish this tape now.
+      letters[tape] = kBlank;
+      scratch[tape] = current[tape];
+      if (!self(self, tape + 1, new_mask | bit, any_letter)) return false;
+      // Option 2: advance along an out-edge.
+      for (const LabeledEdge& e : db_->OutEdges(current[tape])) {
+        letters[tape] = static_cast<TapeLetter>(e.symbol);
+        scratch[tape] = e.to;
+        if (!self(self, tape + 1, new_mask, true)) return false;
+      }
+      scratch[tape] = current[tape];
+      return true;
+    };
+    if (!recurse(recurse, 0, mask, false)) break;  // Budget exhausted.
+  }
+
+  result.explored_states = states.size();
+  if (stop_at_target != nullptr) {
+    // Targeted search that exhausted the space without finding the target.
+    ReachSet targeted;
+    targeted.explored_states = result.explored_states;
+    targeted.aborted = result.aborted;
+    if (result.targets.count(*stop_at_target) > 0) {
+      targeted.targets.insert(*stop_at_target);
+    }
+    return targeted;
+  }
+  return result;
+}
+
+}  // namespace ecrpq

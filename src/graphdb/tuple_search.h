@@ -1,0 +1,101 @@
+// TupleSearcher: reachability in the product of r copies of the graph
+// database with a (joined) relation automaton — the semantic core of ECRPQ
+// evaluation.
+//
+// Given path variables π_1..π_r constrained by a JoinMachine (the relation
+// atoms of one G^rel connected component, Lemma 4.1), a source tuple
+// ū ∈ V^r and a target tuple v̄ ∈ V^r are related iff there are paths
+// p_i : u_i → v_i whose labels form a tuple accepted by the machine.
+//
+// Search space: (v̄, machine state, finished-mask). The mask enforces the
+// graph-side convolution discipline: a tape that has emitted ⊥ is frozen at
+// its current vertex. Reachable accepting target tuples from a given source
+// tuple are computed by BFS and memoized per source tuple. The state space
+// is |V|^r · |Q| · 2^r — exponential only in r (= cc_vertex), matching the
+// paper's upper bounds.
+#ifndef ECRPQ_GRAPHDB_TUPLE_SEARCH_H_
+#define ECRPQ_GRAPHDB_TUPLE_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/rpq_reach.h"
+#include "synchro/join.h"
+
+namespace ecrpq {
+
+struct TupleSearchOptions {
+  // Abort a per-source BFS after exploring this many product states.
+  // 0 = unlimited.
+  size_t max_states = 0;
+  // Recompute every Reach() call instead of memoizing per source tuple —
+  // ablation hook for experiment X2.
+  bool disable_memo = false;
+};
+
+// The set of accepting target tuples reachable from one source tuple.
+struct ReachSet {
+  std::unordered_set<std::vector<VertexId>, VectorHash<VertexId>> targets;
+  size_t explored_states = 0;
+  bool aborted = false;
+};
+
+class TupleSearcher {
+ public:
+  // The machine's alphabet must be id-compatible with the database's (see
+  // AlphabetsCompatible). The database and machine must outlive the searcher.
+  static Result<TupleSearcher> Create(const GraphDb* db, JoinMachine* machine,
+                                      TupleSearchOptions options = {});
+
+  int arity() const { return machine_->joint_arity(); }
+
+  // Full accepting-reachability from `sources`, memoized.
+  const ReachSet& Reach(const std::vector<VertexId>& sources);
+
+  // Does some tuple of paths from sources to targets satisfy the relation?
+  bool Check(const std::vector<VertexId>& sources,
+             const std::vector<VertexId>& targets);
+
+  // Witness paths (one per tape) for a satisfying tuple, or nullopt. Runs a
+  // fresh BFS with parent tracking.
+  std::optional<std::vector<std::vector<PathStep>>> WitnessPaths(
+      const std::vector<VertexId>& sources,
+      const std::vector<VertexId>& targets);
+
+  // Total number of memoized source tuples (diagnostics).
+  size_t NumMemoizedSources() const { return memo_.size(); }
+
+  // Product states explored across all fresh searches (diagnostics).
+  size_t TotalExploredStates() const { return total_explored_; }
+  bool AnyAborted() const { return any_aborted_; }
+
+ private:
+  TupleSearcher(const GraphDb* db, JoinMachine* machine,
+                TupleSearchOptions options)
+      : db_(db), machine_(machine), options_(options) {}
+
+  ReachSet RunBfs(const std::vector<VertexId>& sources,
+                  const std::vector<VertexId>* stop_at_target,
+                  std::optional<std::vector<std::vector<PathStep>>>*
+                      witness_out);
+
+  const GraphDb* db_;
+  JoinMachine* machine_;
+  TupleSearchOptions options_;
+  size_t total_explored_ = 0;
+  bool any_aborted_ = false;
+  std::unordered_map<std::vector<VertexId>, std::unique_ptr<ReachSet>,
+                     VectorHash<VertexId>>
+      memo_;
+  ReachSet unmemoized_scratch_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_TUPLE_SEARCH_H_

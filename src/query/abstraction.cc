@@ -1,0 +1,46 @@
+#include "query/abstraction.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+TwoLevelGraph QueryAbstraction(const EcrpqQuery& query,
+                               bool implicit_universal_singletons) {
+  TwoLevelGraph g;
+  g.num_vertices = query.NumNodeVars();
+  // First-level edge index == path variable id; the validator guarantees
+  // each path variable occurs in exactly one reachability atom.
+  g.first_edges.assign(query.NumPathVars(), {0, 0});
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    g.first_edges[atom.path] = {static_cast<int>(atom.from),
+                                static_cast<int>(atom.to)};
+  }
+  std::vector<bool> constrained(query.NumPathVars(), false);
+  for (const RelAtom& atom : query.rel_atoms()) {
+    std::vector<int> members;
+    members.reserve(atom.paths.size());
+    for (PathVarId p : atom.paths) {
+      members.push_back(static_cast<int>(p));
+      constrained[p] = true;
+    }
+    g.hyperedges.push_back(std::move(members));
+  }
+  if (implicit_universal_singletons) {
+    for (int p = 0; p < query.NumPathVars(); ++p) {
+      if (!constrained[p]) g.hyperedges.push_back({p});
+    }
+  }
+  return g;
+}
+
+SimpleGraph CrpqGaifmanGraph(const EcrpqQuery& query) {
+  SimpleGraph g(query.NumNodeVars());
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    g.AddEdge(static_cast<int>(atom.from), static_cast<int>(atom.to));
+  }
+  return g;
+}
+
+}  // namespace ecrpq

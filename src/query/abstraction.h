@@ -1,0 +1,27 @@
+// Abstraction of an ECRPQ as a 2L graph (paper §2, "Two-level graphs"):
+// V = node variables, E = path variables (η from the reachability atoms),
+// H = relation atoms (ν from their path-variable lists).
+#ifndef ECRPQ_QUERY_ABSTRACTION_H_
+#define ECRPQ_QUERY_ABSTRACTION_H_
+
+#include "query/ast.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+// When `implicit_universal_singletons` is set (the default), every path
+// variable that appears in no relation atom receives a singleton hyperedge,
+// as if constrained by the universal unary relation A*. This matches the
+// evaluation semantics (an unconstrained path variable behaves exactly like
+// one constrained by A*) and makes G^node contain the full Gaifman graph of
+// the reachability subquery. Pass false for the paper's literal definition.
+TwoLevelGraph QueryAbstraction(const EcrpqQuery& query,
+                               bool implicit_universal_singletons = true);
+
+// The CRPQ abstraction: the graph on node variables with an edge {x, y} for
+// every reachability atom x -π-> y.
+SimpleGraph CrpqGaifmanGraph(const EcrpqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_ABSTRACTION_H_

@@ -1,0 +1,46 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace ecrpq {
+
+bool EcrpqQuery::IsCrpq() const {
+  std::vector<int> uses(NumPathVars(), 0);
+  for (const RelAtom& atom : rel_atoms_) {
+    if (relations_[atom.relation]->arity() != 1) return false;
+    for (PathVarId p : atom.paths) {
+      if (++uses[p] > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::string EcrpqQuery::ToString() const {
+  std::ostringstream out;
+  out << "q(";
+  for (size_t i = 0; i < free_vars_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << node_var_names_[free_vars_[i]];
+  }
+  out << ") := ";
+  bool first = true;
+  for (const ReachAtom& atom : reach_atoms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << node_var_names_[atom.from] << " -[" << path_var_names_[atom.path]
+        << "]-> " << node_var_names_[atom.to];
+  }
+  for (const RelAtom& atom : rel_atoms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << relation_display_names_[atom.relation] << "(";
+    for (size_t i = 0; i < atom.paths.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << path_var_names_[atom.paths[i]];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace ecrpq

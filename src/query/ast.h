@@ -1,0 +1,103 @@
+// ECRPQ abstract syntax.
+//
+// An ECRPQ (paper eq. (1)) is
+//     q(x̄) = ∃ȳ ∃π̄  γ(x̄ȳπ̄) ∧ ρ(π̄)
+// where γ is a conjunction of reachability atoms z -π-> z' (each path
+// variable in exactly one) and ρ a conjunction of relation atoms
+// R(π_1, ..., π_r) over synchronous relations with pairwise-distinct path
+// variables per atom. Queries may be Boolean (no free variables) or have
+// free *node* variables.
+#ifndef ECRPQ_QUERY_AST_H_
+#define ECRPQ_QUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+// Indices into EcrpqQuery's variable tables.
+using NodeVarId = uint32_t;
+using PathVarId = uint32_t;
+
+struct ReachAtom {
+  NodeVarId from;
+  PathVarId path;
+  NodeVarId to;
+  bool operator==(const ReachAtom&) const = default;
+};
+
+struct RelAtom {
+  // Index into EcrpqQuery::relations().
+  uint32_t relation;
+  // Pairwise-distinct path variables; size == relation arity.
+  std::vector<PathVarId> paths;
+  bool operator==(const RelAtom&) const = default;
+};
+
+class EcrpqQuery {
+ public:
+  EcrpqQuery() = default;
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  int NumNodeVars() const { return static_cast<int>(node_var_names_.size()); }
+  int NumPathVars() const { return static_cast<int>(path_var_names_.size()); }
+  const std::string& NodeVarName(NodeVarId v) const {
+    return node_var_names_[v];
+  }
+  const std::string& PathVarName(PathVarId p) const {
+    return path_var_names_[p];
+  }
+
+  // Free node variables, in answer-tuple order. Empty for Boolean queries.
+  const std::vector<NodeVarId>& free_vars() const { return free_vars_; }
+  bool IsBoolean() const { return free_vars_.empty(); }
+
+  const std::vector<ReachAtom>& reach_atoms() const { return reach_atoms_; }
+  const std::vector<RelAtom>& rel_atoms() const { return rel_atoms_; }
+  const std::vector<std::shared_ptr<const SyncRelation>>& relations() const {
+    return relations_;
+  }
+  const SyncRelation& relation(uint32_t index) const {
+    return *relations_[index];
+  }
+
+  // True iff the query is a CRPQ: all relations unary and every path
+  // variable in at most one relation atom.
+  bool IsCrpq() const;
+
+  // Pretty-printer (matches the parser's concrete syntax).
+  std::string ToString() const;
+
+ private:
+  friend class EcrpqBuilder;
+
+  Alphabet alphabet_;
+  std::vector<std::string> node_var_names_;
+  std::vector<std::string> path_var_names_;
+  std::vector<NodeVarId> free_vars_;
+  std::vector<ReachAtom> reach_atoms_;
+  std::vector<RelAtom> rel_atoms_;
+  std::vector<std::shared_ptr<const SyncRelation>> relations_;
+  std::vector<std::string> relation_display_names_;
+
+ public:
+  const std::vector<std::string>& relation_display_names() const {
+    return relation_display_names_;
+  }
+};
+
+// A union of ECRPQ queries (UECRPQ) — the paper's closing remark: all
+// characterization results extend to finite unions.
+struct UecrpqQuery {
+  std::vector<EcrpqQuery> disjuncts;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_AST_H_

@@ -1,0 +1,78 @@
+#include "query/builder.h"
+
+#include <utility>
+
+#include "automata/regex.h"
+#include "query/validate.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+
+EcrpqBuilder::EcrpqBuilder(Alphabet alphabet) {
+  query_.alphabet_ = std::move(alphabet);
+}
+
+NodeVarId EcrpqBuilder::NodeVar(std::string_view name) {
+  for (size_t i = 0; i < query_.node_var_names_.size(); ++i) {
+    if (query_.node_var_names_[i] == name) return static_cast<NodeVarId>(i);
+  }
+  query_.node_var_names_.emplace_back(name);
+  return static_cast<NodeVarId>(query_.node_var_names_.size() - 1);
+}
+
+PathVarId EcrpqBuilder::PathVar(std::string_view name) {
+  for (size_t i = 0; i < query_.path_var_names_.size(); ++i) {
+    if (query_.path_var_names_[i] == name) return static_cast<PathVarId>(i);
+  }
+  query_.path_var_names_.emplace_back(name);
+  return static_cast<PathVarId>(query_.path_var_names_.size() - 1);
+}
+
+EcrpqBuilder& EcrpqBuilder::Reach(NodeVarId from, PathVarId path,
+                                  NodeVarId to) {
+  query_.reach_atoms_.push_back(ReachAtom{from, path, to});
+  return *this;
+}
+
+EcrpqBuilder& EcrpqBuilder::Relate(
+    std::shared_ptr<const SyncRelation> relation,
+    const std::vector<PathVarId>& paths, std::string_view display_name) {
+  query_.relations_.push_back(std::move(relation));
+  query_.relation_display_names_.emplace_back(display_name);
+  query_.rel_atoms_.push_back(
+      RelAtom{static_cast<uint32_t>(query_.relations_.size() - 1), paths});
+  return *this;
+}
+
+Result<PathVarId> EcrpqBuilder::ReachRegex(NodeVarId from,
+                                           std::string_view regex,
+                                           NodeVarId to) {
+  // Compile over a copy so symbols not in the query alphabet are reported
+  // rather than silently interned.
+  Alphabet scratch = query_.alphabet_;
+  ECRPQ_ASSIGN_OR_RAISE(Nfa lang, CompileRegex(regex, &scratch));
+  if (scratch.size() != query_.alphabet_.size()) {
+    return Status::Invalid("regex '" + std::string(regex) +
+                           "' uses symbols outside the query alphabet");
+  }
+  ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel,
+                        FromLanguage(query_.alphabet_, lang));
+  const PathVarId path =
+      PathVar("_p" + std::to_string(fresh_path_counter_++));
+  Reach(from, path, to);
+  Relate(std::make_shared<const SyncRelation>(std::move(rel)), {path},
+         "lang(/" + std::string(regex) + "/)");
+  return path;
+}
+
+EcrpqBuilder& EcrpqBuilder::Free(const std::vector<NodeVarId>& free_vars) {
+  query_.free_vars_ = free_vars;
+  return *this;
+}
+
+Result<EcrpqQuery> EcrpqBuilder::Build() const {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query_));
+  return query_;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,57 @@
+// Fluent construction of ECRPQ queries.
+//
+//   EcrpqBuilder b(alphabet);
+//   auto x = b.NodeVar("x"), y = b.NodeVar("y"), z = b.NodeVar("z");
+//   auto p1 = b.PathVar("pi1"), p2 = b.PathVar("pi2");
+//   b.Reach(x, p1, z);
+//   b.Reach(y, p2, z);
+//   b.Relate(eq_len_relation, {p1, p2});       // shared_ptr<SyncRelation>
+//   b.Free({x, y});
+//   ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery q, b.Build());
+#ifndef ECRPQ_QUERY_BUILDER_H_
+#define ECRPQ_QUERY_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+class EcrpqBuilder {
+ public:
+  explicit EcrpqBuilder(Alphabet alphabet);
+
+  // Returns the variable with this name, creating it on first use.
+  NodeVarId NodeVar(std::string_view name);
+  PathVarId PathVar(std::string_view name);
+
+  EcrpqBuilder& Reach(NodeVarId from, PathVarId path, NodeVarId to);
+
+  // Adds a relation atom. The relation is shared (not copied). An optional
+  // display name is used by EcrpqQuery::ToString.
+  EcrpqBuilder& Relate(std::shared_ptr<const SyncRelation> relation,
+                       const std::vector<PathVarId>& paths,
+                       std::string_view display_name = "rel");
+
+  // Convenience for CRPQ atoms: from -[regex]-> to with a fresh path
+  // variable; the regex is compiled over the query alphabet.
+  Result<PathVarId> ReachRegex(NodeVarId from, std::string_view regex,
+                               NodeVarId to);
+
+  EcrpqBuilder& Free(const std::vector<NodeVarId>& free_vars);
+
+  // Validates (query/validate.h) and returns the query.
+  Result<EcrpqQuery> Build() const;
+
+ private:
+  EcrpqQuery query_;
+  int fresh_path_counter_ = 0;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_BUILDER_H_

@@ -1,0 +1,370 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/regex.h"
+#include "query/builder.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kInt,
+    kRegex,   // text between slashes, without them
+    kLParen,
+    kRParen,
+    kComma,
+    kDefine,  // :=
+    kArrowIn,   // -[
+    kArrowOut,  // ]->
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) break;
+      const size_t start = pos_;
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_;
+        while (end < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+                input_[end] == '_')) {
+          ++end;
+        }
+        tokens.push_back(Token{Token::Kind::kIdent,
+                               std::string(input_.substr(pos_, end - pos_)),
+                               start});
+        pos_ = end;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t end = pos_;
+        while (end < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[end]))) {
+          ++end;
+        }
+        tokens.push_back(Token{Token::Kind::kInt,
+                               std::string(input_.substr(pos_, end - pos_)),
+                               start});
+        pos_ = end;
+      } else if (c == '/') {
+        ++pos_;
+        std::string body;
+        while (pos_ < input_.size() && input_[pos_] != '/') {
+          if (input_[pos_] == '\\' && pos_ + 1 < input_.size() &&
+              input_[pos_ + 1] == '/') {
+            body += '/';
+            pos_ += 2;
+          } else {
+            body += input_[pos_];
+            ++pos_;
+          }
+        }
+        if (pos_ >= input_.size()) {
+          return Status::ParseError("unterminated /regex/ at position " +
+                                    std::to_string(start));
+        }
+        ++pos_;  // Closing slash.
+        tokens.push_back(Token{Token::Kind::kRegex, body, start});
+      } else if (c == '(') {
+        tokens.push_back(Token{Token::Kind::kLParen, "(", start});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back(Token{Token::Kind::kRParen, ")", start});
+        ++pos_;
+      } else if (c == ',') {
+        tokens.push_back(Token{Token::Kind::kComma, ",", start});
+        ++pos_;
+      } else if (c == ':' && Peek(1) == '=') {
+        tokens.push_back(Token{Token::Kind::kDefine, ":=", start});
+        pos_ += 2;
+      } else if (c == '-' && Peek(1) == '[') {
+        tokens.push_back(Token{Token::Kind::kArrowIn, "-[", start});
+        pos_ += 2;
+      } else if (c == ']' && Peek(1) == '-' && Peek(2) == '>') {
+        tokens.push_back(Token{Token::Kind::kArrowOut, "]->", start});
+        pos_ += 3;
+      } else {
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at position " +
+                                  std::to_string(start));
+      }
+    }
+    tokens.push_back(Token{Token::Kind::kEnd, "", input_.size()});
+    return tokens;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Alphabet& alphabet,
+         const RelationRegistry* custom)
+      : tokens_(std::move(tokens)),
+        builder_(alphabet),
+        alphabet_(alphabet),
+        custom_(custom) {}
+
+  Result<EcrpqQuery> Parse() {
+    ECRPQ_RETURN_NOT_OK(ParseHead());
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kDefine, ":="));
+    ECRPQ_RETURN_NOT_OK(ParseAtom());
+    while (Current().kind == Token::Kind::kComma) {
+      ++pos_;
+      ECRPQ_RETURN_NOT_OK(ParseAtom());
+    }
+    if (Current().kind != Token::Kind::kEnd) {
+      return Err("trailing input");
+    }
+    return builder_.Build();
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Lookahead(size_t n) const {
+    return tokens_[std::min(pos_ + n, tokens_.size() - 1)];
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at position " +
+                              std::to_string(Current().pos));
+  }
+
+  Status Expect(Token::Kind kind, const char* what) {
+    if (Current().kind != kind) {
+      return Err(std::string("expected '") + what + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseHead() {
+    if (Current().kind != Token::Kind::kIdent) return Err("expected query name");
+    ++pos_;  // Query name is decorative.
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kLParen, "("));
+    std::vector<NodeVarId> free_vars;
+    if (Current().kind == Token::Kind::kIdent) {
+      free_vars.push_back(builder_.NodeVar(Current().text));
+      ++pos_;
+      while (Current().kind == Token::Kind::kComma) {
+        ++pos_;
+        if (Current().kind != Token::Kind::kIdent) {
+          return Err("expected free variable name");
+        }
+        free_vars.push_back(builder_.NodeVar(Current().text));
+        ++pos_;
+      }
+    }
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kRParen, ")"));
+    builder_.Free(free_vars);
+    return Status::OK();
+  }
+
+  Status ParseAtom() {
+    if (Current().kind != Token::Kind::kIdent) {
+      return Err("expected an atom");
+    }
+    // Reachability atom: ident -[ ... ]-> ident. Otherwise relation atom.
+    if (Lookahead(1).kind == Token::Kind::kArrowIn) {
+      return ParseReach();
+    }
+    return ParseRelAtom();
+  }
+
+  Status ParseReach() {
+    const NodeVarId from = builder_.NodeVar(Current().text);
+    ++pos_;
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kArrowIn, "-["));
+    if (Current().kind == Token::Kind::kRegex) {
+      const std::string regex = Current().text;
+      ++pos_;
+      ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kArrowOut, "]->"));
+      if (Current().kind != Token::Kind::kIdent) {
+        return Err("expected target node variable");
+      }
+      const NodeVarId to = builder_.NodeVar(Current().text);
+      ++pos_;
+      ECRPQ_ASSIGN_OR_RAISE(PathVarId ignored,
+                            builder_.ReachRegex(from, regex, to));
+      (void)ignored;
+      return Status::OK();
+    }
+    if (Current().kind != Token::Kind::kIdent) {
+      return Err("expected path variable or /regex/");
+    }
+    const PathVarId path = builder_.PathVar(Current().text);
+    ++pos_;
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kArrowOut, "]->"));
+    if (Current().kind != Token::Kind::kIdent) {
+      return Err("expected target node variable");
+    }
+    const NodeVarId to = builder_.NodeVar(Current().text);
+    ++pos_;
+    builder_.Reach(from, path, to);
+    return Status::OK();
+  }
+
+  Status ParsePathList(std::vector<PathVarId>* paths) {
+    while (true) {
+      if (Current().kind != Token::Kind::kIdent) {
+        return Err("expected path variable");
+      }
+      paths->push_back(builder_.PathVar(Current().text));
+      ++pos_;
+      if (Current().kind != Token::Kind::kComma) break;
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseRelAtom() {
+    const std::string name = Current().text;
+    ++pos_;
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kLParen, "("));
+
+    std::vector<PathVarId> paths;
+    std::shared_ptr<const SyncRelation> relation;
+    std::string display = name;
+
+    if (name == "lang") {
+      if (Current().kind != Token::Kind::kRegex) {
+        return Err("lang expects (/regex/, path)");
+      }
+      const std::string regex = Current().text;
+      ++pos_;
+      ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kComma, ","));
+      ECRPQ_RETURN_NOT_OK(ParsePathList(&paths));
+      if (paths.size() != 1) return Err("lang takes exactly one path");
+      Alphabet scratch = alphabet_;
+      ECRPQ_ASSIGN_OR_RAISE(Nfa lang, CompileRegex(regex, &scratch));
+      if (scratch.size() != alphabet_.size()) {
+        return Status::ParseError("regex /" + regex +
+                                  "/ uses symbols outside the alphabet");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel, FromLanguage(alphabet_, lang));
+      relation = std::make_shared<const SyncRelation>(std::move(rel));
+      display = "lang(/" + regex + "/)";
+      // Rebuild display without the regex inside the arg list.
+      ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kRParen, ")"));
+      builder_.Relate(std::move(relation), paths, display);
+      return Status::OK();
+    }
+
+    if (name == "hamming" || name == "edit") {
+      if (Current().kind != Token::Kind::kInt) {
+        return Err(name + " expects (d, path, path)");
+      }
+      const int d = std::stoi(Current().text);
+      ++pos_;
+      ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kComma, ","));
+      ECRPQ_RETURN_NOT_OK(ParsePathList(&paths));
+      if (paths.size() != 2) return Err(name + " takes exactly two paths");
+      Result<SyncRelation> rel =
+          name == "hamming" ? HammingAtMostRelation(alphabet_, d)
+                            : EditDistanceAtMostRelation(alphabet_, d);
+      if (!rel.ok()) return rel.status();
+      relation =
+          std::make_shared<const SyncRelation>(std::move(rel).ValueOrDie());
+      display = name + "(" + std::to_string(d) + ")";
+      ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kRParen, ")"));
+      builder_.Relate(std::move(relation), paths, display);
+      return Status::OK();
+    }
+
+    ECRPQ_RETURN_NOT_OK(ParsePathList(&paths));
+    ECRPQ_RETURN_NOT_OK(Expect(Token::Kind::kRParen, ")"));
+    const int k = static_cast<int>(paths.size());
+    if (custom_ != nullptr) {
+      auto it = custom_->find(name);
+      if (it != custom_->end()) {
+        builder_.Relate(it->second, paths, name);
+        return Status::OK();
+      }
+    }
+    Result<SyncRelation> rel = Status::Invalid("unset");
+    if (name == "eq") {
+      rel = EqualityRelation(alphabet_, k);
+    } else if (name == "eqlen") {
+      rel = EqualLengthRelation(alphabet_, k);
+    } else if (name == "prefix") {
+      if (k != 2) return Err("prefix takes exactly two paths");
+      rel = PrefixRelation(alphabet_);
+    } else if (name == "lexleq") {
+      if (k != 2) return Err("lexleq takes exactly two paths");
+      rel = LexLeqRelation(alphabet_);
+    } else if (name == "universal") {
+      rel = UniversalRelation(alphabet_, k);
+    } else {
+      return Err("unknown relation '" + name + "'");
+    }
+    if (!rel.ok()) return rel.status();
+    relation =
+        std::make_shared<const SyncRelation>(std::move(rel).ValueOrDie());
+    builder_.Relate(std::move(relation), paths, display);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  EcrpqBuilder builder_;
+  Alphabet alphabet_;
+  const RelationRegistry* custom_;
+};
+
+}  // namespace
+
+Result<EcrpqQuery> ParseEcrpq(std::string_view text, const Alphabet& alphabet,
+                              const RelationRegistry* custom) {
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Token> tokens, Lexer(text).Lex());
+  return Parser(std::move(tokens), alphabet, custom).Parse();
+}
+
+Result<UecrpqQuery> ParseUecrpq(std::string_view text,
+                                const Alphabet& alphabet,
+                                const RelationRegistry* custom) {
+  UecrpqQuery out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t split = text.find(';', start);
+    const std::string_view piece =
+        text.substr(start, split == std::string_view::npos
+                               ? std::string_view::npos
+                               : split - start);
+    ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery disjunct,
+                          ParseEcrpq(piece, alphabet, custom));
+    out.disjuncts.push_back(std::move(disjunct));
+    if (split == std::string_view::npos) break;
+    start = split + 1;
+  }
+  return out;
+}
+
+}  // namespace ecrpq

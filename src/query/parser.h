@@ -1,0 +1,54 @@
+// A concrete syntax for ECRPQ queries.
+//
+//   q(x, y) := x -[pi1]-> z, y -[pi2]-> z, eqlen(pi1, pi2)
+//
+// Atoms:
+//   reachability:  x -[pi]-> y          (pi a path variable)
+//                  x -[/a*b/]-> y       (CRPQ sugar: fresh variable + lang)
+//   relations:     eq(p1, ..., pk)      equality of all labels
+//                  eqlen(p1, ..., pk)   equal length
+//                  prefix(p1, p2)       label(p1) prefix of label(p2)
+//                  lexleq(p1, p2)       same length, lexicographically <=
+//                  universal(p1, ..., pk)
+//                  hamming(d, p1, p2)   Hamming distance <= d
+//                  edit(d, p1, p2)      Levenshtein distance <= d
+//                  lang(/regex/, p)     label(p) in the regular language
+//
+// The head lists free node variables; `q()` declares a Boolean query.
+// Regexes are compiled over the supplied alphabet; using a symbol the
+// alphabet does not know is an error.
+#ifndef ECRPQ_QUERY_PARSER_H_
+#define ECRPQ_QUERY_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+// Named user-supplied relations, usable as atoms by name:
+//   myrel(p1, p2)
+// Names must not collide with the builtins. Relations must share the
+// query's alphabet (checked by validation).
+using RelationRegistry =
+    std::map<std::string, std::shared_ptr<const SyncRelation>>;
+
+Result<EcrpqQuery> ParseEcrpq(std::string_view text, const Alphabet& alphabet,
+                              const RelationRegistry* custom = nullptr);
+
+// A union of queries, disjuncts separated by ';':
+//   q(x) := x -[/a/]-> y ; q(x) := x -[/b/]-> y
+// All disjuncts must share the answer arity (checked by ValidateUnion at
+// evaluation time; the parser only splits and parses).
+Result<UecrpqQuery> ParseUecrpq(std::string_view text,
+                                const Alphabet& alphabet,
+                                const RelationRegistry* custom = nullptr);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_PARSER_H_

@@ -1,0 +1,161 @@
+#include "query/recognizable.h"
+
+#include <string>
+#include <utility>
+
+#include "automata/ops.h"
+#include "common/check.h"
+#include "query/builder.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr size_t kMaxDisjuncts = 10000;
+
+}  // namespace
+
+NodeVarId RecognizableQuery::NodeVar(std::string_view name) {
+  for (size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return static_cast<NodeVarId>(i);
+  }
+  node_names_.emplace_back(name);
+  return static_cast<NodeVarId>(node_names_.size() - 1);
+}
+
+PathVarId RecognizableQuery::PathVar(std::string_view name) {
+  for (size_t i = 0; i < path_names_.size(); ++i) {
+    if (path_names_[i] == name) return static_cast<PathVarId>(i);
+  }
+  path_names_.emplace_back(name);
+  return static_cast<PathVarId>(path_names_.size() - 1);
+}
+
+void RecognizableQuery::Reach(NodeVarId from, PathVarId path, NodeVarId to) {
+  reach_atoms_.push_back(ReachAtom{from, path, to});
+}
+
+void RecognizableQuery::Relate(
+    std::shared_ptr<const RecognizableRelation> relation,
+    std::vector<PathVarId> paths) {
+  relations_.push_back(std::move(relation));
+  rec_atoms_.push_back(
+      RecAtom{static_cast<uint32_t>(relations_.size() - 1),
+              std::move(paths)});
+}
+
+void RecognizableQuery::Free(std::vector<NodeVarId> free_vars) {
+  free_vars_ = std::move(free_vars);
+}
+
+Result<UecrpqQuery> RecognizableQuery::ToUcrpq() const {
+  // Count the disjuncts: the product of per-atom product counts. An atom
+  // with no products denotes the empty relation: the query is equivalent
+  // to a single unsatisfiable CRPQ.
+  size_t num_disjuncts = 1;
+  bool empty_atom = false;
+  for (const RecAtom& atom : rec_atoms_) {
+    const size_t count = relations_[atom.relation]->products().size();
+    if (count == 0) {
+      empty_atom = true;
+      break;
+    }
+    num_disjuncts *= count;
+    if (num_disjuncts > kMaxDisjuncts) {
+      return Status::CapacityExceeded(
+          "union expansion exceeds " + std::to_string(kMaxDisjuncts) +
+          " disjuncts");
+    }
+  }
+
+  UecrpqQuery out;
+  // Helper building one disjunct from a per-atom product choice.
+  auto build_disjunct =
+      [&](const std::vector<size_t>& choice,
+          bool force_empty) -> Result<EcrpqQuery> {
+    EcrpqBuilder builder(alphabet_);
+    for (const std::string& name : node_names_) builder.NodeVar(name);
+    for (const std::string& name : path_names_) builder.PathVar(name);
+    for (const ReachAtom& atom : reach_atoms_) {
+      builder.Reach(atom.from, atom.path, atom.to);
+    }
+    // Per path variable, intersect the languages imposed by the chosen
+    // products of the atoms mentioning it.
+    std::vector<std::optional<Nfa>> lang_of(path_names_.size());
+    if (force_empty && !path_names_.empty()) {
+      Nfa empty(1);
+      empty.SetInitial(0);  // No accepting state: the empty language.
+      lang_of[0] = std::move(empty);
+    } else if (!force_empty) {
+      for (size_t a = 0; a < rec_atoms_.size(); ++a) {
+        const RecAtom& atom = rec_atoms_[a];
+        const RecognizableRelation::Product& product =
+            relations_[atom.relation]->products()[choice[a]];
+        for (size_t i = 0; i < atom.paths.size(); ++i) {
+          const PathVarId p = atom.paths[i];
+          if (!lang_of[p].has_value()) {
+            lang_of[p] = product.languages[i];
+          } else {
+            lang_of[p] = Intersect(*lang_of[p], product.languages[i]);
+          }
+        }
+      }
+    }
+    for (size_t p = 0; p < path_names_.size(); ++p) {
+      if (!lang_of[p].has_value()) continue;
+      ECRPQ_ASSIGN_OR_RAISE(SyncRelation unary,
+                            FromLanguage(alphabet_, *lang_of[p]));
+      builder.Relate(std::make_shared<const SyncRelation>(std::move(unary)),
+                     {static_cast<PathVarId>(p)}, "lang");
+    }
+    builder.Free(free_vars_);
+    return builder.Build();
+  };
+
+  if (empty_atom) {
+    ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery disjunct, build_disjunct({}, true));
+    out.disjuncts.push_back(std::move(disjunct));
+    return out;
+  }
+
+  std::vector<size_t> choice(rec_atoms_.size(), 0);
+  while (true) {
+    ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery disjunct, build_disjunct(choice, false));
+    ECRPQ_DCHECK(disjunct.IsCrpq());
+    out.disjuncts.push_back(std::move(disjunct));
+    // Mixed-radix increment.
+    size_t a = 0;
+    for (; a < rec_atoms_.size(); ++a) {
+      if (++choice[a] < relations_[rec_atoms_[a].relation]->products().size()) {
+        break;
+      }
+      choice[a] = 0;
+    }
+    if (a == rec_atoms_.size()) break;
+  }
+  if (out.disjuncts.empty()) {
+    // No relation atoms at all: the query itself is a CRPQ.
+    ECRPQ_ASSIGN_OR_RAISE(EcrpqQuery disjunct, build_disjunct({}, false));
+    out.disjuncts.push_back(std::move(disjunct));
+  }
+  return out;
+}
+
+Result<EcrpqQuery> RecognizableQuery::ToEcrpq() const {
+  EcrpqBuilder builder(alphabet_);
+  for (const std::string& name : node_names_) builder.NodeVar(name);
+  for (const std::string& name : path_names_) builder.PathVar(name);
+  for (const ReachAtom& atom : reach_atoms_) {
+    builder.Reach(atom.from, atom.path, atom.to);
+  }
+  for (const RecAtom& atom : rec_atoms_) {
+    ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel,
+                          relations_[atom.relation]->ToSynchronous());
+    builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                   atom.paths, "rec");
+  }
+  builder.Free(free_vars_);
+  return builder.Build();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,65 @@
+// CRPQ + Recognizable: the fragment whose relation atoms are recognizable
+// relations. As the paper recalls (§1), every CRPQ+Recognizable query is
+// equivalent to a finite union of CRPQs: distribute each atom's products
+// and fold the resulting per-path languages into single unary constraints.
+//
+// This module provides the query type and both translations:
+//  * ToUcrpq()  — the union-of-CRPQs normal form (each disjunct a CRPQ);
+//  * ToEcrpq()  — a single ECRPQ via the synchronous embedding (for
+//                 differential testing and engine comparison).
+#ifndef ECRPQ_QUERY_RECOGNIZABLE_H_
+#define ECRPQ_QUERY_RECOGNIZABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "synchro/recognizable.h"
+
+namespace ecrpq {
+
+class RecognizableQuery {
+ public:
+  struct RecAtom {
+    uint32_t relation;  // Index into relations().
+    std::vector<PathVarId> paths;
+  };
+
+  // Builder-style construction mirroring EcrpqBuilder's essentials.
+  explicit RecognizableQuery(Alphabet alphabet)
+      : alphabet_(std::move(alphabet)) {}
+
+  NodeVarId NodeVar(std::string_view name);
+  PathVarId PathVar(std::string_view name);
+  void Reach(NodeVarId from, PathVarId path, NodeVarId to);
+  void Relate(std::shared_ptr<const RecognizableRelation> relation,
+              std::vector<PathVarId> paths);
+  void Free(std::vector<NodeVarId> free_vars);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int NumNodeVars() const { return static_cast<int>(node_names_.size()); }
+  int NumPathVars() const { return static_cast<int>(path_names_.size()); }
+
+  // Union-of-CRPQs expansion. The number of disjuncts is the product of
+  // the atoms' product counts (exponential in the query, as the known
+  // non-elementary succinctness gap allows); per-path languages from
+  // several atoms are intersected so every disjunct is a genuine CRPQ.
+  Result<UecrpqQuery> ToUcrpq() const;
+
+  // Single-ECRPQ form through RecognizableRelation::ToSynchronous.
+  Result<EcrpqQuery> ToEcrpq() const;
+
+ private:
+  Alphabet alphabet_;
+  std::vector<std::string> node_names_;
+  std::vector<std::string> path_names_;
+  std::vector<NodeVarId> free_vars_;
+  std::vector<ReachAtom> reach_atoms_;
+  std::vector<std::shared_ptr<const RecognizableRelation>> relations_;
+  std::vector<RecAtom> rec_atoms_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_RECOGNIZABLE_H_

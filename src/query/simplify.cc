@@ -1,0 +1,100 @@
+#include "query/simplify.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "query/builder.h"
+#include "query/validate.h"
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+// Conservative universality test: may return false negatives above the
+// arity cap, never false positives.
+Result<bool> IsUniversal(const SyncRelation& rel, int max_arity) {
+  if (rel.arity() > max_arity) return false;
+  ECRPQ_ASSIGN_OR_RAISE(SyncRelation universal,
+                        UniversalRelation(rel.alphabet(), rel.arity()));
+  return RelationIncluded(universal, rel);
+}
+
+}  // namespace
+
+Result<EcrpqQuery> SimplifyQuery(const EcrpqQuery& query,
+                                 const SimplifyOptions& options,
+                                 SimplifyStats* stats) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  SimplifyStats local;
+
+  // Pass 1: keep only non-universal atoms; collect unary atoms per path
+  // variable for merging.
+  std::map<PathVarId, std::optional<SyncRelation>> unary_of;
+  struct KeptAtom {
+    SyncRelation relation;
+    std::vector<PathVarId> paths;
+    std::string display;
+  };
+  std::vector<KeptAtom> kept;
+
+  for (const RelAtom& atom : query.rel_atoms()) {
+    const SyncRelation& rel = query.relation(atom.relation);
+    local.relation_states_before += rel.nfa().NumStates();
+    ECRPQ_ASSIGN_OR_RAISE(bool universal,
+                          IsUniversal(rel, options.max_universality_arity));
+    if (universal) {
+      ++local.dropped_universal_atoms;
+      continue;
+    }
+    if (rel.arity() == 1) {
+      auto& slot = unary_of[atom.paths[0]];
+      if (!slot.has_value()) {
+        slot = rel;
+      } else {
+        ++local.merged_unary_atoms;
+        ECRPQ_ASSIGN_OR_RAISE(slot, Intersect(*slot, rel));
+      }
+      continue;
+    }
+    kept.push_back(KeptAtom{
+        rel, atom.paths,
+        query.relation_display_names()[atom.relation]});
+  }
+
+  // Rebuild.
+  EcrpqBuilder builder(query.alphabet());
+  for (int v = 0; v < query.NumNodeVars(); ++v) {
+    builder.NodeVar(query.NodeVarName(v));
+  }
+  for (int p = 0; p < query.NumPathVars(); ++p) {
+    builder.PathVar(query.PathVarName(p));
+  }
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    builder.Reach(atom.from, atom.path, atom.to);
+  }
+  auto emit = [&](SyncRelation rel, const std::vector<PathVarId>& paths,
+                  const std::string& display) -> Status {
+    if (options.reduce_relations) {
+      ECRPQ_ASSIGN_OR_RAISE(rel, ReduceRelation(rel));
+    }
+    local.relation_states_after += rel.nfa().NumStates();
+    builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                   paths, display);
+    return Status::OK();
+  };
+  for (auto& [path, merged] : unary_of) {
+    ECRPQ_RETURN_NOT_OK(emit(std::move(*merged), {path}, "lang"));
+  }
+  for (KeptAtom& atom : kept) {
+    ECRPQ_RETURN_NOT_OK(
+        emit(std::move(atom.relation), atom.paths, atom.display));
+  }
+  builder.Free(query.free_vars());
+  if (stats != nullptr) *stats = local;
+  return builder.Build();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,43 @@
+// Static query simplification — semantics-preserving rewrites that can
+// *improve the query's regime* under the paper's characterization:
+//
+//  1. drop relation atoms that are universal (they constrain nothing but
+//     inflate cc_vertex / cc_hedge — a universal binary atom can glue two
+//     otherwise-independent components into one);
+//  2. merge all unary (language) atoms on the same path variable into one
+//     intersection atom (cc_hedge shrinks; a query that was formally not a
+//     CRPQ because a path variable carried two language atoms becomes
+//     one);
+//  3. drop unary atoms whose language is A* (same as 1);
+//  4. quotient every remaining relation NFA by simulation equivalence
+//     (smaller machines for the product constructions downstream).
+//
+// Universality checks are only attempted up to `max_universality_arity`
+// (they cost a letter-universe enumeration).
+#ifndef ECRPQ_QUERY_SIMPLIFY_H_
+#define ECRPQ_QUERY_SIMPLIFY_H_
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+struct SimplifyOptions {
+  int max_universality_arity = 3;
+  bool reduce_relations = true;
+};
+
+struct SimplifyStats {
+  int dropped_universal_atoms = 0;
+  int merged_unary_atoms = 0;
+  int relation_states_before = 0;
+  int relation_states_after = 0;
+};
+
+Result<EcrpqQuery> SimplifyQuery(const EcrpqQuery& query,
+                                 const SimplifyOptions& options = {},
+                                 SimplifyStats* stats = nullptr);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_SIMPLIFY_H_

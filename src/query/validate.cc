@@ -1,0 +1,68 @@
+#include "query/validate.h"
+
+#include <string>
+#include <vector>
+
+namespace ecrpq {
+
+Status ValidateQuery(const EcrpqQuery& query) {
+  const int num_nodes = query.NumNodeVars();
+  const int num_paths = query.NumPathVars();
+
+  std::vector<int> path_uses(num_paths, 0);
+  for (const ReachAtom& atom : query.reach_atoms()) {
+    if (atom.from >= static_cast<NodeVarId>(num_nodes) ||
+        atom.to >= static_cast<NodeVarId>(num_nodes)) {
+      return Status::Invalid("reachability atom uses unknown node variable");
+    }
+    if (atom.path >= static_cast<PathVarId>(num_paths)) {
+      return Status::Invalid("reachability atom uses unknown path variable");
+    }
+    ++path_uses[atom.path];
+  }
+  for (int p = 0; p < num_paths; ++p) {
+    if (path_uses[p] != 1) {
+      return Status::Invalid(
+          "path variable '" + query.PathVarName(p) + "' appears in " +
+          std::to_string(path_uses[p]) +
+          " reachability atoms; exactly one required");
+    }
+  }
+
+  for (const RelAtom& atom : query.rel_atoms()) {
+    if (atom.relation >= query.relations().size()) {
+      return Status::Invalid("relation atom references unknown relation");
+    }
+    const SyncRelation& rel = query.relation(atom.relation);
+    if (static_cast<int>(atom.paths.size()) != rel.arity()) {
+      return Status::Invalid(
+          "relation atom width " + std::to_string(atom.paths.size()) +
+          " does not match relation arity " + std::to_string(rel.arity()));
+    }
+    for (size_t i = 0; i < atom.paths.size(); ++i) {
+      if (atom.paths[i] >= static_cast<PathVarId>(num_paths)) {
+        return Status::Invalid("relation atom uses unknown path variable");
+      }
+      for (size_t j = i + 1; j < atom.paths.size(); ++j) {
+        if (atom.paths[i] == atom.paths[j]) {
+          return Status::Invalid(
+              "relation atom uses path variable '" +
+              query.PathVarName(atom.paths[i]) +
+              "' twice; path variables are pairwise distinct per atom");
+        }
+      }
+    }
+    if (!(rel.alphabet() == query.alphabet())) {
+      return Status::Invalid("relation alphabet differs from query alphabet");
+    }
+  }
+
+  for (NodeVarId v : query.free_vars()) {
+    if (v >= static_cast<NodeVarId>(num_nodes)) {
+      return Status::Invalid("free variable is not a node variable");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecrpq

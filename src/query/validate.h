@@ -1,0 +1,22 @@
+// Structural validation of ECRPQ queries (the well-formedness conditions of
+// paper §2).
+#ifndef ECRPQ_QUERY_VALIDATE_H_
+#define ECRPQ_QUERY_VALIDATE_H_
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+// Checks:
+//  - every path variable appears in exactly one reachability atom;
+//  - relation atoms use pairwise-distinct path variables;
+//  - relation arities match atom widths;
+//  - all relations share the query's alphabet;
+//  - free variables are declared node variables;
+//  - variable ids are in range.
+Status ValidateQuery(const EcrpqQuery& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_VALIDATE_H_

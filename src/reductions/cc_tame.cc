@@ -1,0 +1,56 @@
+#include "reductions/cc_tame.h"
+
+#include <string>
+
+#include "structure/derived.h"
+
+namespace ecrpq {
+
+Result<BigComponentWitness> FindBigComponentWitness(
+    const ShapeGenerator& generator, int n) {
+  if (n < 1) return Status::Invalid("n must be >= 1");
+  // As in the paper: query f at n + (n-1)². If neither witness existed,
+  // every component would have <= n-1 vertices and every vertex <= n-1
+  // incident hyperedges, bounding cc_vertex + cc_hedge by (n-1) + (n-1)² —
+  // contradicting the generator's contract.
+  const int k = n + (n - 1) * (n - 1);
+  BigComponentWitness witness;
+  witness.shape = generator(k);
+  ECRPQ_RETURN_NOT_OK(witness.shape.Validate());
+
+  const std::vector<RelComponent> components = RelComponents(witness.shape);
+  // Case (i): a component with >= n vertices.
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (static_cast<int>(components[c].edges.size()) >= n) {
+      witness.component_index = static_cast<int>(c);
+      witness.by_vertices = true;
+      return witness;
+    }
+  }
+  // Case (ii): a vertex (first-level edge) incident to >= n hyperedges.
+  std::vector<int> incidence(witness.shape.NumEdges(), 0);
+  for (const auto& h : witness.shape.hyperedges) {
+    for (int e : h) ++incidence[e];
+  }
+  for (int e = 0; e < witness.shape.NumEdges(); ++e) {
+    if (incidence[e] >= n) {
+      // Locate the component containing e.
+      for (size_t c = 0; c < components.size(); ++c) {
+        for (int member : components[c].edges) {
+          if (member == e) {
+            witness.component_index = static_cast<int>(c);
+            witness.by_vertices = false;
+            return witness;
+          }
+        }
+      }
+    }
+  }
+  return Status::Internal(
+      "generator violates cc-tameness: f(" + std::to_string(k) +
+      ") has neither a component with " + std::to_string(n) +
+      " vertices nor a vertex with " + std::to_string(n) +
+      " incident hyperedges");
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,39 @@
+// Lemma A.1 (appendix): for a cc-tame class C with cc_vertex + cc_hedge
+// unbounded, one can *compute* an element whose G^rel has a component with
+// n vertices or a vertex incident to n hyperedges. cc-tameness hands us a
+// polynomial-time generator f with cc_vertex(f(k)) + cc_hedge(f(k)) >= k;
+// querying f(n + (n-1)²) and inspecting components does the rest.
+//
+// This is the glue between the abstract classes of the characterization and
+// the concrete witness shapes the Lemma 5.1 / 5.4 reductions consume.
+#ifndef ECRPQ_REDUCTIONS_CC_TAME_H_
+#define ECRPQ_REDUCTIONS_CC_TAME_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+// The computable generator of a cc-tame class: f(k) must satisfy
+// cc_vertex(f(k)) + cc_hedge(f(k)) >= k.
+using ShapeGenerator = std::function<TwoLevelGraph(int)>;
+
+struct BigComponentWitness {
+  TwoLevelGraph shape;
+  // Index into RelComponents(shape) of the big component.
+  int component_index = -1;
+  // True: the component has >= n vertices (Lemma 5.1 case 1).
+  // False: some vertex is incident to >= n hyperedges (case 2).
+  bool by_vertices = false;
+};
+
+// Implements the Lemma A.1 argument. Errors (Internal) if the generator
+// violates the cc-tameness contract.
+Result<BigComponentWitness> FindBigComponentWitness(
+    const ShapeGenerator& generator, int n);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_REDUCTIONS_CC_TAME_H_

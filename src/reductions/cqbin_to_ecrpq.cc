@@ -1,0 +1,162 @@
+#include "reductions/cqbin_to_ecrpq.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "query/builder.h"
+#include "structure/derived.h"
+#include "synchro/tape_pack.h"
+
+namespace ecrpq {
+namespace {
+
+int BitsFor(uint32_t n) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Result<CqBinReduction> CqBinToEcrpq(
+    const TwoLevelGraph& shape, const RelationalDb& rdb,
+    const std::vector<std::pair<std::string, std::string>>& edge_relations) {
+  ECRPQ_RETURN_NOT_OK(shape.Validate());
+  if (static_cast<int>(edge_relations.size()) != shape.NumEdges()) {
+    return Status::Invalid("need one (R, R') relation pair per shape edge");
+  }
+  for (const auto& [r, rp] : edge_relations) {
+    for (const std::string& name : {r, rp}) {
+      if (name == "0" || name == "1") {
+        return Status::Invalid(
+            "relation names '0' and '1' are reserved for id-cycle labels");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(const Relation* rel, rdb.Require(name));
+      if (rel->arity() != 2) {
+        return Status::Invalid("relation " + name + " is not binary");
+      }
+    }
+  }
+  const uint32_t n = rdb.domain_size();
+  if (n == 0) return Status::Invalid("empty domain");
+  const int bits = BitsFor(n);
+
+  // Alphabet: one symbol per distinct relation name, plus the id bits.
+  Alphabet alphabet;
+  std::map<std::string, Symbol> sym_of;
+  for (const auto& [r, rp] : edge_relations) {
+    for (const std::string& name : {r, rp}) {
+      sym_of.emplace(name, alphabet.Intern(name));
+    }
+  }
+  const Symbol bit_sym[2] = {alphabet.Intern("0"), alphabet.Intern("1")};
+
+  CqBinReduction out{EcrpqQuery{}, GraphDb(alphabet), CqQuery{}};
+
+  // --- D̂: domain vertices, relation edges, binary-id cycles. ---
+  out.db.AddVertices(static_cast<int>(n));
+  std::map<std::string, bool> emitted;
+  for (const auto& [r, rp] : edge_relations) {
+    for (const std::string& name : {r, rp}) {
+      if (emitted[name]) continue;
+      emitted[name] = true;
+      const Relation* rel = rdb.Find(name);
+      for (size_t row = 0; row < rel->NumTuples(); ++row) {
+        const auto tuple = rel->Tuple(row);
+        if (tuple[0] >= n || tuple[1] >= n) {
+          return Status::Invalid("tuple value outside domain");
+        }
+        out.db.AddEdge(tuple[0], sym_of.at(name), tuple[1]);
+      }
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    // Simple cycle spelling the `bits`-bit binary id of i, MSB first.
+    VertexId prev = i;
+    for (int b = 0; b < bits; ++b) {
+      const int bit = (i >> (bits - 1 - b)) & 1;
+      const VertexId next =
+          (b == bits - 1) ? static_cast<VertexId>(i) : out.db.AddVertex();
+      out.db.AddEdge(prev, bit_sym[bit], next);
+      prev = next;
+    }
+  }
+
+  // --- q_G with abstraction `shape`. ---
+  const std::vector<RelComponent> components = RelComponents(shape);
+  EcrpqBuilder builder(alphabet);
+  for (int v = 0; v < shape.num_vertices; ++v) {
+    builder.NodeVar("x" + std::to_string(v));
+  }
+  std::vector<PathVarId> path_of(shape.NumEdges());
+  for (int e = 0; e < shape.NumEdges(); ++e) {
+    path_of[e] = builder.PathVar("p" + std::to_string(e));
+    builder.Reach(static_cast<NodeVarId>(shape.first_edges[e].first),
+                  path_of[e],
+                  static_cast<NodeVarId>(shape.first_edges[e].second));
+  }
+  for (const RelComponent& comp : components) {
+    std::vector<int> members(comp.edges);
+    std::sort(members.begin(), members.end());
+    const int k = static_cast<int>(members.size());
+    ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                          TapePack::Create(k, alphabet.size()));
+    // States: 0 --(R_e per tape)--> 1 --bits (shared)--> ... --> bits+1
+    // --(R'_e per tape)--> bits+2 (accepting).
+    Nfa nfa(bits + 3);
+    nfa.SetInitial(0);
+    nfa.SetAccepting(bits + 2);
+    std::vector<TapeLetter> column(k);
+    for (int t = 0; t < k; ++t) {
+      column[t] =
+          static_cast<TapeLetter>(sym_of.at(edge_relations[members[t]].first));
+    }
+    nfa.AddTransition(0, pack.Pack(column), 1);
+    for (int b = 0; b < 2; ++b) {
+      std::fill(column.begin(), column.end(),
+                static_cast<TapeLetter>(bit_sym[b]));
+      const Label l = pack.Pack(column);
+      for (int j = 1; j <= bits; ++j) nfa.AddTransition(j, l, j + 1);
+    }
+    for (int t = 0; t < k; ++t) {
+      column[t] = static_cast<TapeLetter>(
+          sym_of.at(edge_relations[members[t]].second));
+    }
+    nfa.AddTransition(bits + 1, pack.Pack(column), bits + 2);
+    ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel,
+                          SyncRelation::Create(alphabet, k, std::move(nfa)));
+    std::vector<PathVarId> paths;
+    for (int e : members) paths.push_back(path_of[e]);
+    builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                   paths, "pivot");
+  }
+  ECRPQ_ASSIGN_OR_RAISE(out.query, builder.Build());
+
+  // --- The source CQ_bin query (for differential validation). ---
+  out.cq.num_vars = shape.num_vertices + static_cast<int>(components.size());
+  for (int v = 0; v < shape.num_vertices; ++v) {
+    out.cq.var_names.push_back("x" + std::to_string(v));
+  }
+  std::vector<int> component_of_edge(shape.NumEdges(), -1);
+  for (size_t c = 0; c < components.size(); ++c) {
+    out.cq.var_names.push_back("y" + std::to_string(c));
+    for (int e : components[c].edges) {
+      component_of_edge[e] = static_cast<int>(c);
+    }
+  }
+  for (int e = 0; e < shape.NumEdges(); ++e) {
+    const CqVarId yc = static_cast<CqVarId>(shape.num_vertices +
+                                            component_of_edge[e]);
+    out.cq.atoms.push_back(
+        CqAtom{edge_relations[e].first,
+               {static_cast<CqVarId>(shape.first_edges[e].first), yc}});
+    out.cq.atoms.push_back(
+        CqAtom{edge_relations[e].second,
+               {yc, static_cast<CqVarId>(shape.first_edges[e].second)}});
+  }
+  return out;
+}
+
+}  // namespace ecrpq

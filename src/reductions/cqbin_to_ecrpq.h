@@ -1,0 +1,46 @@
+// Lemma 5.3: p-eval-CQ_bin(C_collapse) FPT-reduces to p-eval-ECRPQ(C).
+//
+// Input: a 2L graph `shape` (the element G of C), a relational database of
+// binary relations, and, per first-level edge e = {v, v'} of the shape, a
+// pair of relation names (R_e, R'_e). The corresponding CQ_bin query is
+//     ⋀_e  R_e(x_v, y_{c_e}) ∧ R'_e(y_{c_e}, x_{v'})
+// whose multigraph is exactly shape_collapse (component variables y_c).
+//
+// Output: an ECRPQ q_G with abstraction `shape` and an expanded graph
+// database D̂ with (i) a forward edge a -R-> b and backward edge b -R⁻¹-> a
+// per database tuple, and (ii) a {0,1}-labelled simple cycle of length
+// n' = max(1, ceil(log2 |dom|)) at every domain vertex spelling its binary
+// id. The relation of component c forces every tape (path variable of c) to
+// read  R_e · w · R'_e  with one shared w ∈ {0,1}^{n'} — so all paths of a
+// component pivot through the same middle vertex, which plays y_c.
+// Then D̂ ⊨ q_G iff the relational database satisfies the CQ.
+#ifndef ECRPQ_REDUCTIONS_CQBIN_TO_ECRPQ_H_
+#define ECRPQ_REDUCTIONS_CQBIN_TO_ECRPQ_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/cq.h"
+#include "cq/relational_db.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+struct CqBinReduction {
+  EcrpqQuery query;  // q_G, abstraction = shape.
+  GraphDb db;        // D̂.
+  CqQuery cq;        // The source CQ_bin query (vars: V then components).
+};
+
+// `edge_relations[e] = (R_e, R'_e)` names binary relations of `rdb`.
+Result<CqBinReduction> CqBinToEcrpq(
+    const TwoLevelGraph& shape, const RelationalDb& rdb,
+    const std::vector<std::pair<std::string, std::string>>& edge_relations);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_REDUCTIONS_CQBIN_TO_ECRPQ_H_

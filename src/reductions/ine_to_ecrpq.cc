@@ -1,0 +1,277 @@
+#include "reductions/ine_to_ecrpq.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "automata/ops.h"
+#include "common/check.h"
+#include "query/builder.h"
+#include "structure/derived.h"
+#include "synchro/builders.h"
+#include "synchro/tape_pack.h"
+
+namespace ecrpq {
+namespace {
+
+// Universal word automaton over base symbols 0..|A|-1 (the A* dummy).
+Nfa UniversalLanguage(int alphabet_size) {
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  for (int a = 0; a < alphabet_size; ++a) {
+    nfa.AddTransition(0, static_cast<Label>(a), 0);
+  }
+  return nfa;
+}
+
+// The pattern relation of case 1: tapes t = 1..k carry $ # u #^{num_t} $
+// with a shared u ∈ A*. Built over the extended alphabet B = A ∪ {$, #}.
+Result<SyncRelation> PatternRelation(const Alphabet& ext_alphabet,
+                                     int base_size,
+                                     const std::vector<int>& numbers) {
+  const int k = static_cast<int>(numbers.size());
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(k, ext_alphabet.size()));
+  const TapeLetter dollar = static_cast<TapeLetter>(base_size);
+  const TapeLetter hash = static_cast<TapeLetter>(base_size + 1);
+  const int max_num = *std::max_element(numbers.begin(), numbers.end());
+
+  // States: 0 = start, 1 = after the opening ($..$), 2 = running u (after
+  // the opening (#..#)), 3 + j = after suffix column j (j = 1..max_num+1).
+  Nfa nfa(3 + max_num + 1);
+  nfa.SetInitial(0);
+  std::vector<TapeLetter> column(k);
+
+  std::fill(column.begin(), column.end(), dollar);
+  nfa.AddTransition(0, pack.Pack(column), 1);
+  std::fill(column.begin(), column.end(), hash);
+  nfa.AddTransition(1, pack.Pack(column), 2);
+  for (int a = 0; a < base_size; ++a) {
+    std::fill(column.begin(), column.end(), static_cast<TapeLetter>(a));
+    nfa.AddTransition(2, pack.Pack(column), 2);
+  }
+  for (int j = 1; j <= max_num + 1; ++j) {
+    for (int t = 0; t < k; ++t) {
+      if (j <= numbers[t]) {
+        column[t] = hash;
+      } else if (j == numbers[t] + 1) {
+        column[t] = dollar;
+      } else {
+        column[t] = kBlank;
+      }
+    }
+    // Suffix chain: state 2+(j-1) --C_j--> 2+j (state 2 is the u-running
+    // state; state 2+j means "after suffix column j").
+    nfa.AddTransition(2 + (j - 1), pack.Pack(column), 2 + j);
+  }
+  nfa.SetAccepting(2 + max_num + 1);
+  return SyncRelation::Create(ext_alphabet, k, std::move(nfa));
+}
+
+}  // namespace
+
+TwoLevelGraph IneWitnessShapeCase1(int n) {
+  TwoLevelGraph g;
+  g.num_vertices = 1;
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) {
+    g.first_edges.push_back({0, 0});
+    all.push_back(i);
+  }
+  g.hyperedges.push_back(all);
+  return g;
+}
+
+TwoLevelGraph IneWitnessShapeChain(int n) {
+  TwoLevelGraph g;
+  g.num_vertices = n + 1;
+  for (int i = 0; i < n; ++i) g.first_edges.push_back({i, i + 1});
+  if (n == 1) {
+    g.hyperedges.push_back({0});
+  }
+  for (int i = 0; i + 1 < n; ++i) g.hyperedges.push_back({i, i + 1});
+  return g;
+}
+
+TwoLevelGraph IneWitnessShapeCase2(int n) {
+  TwoLevelGraph g;
+  g.num_vertices = 2;
+  g.first_edges.push_back({0, 1});
+  for (int i = 0; i < n; ++i) g.hyperedges.push_back({0});
+  return g;
+}
+
+Result<IneReduction> IneToEcrpq(const IneInstance& ine,
+                                const TwoLevelGraph& shape) {
+  ECRPQ_RETURN_NOT_OK(shape.Validate());
+  const int n = static_cast<int>(ine.languages.size());
+  if (n == 0) return Status::Invalid("need at least one language");
+  const int base_size = ine.alphabet.size();
+
+  // Extended alphabet B = A ∪ {$, #}.
+  Alphabet ext = ine.alphabet;
+  const Symbol dollar = ext.Intern("$");
+  const Symbol hash = ext.Intern("#");
+
+  // Case analysis on the shape.
+  const std::vector<RelComponent> components = RelComponents(shape);
+  std::vector<bool> covered(shape.NumEdges(), false);
+  std::vector<int> incidence(shape.NumEdges(), 0);
+  for (const auto& h : shape.hyperedges) {
+    for (int e : h) {
+      covered[e] = true;
+      ++incidence[e];
+    }
+  }
+  int case1_component = -1;
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (static_cast<int>(components[c].edges.size()) < n) continue;
+    bool all_covered = true;
+    for (int e : components[c].edges) all_covered = all_covered && covered[e];
+    if (all_covered) {
+      case1_component = static_cast<int>(c);
+      break;
+    }
+  }
+  int case2_edge = -1;
+  for (int e = 0; e < shape.NumEdges(); ++e) {
+    if (incidence[e] >= n) {
+      case2_edge = e;
+      break;
+    }
+  }
+  if (case1_component < 0 && case2_edge < 0) {
+    return Status::Invalid(
+        "shape witnesses neither a component with >= n covered vertices nor "
+        "a vertex with >= n incident hyperedges");
+  }
+
+  // ε-free languages.
+  std::vector<Nfa> langs;
+  langs.reserve(ine.languages.size());
+  for (const Nfa& lang : ine.languages) langs.push_back(RemoveEpsilon(lang));
+
+  IneReduction out{EcrpqQuery{}, GraphDb(ext), 0};
+  EcrpqBuilder builder(ext);
+  for (int v = 0; v < shape.num_vertices; ++v) {
+    builder.NodeVar("x" + std::to_string(v));
+  }
+  std::vector<PathVarId> path_of(shape.NumEdges());
+  for (int e = 0; e < shape.NumEdges(); ++e) {
+    path_of[e] = builder.PathVar("p" + std::to_string(e));
+    builder.Reach(static_cast<NodeVarId>(shape.first_edges[e].first),
+                  path_of[e],
+                  static_cast<NodeVarId>(shape.first_edges[e].second));
+  }
+
+  if (case1_component >= 0) {
+    out.case_used = 1;
+    const RelComponent& comp = components[case1_component];
+    const int m = static_cast<int>(comp.edges.size());
+    // Pad languages up to m with A* dummies.
+    while (static_cast<int>(langs.size()) < m) {
+      langs.push_back(UniversalLanguage(base_size));
+    }
+    // Number component vertices 1..m (edges are sorted by id).
+    std::map<int, int> number_of;
+    for (int i = 0; i < m; ++i) number_of[comp.edges[i]] = i + 1;
+
+    // Relations: the pattern relation on component hyperedges, universal
+    // elsewhere.
+    std::vector<bool> in_component(shape.NumHyperedges(), false);
+    for (int h : comp.hyperedges) in_component[h] = true;
+    for (int h = 0; h < shape.NumHyperedges(); ++h) {
+      std::vector<int> members = shape.hyperedges[h];
+      std::sort(members.begin(), members.end());
+      std::vector<PathVarId> paths;
+      for (int e : members) paths.push_back(path_of[e]);
+      if (in_component[h]) {
+        std::vector<int> numbers;
+        for (int e : members) numbers.push_back(number_of.at(e));
+        ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel,
+                              PatternRelation(ext, base_size, numbers));
+        builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                       paths, "ine-pattern");
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(
+            SyncRelation rel,
+            UniversalRelation(ext, static_cast<int>(members.size())));
+        builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                       paths, "universal");
+      }
+    }
+
+    // Database: shared vertex v plus one gadget per language.
+    const VertexId v = out.db.AddVertex();
+    for (int i = 1; i <= m; ++i) {
+      const Nfa& lang = langs[i - 1];
+      const VertexId entry = out.db.AddVertex();
+      out.db.AddEdge(v, dollar, entry);
+      const VertexId offset = static_cast<VertexId>(out.db.NumVertices());
+      out.db.AddVertices(lang.NumStates());
+      for (StateId s : lang.initial()) {
+        out.db.AddEdge(entry, hash, offset + s);
+      }
+      for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+        for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+          ECRPQ_CHECK(t.label != kEpsilon);
+          out.db.AddEdge(offset + s, static_cast<Symbol>(t.label),
+                         offset + t.to);
+        }
+        if (lang.IsAccepting(s)) {
+          // Return chain: i hash edges, then $ back to v.
+          VertexId prev = offset + s;
+          for (int j = 0; j < i; ++j) {
+            const VertexId z = out.db.AddVertex();
+            out.db.AddEdge(prev, hash, z);
+            prev = z;
+          }
+          out.db.AddEdge(prev, dollar, v);
+        }
+      }
+    }
+  } else {
+    out.case_used = 2;
+    // Case 2: the chosen edge is incident to >= n hyperedges; lift L_i onto
+    // its tape in the i-th of them, universal elsewhere.
+    int used = 0;
+    for (int h = 0; h < shape.NumHyperedges(); ++h) {
+      std::vector<int> members = shape.hyperedges[h];
+      std::sort(members.begin(), members.end());
+      std::vector<PathVarId> paths;
+      int tape_of_edge = -1;
+      for (size_t i = 0; i < members.size(); ++i) {
+        paths.push_back(path_of[members[i]]);
+        if (members[i] == case2_edge) tape_of_edge = static_cast<int>(i);
+      }
+      if (tape_of_edge >= 0 && used < n) {
+        ECRPQ_ASSIGN_OR_RAISE(
+            SyncRelation rel,
+            LanguageLift(ext, langs[used],
+                         static_cast<int>(members.size()), tape_of_edge));
+        builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                       paths, "ine-lift");
+        ++used;
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(
+            SyncRelation rel,
+            UniversalRelation(ext, static_cast<int>(members.size())));
+        builder.Relate(std::make_shared<const SyncRelation>(std::move(rel)),
+                       paths, "universal");
+      }
+    }
+    ECRPQ_CHECK_EQ(used, n);
+    // Database: one vertex with an a-self-loop per base symbol.
+    const VertexId v = out.db.AddVertex();
+    for (int a = 0; a < base_size; ++a) {
+      out.db.AddEdge(v, static_cast<Symbol>(a), v);
+    }
+  }
+
+  ECRPQ_ASSIGN_OR_RAISE(out.query, builder.Build());
+  return out;
+}
+
+}  // namespace ecrpq

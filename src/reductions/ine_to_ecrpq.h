@@ -1,0 +1,68 @@
+// Lemma 5.1: intersection non-emptiness (INE) ≤p eval-ECRPQ(C), for any
+// cc-tame class C with cc_vertex + cc_hedge unbounded.
+//
+// Given regular languages L_1, ..., L_n and a 2L graph `shape` (an element
+// of C witnessing a big connected component, cf. Lemma A.1), produces in
+// polynomial time an ECRPQ q with abstraction `shape` and a graph database
+// D such that D ⊨ q  iff  L_1 ∩ ... ∩ L_n ≠ ∅.
+//
+// Case 1 (component with m >= n vertices, all covered by hyperedges):
+//   alphabet B = A ∪ {$, #}; component path variable number i is forced to
+//   read  $ # u #^i $  with u shared across each relation atom — and, by
+//   connectivity of the component, across the whole component. The database
+//   is the union of gadgets D_i (one per language; the list is padded with
+//   A* dummies up to m): a shared vertex v with
+//     v -$-> e_i -#-> (initial of NFA_i),  NFA_i's transition graph,
+//     (each final) -#-> z_1 -#-> ... -#-> z_i -$-> v.
+//   Reading $ # u #^i $ forces a v→v traversal of gadget D_i with
+//   u ∈ L_i: v is the only vertex with $-successors followed by #, the
+//   trailing #-run length pins the gadget, and the final $ only enters v.
+//
+// Case 2 (some path variable incident to n hyperedges): each of those
+//   hyperedges' relations lifts L_i onto the shared variable's tape; the
+//   database is a single vertex with an a-self-loop per a ∈ A.
+#ifndef ECRPQ_REDUCTIONS_INE_TO_ECRPQ_H_
+#define ECRPQ_REDUCTIONS_INE_TO_ECRPQ_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+#include "graphdb/graph_db.h"
+#include "query/ast.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+struct IneInstance {
+  Alphabet alphabet;          // The base alphabet A.
+  std::vector<Nfa> languages; // Symbol-labelled NFAs.
+};
+
+struct IneReduction {
+  EcrpqQuery query;
+  GraphDb db;
+  int case_used = 0;  // 1 or 2.
+};
+
+// Automatically picks case 1 when `shape` has a component with >= n fully
+// hyperedge-covered G^rel vertices, else case 2 when some G^rel vertex is
+// incident to >= n hyperedges; errors otherwise (the shape does not witness
+// a big enough component — supply one via IneWitnessShape*).
+Result<IneReduction> IneToEcrpq(const IneInstance& ine,
+                                const TwoLevelGraph& shape);
+
+// Canonical witness shapes (the computable f of cc-tameness / Lemma A.1).
+// Case-1 witness: one node vertex, n self-loop edges, one n-ary hyperedge.
+TwoLevelGraph IneWitnessShapeCase1(int n);
+// Case-1 witness with binary hyperedges only: n edges chained by n-1
+// two-element hyperedges (bounded hyperedge size, unbounded cc_vertex).
+TwoLevelGraph IneWitnessShapeChain(int n);
+// Case-2 witness: one edge incident to n singleton hyperedges
+// (cc_vertex = 1, cc_hedge = n).
+TwoLevelGraph IneWitnessShapeCase2(int n);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_REDUCTIONS_INE_TO_ECRPQ_H_

@@ -1,0 +1,30 @@
+#include "reductions/pie_to_ecrpq.h"
+
+namespace ecrpq {
+namespace {
+
+IneInstance ToIne(const PieInstance& pie) {
+  IneInstance ine;
+  ine.alphabet = pie.alphabet;
+  ine.languages.reserve(pie.automata.size());
+  for (const Dfa& dfa : pie.automata) {
+    ine.languages.push_back(dfa.ToNfa());
+  }
+  return ine;
+}
+
+}  // namespace
+
+Result<IneReduction> PieToEcrpqBoundedHyperedges(const PieInstance& pie) {
+  if (pie.automata.empty()) return Status::Invalid("need >= 1 automaton");
+  const int k = static_cast<int>(pie.automata.size());
+  return IneToEcrpq(ToIne(pie), IneWitnessShapeChain(k));
+}
+
+Result<IneReduction> PieToEcrpqUnboundedHyperedge(const PieInstance& pie) {
+  if (pie.automata.empty()) return Status::Invalid("need >= 1 automaton");
+  const int k = static_cast<int>(pie.automata.size());
+  return IneToEcrpq(ToIne(pie), IneWitnessShapeCase1(k));
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,38 @@
+// Lemma 5.4: the parameterized intersection problem p-IE (XNL-complete)
+// FPT-reduces to p-eval-ECRPQ(C) whenever cc_vertex(C) = ∞.
+//
+// Both cases of the proof are instantiated through the Lemma 5.1 machinery
+// with canonical witness shapes:
+//  - case (a), bounded hyperedge sizes: a "long path" of k binary
+//    hyperedges chained by shared path variables (IneWitnessShapeChain);
+//  - case (b), unbounded hyperedge sizes: one k-ary hyperedge
+//    (IneWitnessShapeCase1).
+//
+// The FPT bound: the produced query's size depends only on k (pattern
+// relations have O(k) states and never embed the input automata — the
+// automata live in the database, whose size is linear in Σ|A_i|).
+#ifndef ECRPQ_REDUCTIONS_PIE_TO_ECRPQ_H_
+#define ECRPQ_REDUCTIONS_PIE_TO_ECRPQ_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/result.h"
+#include "reductions/ine_to_ecrpq.h"
+
+namespace ecrpq {
+
+struct PieInstance {
+  Alphabet alphabet;
+  std::vector<Dfa> automata;  // Labels must be symbol ids of `alphabet`.
+};
+
+// Case (a): bounded (binary) hyperedges, chained.
+Result<IneReduction> PieToEcrpqBoundedHyperedges(const PieInstance& pie);
+
+// Case (b): one hyperedge of size k.
+Result<IneReduction> PieToEcrpqUnboundedHyperedge(const PieInstance& pie);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_REDUCTIONS_PIE_TO_ECRPQ_H_

@@ -1,0 +1,103 @@
+#include "structure/derived.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+// Union-find over first-level edge indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<RelComponent> RelComponents(const TwoLevelGraph& g) {
+  UnionFind uf(g.NumEdges());
+  for (const auto& h : g.hyperedges) {
+    for (size_t i = 1; i < h.size(); ++i) uf.Merge(h[0], h[i]);
+  }
+  // Map roots to dense component ids, in order of first appearance.
+  std::vector<int> component_of_edge(g.NumEdges(), -1);
+  std::vector<RelComponent> components;
+  std::vector<int> root_to_component;
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const int root = uf.Find(e);
+    if (component_of_edge[root] < 0) {
+      component_of_edge[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    component_of_edge[e] = component_of_edge[root];
+    components[component_of_edge[e]].edges.push_back(e);
+  }
+  for (int h = 0; h < g.NumHyperedges(); ++h) {
+    ECRPQ_CHECK(!g.hyperedges[h].empty());
+    const int c = component_of_edge[g.hyperedges[h][0]];
+    components[c].hyperedges.push_back(h);
+  }
+  return components;
+}
+
+SimpleGraph NodeGraph(const TwoLevelGraph& g) {
+  SimpleGraph out(g.num_vertices);
+  // Which edges are covered by at least one hyperedge?
+  std::vector<bool> covered(g.NumEdges(), false);
+  for (const auto& h : g.hyperedges) {
+    for (int e : h) covered[e] = true;
+  }
+  for (const RelComponent& comp : RelComponents(g)) {
+    if (comp.hyperedges.empty()) continue;
+    std::vector<int> vertices;
+    for (int e : comp.edges) {
+      if (!covered[e]) continue;
+      vertices.push_back(g.first_edges[e].first);
+      vertices.push_back(g.first_edges[e].second);
+    }
+    std::sort(vertices.begin(), vertices.end());
+    vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                   vertices.end());
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      for (size_t j = i + 1; j < vertices.size(); ++j) {
+        out.AddEdge(vertices[i], vertices[j]);
+      }
+    }
+  }
+  return out;
+}
+
+Multigraph CollapseGraph(const TwoLevelGraph& g) {
+  const std::vector<RelComponent> components = RelComponents(g);
+  std::vector<int> component_of_edge(g.NumEdges(), -1);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (int e : components[c].edges) {
+      component_of_edge[e] = static_cast<int>(c);
+    }
+  }
+  Multigraph out;
+  out.num_vertices = g.num_vertices + static_cast<int>(components.size());
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const int c = g.num_vertices + component_of_edge[e];
+    out.edges.emplace_back(g.first_edges[e].first, c);
+    out.edges.emplace_back(c, g.first_edges[e].second);
+  }
+  return out;
+}
+
+}  // namespace ecrpq

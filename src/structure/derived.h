@@ -1,0 +1,39 @@
+// Derived graphs of a 2L graph: G^rel components, G^node, G_collapse
+// (paper §3 "2L graph measures" and §5.2).
+#ifndef ECRPQ_STRUCTURE_DERIVED_H_
+#define ECRPQ_STRUCTURE_DERIVED_H_
+
+#include <vector>
+
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+// One connected component of G^rel = (E, H, ν): the multi-hypergraph whose
+// vertices are the first-level edges. First-level edges belonging to no
+// hyperedge form singleton components with no hyperedges.
+struct RelComponent {
+  std::vector<int> edges;       // Indices into first_edges. |edges| feeds
+                                // cc_vertex.
+  std::vector<int> hyperedges;  // Indices into hyperedges. |hyperedges|
+                                // feeds cc_hedge.
+};
+
+// Partition of all first-level edges into G^rel components (sorted ids,
+// deterministic order).
+std::vector<RelComponent> RelComponents(const TwoLevelGraph& g);
+
+// G^node: vertices V; {v, v'} is an edge when v, v' are incident (via
+// first-level edges that belong to hyperedges) to the same G^rel component.
+// Equivalently: each component with at least one hyperedge induces a clique
+// on the vertices its hyperedge-covered edges touch.
+SimpleGraph NodeGraph(const TwoLevelGraph& g);
+
+// G_collapse: the multigraph on V ∪ C (C = G^rel components) obtained by
+// splitting every first-level edge e = {v, v'} into {v, c_e} and {c_e, v'}.
+// Vertices 0..num_vertices-1 are V; vertex num_vertices + i is component i.
+Multigraph CollapseGraph(const TwoLevelGraph& g);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_DERIVED_H_

@@ -1,0 +1,32 @@
+#include "structure/dot.h"
+
+#include <sstream>
+
+namespace ecrpq {
+
+std::string TwoLevelGraphToDot(const TwoLevelGraph& g) {
+  std::ostringstream out;
+  out << "graph two_level {\n";
+  out << "  node [shape=circle];\n";
+  for (int v = 0; v < g.num_vertices; ++v) {
+    out << "  v" << v << ";\n";
+  }
+  // First-level edges pass through a small point node so hyperedges can
+  // attach to the *edge* rather than its endpoints.
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    out << "  e" << e << " [shape=point, xlabel=\"pi" << e << "\"];\n";
+    out << "  v" << g.first_edges[e].first << " -- e" << e << ";\n";
+    out << "  e" << e << " -- v" << g.first_edges[e].second << ";\n";
+  }
+  for (int h = 0; h < g.NumHyperedges(); ++h) {
+    out << "  h" << h << " [shape=box, style=dashed, label=\"R" << h
+        << "\"];\n";
+    for (int e : g.hyperedges[h]) {
+      out << "  h" << h << " -- e" << e << " [style=dashed];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ecrpq

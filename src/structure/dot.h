@@ -1,0 +1,17 @@
+// Graphviz rendering of 2L graphs: node variables as circles, path
+// variables as solid edges, relation atoms (hyperedges) as dashed boxes
+// linked to their member edges — mirroring the paper's figures.
+#ifndef ECRPQ_STRUCTURE_DOT_H_
+#define ECRPQ_STRUCTURE_DOT_H_
+
+#include <string>
+
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+std::string TwoLevelGraphToDot(const TwoLevelGraph& g);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_DOT_H_

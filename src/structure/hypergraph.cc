@@ -1,0 +1,136 @@
+#include "structure/hypergraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+void Hypergraph::Normalize() {
+  for (auto& e : edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+  }
+}
+
+Hypergraph CqHypergraph(const CqQuery& query) {
+  Hypergraph h;
+  h.num_vertices = query.num_vars;
+  for (const CqAtom& atom : query.atoms) {
+    std::vector<int> vars;
+    for (CqVarId v : atom.vars) vars.push_back(static_cast<int>(v));
+    h.edges.push_back(std::move(vars));
+  }
+  h.Normalize();
+  return h;
+}
+
+namespace {
+
+// GYO reduction with ear-to-witness bookkeeping. Returns the join tree on
+// success (possibly empty), nullopt if a cyclic core remains.
+std::optional<std::vector<std::pair<int, int>>> Gyo(
+    const Hypergraph& input) {
+  Hypergraph h = input;
+  h.Normalize();
+  const int m = static_cast<int>(h.edges.size());
+  std::vector<bool> alive(m, true);
+  std::vector<std::pair<int, int>> tree;
+  int num_alive = m;
+
+  bool progress = true;
+  while (progress && num_alive > 1) {
+    progress = false;
+    // Occurrence counts over alive edges.
+    std::vector<int> occurrences(h.num_vertices, 0);
+    for (int e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (int v : h.edges[e]) ++occurrences[v];
+    }
+    for (int e = 0; e < m && num_alive > 1; ++e) {
+      if (!alive[e]) continue;
+      // Shared vertices of e (appearing in some other alive edge).
+      std::vector<int> shared;
+      for (int v : h.edges[e]) {
+        if (occurrences[v] >= 2) shared.push_back(v);
+      }
+      // Find a witness edge containing all shared vertices.
+      for (int w = 0; w < m; ++w) {
+        if (w == e || !alive[w]) continue;
+        if (std::includes(h.edges[w].begin(), h.edges[w].end(),
+                          shared.begin(), shared.end())) {
+          tree.emplace_back(e, w);
+          alive[e] = false;
+          --num_alive;
+          for (int v : h.edges[e]) --occurrences[v];
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  if (num_alive > 1) return std::nullopt;
+  return tree;
+}
+
+}  // namespace
+
+bool IsAlphaAcyclic(const Hypergraph& hypergraph) {
+  return Gyo(hypergraph).has_value();
+}
+
+std::optional<std::vector<std::pair<int, int>>> BuildJoinTree(
+    const Hypergraph& hypergraph) {
+  return Gyo(hypergraph);
+}
+
+bool ValidateJoinTree(const Hypergraph& input,
+                      const std::vector<std::pair<int, int>>& tree) {
+  Hypergraph h = input;
+  h.Normalize();
+  const int m = static_cast<int>(h.edges.size());
+  if (m <= 1) return tree.empty();
+  if (static_cast<int>(tree.size()) != m - 1) return false;
+  std::vector<std::vector<int>> adj(m);
+  for (const auto& [a, b] : tree) {
+    if (a < 0 || a >= m || b < 0 || b >= m) return false;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // Running intersection: for each pair (i, j), their shared vertices must
+  // be contained in every edge on the tree path from i to j.
+  for (int i = 0; i < m; ++i) {
+    // BFS parents from i.
+    std::vector<int> parent(m, -2);
+    parent[i] = -1;
+    std::deque<int> queue{i};
+    while (!queue.empty()) {
+      const int x = queue.front();
+      queue.pop_front();
+      for (int y : adj[x]) {
+        if (parent[y] == -2) {
+          parent[y] = x;
+          queue.push_back(y);
+        }
+      }
+    }
+    for (int j = i + 1; j < m; ++j) {
+      if (parent[j] == -2) return false;  // Disconnected.
+      std::vector<int> shared;
+      std::set_intersection(h.edges[i].begin(), h.edges[i].end(),
+                            h.edges[j].begin(), h.edges[j].end(),
+                            std::back_inserter(shared));
+      if (shared.empty()) continue;
+      for (int x = j; x != i; x = parent[x]) {
+        if (!std::includes(h.edges[x].begin(), h.edges[x].end(),
+                           shared.begin(), shared.end())) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,53 @@
+// Hypergraph acyclicity (GYO reduction) and join trees.
+//
+// The paper notes (§2, after Prop. 2.5, citing [9, 17]) that with
+// unbounded-arity relations the treewidth criterion generalizes to
+// hypergraph measures. α-acyclicity is the base of that hierarchy: a CQ
+// whose atom hypergraph is α-acyclic evaluates in linear time
+// (Yannakakis), regardless of the Gaifman treewidth — relevant here
+// because the Lemma 4.3 reduction produces atoms of arity 2·cc_vertex,
+// whose Gaifman cliques inflate treewidth even when the hypergraph is a
+// tree.
+#ifndef ECRPQ_STRUCTURE_HYPERGRAPH_H_
+#define ECRPQ_STRUCTURE_HYPERGRAPH_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+
+namespace ecrpq {
+
+struct Hypergraph {
+  int num_vertices = 0;
+  // Non-empty vertex sets (kept sorted/deduped by Normalize()).
+  std::vector<std::vector<int>> edges;
+
+  void Normalize();
+};
+
+// The atom hypergraph of a CQ: vertices = variables, one hyperedge per
+// atom (its variable set).
+Hypergraph CqHypergraph(const CqQuery& query);
+
+// α-acyclicity via the GYO reduction: repeatedly remove isolated vertices
+// (in exactly one edge) and edges contained in other edges; acyclic iff
+// everything vanishes.
+bool IsAlphaAcyclic(const Hypergraph& hypergraph);
+
+// A join tree (edges indexed into hypergraph.edges; pairs of edge
+// indices) when the hypergraph is α-acyclic, nullopt otherwise. The join
+// tree has the running-intersection property: for any two hyperedges,
+// their shared vertices appear on every tree path between them.
+std::optional<std::vector<std::pair<int, int>>> BuildJoinTree(
+    const Hypergraph& hypergraph);
+
+// Validates the connectedness (running intersection) property of a join
+// tree over the hypergraph.
+bool ValidateJoinTree(const Hypergraph& hypergraph,
+                      const std::vector<std::pair<int, int>>& tree);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_HYPERGRAPH_H_

@@ -1,0 +1,36 @@
+#include "structure/measures.h"
+
+#include <algorithm>
+
+#include "structure/treewidth.h"
+
+namespace ecrpq {
+
+int CcVertex(const TwoLevelGraph& g) {
+  int best = 0;
+  for (const RelComponent& c : RelComponents(g)) {
+    best = std::max(best, static_cast<int>(c.edges.size()));
+  }
+  return best;
+}
+
+int CcHedge(const TwoLevelGraph& g) {
+  int best = 0;
+  for (const RelComponent& c : RelComponents(g)) {
+    best = std::max(best, static_cast<int>(c.hyperedges.size()));
+  }
+  return best;
+}
+
+TwoLevelMeasures ComputeMeasures(const TwoLevelGraph& g) {
+  TwoLevelMeasures m;
+  m.cc_vertex = CcVertex(g);
+  m.cc_hedge = CcHedge(g);
+  const SimpleGraph node_graph = NodeGraph(g);
+  const TreewidthResult tw = TreewidthBest(node_graph);
+  m.treewidth = tw.width;
+  m.treewidth_exact = tw.exact;
+  return m;
+}
+
+}  // namespace ecrpq

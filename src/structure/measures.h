@@ -1,0 +1,31 @@
+// The three measures driving the paper's characterization:
+// cc_vertex, cc_hedge, and the treewidth of G^node.
+#ifndef ECRPQ_STRUCTURE_MEASURES_H_
+#define ECRPQ_STRUCTURE_MEASURES_H_
+
+#include "structure/derived.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+// Max number of G^rel vertices (= first-level edges = path variables) in a
+// connected component of G^rel. At least 1 for non-empty E.
+int CcVertex(const TwoLevelGraph& g);
+
+// Max number of hyperedges (= relation atoms) in a G^rel component.
+int CcHedge(const TwoLevelGraph& g);
+
+struct TwoLevelMeasures {
+  int cc_vertex = 0;
+  int cc_hedge = 0;
+  // Treewidth of G^node (exact when small, heuristic upper bound otherwise;
+  // `treewidth_exact` says which).
+  int treewidth = 0;
+  bool treewidth_exact = true;
+};
+
+TwoLevelMeasures ComputeMeasures(const TwoLevelGraph& g);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_MEASURES_H_

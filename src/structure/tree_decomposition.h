@@ -1,0 +1,38 @@
+// Tree decompositions of simple graphs.
+#ifndef ECRPQ_STRUCTURE_TREE_DECOMPOSITION_H_
+#define ECRPQ_STRUCTURE_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;         // Sorted vertex lists.
+  std::vector<std::pair<int, int>> edges;     // Tree edges between bag ids.
+
+  // Width = max bag size - 1 (or -1 for the empty decomposition).
+  int Width() const;
+};
+
+// Checks the two tree-decomposition conditions plus tree-ness:
+//  1. every graph edge is inside some bag (and every vertex in some bag);
+//  2. the bags containing any fixed vertex induce a connected subtree;
+//  3. the bag graph is a tree (connected, acyclic) — unless there is at most
+//     one bag.
+Status ValidateTreeDecomposition(const SimpleGraph& graph,
+                                 const TreeDecomposition& td);
+
+// The decomposition induced by an elimination order: eliminating v creates
+// the bag {v} ∪ N(v) in the current fill-in graph, connected to the bag of
+// the first later-eliminated neighbor. `order` must be a permutation of the
+// vertices.
+TreeDecomposition DecompositionFromEliminationOrder(
+    const SimpleGraph& graph, const std::vector<int>& order);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_TREE_DECOMPOSITION_H_

@@ -1,0 +1,58 @@
+#include "structure/two_level_graph.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+void SimpleGraph::AddEdge(int u, int v) {
+  ECRPQ_CHECK_LT(static_cast<size_t>(u), adj_.size());
+  ECRPQ_CHECK_LT(static_cast<size_t>(v), adj_.size());
+  if (u == v) return;
+  if (HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+bool SimpleGraph::HasEdge(int u, int v) const {
+  ECRPQ_CHECK_LT(static_cast<size_t>(u), adj_.size());
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+size_t SimpleGraph::NumEdges() const {
+  size_t twice = 0;
+  for (const auto& nbrs : adj_) twice += nbrs.size();
+  return twice / 2;
+}
+
+SimpleGraph Multigraph::Underlying() const {
+  SimpleGraph g(num_vertices);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  return g;
+}
+
+Status TwoLevelGraph::Validate() const {
+  for (const auto& [u, v] : first_edges) {
+    if (u < 0 || u >= num_vertices || v < 0 || v >= num_vertices) {
+      return Status::Invalid("first-level edge endpoint out of range");
+    }
+  }
+  for (const auto& h : hyperedges) {
+    if (h.empty()) return Status::Invalid("empty hyperedge");
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (h[i] < 0 || h[i] >= NumEdges()) {
+        return Status::Invalid("hyperedge member out of range");
+      }
+      for (size_t j = i + 1; j < h.size(); ++j) {
+        if (h[i] == h[j]) {
+          return Status::Invalid("hyperedge members must be distinct");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,68 @@
+// Two-level multi-hypergraphs (paper §2, "Two-level graphs").
+//
+// A 2L graph G = (V, E, H, η, ν) has first-level edges E between vertices V
+// (η : E → pairs of vertices; multigraph, self-loops allowed) and
+// second-level hyperedges H between first-level edges (ν : H → non-empty
+// sets of edges). It abstracts an ECRPQ: V = node variables, E = path
+// variables, H = relation atoms.
+#ifndef ECRPQ_STRUCTURE_TWO_LEVEL_GRAPH_H_
+#define ECRPQ_STRUCTURE_TWO_LEVEL_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecrpq {
+
+// Plain undirected simple graph used for structural measures (Gaifman
+// graphs, G^node, treewidth inputs).
+class SimpleGraph {
+ public:
+  SimpleGraph() = default;
+  explicit SimpleGraph(int n) : adj_(n) {}
+
+  int NumVertices() const { return static_cast<int>(adj_.size()); }
+  int AddVertex() {
+    adj_.emplace_back();
+    return NumVertices() - 1;
+  }
+
+  // Idempotent; ignores self-loops (they never affect treewidth).
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+  const std::vector<int>& Neighbors(int v) const { return adj_[v]; }
+  size_t NumEdges() const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+// Undirected multigraph (used for G^rel-collapse abstractions, where
+// parallel edges matter for CQ_bin lower bounds).
+struct Multigraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  SimpleGraph Underlying() const;
+};
+
+struct TwoLevelGraph {
+  // η(e) = {first_edges[e].first, first_edges[e].second}.
+  std::vector<std::pair<int, int>> first_edges;
+  // ν(h) = hyperedges[h]: distinct indices into first_edges, non-empty.
+  std::vector<std::vector<int>> hyperedges;
+  int num_vertices = 0;
+
+  int NumEdges() const { return static_cast<int>(first_edges.size()); }
+  int NumHyperedges() const { return static_cast<int>(hyperedges.size()); }
+
+  // Structural sanity: indices in range, hyperedges non-empty with distinct
+  // members.
+  Status Validate() const;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_STRUCTURE_TWO_LEVEL_GRAPH_H_

@@ -1,0 +1,312 @@
+#include "synchro/builders.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+Result<SyncRelation> UniversalRelation(const Alphabet& alphabet, int arity) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(arity, alphabet.size()));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> labels, pack.EnumerateAllLabels());
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  for (const Label l : labels) {
+    if (pack.AllTapesBlank(l)) continue;
+    nfa.AddTransition(0, l, 0);
+  }
+  return SyncRelation::Create(alphabet, arity, std::move(nfa));
+}
+
+Result<SyncRelation> EqualityRelation(const Alphabet& alphabet, int arity) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(arity, alphabet.size()));
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  std::vector<TapeLetter> column(arity);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    std::fill(column.begin(), column.end(), static_cast<TapeLetter>(a));
+    nfa.AddTransition(0, pack.Pack(column), 0);
+  }
+  return SyncRelation::Create(alphabet, arity, std::move(nfa));
+}
+
+Result<SyncRelation> EqualLengthRelation(const Alphabet& alphabet, int arity) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(arity, alphabet.size()));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> labels, pack.EnumerateAllLabels());
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  for (const Label l : labels) {
+    bool no_blank = true;
+    for (int t = 0; t < arity && no_blank; ++t) {
+      no_blank = pack.Get(l, t) != kBlank;
+    }
+    if (no_blank) nfa.AddTransition(0, l, 0);
+  }
+  return SyncRelation::Create(alphabet, arity, std::move(nfa));
+}
+
+Result<SyncRelation> PrefixRelation(const Alphabet& alphabet) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack, TapePack::Create(2, alphabet.size()));
+  // State 0: reading both tapes (u not yet ended); state 1: u ended, v
+  // continues. Both accepting (u = v is a prefix).
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  nfa.SetAccepting(1);
+  const int n = alphabet.size();
+  for (Symbol a = 0; a < static_cast<Symbol>(n); ++a) {
+    const TapeLetter both[2] = {a, a};
+    nfa.AddTransition(0, pack.Pack(both), 0);
+    const TapeLetter tail[2] = {kBlank, a};
+    nfa.AddTransition(0, pack.Pack(tail), 1);
+    nfa.AddTransition(1, pack.Pack(tail), 1);
+  }
+  return SyncRelation::Create(alphabet, 2, std::move(nfa));
+}
+
+Result<SyncRelation> HammingAtMostRelation(const Alphabet& alphabet, int d) {
+  if (d < 0) return Status::Invalid("Hamming bound must be >= 0");
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack, TapePack::Create(2, alphabet.size()));
+  // State i = number of mismatches so far; all accepting.
+  Nfa nfa(d + 1);
+  nfa.SetInitial(0);
+  const int n = alphabet.size();
+  for (int i = 0; i <= d; ++i) {
+    nfa.SetAccepting(i);
+    for (Symbol a = 0; a < static_cast<Symbol>(n); ++a) {
+      for (Symbol b = 0; b < static_cast<Symbol>(n); ++b) {
+        const TapeLetter col[2] = {a, b};
+        if (a == b) {
+          nfa.AddTransition(i, pack.Pack(col), i);
+        } else if (i < d) {
+          nfa.AddTransition(i, pack.Pack(col), i + 1);
+        }
+      }
+    }
+  }
+  return SyncRelation::Create(alphabet, 2, std::move(nfa));
+}
+
+Result<SyncRelation> LexLeqRelation(const Alphabet& alphabet) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack, TapePack::Create(2, alphabet.size()));
+  // State 0: equal so far; state 1: already strictly smaller.
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  nfa.SetAccepting(1);
+  const int n = alphabet.size();
+  for (Symbol a = 0; a < static_cast<Symbol>(n); ++a) {
+    for (Symbol b = 0; b < static_cast<Symbol>(n); ++b) {
+      const TapeLetter col[2] = {a, b};
+      if (a == b) {
+        nfa.AddTransition(0, pack.Pack(col), 0);
+      } else if (a < b) {
+        nfa.AddTransition(0, pack.Pack(col), 1);
+      }
+      nfa.AddTransition(1, pack.Pack(col), 1);
+    }
+  }
+  return SyncRelation::Create(alphabet, 2, std::move(nfa));
+}
+
+namespace {
+
+// State of the bounded-lag edit-distance construction: at most one of the
+// two tapes has unconsumed (pending) symbols; `on_second_tape` says which.
+struct LagState {
+  bool on_second_tape = false;
+  std::vector<TapeLetter> buffer;  // Pending symbols, |buffer| <= d.
+  int edits = 0;
+
+  bool operator<(const LagState& other) const {
+    return std::tie(on_second_tape, buffer, edits) <
+           std::tie(other.on_second_tape, other.buffer, other.edits);
+  }
+};
+
+// Configuration mid-closure: both buffers may be transiently non-empty.
+struct LagConfig {
+  std::vector<TapeLetter> bx;
+  std::vector<TapeLetter> by;
+  int edits;
+
+  bool operator<(const LagConfig& other) const {
+    return std::tie(bx, by, edits) < std::tie(other.bx, other.by, other.edits);
+  }
+};
+
+// Explores all alignment-operation sequences (match / substitute / delete /
+// insert) from `start`, collecting every configuration where at least one
+// buffer is empty (a valid automaton state) with buffer length <= d.
+void OpClosure(const LagConfig& start, int d, std::set<LagConfig>* visited,
+               std::set<LagState>* out) {
+  if (visited->count(start)) return;
+  visited->insert(start);
+  if (start.edits > d) return;
+  if (start.bx.empty() || start.by.empty()) {
+    const bool on_second = start.bx.empty() && !start.by.empty();
+    const std::vector<TapeLetter>& buf = on_second ? start.by : start.bx;
+    if (static_cast<int>(buf.size()) <= d) {
+      out->insert(LagState{on_second, buf, start.edits});
+    }
+  }
+  auto pop_front = [](const std::vector<TapeLetter>& v) {
+    return std::vector<TapeLetter>(v.begin() + 1, v.end());
+  };
+  if (!start.bx.empty() && !start.by.empty()) {
+    // Match or substitute.
+    const int cost = start.bx.front() == start.by.front() ? 0 : 1;
+    OpClosure(LagConfig{pop_front(start.bx), pop_front(start.by),
+                        start.edits + cost},
+              d, visited, out);
+  }
+  if (!start.bx.empty()) {
+    OpClosure(LagConfig{pop_front(start.bx), start.by, start.edits + 1}, d,
+              visited, out);
+  }
+  if (!start.by.empty()) {
+    OpClosure(LagConfig{start.bx, pop_front(start.by), start.edits + 1}, d,
+              visited, out);
+  }
+}
+
+}  // namespace
+
+Result<SyncRelation> EditDistanceAtMostRelation(const Alphabet& alphabet,
+                                                int d) {
+  if (d < 0) return Status::Invalid("edit-distance bound must be >= 0");
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack, TapePack::Create(2, alphabet.size()));
+  const int n = alphabet.size();
+
+  std::map<LagState, StateId> state_id;
+  std::vector<LagState> states;
+  Nfa nfa;
+
+  auto intern = [&](const LagState& s) -> StateId {
+    auto [it, inserted] =
+        state_id.emplace(s, static_cast<StateId>(states.size()));
+    if (inserted) {
+      states.push_back(s);
+      const StateId id = nfa.AddState();
+      ECRPQ_DCHECK(id == it->second);
+      // Accepting iff the pending buffer can be cleaned up by trailing
+      // deletions/insertions within the remaining budget.
+      if (s.edits + static_cast<int>(s.buffer.size()) <= d) {
+        nfa.SetAccepting(id);
+      }
+    }
+    return it->second;
+  };
+
+  const StateId start = intern(LagState{});
+  nfa.SetInitial(start);
+
+  for (size_t cur = 0; cur < states.size(); ++cur) {
+    const LagState s = states[cur];  // Copy: vector grows during the loop.
+    // Input letters: (cx, cy) in (A ∪ {⊥})² minus (⊥, ⊥).
+    for (int cx = -1; cx < n; ++cx) {
+      for (int cy = -1; cy < n; ++cy) {
+        if (cx < 0 && cy < 0) continue;
+        LagConfig config;
+        config.edits = s.edits;
+        config.bx = s.on_second_tape ? std::vector<TapeLetter>{} : s.buffer;
+        config.by = s.on_second_tape ? s.buffer : std::vector<TapeLetter>{};
+        if (cx >= 0) config.bx.push_back(static_cast<TapeLetter>(cx));
+        if (cy >= 0) config.by.push_back(static_cast<TapeLetter>(cy));
+        std::set<LagConfig> visited;
+        std::set<LagState> successors;
+        OpClosure(config, d, &visited, &successors);
+        if (successors.empty()) continue;
+        const TapeLetter col[2] = {
+            cx < 0 ? kBlank : static_cast<TapeLetter>(cx),
+            cy < 0 ? kBlank : static_cast<TapeLetter>(cy)};
+        const Label label = pack.Pack(col);
+        for (const LagState& succ : successors) {
+          nfa.AddTransition(static_cast<StateId>(cur), label, intern(succ));
+        }
+      }
+    }
+  }
+  nfa.Normalize();
+  return SyncRelation::Create(alphabet, 2, std::move(nfa));
+}
+
+Result<SyncRelation> FromLanguage(const Alphabet& alphabet, const Nfa& lang) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack, TapePack::Create(1, alphabet.size()));
+  Nfa nfa(lang.NumStates());
+  for (StateId s : lang.initial()) nfa.SetInitial(s);
+  for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+    if (lang.IsAccepting(s)) nfa.SetAccepting(s);
+    for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) {
+        nfa.AddTransition(s, kEpsilon, t.to);
+        continue;
+      }
+      if (t.label >= static_cast<Label>(alphabet.size())) {
+        return Status::Invalid("language NFA uses symbol outside alphabet");
+      }
+      const TapeLetter col[1] = {static_cast<TapeLetter>(t.label)};
+      nfa.AddTransition(s, pack.Pack(col), t.to);
+    }
+  }
+  return SyncRelation::Create(alphabet, 1, std::move(nfa));
+}
+
+Result<SyncRelation> LanguageLift(const Alphabet& alphabet, const Nfa& lang,
+                                  int arity, int tape) {
+  if (tape < 0 || tape >= arity) {
+    return Status::Invalid("lift tape out of range");
+  }
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(arity, alphabet.size()));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> labels, pack.EnumerateAllLabels());
+
+  // States: lang states (word on `tape` still running) + one pad state
+  // (word on `tape` finished and accepted; other tapes may continue).
+  const StateId pad = static_cast<StateId>(lang.NumStates());
+  Nfa nfa(lang.NumStates() + 1);
+  for (StateId s : lang.initial()) nfa.SetInitial(s);
+  nfa.SetAccepting(pad);
+  for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+    if (lang.IsAccepting(s)) nfa.SetAccepting(s);
+  }
+  for (const Label l : labels) {
+    if (pack.AllTapesBlank(l)) continue;
+    const TapeLetter letter = pack.Get(l, tape);
+    if (letter == kBlank) {
+      // Tape word has ended; only reachable through accepting lang states.
+      for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+        if (lang.IsAccepting(s)) nfa.AddTransition(s, l, pad);
+      }
+      nfa.AddTransition(pad, l, pad);
+    } else {
+      for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+        for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+          if (t.label == static_cast<Label>(letter)) {
+            nfa.AddTransition(s, l, t.to);
+          }
+        }
+      }
+    }
+  }
+  // ε-transitions of the language are tape-local.
+  for (StateId s = 0; s < static_cast<StateId>(lang.NumStates()); ++s) {
+    for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) nfa.AddTransition(s, kEpsilon, t.to);
+    }
+  }
+  return SyncRelation::Create(alphabet, arity, std::move(nfa));
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,54 @@
+// Builders for the classical synchronous relations.
+//
+// The paper's examples: equality, equal-length, prefix, "edit distance at
+// most 14" are all here, together with language lifts (a regular language on
+// one tape, anything on the others) and the universal relation. Non-examples
+// from the paper — suffix, factor, scattered subword — are *not* synchronous
+// and deliberately absent.
+#ifndef ECRPQ_SYNCHRO_BUILDERS_H_
+#define ECRPQ_SYNCHRO_BUILDERS_H_
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+// All tuples of words: A* × ... × A* (arity times).
+Result<SyncRelation> UniversalRelation(const Alphabet& alphabet, int arity);
+
+// {(w, ..., w) : w ∈ A*} — all tapes equal.
+Result<SyncRelation> EqualityRelation(const Alphabet& alphabet, int arity);
+
+// {(w1, ..., wk) : |w1| = ... = |wk|} — the 'eq-len' of paper Example 2.1.
+Result<SyncRelation> EqualLengthRelation(const Alphabet& alphabet, int arity);
+
+// {(u, v) : u is a prefix of v} (binary).
+Result<SyncRelation> PrefixRelation(const Alphabet& alphabet);
+
+// {(u, v) : |u| = |v| and u, v differ in at most d positions} (binary).
+Result<SyncRelation> HammingAtMostRelation(const Alphabet& alphabet, int d);
+
+// {(u, v) : Levenshtein distance(u, v) <= d} (binary). Built with the
+// bounded-lag construction: states are (pending-buffer, edits-used) pairs;
+// buffers never exceed d symbols because a lag of L forces >= L edits.
+Result<SyncRelation> EditDistanceAtMostRelation(const Alphabet& alphabet,
+                                                int d);
+
+// {(u, v) : |u| = |v|, u <=_lex v} (binary, same-length lexicographic order
+// by symbol id).
+Result<SyncRelation> LexLeqRelation(const Alphabet& alphabet);
+
+// Arity-1 relation from a word NFA over Symbol labels (a regular language
+// seen as a unary synchronous relation). Relabels symbols to packed letters.
+Result<SyncRelation> FromLanguage(const Alphabet& alphabet, const Nfa& lang);
+
+// {(w1, ..., wk) : w_tape ∈ L(lang)} — the regular language `lang` on one
+// tape, unconstrained on the rest. `lang` has Symbol labels.
+Result<SyncRelation> LanguageLift(const Alphabet& alphabet, const Nfa& lang,
+                                  int arity, int tape);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_BUILDERS_H_

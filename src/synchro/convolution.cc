@@ -1,0 +1,57 @@
+#include "synchro/convolution.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+std::vector<Label> Convolve(std::span<const Word> words,
+                            const TapePack& pack) {
+  ECRPQ_CHECK_EQ(static_cast<int>(words.size()), pack.arity());
+  size_t max_len = 0;
+  for (const Word& w : words) max_len = std::max(max_len, w.size());
+  std::vector<Label> out;
+  out.reserve(max_len);
+  std::vector<TapeLetter> column(words.size());
+  for (size_t t = 0; t < max_len; ++t) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      column[i] = t < words[i].size() ? static_cast<TapeLetter>(words[i][t])
+                                      : kBlank;
+    }
+    out.push_back(pack.Pack(column));
+  }
+  return out;
+}
+
+Result<std::vector<Word>> Deconvolve(std::span<const Label> columns,
+                                     const TapePack& pack) {
+  std::vector<Word> words(pack.arity());
+  std::vector<bool> finished(pack.arity(), false);
+  for (size_t t = 0; t < columns.size(); ++t) {
+    bool all_blank = true;
+    for (int i = 0; i < pack.arity(); ++i) {
+      const TapeLetter letter = pack.Get(columns[t], i);
+      if (letter == kBlank) {
+        finished[i] = true;
+      } else {
+        if (finished[i]) {
+          return Status::Invalid(
+              "invalid convolution: letter after blank on tape " +
+              std::to_string(i));
+        }
+        words[i].push_back(static_cast<Symbol>(letter));
+        all_blank = false;
+      }
+    }
+    if (all_blank) {
+      return Status::Invalid("invalid convolution: all-blank column at " +
+                             std::to_string(t));
+    }
+  }
+  return words;
+}
+
+bool IsValidConvolution(std::span<const Label> columns, const TapePack& pack) {
+  return Deconvolve(columns, pack).ok();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,36 @@
+// Convolution of word tuples: w1 ⊗ ... ⊗ wk.
+//
+// The convolution is the smallest word over (A ∪ {⊥})^k whose projection on
+// tape i spells w_i followed by blanks. E.g. aab ⊗ c ⊗ bb =
+// (a,c,b)(a,⊥,b)(b,⊥,⊥). Synchronous relations are exactly the relations
+// whose convolution language is regular (paper §2).
+#ifndef ECRPQ_SYNCHRO_CONVOLUTION_H_
+#define ECRPQ_SYNCHRO_CONVOLUTION_H_
+
+#include <span>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+#include "synchro/tape_pack.h"
+
+namespace ecrpq {
+
+// A word over the symbol alphabet (label of a path in a graph database).
+using Word = std::vector<Symbol>;
+
+// Packs the canonical convolution of `words` (one per tape).
+std::vector<Label> Convolve(std::span<const Word> words, const TapePack& pack);
+
+// Inverse of Convolve. Fails if `columns` is not a valid convolution (a
+// letter following a blank on the same tape, or a trailing all-blank column).
+Result<std::vector<Word>> Deconvolve(std::span<const Label> columns,
+                                     const TapePack& pack);
+
+// True iff `columns` is the canonical convolution of some word tuple.
+bool IsValidConvolution(std::span<const Label> columns, const TapePack& pack);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_CONVOLUTION_H_

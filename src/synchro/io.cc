@@ -1,0 +1,170 @@
+#include "synchro/io.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ecrpq {
+namespace {
+
+Result<uint64_t> ParseUint(std::string_view token) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("not an unsigned integer: '" +
+                              std::string(token) + "'");
+  }
+  return value;
+}
+
+std::string FormatColumn(const SyncRelation& relation, Label label) {
+  std::string out = "(";
+  for (int tape = 0; tape < relation.arity(); ++tape) {
+    if (tape > 0) out += ",";
+    const TapeLetter letter = relation.pack().Get(label, tape);
+    out += (letter == kBlank) ? "_" : relation.alphabet().Name(letter);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string SyncRelationToString(const SyncRelation& relation) {
+  std::ostringstream out;
+  out << "relation arity " << relation.arity() << "\n";
+  out << "alphabet";
+  for (const std::string& name : relation.alphabet().names()) {
+    out << " " << name;
+  }
+  out << "\n";
+  const Nfa& nfa = relation.nfa();
+  out << "states " << nfa.NumStates() << "\n";
+  out << "initial";
+  for (StateId s : nfa.initial()) out << " " << s;
+  out << "\n";
+  out << "accepting";
+  for (StateId s = 0; s < static_cast<StateId>(nfa.NumStates()); ++s) {
+    if (nfa.IsAccepting(s)) out << " " << s;
+  }
+  out << "\n";
+  for (StateId s = 0; s < static_cast<StateId>(nfa.NumStates()); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      out << "trans " << s << " ";
+      if (t.label == kEpsilon) {
+        out << "eps";
+      } else {
+        out << FormatColumn(relation, t.label);
+      }
+      out << " " << t.to << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<SyncRelation> SyncRelationFromString(std::string_view text) {
+  int arity = -1;
+  Alphabet alphabet;
+  Nfa nfa;
+  bool have_states = false;
+  std::optional<TapePack> pack;
+
+  auto parse_column = [&](std::string_view token) -> Result<Label> {
+    if (token.size() < 2 || token.front() != '(' || token.back() != ')') {
+      return Status::ParseError("column must look like (a,b,_)");
+    }
+    const std::vector<std::string> parts =
+        SplitString(token.substr(1, token.size() - 2), ',');
+    if (static_cast<int>(parts.size()) != arity) {
+      return Status::ParseError("column width does not match arity");
+    }
+    std::vector<TapeLetter> letters(arity);
+    for (int i = 0; i < arity; ++i) {
+      if (parts[i] == "_") {
+        letters[i] = kBlank;
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(Symbol sym, alphabet.Require(parts[i]));
+        letters[i] = static_cast<TapeLetter>(sym);
+      }
+    }
+    return pack->Pack(letters);
+  };
+
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    const size_t comment = line.find('#');
+    if (comment != std::string_view::npos) {
+      line = StripWhitespace(line.substr(0, comment));
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> tokens;
+    for (const std::string& tok : SplitString(line, ' ')) {
+      if (!tok.empty()) tokens.push_back(tok);
+    }
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+    if (kind == "relation") {
+      if (tokens.size() != 3 || tokens[1] != "arity") {
+        return Status::ParseError("want 'relation arity <k>'");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t k, ParseUint(tokens[2]));
+      arity = static_cast<int>(k);
+    } else if (kind == "alphabet") {
+      for (size_t i = 1; i < tokens.size(); ++i) alphabet.Intern(tokens[i]);
+    } else if (kind == "states") {
+      if (arity < 1) return Status::ParseError("states before arity");
+      if (alphabet.size() == 0) {
+        return Status::ParseError("states before alphabet");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(TapePack created,
+                            TapePack::Create(arity, alphabet.size()));
+      pack = created;
+      if (tokens.size() != 2) return Status::ParseError("states: want count");
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t n, ParseUint(tokens[1]));
+      nfa = Nfa(static_cast<int>(n));
+      have_states = true;
+    } else if (kind == "initial" || kind == "accepting") {
+      if (!have_states) return Status::ParseError(kind + " before states");
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        ECRPQ_ASSIGN_OR_RAISE(uint64_t s, ParseUint(tokens[i]));
+        if (s >= static_cast<uint64_t>(nfa.NumStates())) {
+          return Status::ParseError(kind + " state out of range");
+        }
+        if (kind == "initial") {
+          nfa.SetInitial(static_cast<StateId>(s));
+        } else {
+          nfa.SetAccepting(static_cast<StateId>(s));
+        }
+      }
+    } else if (kind == "trans") {
+      if (!have_states) return Status::ParseError("trans before states");
+      if (tokens.size() != 4) {
+        return Status::ParseError("trans: want 'trans from (col) to'");
+      }
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t from, ParseUint(tokens[1]));
+      ECRPQ_ASSIGN_OR_RAISE(uint64_t to, ParseUint(tokens[3]));
+      if (from >= static_cast<uint64_t>(nfa.NumStates()) ||
+          to >= static_cast<uint64_t>(nfa.NumStates())) {
+        return Status::ParseError("trans state out of range");
+      }
+      Label label;
+      if (tokens[2] == "eps") {
+        label = kEpsilon;
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(label, parse_column(tokens[2]));
+      }
+      nfa.AddTransition(static_cast<StateId>(from), label,
+                        static_cast<StateId>(to));
+    } else {
+      return Status::ParseError("unknown directive: " + kind);
+    }
+  }
+  if (arity < 1) return Status::ParseError("missing 'relation arity' line");
+  if (!have_states) return Status::ParseError("missing 'states' line");
+  return SyncRelation::Create(std::move(alphabet), arity, std::move(nfa));
+}
+
+}  // namespace ecrpq

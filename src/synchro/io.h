@@ -1,0 +1,29 @@
+// Text serialization of synchronous relations — lets users ship custom
+// relations to the CLI and persist constructed ones.
+//
+//   relation arity 2
+//   alphabet a b
+//   states 3
+//   initial 0
+//   accepting 2
+//   trans 0 (a,b) 1
+//   trans 1 (a,_) 2     # '_' is the padding letter ⊥
+//   trans 1 eps 2       # ε-transition
+#ifndef ECRPQ_SYNCHRO_IO_H_
+#define ECRPQ_SYNCHRO_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+std::string SyncRelationToString(const SyncRelation& relation);
+
+Result<SyncRelation> SyncRelationFromString(std::string_view text);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_IO_H_

@@ -1,0 +1,98 @@
+// JoinMachine: the *lazy* counterpart of JoinComponents (Lemma 4.1).
+//
+// Evaluating an ECRPQ requires running the conjunction of all relation atoms
+// in one G^rel connected component over a shared set of path variables.
+// Materializing the merged automaton (ops.h JoinComponents) pays an
+// (|A|+1)^r letter-enumeration cost up front. The evaluator instead only
+// ever feeds *concrete* packed letters derived from graph edges, so this
+// class exposes the merged automaton as a deterministic transition system,
+// built on demand:
+//
+//  - each component relation is determinized lazily (subset construction,
+//    subsets interned per component);
+//  - a joint state is a vector of per-component subset ids;
+//  - padding is handled with a virtual "pad" element inside subsets: once
+//    all tapes of a component read ⊥, the component survives iff it had
+//    accepted (or its NFA explicitly continues on ⊥^k letters).
+//
+// The machine is deterministic, which makes it directly usable as the
+// automaton component of the graph-product searches in graphdb/tuple_search.
+#ifndef ECRPQ_SYNCHRO_JOIN_H_
+#define ECRPQ_SYNCHRO_JOIN_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+class JoinMachine {
+ public:
+  struct Component {
+    const SyncRelation* relation;
+    // tape i of *relation -> tape tape_map[i] of the joint machine.
+    std::vector<int> tape_map;
+  };
+
+  // Joint state: one subset id per component.
+  using State = std::vector<uint32_t>;
+
+  // Validates arities/alphabets and tape maps. Relations must stay alive for
+  // the lifetime of the machine.
+  static Result<JoinMachine> Create(const Alphabet& alphabet,
+                                    std::vector<Component> components,
+                                    int joint_arity);
+
+  int joint_arity() const { return joint_arity_; }
+  const TapePack& pack() const { return pack_; }
+
+  State Initial();
+
+  // Deterministic step on a packed joint letter. A present but empty
+  // component subset marks a dead state — test with IsDead.
+  State Next(const State& state, Label joint_label);
+
+  bool IsDead(const State& state) const;
+
+  // True iff every component currently accepts (contains an accepting NFA
+  // state or the pad marker).
+  bool IsAccepting(const State& state) const;
+
+  // Diagnostics: total interned subsets across components.
+  size_t NumInternedSubsets() const;
+
+ private:
+  // Lazily determinized view of one component.
+  struct Lazy {
+    const SyncRelation* relation;
+    std::vector<int> tape_map;
+    // Pad marker id = relation->nfa().NumStates().
+    StateId pad_id;
+    std::map<std::vector<StateId>, uint32_t> subset_ids;
+    std::vector<std::vector<StateId>> subsets;
+    std::vector<bool> subset_accepting;
+    // Transition cache, parallel to `subsets`: packed sub-label -> subset id.
+    std::vector<std::unordered_map<Label, uint32_t>> move_cache;
+  };
+
+  JoinMachine(const Alphabet& alphabet, std::vector<Component> components,
+              int joint_arity, TapePack pack);
+
+  uint32_t InternSubset(Lazy* lazy, std::vector<StateId> subset);
+  uint32_t MoveComponent(Lazy* lazy, uint32_t subset_id, Label sub_label,
+                         bool sub_all_blank);
+
+  Alphabet alphabet_;
+  int joint_arity_;
+  TapePack pack_;
+  std::vector<Lazy> lazies_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_JOIN_H_

@@ -1,0 +1,265 @@
+#include "synchro/ops.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "automata/ops.h"
+#include "automata/simulation.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+Status CheckSameShape(const SyncRelation& a, const SyncRelation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::Invalid("relation arities differ: " +
+                           std::to_string(a.arity()) + " vs " +
+                           std::to_string(b.arity()));
+  }
+  if (!(a.alphabet() == b.alphabet())) {
+    return Status::Invalid("relation alphabets differ");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SyncRelation> Intersect(const SyncRelation& a, const SyncRelation& b) {
+  ECRPQ_RETURN_NOT_OK(CheckSameShape(a, b));
+  // Label-level product is sound for tuple membership: a tuple is in both
+  // relations iff both NFAs accept its canonical convolution.
+  Nfa product = ::ecrpq::Intersect(a.nfa(), b.nfa());
+  product.Trim();
+  return SyncRelation::Create(a.alphabet(), a.arity(), std::move(product));
+}
+
+Result<SyncRelation> Union(const SyncRelation& a, const SyncRelation& b) {
+  ECRPQ_RETURN_NOT_OK(CheckSameShape(a, b));
+  return SyncRelation::Create(a.alphabet(), a.arity(),
+                              ::ecrpq::Union(a.nfa(), b.nfa()));
+}
+
+Result<SyncRelation> Complement(const SyncRelation& a) {
+  // Complement at the language level over the full letter universe, then
+  // normalize: the relation complement is (valid convolutions) \ L(nfa).
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> universe,
+                        a.pack().EnumerateAllLabels());
+  Nfa complemented = ::ecrpq::Complement(a.nfa(), universe);
+  ECRPQ_ASSIGN_OR_RAISE(
+      SyncRelation raw,
+      SyncRelation::Create(a.alphabet(), a.arity(), std::move(complemented)));
+  return raw.Normalized();
+}
+
+Result<SyncRelation> Project(const SyncRelation& a,
+                             const std::vector<int>& tapes) {
+  if (tapes.empty()) return Status::Invalid("projection needs >= 1 tape");
+  for (int t : tapes) {
+    if (t < 0 || t >= a.arity()) {
+      return Status::Invalid("projection tape out of range");
+    }
+  }
+  for (size_t i = 0; i < tapes.size(); ++i) {
+    for (size_t j = i + 1; j < tapes.size(); ++j) {
+      if (tapes[i] == tapes[j]) {
+        return Status::Invalid("projection tapes must be distinct");
+      }
+    }
+  }
+  const int new_arity = static_cast<int>(tapes.size());
+  ECRPQ_ASSIGN_OR_RAISE(TapePack new_pack,
+                        TapePack::Create(new_arity, a.alphabet().size()));
+  // Normalize first so that only valid convolutions contribute; then
+  // relabel, turning columns that become all-blank into ε (they correspond
+  // to positions where only dropped tapes carried symbols).
+  const SyncRelation norm = a.Normalized();
+  const Nfa& src = norm.nfa();
+  Nfa out(src.NumStates());
+  for (StateId s : src.initial()) out.SetInitial(s);
+  std::vector<TapeLetter> column(new_arity);
+  for (StateId s = 0; s < static_cast<StateId>(src.NumStates()); ++s) {
+    if (src.IsAccepting(s)) out.SetAccepting(s);
+    for (const Nfa::Transition& t : src.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) {
+        out.AddTransition(s, kEpsilon, t.to);
+        continue;
+      }
+      for (int i = 0; i < new_arity; ++i) {
+        column[i] = a.pack().Get(t.label, tapes[i]);
+      }
+      const Label new_label = new_pack.Pack(column);
+      out.AddTransition(
+          s, new_pack.AllTapesBlank(new_label) ? kEpsilon : new_label, t.to);
+    }
+  }
+  out.Trim();
+  return SyncRelation::Create(a.alphabet(), new_arity, std::move(out));
+}
+
+Result<SyncRelation> Reindex(const SyncRelation& a,
+                             const std::vector<int>& tape_map, int new_arity) {
+  if (static_cast<int>(tape_map.size()) != a.arity()) {
+    return Status::Invalid("tape_map size must equal relation arity");
+  }
+  std::vector<bool> used(new_arity, false);
+  for (int t : tape_map) {
+    if (t < 0 || t >= new_arity) {
+      return Status::Invalid("tape_map target out of range");
+    }
+    if (used[t]) return Status::Invalid("tape_map must be injective");
+    used[t] = true;
+  }
+  ECRPQ_ASSIGN_OR_RAISE(TapePack new_pack,
+                        TapePack::Create(new_arity, a.alphabet().size()));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> universe,
+                        new_pack.EnumerateAllLabels());
+
+  // States of `a` while its own tapes run, plus one pad state for after all
+  // of `a`'s tapes have ended (other tapes may continue).
+  const Nfa& src = a.nfa();
+  const StateId pad = static_cast<StateId>(src.NumStates());
+  Nfa out(src.NumStates() + 1);
+  for (StateId s : src.initial()) out.SetInitial(s);
+  out.SetAccepting(pad);
+  for (StateId s = 0; s < static_cast<StateId>(src.NumStates()); ++s) {
+    if (src.IsAccepting(s)) out.SetAccepting(s);
+    for (const Nfa::Transition& t : src.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) out.AddTransition(s, kEpsilon, t.to);
+    }
+  }
+  std::vector<TapeLetter> sub(a.arity());
+  for (const Label l : universe) {
+    if (new_pack.AllTapesBlank(l)) continue;
+    bool all_blank_sub = true;
+    for (int i = 0; i < a.arity(); ++i) {
+      sub[i] = new_pack.Get(l, tape_map[i]);
+      all_blank_sub = all_blank_sub && (sub[i] == kBlank);
+    }
+    if (all_blank_sub) {
+      // All of `a`'s tapes have ended at this column.
+      for (StateId s = 0; s < static_cast<StateId>(src.NumStates()); ++s) {
+        if (src.IsAccepting(s)) out.AddTransition(s, l, pad);
+      }
+      out.AddTransition(pad, l, pad);
+    } else {
+      const Label sub_label = a.pack().Pack(sub);
+      for (StateId s = 0; s < static_cast<StateId>(src.NumStates()); ++s) {
+        for (const Nfa::Transition& t : src.TransitionsFrom(s)) {
+          if (t.label == sub_label) out.AddTransition(s, l, t.to);
+        }
+      }
+    }
+  }
+  return SyncRelation::Create(a.alphabet(), new_arity, std::move(out));
+}
+
+Result<SyncRelation> JoinComponents(const Alphabet& alphabet,
+                                    const std::vector<TapeMapping>& parts,
+                                    int joint_arity) {
+  if (parts.empty()) {
+    return UniversalRelation(alphabet, joint_arity);
+  }
+  ECRPQ_ASSIGN_OR_RAISE(
+      SyncRelation acc,
+      Reindex(*parts[0].relation, parts[0].tape_map, joint_arity));
+  for (size_t i = 1; i < parts.size(); ++i) {
+    ECRPQ_ASSIGN_OR_RAISE(
+        SyncRelation next,
+        Reindex(*parts[i].relation, parts[i].tape_map, joint_arity));
+    ECRPQ_ASSIGN_OR_RAISE(acc, Intersect(acc, next));
+  }
+  return acc;
+}
+
+Result<SyncRelation> ReduceRelation(const SyncRelation& a) {
+  return SyncRelation::Create(a.alphabet(), a.arity(),
+                              ReduceBySimulation(a.nfa()));
+}
+
+Result<SyncRelation> Compose(const SyncRelation& a, const SyncRelation& b) {
+  if (a.arity() != 2 || b.arity() != 2) {
+    return Status::Invalid("composition requires binary relations");
+  }
+  ECRPQ_RETURN_NOT_OK(CheckSameShape(a, b));
+  // Tapes of the intermediate 3-ary relation: 0 = x, 1 = y, 2 = z.
+  ECRPQ_ASSIGN_OR_RAISE(SyncRelation a3, Reindex(a, {0, 1}, 3));
+  ECRPQ_ASSIGN_OR_RAISE(SyncRelation b3, Reindex(b, {1, 2}, 3));
+  ECRPQ_ASSIGN_OR_RAISE(SyncRelation both, Intersect(a3, b3));
+  return Project(both, {0, 2});
+}
+
+Result<bool> EquivalentRelations(const SyncRelation& a,
+                                 const SyncRelation& b) {
+  ECRPQ_RETURN_NOT_OK(CheckSameShape(a, b));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> universe,
+                        a.pack().EnumerateAllLabels());
+  const SyncRelation na = a.Normalized();
+  const SyncRelation nb = b.Normalized();
+  return Equivalent(na.nfa(), nb.nfa(), universe);
+}
+
+Result<bool> RelationIncluded(const SyncRelation& a, const SyncRelation& b) {
+  ECRPQ_RETURN_NOT_OK(CheckSameShape(a, b));
+  ECRPQ_ASSIGN_OR_RAISE(std::vector<Label> universe,
+                        a.pack().EnumerateAllLabels());
+  const SyncRelation na = a.Normalized();
+  const SyncRelation nb = b.Normalized();
+  return Included(na.nfa(), nb.nfa(), universe);
+}
+
+Result<std::vector<std::vector<Word>>> EnumerateTuples(const SyncRelation& a,
+                                                       size_t limit,
+                                                       size_t max_columns) {
+  // Breadth-first over (state, partial convolution) of the normalized NFA;
+  // accepting states yield tuples. BFS order = convolution-length order.
+  const SyncRelation norm = a.Normalized();
+  std::vector<std::vector<Word>> out;
+  if (limit == 0) return out;
+  struct Node {
+    StateId state;
+    std::vector<Label> columns;
+  };
+  std::vector<Node> frontier;
+  std::set<std::pair<StateId, std::vector<Label>>> seen_nodes;
+  std::set<std::vector<Label>> emitted;
+  auto push = [&](std::vector<Node>* dst, StateId s,
+                  std::vector<Label> columns) {
+    if (seen_nodes.emplace(s, columns).second) {
+      dst->push_back(Node{s, std::move(columns)});
+    }
+  };
+  {
+    std::vector<StateId> init(norm.nfa().initial());
+    norm.nfa().EpsilonClose(&init);
+    for (StateId s : init) push(&frontier, s, {});
+  }
+  for (size_t depth = 0; depth <= max_columns && !frontier.empty(); ++depth) {
+    for (const Node& node : frontier) {
+      if (norm.nfa().IsAccepting(node.state) &&
+          emitted.insert(node.columns).second) {
+        ECRPQ_ASSIGN_OR_RAISE(std::vector<Word> tuple,
+                              Deconvolve(node.columns, a.pack()));
+        out.push_back(std::move(tuple));
+        if (out.size() >= limit) return out;
+      }
+    }
+    std::vector<Node> next;
+    for (const Node& node : frontier) {
+      for (const Nfa::Transition& t :
+           norm.nfa().TransitionsFrom(node.state)) {
+        if (t.label == kEpsilon) continue;  // Handled via closure below.
+        std::vector<Label> columns = node.columns;
+        columns.push_back(t.label);
+        std::vector<StateId> closure{t.to};
+        norm.nfa().EpsilonClose(&closure);
+        for (StateId s : closure) push(&next, s, columns);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,80 @@
+// Boolean and structural operations on synchronous relations.
+//
+// Synchronous relations are effectively closed under all of these (paper §2,
+// citing [5]); the implementations make the closure effective. Complement
+// and Project must normalize first — see sync_relation.h for why.
+#ifndef ECRPQ_SYNCHRO_OPS_H_
+#define ECRPQ_SYNCHRO_OPS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+// a ∩ b. Arities and alphabets must match.
+Result<SyncRelation> Intersect(const SyncRelation& a, const SyncRelation& b);
+
+// a ∪ b. Arities and alphabets must match.
+Result<SyncRelation> Union(const SyncRelation& a, const SyncRelation& b);
+
+// (A*)^k \ a. Determinizes over the full packed-letter universe, so the cost
+// is exponential in the NFA size in the worst case and the letter universe
+// (|A|+1)^k must stay enumerable.
+Result<SyncRelation> Complement(const SyncRelation& a);
+
+// Projection onto the given tapes (in the given order; indices must be
+// distinct). E.g. Project(R, {1}) of a binary R is its second-coordinate
+// language; Project(R, {1, 0}) swaps the tapes.
+Result<SyncRelation> Project(const SyncRelation& a,
+                             const std::vector<int>& tapes);
+
+// Embeds `a` into a wider relation of `new_arity` tapes: tape i of `a`
+// becomes tape tape_map[i]; the remaining tapes are unconstrained (any
+// word). This is cylindrification + permutation, the building block of the
+// Lemma 4.1 component merge.
+Result<SyncRelation> Reindex(const SyncRelation& a,
+                             const std::vector<int>& tape_map, int new_arity);
+
+// The product construction of Lemma 4.1: given relations R_1, ..., R_l and,
+// for each, a mapping of its tapes into {0, ..., joint_arity-1}, returns the
+// joint relation R with f(π̄) ∈ R iff f(π̄_i) ∈ R_i for all i. State count is
+// bounded by the product of the operands' state counts (plus pad states) —
+// polynomial when cc_vertex and cc_hedge are constants, as the paper notes.
+struct TapeMapping {
+  const SyncRelation* relation;
+  std::vector<int> tape_map;  // tape i of *relation -> tape_map[i] of joint.
+};
+Result<SyncRelation> JoinComponents(const Alphabet& alphabet,
+                                    const std::vector<TapeMapping>& parts,
+                                    int joint_arity);
+
+// Same relation with a simulation-quotiented NFA (automata/simulation.h):
+// cheap shrinking before the multiplicative product constructions.
+Result<SyncRelation> ReduceRelation(const SyncRelation& a);
+
+// Composition of binary relations: a ∘ b = {(x, z) : ∃y a(x, y) ∧ b(y, z)}.
+// Synchronous relations are closed under composition (they are the
+// FO-interpretable relations of automatic structures); implemented as
+// Reindex to three tapes + Intersect + Project — so it inherits the
+// letter-universe costs of those operations.
+Result<SyncRelation> Compose(const SyncRelation& a, const SyncRelation& b);
+
+// Do the two relations contain exactly the same tuples?
+Result<bool> EquivalentRelations(const SyncRelation& a, const SyncRelation& b);
+
+// Is every tuple of `a` a tuple of `b`? (Decidable for synchronous
+// relations — one of the paper's reasons to prefer them over Rational.)
+Result<bool> RelationIncluded(const SyncRelation& a, const SyncRelation& b);
+
+// Up to `limit` tuples of the relation in order of convolution length
+// (shortest first; ties in unspecified order). Convolutions longer than
+// `max_columns` are cut off, so the enumeration always terminates.
+Result<std::vector<std::vector<Word>>> EnumerateTuples(const SyncRelation& a,
+                                                       size_t limit,
+                                                       size_t max_columns = 32);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_OPS_H_

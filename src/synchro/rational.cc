@@ -1,0 +1,170 @@
+#include "synchro/rational.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace ecrpq {
+
+StateId Transducer::AddState() {
+  transitions_.emplace_back();
+  accepting_.push_back(false);
+  return static_cast<StateId>(transitions_.size() - 1);
+}
+
+void Transducer::SetInitial(StateId s) {
+  ECRPQ_CHECK_LT(s, transitions_.size());
+  initial_.push_back(s);
+}
+
+void Transducer::SetAccepting(StateId s) {
+  ECRPQ_CHECK_LT(s, transitions_.size());
+  accepting_[s] = true;
+}
+
+Status Transducer::AddTransition(StateId from, std::optional<Symbol> input,
+                                 std::optional<Symbol> output, StateId to) {
+  if (from >= transitions_.size() || to >= transitions_.size()) {
+    return Status::Invalid("transducer state out of range");
+  }
+  if (!input.has_value() && !output.has_value()) {
+    return Status::Invalid("transition must read or write a letter");
+  }
+  for (const std::optional<Symbol>& side : {input, output}) {
+    if (side.has_value() &&
+        *side >= static_cast<Symbol>(alphabet_.size())) {
+      return Status::Invalid("transition symbol outside alphabet");
+    }
+  }
+  transitions_[from].push_back(
+      Transition{input.value_or(Transition::kNoLetter),
+                 output.value_or(Transition::kNoLetter), to});
+  return Status::OK();
+}
+
+bool Transducer::Contains(const Word& u, const Word& v) const {
+  // BFS over configurations (i, j, q): consumed i letters of u, emitted j
+  // letters of v, in state q.
+  const size_t nq = transitions_.size();
+  if (nq == 0) return false;
+  auto code = [&](size_t i, size_t j, StateId q) {
+    return (i * (v.size() + 1) + j) * nq + q;
+  };
+  std::vector<bool> visited((u.size() + 1) * (v.size() + 1) * nq, false);
+  std::deque<std::tuple<size_t, size_t, StateId>> queue;
+  for (StateId q : initial_) {
+    if (!visited[code(0, 0, q)]) {
+      visited[code(0, 0, q)] = true;
+      queue.emplace_back(0, 0, q);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [i, j, q] = queue.front();
+    queue.pop_front();
+    if (i == u.size() && j == v.size() && accepting_[q]) return true;
+    for (const Transition& t : transitions_[q]) {
+      size_t ni = i;
+      size_t nj = j;
+      if (t.input != Transition::kNoLetter) {
+        if (i >= u.size() || u[i] != t.input) continue;
+        ni = i + 1;
+      }
+      if (t.output != Transition::kNoLetter) {
+        if (j >= v.size() || v[j] != t.output) continue;
+        nj = j + 1;
+      }
+      if (!visited[code(ni, nj, t.to)]) {
+        visited[code(ni, nj, t.to)] = true;
+        queue.emplace_back(ni, nj, t.to);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Shared scaffold: a two-phase transducer. Phase transitions are supplied
+// by the caller via flags.
+Transducer CopyingCore(const Alphabet& alphabet) {
+  Transducer t(alphabet);
+  (void)t.AddState();
+  return t;
+}
+
+}  // namespace
+
+Transducer SuffixTransducer(const Alphabet& alphabet) {
+  // State 0: emit v's extra prefix (ε, a); state 1: copy u (a, a).
+  Transducer t = CopyingCore(alphabet);
+  const StateId copy = t.AddState();
+  t.SetInitial(0);
+  t.SetAccepting(0);  // u = v = ε ... also u = ε suffix of any v via state 0.
+  t.SetAccepting(copy);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    t.AddTransition(0, std::nullopt, a, 0).Check();
+    t.AddTransition(0, a, a, copy).Check();
+    t.AddTransition(copy, a, a, copy).Check();
+  }
+  return t;
+}
+
+Transducer FactorTransducer(const Alphabet& alphabet) {
+  // State 0: skip v-prefix; state 1: copy u; state 2: skip v-suffix.
+  Transducer t = CopyingCore(alphabet);
+  const StateId copy = t.AddState();
+  const StateId tail = t.AddState();
+  t.SetInitial(0);
+  t.SetAccepting(0);
+  t.SetAccepting(copy);
+  t.SetAccepting(tail);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    t.AddTransition(0, std::nullopt, a, 0).Check();
+    t.AddTransition(0, a, a, copy).Check();
+    t.AddTransition(copy, a, a, copy).Check();
+    t.AddTransition(copy, std::nullopt, a, tail).Check();
+    t.AddTransition(0, std::nullopt, a, tail).Check();  // u = ε case.
+    t.AddTransition(tail, std::nullopt, a, tail).Check();
+  }
+  return t;
+}
+
+Transducer SubwordTransducer(const Alphabet& alphabet) {
+  // One state: either copy a letter of u or skip a letter of v.
+  Transducer t = CopyingCore(alphabet);
+  t.SetInitial(0);
+  t.SetAccepting(0);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    t.AddTransition(0, a, a, 0).Check();
+    t.AddTransition(0, std::nullopt, a, 0).Check();
+  }
+  return t;
+}
+
+Transducer PrefixTransducer(const Alphabet& alphabet) {
+  // State 0: copy u; state 1: emit v's extra suffix.
+  Transducer t = CopyingCore(alphabet);
+  const StateId tail = t.AddState();
+  t.SetInitial(0);
+  t.SetAccepting(0);
+  t.SetAccepting(tail);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    t.AddTransition(0, a, a, 0).Check();
+    t.AddTransition(0, std::nullopt, a, tail).Check();
+    t.AddTransition(tail, std::nullopt, a, tail).Check();
+  }
+  return t;
+}
+
+Transducer IdentityTransducer(const Alphabet& alphabet) {
+  Transducer t = CopyingCore(alphabet);
+  t.SetInitial(0);
+  t.SetAccepting(0);
+  for (Symbol a = 0; a < static_cast<Symbol>(alphabet.size()); ++a) {
+    t.AddTransition(0, a, a, 0).Check();
+  }
+  return t;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,78 @@
+// Rational (binary) word relations, represented by finite transducers.
+//
+// Completes the hierarchy of paper §1: Recognizable ⊊ Synchronous ⊊
+// Rational. CRPQ+Rational *evaluation is undecidable* even for very simple
+// rational relations (the paper, citing [2]) — so this class deliberately
+// offers no evaluation hook; it exists for membership testing, for the
+// example relations the paper names as non-synchronous (suffix, factor,
+// scattered subword), and for differential tests against SyncRelation on
+// the relations that live in both classes (prefix, equality, ...).
+//
+// A transducer here is an NFA whose transitions read one optional input
+// letter and emit one optional output letter: labels (a | ε, b | ε), not
+// both ε (use real ε-transitions for that).
+#ifndef ECRPQ_SYNCHRO_RATIONAL_H_
+#define ECRPQ_SYNCHRO_RATIONAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+#include "synchro/convolution.h"
+
+namespace ecrpq {
+
+class Transducer {
+ public:
+  struct Transition {
+    // kNoLetter means this side consumes/emits nothing on this step.
+    static constexpr Symbol kNoLetter = ~Symbol{0};
+    Symbol input;
+    Symbol output;
+    StateId to;
+  };
+
+  explicit Transducer(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  StateId AddState();
+  int NumStates() const { return static_cast<int>(transitions_.size()); }
+  void SetInitial(StateId s);
+  void SetAccepting(StateId s);
+  // At least one side must carry a letter.
+  Status AddTransition(StateId from, std::optional<Symbol> input,
+                       std::optional<Symbol> output, StateId to);
+
+  // Membership of the pair (u, v): dynamic programming over
+  // (position in u, position in v, state) — O(|u|·|v|·|δ|).
+  bool Contains(const Word& u, const Word& v) const;
+
+ private:
+  Alphabet alphabet_;
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<StateId> initial_;
+  std::vector<bool> accepting_;
+};
+
+// {(u, v) : u is a suffix of v} — rational, NOT synchronous.
+Transducer SuffixTransducer(const Alphabet& alphabet);
+
+// {(u, v) : u is a factor (contiguous substring) of v} — rational, NOT
+// synchronous.
+Transducer FactorTransducer(const Alphabet& alphabet);
+
+// {(u, v) : u is a scattered subword of v} — rational, NOT synchronous.
+Transducer SubwordTransducer(const Alphabet& alphabet);
+
+// {(u, v) : u is a prefix of v} — rational AND synchronous (differential
+// test target against PrefixRelation).
+Transducer PrefixTransducer(const Alphabet& alphabet);
+
+// {(u, u) : u ∈ A*}.
+Transducer IdentityTransducer(const Alphabet& alphabet);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_RATIONAL_H_

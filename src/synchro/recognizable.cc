@@ -1,0 +1,75 @@
+#include "synchro/recognizable.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+
+Result<RecognizableRelation> RecognizableRelation::Create(
+    Alphabet alphabet, int arity, std::vector<Product> products) {
+  if (arity < 1) return Status::Invalid("arity must be >= 1");
+  for (const Product& product : products) {
+    if (static_cast<int>(product.languages.size()) != arity) {
+      return Status::Invalid(
+          "every product needs exactly one language per tape");
+    }
+    for (const Nfa& lang : product.languages) {
+      for (const Label label : lang.CollectLabels()) {
+        if (label >= static_cast<Label>(alphabet.size())) {
+          return Status::Invalid("language uses symbol outside alphabet");
+        }
+      }
+    }
+  }
+  return RecognizableRelation(std::move(alphabet), arity,
+                              std::move(products));
+}
+
+bool RecognizableRelation::Contains(std::span<const Word> words) const {
+  ECRPQ_CHECK_EQ(static_cast<int>(words.size()), arity_);
+  for (const Product& product : products_) {
+    bool all = true;
+    for (int i = 0; i < arity_ && all; ++i) {
+      std::vector<Label> word(words[i].begin(), words[i].end());
+      all = product.languages[i].Accepts(word);
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<SyncRelation> RecognizableRelation::ToSynchronous() const {
+  // Union over products; each product is the intersection of per-tape
+  // language lifts.
+  std::optional<SyncRelation> acc;
+  for (const Product& product : products_) {
+    std::optional<SyncRelation> product_rel;
+    for (int i = 0; i < arity_; ++i) {
+      ECRPQ_ASSIGN_OR_RAISE(
+          SyncRelation lifted,
+          LanguageLift(alphabet_, product.languages[i], arity_, i));
+      if (!product_rel.has_value()) {
+        product_rel = std::move(lifted);
+      } else {
+        ECRPQ_ASSIGN_OR_RAISE(product_rel, Intersect(*product_rel, lifted));
+      }
+    }
+    if (!acc.has_value()) {
+      acc = std::move(*product_rel);
+    } else {
+      ECRPQ_ASSIGN_OR_RAISE(acc, Union(*acc, *product_rel));
+    }
+  }
+  if (!acc.has_value()) {
+    // Empty union: the empty relation.
+    Nfa empty(1);
+    empty.SetInitial(0);
+    return SyncRelation::Create(alphabet_, arity_, std::move(empty));
+  }
+  return std::move(*acc);
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,55 @@
+// Recognizable word relations: finite unions of cross products
+// L_1 × ... × L_k of regular languages.
+//
+// Recognizable ⊊ Synchronous ⊊ Rational (paper §1). CRPQ extended with
+// recognizable relations collapses to unions of CRPQs (see
+// query/recognizable.h); this module provides the relation class itself
+// and its embedding into SyncRelation, witnessing the strict inclusion
+// computationally.
+#ifndef ECRPQ_SYNCHRO_RECOGNIZABLE_H_
+#define ECRPQ_SYNCHRO_RECOGNIZABLE_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/result.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+
+class RecognizableRelation {
+ public:
+  // One disjunct: the cross product languages_[0] × ... × languages_[k-1].
+  struct Product {
+    std::vector<Nfa> languages;  // Symbol-labelled NFAs, one per tape.
+  };
+
+  // All products must have exactly `arity` languages.
+  static Result<RecognizableRelation> Create(Alphabet alphabet, int arity,
+                                             std::vector<Product> products);
+
+  int arity() const { return arity_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+  const std::vector<Product>& products() const { return products_; }
+
+  bool Contains(std::span<const Word> words) const;
+
+  // The same relation as a synchronous relation (union over products of
+  // intersections of per-tape language lifts).
+  Result<SyncRelation> ToSynchronous() const;
+
+ private:
+  RecognizableRelation(Alphabet alphabet, int arity,
+                       std::vector<Product> products)
+      : alphabet_(std::move(alphabet)),
+        arity_(arity),
+        products_(std::move(products)) {}
+
+  Alphabet alphabet_;
+  int arity_;
+  std::vector<Product> products_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_RECOGNIZABLE_H_

@@ -1,0 +1,141 @@
+#include "synchro/sync_relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ecrpq {
+
+Result<SyncRelation> SyncRelation::Create(Alphabet alphabet, int arity,
+                                          Nfa nfa) {
+  ECRPQ_ASSIGN_OR_RAISE(TapePack pack,
+                        TapePack::Create(arity, alphabet.size()));
+  // Validate that transition labels are packable values.
+  const uint64_t num_labels = pack.NumLabels();
+  // Labels are dense codes < product of per-tape radix only when bits are
+  // exactly log2; with rounded-up bits the max code can exceed NumLabels.
+  // Validate per tape instead.
+  const int used_bits = pack.bits_per_tape() * arity;
+  for (StateId s = 0; s < static_cast<StateId>(nfa.NumStates()); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) continue;
+      if (used_bits < 64 && (t.label >> used_bits) != 0) {
+        return Status::Invalid(
+            "relation NFA transition label has bits beyond the packed tapes");
+      }
+      for (int tape = 0; tape < arity; ++tape) {
+        const TapeLetter letter = pack.Get(t.label, tape);
+        if (letter != kBlank &&
+            letter >= static_cast<TapeLetter>(alphabet.size())) {
+          return Status::Invalid(
+              "relation NFA transition uses a symbol outside the alphabet");
+        }
+      }
+    }
+  }
+  (void)num_labels;
+  return SyncRelation(std::move(alphabet), pack, std::move(nfa));
+}
+
+bool SyncRelation::Contains(std::span<const Word> words) const {
+  ECRPQ_CHECK_EQ(static_cast<int>(words.size()), arity());
+  const std::vector<Label> conv = Convolve(words, pack_);
+  return nfa_.Accepts(conv);
+}
+
+SyncRelation SyncRelation::Normalized() const {
+  // Product with the convolution-validity automaton: states are pairs
+  // (q, mask) where mask records which tapes have started padding. A letter
+  // is admissible from mask m iff no tape in m carries a symbol; tapes with
+  // ⊥ join the mask. All-blank letters are inadmissible (no trailing
+  // all-blank columns in a canonical convolution). ε-transitions keep mask.
+  const int k = arity();
+  const uint32_t full_mask = (k >= 32) ? ~uint32_t{0}
+                                       : ((uint32_t{1} << k) - 1);
+  (void)full_mask;
+
+  std::unordered_map<uint64_t, StateId> id_of;
+  std::vector<std::pair<StateId, uint32_t>> states;
+  Nfa out;
+
+  auto intern = [&](StateId q, uint32_t mask) -> StateId {
+    const uint64_t key = (static_cast<uint64_t>(q) << 32) | mask;
+    auto [it, inserted] =
+        id_of.emplace(key, static_cast<StateId>(states.size()));
+    if (inserted) {
+      states.emplace_back(q, mask);
+      const StateId id = out.AddState();
+      ECRPQ_DCHECK(id == it->second);
+      if (nfa_.IsAccepting(q)) out.SetAccepting(id);
+    }
+    return it->second;
+  };
+
+  for (StateId q : nfa_.initial()) {
+    out.SetInitial(intern(q, 0));
+  }
+  for (size_t cur = 0; cur < states.size(); ++cur) {
+    const auto [q, mask] = states[cur];
+    for (const Nfa::Transition& t : nfa_.TransitionsFrom(q)) {
+      if (t.label == kEpsilon) {
+        out.AddTransition(static_cast<StateId>(cur), kEpsilon,
+                          intern(t.to, mask));
+        continue;
+      }
+      if (pack_.AllTapesBlank(t.label)) continue;
+      uint32_t new_mask = mask;
+      bool admissible = true;
+      for (int tape = 0; tape < k; ++tape) {
+        const TapeLetter letter = pack_.Get(t.label, tape);
+        if (letter == kBlank) {
+          new_mask |= uint32_t{1} << tape;
+        } else if (mask & (uint32_t{1} << tape)) {
+          admissible = false;
+          break;
+        }
+      }
+      if (!admissible) continue;
+      out.AddTransition(static_cast<StateId>(cur), t.label,
+                        intern(t.to, new_mask));
+    }
+  }
+  out.Trim();
+  return SyncRelation(alphabet_, pack_, std::move(out));
+}
+
+bool SyncRelation::IsEmpty() const { return !Witness().has_value(); }
+
+std::optional<std::vector<Word>> SyncRelation::Witness() const {
+  const SyncRelation normalized = Normalized();
+  auto witness = normalized.nfa_.ShortestWitness();
+  if (!witness.has_value()) return std::nullopt;
+  auto words = Deconvolve(*witness, pack_);
+  ECRPQ_CHECK(words.ok()) << "normalized relation produced an invalid "
+                             "convolution witness";
+  return std::move(words).ValueOrDie();
+}
+
+std::string SyncRelation::FormatTuple(std::span<const Word> words) const {
+  std::string result = "(";
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += "\"";
+    for (Symbol s : words[i]) result += alphabet_.Name(s);
+    result += "\"";
+  }
+  result += ")";
+  return result;
+}
+
+bool AlphabetsCompatible(const Alphabet& graph_alphabet,
+                         const Alphabet& rel_alphabet) {
+  if (graph_alphabet.size() > rel_alphabet.size()) return false;
+  for (int i = 0; i < graph_alphabet.size(); ++i) {
+    if (graph_alphabet.names()[i] != rel_alphabet.names()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,72 @@
+// SyncRelation: a k-ary synchronous (regular/automatic) word relation,
+// represented as an NFA over packed multi-tape letters (tape_pack.h).
+//
+// Membership semantics: a tuple (w1, ..., wk) is in the relation iff the NFA
+// accepts the canonical convolution w1 ⊗ ... ⊗ wk. The NFA is *not* required
+// to reject invalid convolutions; language-level operations that need
+// canonicity (complement, equivalence, projection, witness search) first
+// normalize via the 2^k-state convolution-validity product (Normalized()).
+#ifndef ECRPQ_SYNCHRO_SYNC_RELATION_H_
+#define ECRPQ_SYNCHRO_SYNC_RELATION_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+#include "synchro/convolution.h"
+#include "synchro/tape_pack.h"
+
+namespace ecrpq {
+
+class SyncRelation {
+ public:
+  // `nfa` must use labels packed for (arity, alphabet.size()).
+  static Result<SyncRelation> Create(Alphabet alphabet, int arity, Nfa nfa);
+
+  int arity() const { return pack_.arity(); }
+  const Alphabet& alphabet() const { return alphabet_; }
+  const TapePack& pack() const { return pack_; }
+  const Nfa& nfa() const { return nfa_; }
+  Nfa* mutable_nfa() { return &nfa_; }
+
+  // Tuple membership. `words` must have `arity()` entries; symbols must be
+  // valid for `alphabet()`.
+  bool Contains(std::span<const Word> words) const;
+
+  // Equivalent relation whose NFA accepts exactly the valid convolutions of
+  // the relation (no garbage words). States multiply by at most 2^arity, and
+  // only reachable (state, finished-tapes-mask) pairs are materialized.
+  SyncRelation Normalized() const;
+
+  // True iff the relation contains no tuple.
+  bool IsEmpty() const;
+
+  // A tuple with a shortest convolution, or nullopt if empty.
+  std::optional<std::vector<Word>> Witness() const;
+
+  // Human-readable tuple rendering, e.g. ("ab", "b") using symbol names.
+  std::string FormatTuple(std::span<const Word> words) const;
+
+ private:
+  SyncRelation(Alphabet alphabet, TapePack pack, Nfa nfa)
+      : alphabet_(std::move(alphabet)), pack_(pack), nfa_(std::move(nfa)) {}
+
+  Alphabet alphabet_;
+  TapePack pack_;
+  Nfa nfa_;
+};
+
+// True when `graph_alphabet` is an id-aligned prefix of `rel_alphabet`:
+// every graph symbol has the same id and name in the relation's alphabet.
+// Query evaluation requires this so that packed letters built from graph
+// edge symbols are meaningful to the relation automaton.
+bool AlphabetsCompatible(const Alphabet& graph_alphabet,
+                         const Alphabet& rel_alphabet);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_SYNC_RELATION_H_

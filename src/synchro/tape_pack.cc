@@ -1,0 +1,82 @@
+#include "synchro/tape_pack.h"
+
+#include <string>
+
+namespace ecrpq {
+
+Result<TapePack> TapePack::Create(int arity, int alphabet_size) {
+  if (arity < 1) return Status::Invalid("arity must be >= 1");
+  if (alphabet_size < 1) return Status::Invalid("alphabet must be non-empty");
+  int bits = 1;
+  while ((uint64_t{1} << bits) < static_cast<uint64_t>(alphabet_size) + 1) {
+    ++bits;
+  }
+  if (bits * arity > 64) {
+    return Status::CapacityExceeded(
+        "cannot pack " + std::to_string(arity) + " tapes over alphabet of " +
+        std::to_string(alphabet_size) + " symbols into 64 bits");
+  }
+  return TapePack(arity, alphabet_size, bits);
+}
+
+uint64_t TapePack::NumLabels() const {
+  uint64_t n = 1;
+  for (int i = 0; i < arity_; ++i) n *= static_cast<uint64_t>(alphabet_size_) + 1;
+  return n;
+}
+
+Label TapePack::Pack(std::span<const TapeLetter> letters) const {
+  ECRPQ_DCHECK(static_cast<int>(letters.size()) == arity_);
+  Label label = 0;
+  for (int i = 0; i < arity_; ++i) {
+    uint64_t v;
+    if (letters[i] == kBlank) {
+      v = 0;
+    } else {
+      ECRPQ_DCHECK(letters[i] < static_cast<TapeLetter>(alphabet_size_));
+      v = static_cast<uint64_t>(letters[i]) + 1;
+    }
+    label |= v << (bits_ * i);
+  }
+  return label;
+}
+
+Label TapePack::Set(Label label, int tape, TapeLetter letter) const {
+  ECRPQ_DCHECK(tape < arity_);
+  const uint64_t v = (letter == kBlank) ? 0 : static_cast<uint64_t>(letter) + 1;
+  ECRPQ_DCHECK(v <= mask_);
+  label &= ~(mask_ << (bits_ * tape));
+  return label | (v << (bits_ * tape));
+}
+
+Result<std::vector<Label>> TapePack::EnumerateAllLabels(uint64_t limit) const {
+  const uint64_t n = NumLabels();
+  if (n > limit) {
+    return Status::CapacityExceeded(
+        "label universe has " + std::to_string(n) +
+        " letters, above the limit of " + std::to_string(limit));
+  }
+  std::vector<Label> labels;
+  labels.reserve(n);
+  std::vector<TapeLetter> letters(arity_, kBlank);
+  while (true) {
+    labels.push_back(Pack(letters));
+    // Mixed-radix increment: kBlank -> 0 -> 1 -> ... -> |A|-1 -> wrap.
+    int i = 0;
+    for (; i < arity_; ++i) {
+      if (letters[i] == kBlank) {
+        letters[i] = 0;
+        break;
+      }
+      if (letters[i] + 1 < static_cast<TapeLetter>(alphabet_size_)) {
+        ++letters[i];
+        break;
+      }
+      letters[i] = kBlank;
+    }
+    if (i == arity_) break;
+  }
+  return labels;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,74 @@
+// TapePack: bit-packing of multi-tape letters.
+//
+// A k-ary synchronous relation is an NFA over the alphabet (A ∪ {⊥})^k.
+// We pack one letter of that alphabet — one "column" of a convolution —
+// into a single 64-bit Label: each tape gets ceil(log2(|A|+1)) bits holding
+// symbol+1, with 0 encoding the blank (padding) letter ⊥.
+#ifndef ECRPQ_SYNCHRO_TAPE_PACK_H_
+#define ECRPQ_SYNCHRO_TAPE_PACK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "common/result.h"
+
+namespace ecrpq {
+
+// A tape letter: a Symbol, or kBlank (⊥).
+using TapeLetter = uint32_t;
+inline constexpr TapeLetter kBlank = ~TapeLetter{0};
+
+class TapePack {
+ public:
+  // Fails if k * ceil(log2(alphabet_size+1)) exceeds 64 bits.
+  static Result<TapePack> Create(int arity, int alphabet_size);
+
+  int arity() const { return arity_; }
+  int alphabet_size() const { return alphabet_size_; }
+  int bits_per_tape() const { return bits_; }
+
+  // Number of packed letters, (|A|+1)^arity.
+  uint64_t NumLabels() const;
+
+  Label Pack(std::span<const TapeLetter> letters) const;
+
+  TapeLetter Get(Label label, int tape) const {
+    ECRPQ_DCHECK(tape < arity_);
+    const uint64_t v = (label >> (bits_ * tape)) & mask_;
+    return v == 0 ? kBlank : static_cast<TapeLetter>(v - 1);
+  }
+
+  // Returns `label` with the letter on `tape` replaced.
+  Label Set(Label label, int tape, TapeLetter letter) const;
+
+  // Packed all-blank letter (⊥, ..., ⊥) — the letter that never occurs in a
+  // valid convolution column... except as trailing padding of projections.
+  Label AllBlank() const { return 0; }
+
+  bool AllTapesBlank(Label label) const { return label == 0; }
+
+  // Enumerates every packed letter (A ∪ {⊥})^arity, including all-blank.
+  // Fails if there are more than `limit` of them.
+  Result<std::vector<Label>> EnumerateAllLabels(uint64_t limit = 1 << 22) const;
+
+  bool operator==(const TapePack&) const = default;
+
+ private:
+  TapePack(int arity, int alphabet_size, int bits)
+      : arity_(arity),
+        alphabet_size_(alphabet_size),
+        bits_(bits),
+        mask_((uint64_t{1} << bits) - 1) {}
+
+  int arity_;
+  int alphabet_size_;
+  int bits_;
+  uint64_t mask_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SYNCHRO_TAPE_PACK_H_

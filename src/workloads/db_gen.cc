@@ -1,0 +1,90 @@
+#include "workloads/db_gen.h"
+
+#include <string>
+
+#include "automata/random.h"
+#include "common/check.h"
+
+namespace ecrpq {
+namespace {
+
+Alphabet LatinAlphabet(int size) {
+  ECRPQ_CHECK_LE(size, 26);
+  Alphabet alphabet;
+  for (int i = 0; i < size; ++i) {
+    const char c = static_cast<char>('a' + i);
+    alphabet.Intern(std::string_view(&c, 1));
+  }
+  return alphabet;
+}
+
+// Plants acceptance of `word` into a DFA by rerouting the needed
+// transitions from the initial state and accepting the final landing state.
+void PlantWordDfa(Dfa* dfa, const std::vector<Label>& word) {
+  StateId s = dfa->initial();
+  for (size_t i = 0; i < word.size(); ++i) {
+    // Route along fresh-ish states deterministically: reuse state (i+1) mod
+    // NumStates to avoid self-trapping.
+    const StateId next =
+        static_cast<StateId>((s + 1) % static_cast<StateId>(dfa->NumStates()));
+    dfa->SetNext(s, dfa->LabelIndex(word[i]), next);
+    s = next;
+  }
+  dfa->SetAccepting(s);
+}
+
+}  // namespace
+
+GraphDb LayeredDag(Rng* rng, int layers, int width, int fanout,
+                   int alphabet_size) {
+  ECRPQ_CHECK_GE(layers, 1);
+  ECRPQ_CHECK_GE(width, 1);
+  GraphDb db(LatinAlphabet(alphabet_size));
+  db.AddVertices(layers * width);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const VertexId from = static_cast<VertexId>(l * width + w);
+      for (int f = 0; f < fanout; ++f) {
+        const VertexId to =
+            static_cast<VertexId>((l + 1) * width + rng->Below(width));
+        db.AddEdge(from, static_cast<Symbol>(rng->Below(alphabet_size)), to);
+      }
+    }
+  }
+  return db;
+}
+
+IneInstance RandomIneInstance(Rng* rng, int num_languages, int states_each,
+                              int alphabet_size, bool plant_word) {
+  PieInstance pie =
+      RandomPieInstance(rng, num_languages, states_each, alphabet_size,
+                        plant_word);
+  IneInstance ine;
+  ine.alphabet = pie.alphabet;
+  for (const Dfa& dfa : pie.automata) ine.languages.push_back(dfa.ToNfa());
+  return ine;
+}
+
+PieInstance RandomPieInstance(Rng* rng, int num_automata, int states_each,
+                              int alphabet_size, bool plant_word) {
+  PieInstance pie;
+  pie.alphabet = LatinAlphabet(alphabet_size);
+  std::vector<Label> planted;
+  if (plant_word) {
+    planted = RandomWord(rng, states_each / 2 + 1, alphabet_size);
+  }
+  for (int i = 0; i < num_automata; ++i) {
+    RandomDfaOptions options;
+    options.num_states = states_each;
+    options.alphabet_size = alphabet_size;
+    options.accept_prob = 0.15;
+    // Without planting, make acceptance sparse so empty intersections occur.
+    options.force_accepting = true;
+    Dfa dfa = RandomDfa(rng, options);
+    if (plant_word) PlantWordDfa(&dfa, planted);
+    pie.automata.push_back(std::move(dfa));
+  }
+  return pie;
+}
+
+}  // namespace ecrpq

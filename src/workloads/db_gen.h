@@ -1,0 +1,35 @@
+// Database families for benchmarks (thin wrappers and combinations of
+// graphdb/generators.h plus INE input families).
+#ifndef ECRPQ_WORKLOADS_DB_GEN_H_
+#define ECRPQ_WORKLOADS_DB_GEN_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/rng.h"
+#include "graphdb/graph_db.h"
+#include "reductions/ine_to_ecrpq.h"
+#include "reductions/pie_to_ecrpq.h"
+
+namespace ecrpq {
+
+// A layered DAG: `layers` layers of `width` vertices; edges from each vertex
+// to `fanout` random vertices of the next layer with random labels. Acyclic,
+// so path lengths (hence eq-length searches) are bounded — good for scaling
+// sweeps with predictable work.
+GraphDb LayeredDag(Rng* rng, int layers, int width, int fanout,
+                   int alphabet_size);
+
+// A random INE instance over an alphabet of `alphabet_size` symbols whose
+// intersection is guaranteed non-empty (all automata accept a planted word)
+// when `plant_word` is true.
+IneInstance RandomIneInstance(Rng* rng, int num_languages, int states_each,
+                              int alphabet_size, bool plant_word);
+
+// Same but with DFAs, for p-IE.
+PieInstance RandomPieInstance(Rng* rng, int num_automata, int states_each,
+                              int alphabet_size, bool plant_word);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_WORKLOADS_DB_GEN_H_

@@ -1,0 +1,126 @@
+#include "workloads/query_gen.h"
+
+#include <memory>
+#include <string>
+
+#include "query/builder.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+Result<std::shared_ptr<const SyncRelation>> Shared(
+    Result<SyncRelation> relation) {
+  if (!relation.ok()) return relation.status();
+  return std::make_shared<const SyncRelation>(std::move(relation).ValueOrDie());
+}
+
+}  // namespace
+
+Result<EcrpqQuery> ChainEqLenQuery(const Alphabet& alphabet, int length) {
+  if (length < 1) return Status::Invalid("chain length must be >= 1");
+  EcrpqBuilder builder(alphabet);
+  std::vector<PathVarId> paths;
+  for (int i = 0; i < length; ++i) {
+    const NodeVarId from = builder.NodeVar("x" + std::to_string(i));
+    const NodeVarId to = builder.NodeVar("x" + std::to_string(i + 1));
+    const PathVarId p = builder.PathVar("p" + std::to_string(i));
+    builder.Reach(from, p, to);
+    paths.push_back(p);
+  }
+  ECRPQ_ASSIGN_OR_RAISE(std::shared_ptr<const SyncRelation> eqlen,
+                        Shared(EqualLengthRelation(alphabet, 2)));
+  for (int i = 0; i + 1 < length; i += 2) {
+    builder.Relate(eqlen, {paths[i], paths[i + 1]}, "eqlen");
+  }
+  return builder.Build();
+}
+
+Result<EcrpqQuery> CliqueCrpqQuery(const Alphabet& alphabet, int k,
+                                   std::string_view regex) {
+  if (k < 2) return Status::Invalid("clique size must be >= 2");
+  EcrpqBuilder builder(alphabet);
+  std::vector<NodeVarId> vars;
+  for (int i = 0; i < k; ++i) {
+    vars.push_back(builder.NodeVar("x" + std::to_string(i)));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      ECRPQ_ASSIGN_OR_RAISE(PathVarId ignored,
+                            builder.ReachRegex(vars[i], regex, vars[j]));
+      (void)ignored;
+    }
+  }
+  return builder.Build();
+}
+
+namespace {
+
+Result<EcrpqQuery> StarQuery(const Alphabet& alphabet, int k, bool equality) {
+  if (k < 1) return Status::Invalid("star width must be >= 1");
+  EcrpqBuilder builder(alphabet);
+  const NodeVarId x = builder.NodeVar("x");
+  std::vector<PathVarId> paths;
+  for (int i = 0; i < k; ++i) {
+    const NodeVarId y = builder.NodeVar("y" + std::to_string(i));
+    const PathVarId p = builder.PathVar("p" + std::to_string(i));
+    builder.Reach(x, p, y);
+    paths.push_back(p);
+  }
+  ECRPQ_ASSIGN_OR_RAISE(
+      std::shared_ptr<const SyncRelation> rel,
+      Shared(equality ? EqualityRelation(alphabet, k)
+                      : EqualLengthRelation(alphabet, k)));
+  builder.Relate(rel, paths, equality ? "eq" : "eqlen");
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<EcrpqQuery> EqLenStarQuery(const Alphabet& alphabet, int k) {
+  return StarQuery(alphabet, k, /*equality=*/false);
+}
+
+Result<EcrpqQuery> EqualityStarQuery(const Alphabet& alphabet, int k) {
+  return StarQuery(alphabet, k, /*equality=*/true);
+}
+
+Result<EcrpqQuery> ExampleTwoOneQuery(const Alphabet& alphabet) {
+  EcrpqBuilder builder(alphabet);
+  const NodeVarId x = builder.NodeVar("x");
+  const NodeVarId xp = builder.NodeVar("xp");
+  const NodeVarId y = builder.NodeVar("y");
+  const PathVarId p1 = builder.PathVar("pi1");
+  const PathVarId p2 = builder.PathVar("pi2");
+  builder.Reach(x, p1, y);
+  builder.Reach(xp, p2, y);
+  ECRPQ_ASSIGN_OR_RAISE(std::shared_ptr<const SyncRelation> eqlen,
+                        Shared(EqualLengthRelation(alphabet, 2)));
+  builder.Relate(eqlen, {p1, p2}, "eqlen");
+  builder.Free({x, xp});
+  return builder.Build();
+}
+
+Result<EcrpqQuery> RandomCrpqQuery(Rng* rng, const Alphabet& alphabet,
+                                   int num_vars, int atoms) {
+  if (num_vars < 2) return Status::Invalid("need >= 2 variables");
+  static const char* kRegexPool[] = {"a*", "a*b", "(a|b)*", "ab*", "b(a|b)*",
+                                     "a(a|b)*b", "(ab)*", "a|b*"};
+  EcrpqBuilder builder(alphabet);
+  std::vector<NodeVarId> vars;
+  for (int i = 0; i < num_vars; ++i) {
+    vars.push_back(builder.NodeVar("x" + std::to_string(i)));
+  }
+  for (int a = 0; a < atoms; ++a) {
+    const NodeVarId from = vars[rng->Below(num_vars)];
+    const NodeVarId to = vars[rng->Below(num_vars)];
+    const char* regex =
+        kRegexPool[rng->Below(sizeof(kRegexPool) / sizeof(kRegexPool[0]))];
+    ECRPQ_ASSIGN_OR_RAISE(PathVarId ignored,
+                          builder.ReachRegex(from, regex, to));
+    (void)ignored;
+  }
+  return builder.Build();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,44 @@
+// Parameterized query families realizing each regime of the
+// characterization (Theorems 3.1 / 3.2). Used by tests and benchmarks.
+#ifndef ECRPQ_WORKLOADS_QUERY_GEN_H_
+#define ECRPQ_WORKLOADS_QUERY_GEN_H_
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+// Tractable regime (Thm 3.2(3)): a chain
+//   x_0 -π_1-> x_1 -π_2-> ... -π_L-> x_L
+// with eqlen(π_i, π_{i+1}) for odd i. Measures: cc_vertex <= 2,
+// cc_hedge <= 1, tw(G^node) <= 3. Boolean.
+Result<EcrpqQuery> ChainEqLenQuery(const Alphabet& alphabet, int length);
+
+// NP / W[1] regime (Thm 3.2(2), 3.1(2)): a k-clique of CRPQ atoms
+//   x_i -[regex]-> x_j for all i < j. Measures: cc_vertex = 1,
+// cc_hedge = 1, tw = k-1. Boolean.
+Result<EcrpqQuery> CliqueCrpqQuery(const Alphabet& alphabet, int k,
+                                   std::string_view regex);
+
+// PSPACE / XNL regime (Thm 3.2(1), 3.1(1)): a star
+//   x -π_i-> y_i (i = 1..k) with one k-ary eqlen(π_1, ..., π_k).
+// Measures: cc_vertex = k, cc_hedge = 1, tw = k (component clique).
+Result<EcrpqQuery> EqLenStarQuery(const Alphabet& alphabet, int k);
+
+// Like EqLenStarQuery but with k-ary *equality* (stronger coupling).
+Result<EcrpqQuery> EqualityStarQuery(const Alphabet& alphabet, int k);
+
+// Two-path comparison query (paper Example 2.1):
+//   q(x, x') = ∃y x -π1-> y ∧ x' -π2-> y ∧ eq-len(π1, π2).
+Result<EcrpqQuery> ExampleTwoOneQuery(const Alphabet& alphabet);
+
+// Random CRPQ over a path/tree-like pattern with `atoms` atoms and regexes
+// sampled from a small pool — mixed workloads for planner ablation.
+Result<EcrpqQuery> RandomCrpqQuery(Rng* rng, const Alphabet& alphabet,
+                                   int num_vars, int atoms);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_WORKLOADS_QUERY_GEN_H_

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "common/rng.h"
+
+namespace ecrpq {
+namespace {
+
+// Even number of 0s over {0, 1}.
+Dfa EvenZeros() {
+  Dfa dfa(2, {0, 1});
+  dfa.SetInitial(0);
+  dfa.SetAccepting(0);
+  dfa.SetNext(0, 0, 1);
+  dfa.SetNext(0, 1, 0);
+  dfa.SetNext(1, 0, 0);
+  dfa.SetNext(1, 1, 1);
+  return dfa;
+}
+
+TEST(DfaTest, AcceptsParity) {
+  const Dfa dfa = EvenZeros();
+  EXPECT_TRUE(dfa.Accepts(std::vector<Label>{}));
+  EXPECT_TRUE(dfa.Accepts(std::vector<Label>{0, 0}));
+  EXPECT_TRUE(dfa.Accepts(std::vector<Label>{1, 0, 1, 0}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<Label>{0}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<Label>{1, 0}));
+}
+
+TEST(DfaTest, RejectsForeignLabels) {
+  const Dfa dfa = EvenZeros();
+  EXPECT_FALSE(dfa.Accepts(std::vector<Label>{7}));
+}
+
+TEST(DfaTest, ComplementFlips) {
+  Dfa dfa = EvenZeros();
+  dfa.Complement();
+  EXPECT_FALSE(dfa.Accepts(std::vector<Label>{}));
+  EXPECT_TRUE(dfa.Accepts(std::vector<Label>{0}));
+}
+
+TEST(DfaTest, ToNfaPreservesLanguage) {
+  const Dfa dfa = EvenZeros();
+  const Nfa nfa = dfa.ToNfa();
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(8)), 2);
+    EXPECT_EQ(dfa.Accepts(word), nfa.Accepts(word));
+  }
+}
+
+TEST(DfaTest, MinimizeMergesEquivalentStates) {
+  // A 4-state DFA for "ends with 1" with redundant states.
+  Dfa dfa(4, {0, 1});
+  dfa.SetInitial(0);
+  // States 0/2 equivalent ("last was 0 or start"), 1/3 equivalent.
+  dfa.SetNext(0, 0, 2);
+  dfa.SetNext(0, 1, 1);
+  dfa.SetNext(2, 0, 0);
+  dfa.SetNext(2, 1, 3);
+  dfa.SetNext(1, 0, 2);
+  dfa.SetNext(1, 1, 3);
+  dfa.SetNext(3, 0, 0);
+  dfa.SetNext(3, 1, 1);
+  dfa.SetAccepting(1);
+  dfa.SetAccepting(3);
+  const Dfa min = dfa.Minimize();
+  EXPECT_EQ(min.NumStates(), 2);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(9)), 2);
+    EXPECT_EQ(dfa.Accepts(word), min.Accepts(word));
+  }
+}
+
+TEST(DfaTest, MinimizeDropsUnreachable) {
+  Dfa dfa(3, {0});
+  dfa.SetInitial(0);
+  dfa.SetNext(0, 0, 0);
+  dfa.SetNext(1, 0, 2);  // 1, 2 unreachable.
+  dfa.SetNext(2, 0, 1);
+  dfa.SetAccepting(2);
+  const Dfa min = dfa.Minimize();
+  EXPECT_EQ(min.NumStates(), 1);
+  EXPECT_TRUE(min.ToNfa().IsEmpty());
+}
+
+class MinimizePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimizePropertyTest, MinimizePreservesLanguageAndShrinks) {
+  Rng rng(GetParam());
+  RandomDfaOptions options;
+  options.num_states = 3 + static_cast<int>(rng.Below(10));
+  options.alphabet_size = 2;
+  const Dfa dfa = RandomDfa(&rng, options);
+  const Dfa min = dfa.Minimize();
+  EXPECT_LE(min.NumStates(), dfa.NumStates());
+  for (int i = 0; i < 300; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(10)), 2);
+    ASSERT_EQ(dfa.Accepts(word), min.Accepts(word))
+        << "seed " << GetParam() << " differs on a word of length "
+        << word.size();
+  }
+  // Minimizing twice is idempotent in size.
+  EXPECT_EQ(min.Minimize().NumStates(), min.NumStates());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizePropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "automata/io.h"
+#include "automata/nfa.h"
+
+namespace ecrpq {
+namespace {
+
+// a*b over labels {0 = a, 1 = b}.
+Nfa AStarB() {
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(1);
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 1);
+  return nfa;
+}
+
+TEST(NfaTest, AcceptsBasicWords) {
+  const Nfa nfa = AStarB();
+  EXPECT_TRUE(nfa.Accepts(std::vector<Label>{1}));
+  EXPECT_TRUE(nfa.Accepts(std::vector<Label>{0, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts(std::vector<Label>{}));
+  EXPECT_FALSE(nfa.Accepts(std::vector<Label>{0}));
+  EXPECT_FALSE(nfa.Accepts(std::vector<Label>{1, 0}));
+}
+
+TEST(NfaTest, EpsilonClosureChains) {
+  Nfa nfa(4);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, kEpsilon, 1);
+  nfa.AddTransition(1, kEpsilon, 2);
+  nfa.AddTransition(2, 5, 3);
+  nfa.SetAccepting(3);
+  EXPECT_TRUE(nfa.Accepts(std::vector<Label>{5}));
+  EXPECT_FALSE(nfa.Accepts(std::vector<Label>{}));
+
+  std::vector<StateId> states{0};
+  nfa.EpsilonClose(&states);
+  EXPECT_EQ(states, (std::vector<StateId>{0, 1, 2}));
+}
+
+TEST(NfaTest, EmptinessAndWitness) {
+  Nfa empty(2);
+  empty.SetInitial(0);
+  empty.SetAccepting(1);  // Unreachable.
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.ShortestWitness().has_value());
+
+  const Nfa nfa = AStarB();
+  EXPECT_FALSE(nfa.IsEmpty());
+  const auto witness = nfa.ShortestWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(*witness, (std::vector<Label>{1}));
+}
+
+TEST(NfaTest, ShortestWitnessIgnoresEpsilonLength) {
+  // ε-chain to an accepting state: shortest word is ε (length 0), even
+  // though a one-letter accepting path exists earlier in BFS order.
+  Nfa nfa(3);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 7, 1);
+  nfa.SetAccepting(1);
+  nfa.AddTransition(0, kEpsilon, 2);
+  nfa.SetAccepting(2);
+  const auto witness = nfa.ShortestWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(NfaTest, TrimRemovesUselessStates) {
+  Nfa nfa(4);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 1, 1);
+  nfa.SetAccepting(1);
+  nfa.AddTransition(0, 2, 2);  // 2 is a dead end.
+  nfa.AddTransition(3, 1, 1);  // 3 is unreachable.
+  nfa.Trim();
+  EXPECT_EQ(nfa.NumStates(), 2);
+  EXPECT_TRUE(nfa.Accepts(std::vector<Label>{1}));
+  EXPECT_FALSE(nfa.Accepts(std::vector<Label>{2}));
+}
+
+TEST(NfaTest, NormalizeDeduplicates) {
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 3, 1);
+  nfa.AddTransition(0, 3, 1);
+  nfa.Normalize();
+  EXPECT_EQ(nfa.NumTransitions(), 1u);
+  EXPECT_EQ(nfa.initial().size(), 1u);
+}
+
+TEST(NfaTest, CollectLabelsSortedUnique) {
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 9, 1);
+  nfa.AddTransition(1, 2, 0);
+  nfa.AddTransition(0, 9, 0);
+  nfa.AddTransition(0, kEpsilon, 1);
+  EXPECT_EQ(nfa.CollectLabels(), (std::vector<Label>{2, 9}));
+}
+
+TEST(NfaIoTest, RoundTrip) {
+  const Nfa nfa = AStarB();
+  const std::string text = NfaToString(nfa);
+  Result<Nfa> parsed = NfaFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, nfa);
+}
+
+TEST(NfaIoTest, ParsesEpsilonAndComments) {
+  Result<Nfa> parsed = NfaFromString(
+      "# a comment\n"
+      "states 2\n"
+      "initial 0\n"
+      "accepting 1\n"
+      "trans 0 eps 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->Accepts(std::vector<Label>{}));
+}
+
+TEST(NfaIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(NfaFromString("initial 0\n").ok());
+  EXPECT_FALSE(NfaFromString("states 2\ntrans 0 5\n").ok());
+  EXPECT_FALSE(NfaFromString("states 2\ntrans 0 1 9\n").ok());
+  EXPECT_FALSE(NfaFromString("states 2\nbogus\n").ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

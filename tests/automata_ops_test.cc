@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "automata/regex.h"
+#include "common/rng.h"
+
+namespace ecrpq {
+namespace {
+
+Nfa Compile(std::string_view pattern) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> nfa = CompileRegex(pattern, &alphabet);
+  EXPECT_TRUE(nfa.ok()) << nfa.status();
+  return std::move(nfa).ValueOrDie();
+}
+
+const std::vector<Label> kUniverse = {0, 1};  // a, b.
+
+TEST(OpsTest, DeterminizeEquivalentOnSamples) {
+  Rng rng(3);
+  const Nfa nfa = Compile("(a|b)*abb");
+  const Dfa dfa = Determinize(nfa, kUniverse);
+  for (int i = 0; i < 500; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(10)), 2);
+    ASSERT_EQ(nfa.Accepts(word), dfa.Accepts(word));
+  }
+}
+
+TEST(OpsTest, IntersectIsConjunction) {
+  Rng rng(4);
+  const Nfa a = Compile("a*b(a|b)*");   // Contains a b.
+  const Nfa b = Compile("(a|b)*a");     // Ends with a.
+  const Nfa both = Intersect(a, b);
+  for (int i = 0; i < 500; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(8)), 2);
+    ASSERT_EQ(both.Accepts(word), a.Accepts(word) && b.Accepts(word));
+  }
+}
+
+TEST(OpsTest, UnionIsDisjunction) {
+  Rng rng(5);
+  const Nfa a = Compile("aa*");
+  const Nfa b = Compile("bb*");
+  const Nfa either = Union(a, b);
+  for (int i = 0; i < 500; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(6)), 2);
+    ASSERT_EQ(either.Accepts(word), a.Accepts(word) || b.Accepts(word));
+  }
+}
+
+TEST(OpsTest, ComplementIsNegation) {
+  Rng rng(6);
+  const Nfa a = Compile("(ab)*");
+  const Nfa not_a = Complement(a, kUniverse);
+  for (int i = 0; i < 500; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(7)), 2);
+    ASSERT_EQ(not_a.Accepts(word), !a.Accepts(word));
+  }
+}
+
+TEST(OpsTest, EquivalenceAndInclusion) {
+  const Nfa a1 = Compile("a*");
+  const Nfa a2 = Compile("(a|)(aa)*a*");  // Same language, different shape.
+  EXPECT_TRUE(Equivalent(a1, a2, kUniverse));
+  const Nfa sub = Compile("aa*");
+  EXPECT_TRUE(Included(sub, a1, kUniverse));
+  EXPECT_FALSE(Included(a1, sub, kUniverse));  // ε ∈ a* \ aa*.
+  EXPECT_FALSE(Equivalent(a1, sub, kUniverse));
+}
+
+TEST(OpsTest, RemoveEpsilonPreservesLanguage) {
+  Rng rng(7);
+  for (const char* pattern : {"a*b", "(a|b)*", "(ab|b)*a?", "a+|b+"}) {
+    const Nfa nfa = Compile(pattern);
+    const Nfa clean = RemoveEpsilon(nfa);
+    // No ε-transitions remain.
+    for (StateId s = 0; s < static_cast<StateId>(clean.NumStates()); ++s) {
+      for (const Nfa::Transition& t : clean.TransitionsFrom(s)) {
+        EXPECT_NE(t.label, kEpsilon);
+      }
+    }
+    for (int i = 0; i < 300; ++i) {
+      const auto word = RandomWord(&rng, static_cast<int>(rng.Below(8)), 2);
+      ASSERT_EQ(nfa.Accepts(word), clean.Accepts(word)) << pattern;
+    }
+  }
+}
+
+TEST(OpsTest, UnionLabelsGathersSorted) {
+  Nfa a(1);
+  a.SetInitial(0);
+  a.AddTransition(0, 5, 0);
+  Nfa b(1);
+  b.SetInitial(0);
+  b.AddTransition(0, 2, 0);
+  b.AddTransition(0, kEpsilon, 0);
+  EXPECT_EQ(UnionLabels({&a, &b}, {9}), (std::vector<Label>{2, 5, 9}));
+}
+
+// De Morgan on random NFAs: ¬(A ∪ B) ≡ ¬A ∩ ¬B.
+class DeMorganTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeMorganTest, HoldsOnRandomAutomata) {
+  Rng rng(GetParam());
+  RandomNfaOptions options;
+  options.num_states = 4 + static_cast<int>(rng.Below(4));
+  options.alphabet_size = 2;
+  const Nfa a = RandomNfa(&rng, options);
+  const Nfa b = RandomNfa(&rng, options);
+  const Nfa lhs = Complement(Union(a, b), kUniverse);
+  const Nfa rhs =
+      Intersect(Complement(a, kUniverse), Complement(b, kUniverse));
+  EXPECT_TRUE(Equivalent(lhs, rhs, kUniverse)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeMorganTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,75 @@
+// Structural-operation properties on random automata: Trim, Normalize,
+// RemoveEpsilon and Determinize must all preserve the language; Minimize
+// yields a canonical size.
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "automata/regex.h"
+#include "common/rng.h"
+
+namespace ecrpq {
+namespace {
+
+const std::vector<Label> kUniverse = {0, 1};
+
+class AutomataPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutomataPropertyTest, TrimPreservesLanguage) {
+  Rng rng(GetParam());
+  RandomNfaOptions options;
+  options.num_states = 4 + static_cast<int>(rng.Below(8));
+  options.alphabet_size = 2;
+  options.accept_prob = 0.25;
+  const Nfa nfa = RandomNfa(&rng, options);
+  Nfa trimmed = nfa;
+  trimmed.Trim();
+  EXPECT_LE(trimmed.NumStates(), nfa.NumStates());
+  EXPECT_TRUE(Equivalent(nfa, trimmed, kUniverse)) << "seed " << GetParam();
+}
+
+TEST_P(AutomataPropertyTest, NormalizePreservesRepresentationSemantics) {
+  Rng rng(GetParam() + 50);
+  RandomNfaOptions options;
+  options.num_states = 5;
+  options.alphabet_size = 2;
+  const Nfa nfa = RandomNfa(&rng, options);
+  Nfa normalized = nfa;
+  normalized.Normalize();
+  for (int i = 0; i < 100; ++i) {
+    const auto word = RandomWord(&rng, static_cast<int>(rng.Below(7)), 2);
+    ASSERT_EQ(nfa.Accepts(word), normalized.Accepts(word));
+  }
+}
+
+TEST_P(AutomataPropertyTest, DeterminizeRoundTrip) {
+  Rng rng(GetParam() + 100);
+  RandomNfaOptions options;
+  options.num_states = 4 + static_cast<int>(rng.Below(4));
+  options.alphabet_size = 2;
+  const Nfa nfa = RandomNfa(&rng, options);
+  const Dfa dfa = Determinize(nfa, kUniverse);
+  EXPECT_TRUE(Equivalent(nfa, dfa.ToNfa(), kUniverse))
+      << "seed " << GetParam();
+}
+
+TEST_P(AutomataPropertyTest, MinimalDfaSizeIsCanonical) {
+  // Two equivalent automata minimize to the same number of states.
+  Rng rng(GetParam() + 200);
+  RandomNfaOptions options;
+  options.num_states = 4 + static_cast<int>(rng.Below(4));
+  options.alphabet_size = 2;
+  const Nfa nfa = RandomNfa(&rng, options);
+  const Dfa direct = Determinize(nfa, kUniverse).Minimize();
+  // An equivalent variant: complement twice at the NFA level.
+  const Nfa doubled = Complement(Complement(nfa, kUniverse), kUniverse);
+  const Dfa via_complement = Determinize(doubled, kUniverse).Minimize();
+  EXPECT_EQ(direct.NumStates(), via_complement.NumStates())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomataPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+
+namespace ecrpq {
+namespace {
+
+// Compiles `pattern` and checks membership of `word` (one symbol per char).
+bool Matches(std::string_view pattern, std::string_view word) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> nfa = CompileRegex(pattern, &alphabet);
+  EXPECT_TRUE(nfa.ok()) << nfa.status();
+  std::vector<Label> labels;
+  for (char c : word) {
+    auto sym = alphabet.Find(std::string_view(&c, 1));
+    EXPECT_TRUE(sym.has_value());
+    labels.push_back(*sym);
+  }
+  return nfa->Accepts(labels);
+}
+
+TEST(RegexTest, Literals) {
+  EXPECT_TRUE(Matches("ab", "ab"));
+  EXPECT_FALSE(Matches("ab", "a"));
+  EXPECT_FALSE(Matches("ab", "ba"));
+}
+
+TEST(RegexTest, Alternation) {
+  EXPECT_TRUE(Matches("a|b", "a"));
+  EXPECT_TRUE(Matches("a|b", "b"));
+  EXPECT_FALSE(Matches("a|b", "ab"));
+  EXPECT_TRUE(Matches("ab|ba", "ba"));
+}
+
+TEST(RegexTest, Star) {
+  EXPECT_TRUE(Matches("a*", ""));
+  EXPECT_TRUE(Matches("a*", "aaaa"));
+  EXPECT_FALSE(Matches("a*", "ab"));
+  EXPECT_TRUE(Matches("a*b", "b"));
+  EXPECT_TRUE(Matches("a*b", "aab"));
+}
+
+TEST(RegexTest, PlusAndOpt) {
+  EXPECT_FALSE(Matches("a+", ""));
+  EXPECT_TRUE(Matches("a+", "a"));
+  EXPECT_TRUE(Matches("a+", "aaa"));
+  EXPECT_TRUE(Matches("a?b", "b"));
+  EXPECT_TRUE(Matches("a?b", "ab"));
+  EXPECT_FALSE(Matches("a?b", "aab"));
+}
+
+TEST(RegexTest, GroupingAndNesting) {
+  EXPECT_TRUE(Matches("(ab)*", ""));
+  EXPECT_TRUE(Matches("(ab)*", "abab"));
+  EXPECT_FALSE(Matches("(ab)*", "aba"));
+  EXPECT_TRUE(Matches("(a|b)*a", "bba"));
+  EXPECT_TRUE(Matches("((a|b)(a|b))*", "abba"));
+  EXPECT_FALSE(Matches("((a|b)(a|b))*", "aba"));
+}
+
+TEST(RegexTest, DotMatchesAnyInternedSymbol) {
+  EXPECT_TRUE(Matches(".*", "abab"));
+  EXPECT_TRUE(Matches("a.b", "aab"));
+  EXPECT_TRUE(Matches("a.b", "abb"));
+  EXPECT_FALSE(Matches("a.b", "ab"));
+}
+
+TEST(RegexTest, EmptyPatternIsEpsilon) {
+  EXPECT_TRUE(Matches("", ""));
+  EXPECT_FALSE(Matches("", "a"));
+}
+
+TEST(RegexTest, EmptyAlternativeBranch) {
+  EXPECT_TRUE(Matches("a|", ""));
+  EXPECT_TRUE(Matches("a|", "a"));
+}
+
+TEST(RegexTest, Escapes) {
+  Alphabet alphabet;
+  Result<Nfa> nfa = CompileRegex("\\*\\(", &alphabet);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+  const Symbol star = *alphabet.Find("*");
+  const Symbol paren = *alphabet.Find("(");
+  EXPECT_TRUE(nfa->Accepts(std::vector<Label>{star, paren}));
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_FALSE(ParseRegex("(ab").ok());
+  EXPECT_FALSE(ParseRegex("ab)").ok());
+  EXPECT_FALSE(ParseRegex("*a").ok());
+  EXPECT_FALSE(ParseRegex("a\\").ok());
+}
+
+TEST(RegexTest, ToStringRoundTripsThroughParser) {
+  for (const char* pattern :
+       {"a*b", "(a|b)*", "ab|ba", "a+b?", "a(b|)*", "\\*a"}) {
+    Result<RegexPtr> parsed = ParseRegex(pattern);
+    ASSERT_TRUE(parsed.ok()) << pattern;
+    const std::string rendered = RegexToString(**parsed);
+    Result<RegexPtr> reparsed = ParseRegex(rendered);
+    ASSERT_TRUE(reparsed.ok()) << rendered;
+    // Compile both and compare on a few words.
+    Alphabet a1 = Alphabet::OfChars("ab*");
+    Alphabet a2 = Alphabet::OfChars("ab*");
+    const Nfa n1 = CompileRegex(**parsed, &a1);
+    const Nfa n2 = CompileRegex(**reparsed, &a2);
+    for (const char* w : {"", "a", "b", "ab", "ba", "aab", "abab"}) {
+      std::vector<Label> word;
+      bool valid = true;
+      for (const char* c = w; *c; ++c) {
+        auto sym = a1.Find(std::string_view(c, 1));
+        if (!sym.has_value()) {
+          valid = false;
+          break;
+        }
+        word.push_back(*sym);
+      }
+      if (valid) {
+        EXPECT_EQ(n1.Accepts(word), n2.Accepts(word))
+            << pattern << " vs " << rendered << " on " << w;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/random.h"
+#include "automata/regex.h"
+#include "automata/simulation.h"
+#include "common/rng.h"
+
+namespace ecrpq {
+namespace {
+
+Nfa Compile(std::string_view pattern) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> nfa = CompileRegex(pattern, &alphabet);
+  EXPECT_TRUE(nfa.ok()) << nfa.status();
+  return std::move(nfa).ValueOrDie();
+}
+
+TEST(SimulationTest, PreorderIsReflexiveAndRespectsAcceptance) {
+  Rng rng(1);
+  RandomNfaOptions options;
+  options.num_states = 6;
+  options.alphabet_size = 2;
+  const Nfa nfa = RandomNfa(&rng, options);
+  const auto sim = SimulationPreorder(nfa);
+  const int n = static_cast<int>(sim.size());
+  for (int s = 0; s < n; ++s) {
+    EXPECT_TRUE(sim[s][s]);
+    for (int t = 0; t < n; ++t) {
+      if (sim[s][t] && nfa.IsAccepting(s)) {
+        EXPECT_TRUE(nfa.IsAccepting(t));
+      }
+    }
+  }
+}
+
+TEST(SimulationTest, PreorderIsTransitive) {
+  Rng rng(2);
+  RandomNfaOptions options;
+  options.num_states = 6;
+  options.alphabet_size = 2;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Nfa nfa = RandomNfa(&rng, options);
+    const auto sim = SimulationPreorder(nfa);
+    const int n = static_cast<int>(sim.size());
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (!sim[a][b]) continue;
+        for (int c = 0; c < n; ++c) {
+          if (sim[b][c]) EXPECT_TRUE(sim[a][c]) << a << b << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimulationTest, DuplicatedStatesMerge) {
+  // Two parallel identical branches accepting "ab".
+  Nfa nfa(5);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 0, 1);
+  nfa.AddTransition(1, 1, 2);
+  nfa.AddTransition(0, 0, 3);
+  nfa.AddTransition(3, 1, 4);
+  nfa.SetAccepting(2);
+  nfa.SetAccepting(4);
+  const Nfa reduced = ReduceBySimulation(nfa);
+  EXPECT_EQ(reduced.NumStates(), 3);
+  EXPECT_TRUE(reduced.Accepts(std::vector<Label>{0, 1}));
+  EXPECT_FALSE(reduced.Accepts(std::vector<Label>{0}));
+}
+
+TEST(SimulationTest, ThompsonRegexesShrink) {
+  // Thompson construction is ε-heavy; the simulation quotient (after
+  // ε-removal) should be much smaller.
+  const Nfa nfa = Compile("(a|b)*(ab|ba)(a|b)*");
+  const Nfa reduced = ReduceBySimulation(nfa);
+  EXPECT_LT(reduced.NumStates(), nfa.NumStates());
+}
+
+class SimulationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulationPropertyTest, QuotientPreservesLanguage) {
+  Rng rng(GetParam());
+  RandomNfaOptions options;
+  options.num_states = 4 + static_cast<int>(rng.Below(6));
+  options.alphabet_size = 2;
+  options.density = 1.0 + 0.2 * static_cast<double>(rng.Below(5));
+  const Nfa nfa = RandomNfa(&rng, options);
+  const Nfa reduced = ReduceBySimulation(nfa);
+  EXPECT_LE(reduced.NumStates(), nfa.NumStates());
+  EXPECT_TRUE(Equivalent(nfa, reduced, {0, 1})) << "seed " << GetParam();
+  // Idempotent in size.
+  EXPECT_EQ(ReduceBySimulation(reduced).NumStates(), reduced.NumStates());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(SimulationTest, EpsilonInputHandled) {
+  const Nfa nfa = Compile("a*b|ab*");
+  const Nfa reduced = ReduceBySimulation(nfa);
+  EXPECT_TRUE(Equivalent(nfa, reduced, {0, 1}));
+}
+
+}  // namespace
+}  // namespace ecrpq

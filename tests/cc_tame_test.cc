@@ -1,0 +1,93 @@
+// Lemma A.1 as code, plus the Lemma 5.2 treewidth relation between
+// G_collapse and G^node.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reductions/cc_tame.h"
+#include "reductions/ine_to_ecrpq.h"
+#include "structure/derived.h"
+#include "structure/measures.h"
+#include "structure/treewidth.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(CcTameTest, StarGeneratorYieldsVertexWitness) {
+  // f(k) = one k-ary hyperedge: cc_vertex(f(k)) = k.
+  const ShapeGenerator star = [](int k) { return IneWitnessShapeCase1(k); };
+  for (int n : {1, 2, 4, 7}) {
+    Result<BigComponentWitness> witness = FindBigComponentWitness(star, n);
+    ASSERT_TRUE(witness.ok()) << witness.status();
+    EXPECT_TRUE(witness->by_vertices);
+    const auto components = RelComponents(witness->shape);
+    EXPECT_GE(static_cast<int>(
+                  components[witness->component_index].edges.size()),
+              n);
+  }
+}
+
+TEST(CcTameTest, FanGeneratorYieldsHyperedgeWitness) {
+  // f(k) = one edge with k singleton hyperedges: cc_hedge(f(k)) = k but
+  // cc_vertex = 1.
+  const ShapeGenerator fan = [](int k) { return IneWitnessShapeCase2(k); };
+  for (int n : {2, 3, 5}) {
+    Result<BigComponentWitness> witness = FindBigComponentWitness(fan, n);
+    ASSERT_TRUE(witness.ok()) << witness.status();
+    EXPECT_FALSE(witness->by_vertices);
+  }
+}
+
+TEST(CcTameTest, ChainGeneratorYieldsVertexWitness) {
+  const ShapeGenerator chain = [](int k) { return IneWitnessShapeChain(k); };
+  Result<BigComponentWitness> witness = FindBigComponentWitness(chain, 4);
+  ASSERT_TRUE(witness.ok()) << witness.status();
+  EXPECT_TRUE(witness->by_vertices);
+}
+
+TEST(CcTameTest, ViolatingGeneratorDetected) {
+  // A "class" of bounded measures: f(k) ignores k.
+  const ShapeGenerator flat = [](int) { return IneWitnessShapeCase1(2); };
+  EXPECT_FALSE(FindBigComponentWitness(flat, 5).ok());
+}
+
+// Lemma 5.2 (contrapositive form): with cc_vertex(G) <= c,
+// tw(G^node) <= (tw(G_collapse) + 1) · 2c - 1.
+class Lemma52Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma52Test, CollapseTreewidthBoundsNodeTreewidth) {
+  Rng rng(GetParam());
+  TwoLevelGraph g;
+  g.num_vertices = 3 + static_cast<int>(rng.Below(4));
+  const int num_edges = 2 + static_cast<int>(rng.Below(5));
+  for (int e = 0; e < num_edges; ++e) {
+    g.first_edges.emplace_back(static_cast<int>(rng.Below(g.num_vertices)),
+                               static_cast<int>(rng.Below(g.num_vertices)));
+  }
+  const int num_hedges = 1 + static_cast<int>(rng.Below(3));
+  for (int h = 0; h < num_hedges; ++h) {
+    std::vector<int> members;
+    for (int e = 0; e < num_edges; ++e) {
+      if (rng.Chance(0.4)) members.push_back(e);
+    }
+    if (members.empty()) members.push_back(static_cast<int>(
+        rng.Below(num_edges)));
+    g.hyperedges.push_back(std::move(members));
+  }
+  ASSERT_TRUE(g.Validate().ok());
+
+  const int ccv = CcVertex(g);
+  const SimpleGraph node = NodeGraph(g);
+  const SimpleGraph collapse = CollapseGraph(g).Underlying();
+  Result<TreewidthResult> tw_node = TreewidthExact(node);
+  Result<TreewidthResult> tw_collapse = TreewidthExact(collapse);
+  ASSERT_TRUE(tw_node.ok());
+  ASSERT_TRUE(tw_collapse.ok());
+  EXPECT_LE(tw_node->width, (tw_collapse->width + 1) * 2 * ccv - 1)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma52Test,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad arity");
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status a = Status::NotFound("x");
+  Status b = a;  // Shared state.
+  EXPECT_EQ(b.message(), "x");
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Doubler(Result<int> input) {
+  ECRPQ_ASSIGN_OR_RAISE(int v, input);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrRaisePropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Invalid("nope")).ok());
+  EXPECT_EQ(Doubler(Status::Invalid("nope")).status().message(), "nope");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += (a.Next() != b.Next());
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values show up.
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset bits(130);
+  EXPECT_FALSE(bits.Test(129));
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(129));
+  bits.Reset(129);
+  EXPECT_FALSE(bits.Test(129));
+}
+
+TEST(BitsetTest, TestAndSetReportsFirstVisit) {
+  DynamicBitset bits(64);
+  EXPECT_TRUE(bits.TestAndSet(10));
+  EXPECT_FALSE(bits.TestAndSet(10));
+  EXPECT_EQ(bits.CountSet(), 1u);
+}
+
+TEST(BitsetTest, InitialValueAndClear) {
+  DynamicBitset bits(70, true);
+  EXPECT_EQ(bits.CountSet(), 70u);
+  bits.Clear();
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, JoinAndStartsWith) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("edge 0 a 1", "edge"));
+  EXPECT_FALSE(StartsWith("ed", "edge"));
+}
+
+TEST(HashTest, VectorHashDistinguishes) {
+  VectorHash<uint32_t> h;
+  EXPECT_NE(h({1, 2, 3}), h({3, 2, 1}));
+  EXPECT_NE(h({}), h({0}));
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,131 @@
+// The bounded-lag edit-distance relation (the paper's "edit-distance at
+// most 14" example), validated against the textbook Levenshtein DP.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+int Levenshtein(const Word& u, const Word& v) {
+  std::vector<std::vector<int>> dp(u.size() + 1,
+                                   std::vector<int>(v.size() + 1));
+  for (size_t i = 0; i <= u.size(); ++i) dp[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= v.size(); ++j) dp[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= u.size(); ++i) {
+    for (size_t j = 1; j <= v.size(); ++j) {
+      dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                           dp[i - 1][j - 1] + (u[i - 1] != v[j - 1])});
+    }
+  }
+  return dp[u.size()][v.size()];
+}
+
+Word RandomWordOf(Rng* rng, int max_len, int alphabet_size) {
+  Word w(rng->Below(max_len + 1));
+  for (Symbol& s : w) s = static_cast<Symbol>(rng->Below(alphabet_size));
+  return w;
+}
+
+TEST(EditDistanceTest, ZeroBoundIsEquality) {
+  const Alphabet ab = Alphabet::OfChars("ab");
+  Result<SyncRelation> rel = EditDistanceAtMostRelation(ab, 0);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0, 1}, {0, 1}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0, 1}, {0}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0}, {1}}));
+}
+
+TEST(EditDistanceTest, HandCheckedCases) {
+  const Alphabet ab = Alphabet::OfChars("ab");
+  Result<SyncRelation> rel = EditDistanceAtMostRelation(ab, 1);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  // One substitution.
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0, 1}, {0, 0}}));
+  // One insertion.
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0, 1}, {0, 1, 1}}));
+  // One deletion.
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0, 1}, {1}}));
+  // Two edits.
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0, 1}, {1, 0}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0, 0, 0}, {1, 1, 1}}));
+  // ε vs one letter / two letters.
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{}, {0}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{}, {0, 0}}));
+}
+
+TEST(EditDistanceTest, SymmetricRelation) {
+  const Alphabet ab = Alphabet::OfChars("ab");
+  Result<SyncRelation> rel = EditDistanceAtMostRelation(ab, 2);
+  ASSERT_TRUE(rel.ok());
+  Rng rng(99);
+  for (int i = 0; i < 150; ++i) {
+    const Word u = RandomWordOf(&rng, 5, 2);
+    const Word v = RandomWordOf(&rng, 5, 2);
+    EXPECT_EQ(rel->Contains(std::vector<Word>{u, v}),
+              rel->Contains(std::vector<Word>{v, u}));
+  }
+}
+
+class EditDistancePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(EditDistancePropertyTest, AgreesWithLevenshteinDp) {
+  const int bound = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  const Alphabet ab = Alphabet::OfChars("ab");
+  Result<SyncRelation> rel = EditDistanceAtMostRelation(ab, bound);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  Rng rng(seed);
+  for (int i = 0; i < 120; ++i) {
+    Word u = RandomWordOf(&rng, 6, 2);
+    Word v;
+    if (rng.Chance(0.5)) {
+      // Perturb u with a few random edits so the boundary is exercised.
+      v = u;
+      const int edits = static_cast<int>(rng.Below(bound + 2));
+      for (int e = 0; e < edits; ++e) {
+        const int op = static_cast<int>(rng.Below(3));
+        const size_t pos = v.empty() ? 0 : rng.Below(v.size() + (op == 1));
+        if (op == 0 && !v.empty()) {
+          v[std::min(pos, v.size() - 1)] =
+              static_cast<Symbol>(rng.Below(2));
+        } else if (op == 1) {
+          v.insert(v.begin() + std::min(pos, v.size()),
+                   static_cast<Symbol>(rng.Below(2)));
+        } else if (!v.empty()) {
+          v.erase(v.begin() + std::min(pos, v.size() - 1));
+        }
+      }
+    } else {
+      v = RandomWordOf(&rng, 6, 2);
+    }
+    const bool expected = Levenshtein(u, v) <= bound;
+    ASSERT_EQ(rel->Contains(std::vector<Word>{u, v}), expected)
+        << "bound " << bound << ", |u|=" << u.size() << ", |v|=" << v.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsAndSeeds, EditDistancePropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(EditDistanceTest, ThreeSymbolAlphabet) {
+  const Alphabet abc = Alphabet::OfChars("abc");
+  Result<SyncRelation> rel = EditDistanceAtMostRelation(abc, 2);
+  ASSERT_TRUE(rel.ok());
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Word u = RandomWordOf(&rng, 5, 3);
+    const Word v = RandomWordOf(&rng, 5, 3);
+    ASSERT_EQ(rel->Contains(std::vector<Word>{u, v}),
+              Levenshtein(u, v) <= 2);
+  }
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "eval/adaptive.h"
+#include "eval/naive_eval.h"
+#include "graphdb/dot.h"
+#include "graphdb/generators.h"
+#include "query/parser.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+EcrpqQuery Parse(std::string_view text) {
+  Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(AdaptiveTest, EasyInstanceStaysInPhaseOne) {
+  const GraphDb db = CycleGraph(4, "ab");
+  const EcrpqQuery q =
+      Parse("q() := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)");
+  AdaptiveReport report;
+  Result<EvalResult> r = EvaluateAdaptive(db, q, {}, &report);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->satisfiable);
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_GT(report.phase1_budget, 0u);
+}
+
+TEST(AdaptiveTest, TinyBudgetFallsBackAndStaysCorrect) {
+  const GraphDb db = CycleGraph(6, "ab");
+  const EcrpqQuery q = Parse(
+      "q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2),"
+      " lang(/ababab(a|b)*/, p1)");
+  AdaptiveOptions options;
+  options.budget_factor = 0.001;  // Forces phase-1 abort.
+  AdaptiveReport report;
+  Result<EvalResult> r = EvaluateAdaptive(db, q, options, &report);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(report.fell_back);
+  // Answers must still be exact: compare with the naive oracle.
+  Result<EvalResult> naive = EvaluateNaive(db, q);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(r->satisfiable, naive->satisfiable);
+  EXPECT_EQ(r->answers, naive->answers);
+}
+
+TEST(AdaptiveTest, PspaceRegimeFallsBackToUnboundedGeneric) {
+  const GraphDb db = CycleGraph(3, "ab");
+  const EcrpqQuery q = EqLenStarQuery(kAb, 3).ValueOrDie();
+  AdaptiveOptions options;
+  options.budget_factor = 0.001;
+  AdaptiveReport report;
+  Result<EvalResult> r = EvaluateAdaptive(db, q, options, &report);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_EQ(report.fallback_engine, EngineChoice::kGeneric);
+  EXPECT_FALSE(r->aborted);
+  EXPECT_TRUE(r->satisfiable);
+}
+
+class AdaptiveDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdaptiveDifferentialTest, MatchesNaiveUnderAnyBudget) {
+  Rng rng(GetParam());
+  GraphDb db(kAb);
+  const int n = 2 + static_cast<int>(rng.Below(3));
+  db.AddVertices(n);
+  for (int e = 0; e < 2 * n; ++e) {
+    db.AddEdge(static_cast<VertexId>(rng.Below(n)),
+               static_cast<Symbol>(rng.Below(2)),
+               static_cast<VertexId>(rng.Below(n)));
+  }
+  const EcrpqQuery q =
+      Parse("q(x) := x -[p1]-> y, x -[p2]-> y, prefix(p1, p2)");
+  AdaptiveOptions options;
+  options.budget_factor = (GetParam() % 3 == 0) ? 0.001 : 64.0;
+  Result<EvalResult> adaptive = EvaluateAdaptive(db, q, options);
+  Result<EvalResult> naive = EvaluateNaive(db, q);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status();
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(adaptive->satisfiable, naive->satisfiable) << GetParam();
+  EXPECT_EQ(adaptive->answers, naive->answers) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(DotExportTest, ContainsVerticesEdgesAndNames) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(2);
+  db.AddEdge(0, "a", 1);
+  DotOptions options;
+  options.vertex_names = {"start", "end\"quoted\""};
+  const std::string dot = GraphDbToDot(db, options);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1 [label=\"a\"]"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"start\""), std::string::npos);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrpq

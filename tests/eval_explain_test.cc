@@ -1,0 +1,127 @@
+// Answer explanation: certificates with witness paths, checked by the
+// independent validator.
+#include <gtest/gtest.h>
+
+#include "eval/explain.h"
+#include "graphdb/generators.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+EcrpqQuery Parse(std::string_view text) {
+  Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+GraphDb ForkDb() {
+  GraphDb db(kAb);
+  db.AddVertices(4);
+  db.AddEdge(0, "a", 2);
+  db.AddEdge(1, "b", 2);
+  db.AddEdge(1, "a", 3);
+  db.AddEdge(3, "a", 2);
+  return db;
+}
+
+TEST(ExplainTest, ProducesValidCertificate) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q =
+      Parse("q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2)");
+  Result<std::optional<Explanation>> explanation =
+      ExplainAnswer(db, q, {0, 1});
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  ASSERT_TRUE(explanation->has_value());
+  EXPECT_TRUE(ValidateExplanation(db, q, **explanation).ok());
+  // Paths have equal length by the relation.
+  EXPECT_EQ((**explanation).paths[0].size(), (**explanation).paths[1].size());
+  // And the endpoints match the pinned answer.
+  EXPECT_EQ((**explanation).node_assignment[0], 0u);
+  EXPECT_EQ((**explanation).node_assignment[1], 1u);
+}
+
+TEST(ExplainTest, NonAnswerYieldsNullopt) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q =
+      Parse("q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2)");
+  // (2, 0): from 2 no outgoing edges; only y = 2 works with empty path for
+  // x = 2, but then xp = 0 needs a length-0 path to 2 — impossible.
+  Result<std::optional<Explanation>> explanation =
+      ExplainAnswer(db, q, {2, 0});
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_FALSE(explanation->has_value());
+}
+
+TEST(ExplainTest, ArityAndRangeChecks) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q =
+      Parse("q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2)");
+  EXPECT_FALSE(ExplainAnswer(db, q, {0}).ok());
+  EXPECT_FALSE(ExplainAnswer(db, q, {0, 99}).ok());
+}
+
+TEST(ExplainTest, ValidatorRejectsTamperedCertificates) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q =
+      Parse("q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2)");
+  Result<std::optional<Explanation>> explanation =
+      ExplainAnswer(db, q, {0, 1});
+  ASSERT_TRUE(explanation.ok());
+  ASSERT_TRUE(explanation->has_value());
+  Explanation tampered = **explanation;
+  // Break the endpoint.
+  tampered.node_assignment[2] = 3;
+  EXPECT_FALSE(ValidateExplanation(db, q, tampered).ok());
+  // Break a path edge.
+  Explanation tampered2 = **explanation;
+  ASSERT_FALSE(tampered2.paths[0].empty());
+  tampered2.paths[0][0].symbol = 1;  // 0 -b-> 2 does not exist.
+  EXPECT_FALSE(ValidateExplanation(db, q, tampered2).ok());
+  // Break the relation (unequal lengths) by appending a step to p2's path.
+  Explanation tampered3 = **explanation;
+  tampered3.paths[1].push_back(PathStep{2, 0, 2});
+  EXPECT_FALSE(ValidateExplanation(db, q, tampered3).ok());
+}
+
+TEST(ExplainTest, BooleanQueryExplanation) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q = Parse("q() := x -[/ba|aa/]-> y");
+  Result<std::optional<Explanation>> explanation = ExplainAnswer(db, q, {});
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  ASSERT_TRUE(explanation->has_value());
+  EXPECT_TRUE(ValidateExplanation(db, q, **explanation).ok());
+  EXPECT_EQ((**explanation).paths[0].size(), 2u);
+  // ToString names the variables.
+  const std::string text = (**explanation).ToString(q, db);
+  EXPECT_NE(text.find("x = "), std::string::npos);
+}
+
+TEST(ExplainTest, EmptyPathCertificate) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q = Parse("q(x) := x -[/a*/]-> x");
+  Result<std::optional<Explanation>> explanation = ExplainAnswer(db, q, {1});
+  ASSERT_TRUE(explanation.ok());
+  ASSERT_TRUE(explanation->has_value());
+  EXPECT_TRUE((**explanation).paths[0].empty());  // ε path at vertex 1.
+  EXPECT_TRUE(ValidateExplanation(db, q, **explanation).ok());
+}
+
+TEST(ExplainTest, PinnedEvaluationRespectsPins) {
+  const GraphDb db = ForkDb();
+  const EcrpqQuery q =
+      Parse("q(x, xp) := x -[p1]-> y, xp -[p2]-> y, eqlen(p1, p2)");
+  EvalOptions options;
+  options.pin = {{0, 0}};  // x pinned to vertex 0.
+  Result<EvalResult> r = EvaluateGeneric(db, q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (const auto& answer : r->answers) {
+    EXPECT_EQ(answer[0], 0u);
+  }
+  EXPECT_GT(r->answers.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "eval/merge.h"
+#include "query/abstraction.h"
+#include "query/parser.h"
+#include "structure/measures.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(PlanComponentsTest, GroupsByRelComponent) {
+  // Chain of 4 with eqlen(p0, p1) and eqlen(p2, p3): two 2-tape components.
+  Result<EcrpqQuery> q = ChainEqLenQuery(kAb, 4);
+  ASSERT_TRUE(q.ok()) << q.status();
+  const std::vector<ComponentPlan> plans = PlanComponents(*q);
+  ASSERT_EQ(plans.size(), 2u);
+  for (const ComponentPlan& plan : plans) {
+    EXPECT_EQ(plan.paths.size(), 2u);
+    EXPECT_EQ(plan.machine_components.size(), 1u);
+    EXPECT_EQ(plan.sources.size(), 2u);
+    EXPECT_EQ(plan.targets.size(), 2u);
+  }
+}
+
+TEST(PlanComponentsTest, UnconstrainedPathGetsEmptyComponent) {
+  Result<EcrpqQuery> q =
+      ParseEcrpq("q() := x -[p1]-> y, y -[p2]-> z, eqlen(p1, p1a),"
+                 " x -[p1a]-> y",
+                 kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  const std::vector<ComponentPlan> plans = PlanComponents(*q);
+  ASSERT_EQ(plans.size(), 2u);
+  // One component {p1, p1a} with the eqlen machine, one {p2} with none.
+  bool found_pair = false, found_single = false;
+  for (const ComponentPlan& plan : plans) {
+    if (plan.paths.size() == 2) {
+      EXPECT_EQ(plan.machine_components.size(), 1u);
+      found_pair = true;
+    } else {
+      EXPECT_TRUE(plan.machine_components.empty());
+      found_single = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  EXPECT_TRUE(found_single);
+}
+
+TEST(MergeTest, MergedQueryHasSingleHyperedgeComponents) {
+  // A 3-path component glued by two binary atoms.
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q() := x -[p0]-> y, x -[p1]-> y, x -[p2]-> y,"
+      " eqlen(p0, p1), eq(p1, p2)",
+      kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(CcHedge(QueryAbstraction(*q)), 2);
+
+  Result<EcrpqQuery> merged = MergeQueryComponents(*q);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->rel_atoms().size(), 1u);
+  EXPECT_EQ(merged->relation(0).arity(), 3);
+  // After merging: cc_hedge = 1, same cc_vertex.
+  const TwoLevelGraph g = QueryAbstraction(*merged);
+  EXPECT_EQ(CcHedge(g), 1);
+  EXPECT_EQ(CcVertex(g), 3);
+  // Reachability structure unchanged.
+  EXPECT_EQ(merged->reach_atoms().size(), q->reach_atoms().size());
+}
+
+TEST(MergeTest, MergePreservesVariableNames) {
+  Result<EcrpqQuery> q = ExampleTwoOneQuery(kAb);
+  ASSERT_TRUE(q.ok());
+  Result<EcrpqQuery> merged = MergeQueryComponents(*q);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->NumNodeVars(), q->NumNodeVars());
+  EXPECT_EQ(merged->NodeVarName(0), q->NodeVarName(0));
+  EXPECT_EQ(merged->free_vars(), q->free_vars());
+}
+
+TEST(MergeTest, MergedRelationSemantics) {
+  // eqlen(p0,p1) ∧ eq(p1,p2) joint: |w0| = |w1| and w1 = w2.
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q() := x -[p0]-> y, x -[p1]-> y, x -[p2]-> y,"
+      " eqlen(p0, p1), eq(p1, p2)",
+      kAb);
+  ASSERT_TRUE(q.ok());
+  Result<EcrpqQuery> merged = MergeQueryComponents(*q);
+  ASSERT_TRUE(merged.ok());
+  const SyncRelation& joint = merged->relation(0);
+  // Tape order = sorted path variable ids = (p0, p1, p2).
+  EXPECT_TRUE(joint.Contains(std::vector<Word>{{0, 0}, {1, 0}, {1, 0}}));
+  EXPECT_FALSE(joint.Contains(std::vector<Word>{{0}, {1, 0}, {1, 0}}));
+  EXPECT_FALSE(joint.Contains(std::vector<Word>{{0, 0}, {1, 0}, {1, 1}}));
+}
+
+}  // namespace
+}  // namespace ecrpq

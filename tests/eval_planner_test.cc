@@ -1,0 +1,125 @@
+// The classifier must reproduce the characterization table of
+// Theorems 3.1 / 3.2 on the canonical query families.
+#include <gtest/gtest.h>
+
+#include "eval/planner.h"
+#include "graphdb/generators.h"
+#include "query/builder.h"
+#include "synchro/builders.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(ClassifierTest, ChainEqLenIsTractable) {
+  Result<EcrpqQuery> q = ChainEqLenQuery(kAb, 8);
+  ASSERT_TRUE(q.ok());
+  const QueryClassification c = ClassifyQuery(*q);
+  EXPECT_EQ(c.measures.cc_vertex, 2);
+  EXPECT_EQ(c.measures.cc_hedge, 1);
+  EXPECT_LE(c.measures.treewidth, 2);
+  EXPECT_EQ(c.eval_regime, EvalRegime::kPolynomialTime);
+  EXPECT_EQ(c.param_regime, ParamRegime::kFpt);
+  EXPECT_EQ(c.engine, EngineChoice::kCqReduction);
+}
+
+TEST(ClassifierTest, CliqueCrpqIsNpRegime) {
+  Result<EcrpqQuery> q = CliqueCrpqQuery(kAb, 6, "a*");
+  ASSERT_TRUE(q.ok());
+  const QueryClassification c = ClassifyQuery(*q);
+  EXPECT_EQ(c.measures.cc_vertex, 1);
+  EXPECT_EQ(c.measures.cc_hedge, 1);
+  EXPECT_EQ(c.measures.treewidth, 5);  // K6.
+  EXPECT_EQ(c.eval_regime, EvalRegime::kNp);
+  EXPECT_EQ(c.param_regime, ParamRegime::kW1);
+  EXPECT_TRUE(c.is_crpq);
+  EXPECT_EQ(c.engine, EngineChoice::kCrpqPipeline);
+}
+
+TEST(ClassifierTest, EqLenStarIsPspaceRegime) {
+  Result<EcrpqQuery> q = EqLenStarQuery(kAb, 6);
+  ASSERT_TRUE(q.ok());
+  const QueryClassification c = ClassifyQuery(*q);
+  EXPECT_EQ(c.measures.cc_vertex, 6);
+  EXPECT_EQ(c.measures.cc_hedge, 1);
+  EXPECT_EQ(c.eval_regime, EvalRegime::kPspace);
+  EXPECT_EQ(c.param_regime, ParamRegime::kXnl);
+  EXPECT_EQ(c.engine, EngineChoice::kGeneric);
+}
+
+TEST(ClassifierTest, ManySmallAtomsOnOneComponentIsPspaceByCcHedge) {
+  // cc_hedge grows while cc_vertex stays at 2: p0 related to p1 by many
+  // different binary atoms.
+  EcrpqBuilder builder(kAb);
+  const NodeVarId x = builder.NodeVar("x");
+  const NodeVarId y = builder.NodeVar("y");
+  const PathVarId p0 = builder.PathVar("p0");
+  const PathVarId p1 = builder.PathVar("p1");
+  builder.Reach(x, p0, y);
+  builder.Reach(x, p1, y);
+  for (int i = 0; i < 6; ++i) {
+    Result<SyncRelation> rel = EqualLengthRelation(kAb, 2);
+    ASSERT_TRUE(rel.ok());
+    builder.Relate(
+        std::make_shared<const SyncRelation>(std::move(rel).ValueOrDie()),
+        {p0, p1}, "eqlen");
+  }
+  Result<EcrpqQuery> q = builder.Build();
+  ASSERT_TRUE(q.ok());
+  const QueryClassification c = ClassifyQuery(*q);
+  EXPECT_EQ(c.measures.cc_vertex, 2);
+  EXPECT_EQ(c.measures.cc_hedge, 6);
+  EXPECT_EQ(c.eval_regime, EvalRegime::kPspace);
+  // Parameterized regime only depends on cc_vertex and tw: still FPT.
+  EXPECT_EQ(c.param_regime, ParamRegime::kFpt);
+}
+
+TEST(ClassifierTest, ThresholdsShiftRegimes) {
+  Result<EcrpqQuery> q = EqLenStarQuery(kAb, 3);
+  ASSERT_TRUE(q.ok());
+  PlannerThresholds generous;
+  generous.max_cc_vertex = 4;
+  generous.max_cc_hedge = 4;
+  generous.max_treewidth = 4;
+  EXPECT_EQ(ClassifyQuery(*q, generous).eval_regime,
+            EvalRegime::kPolynomialTime);
+  PlannerThresholds strict;
+  strict.max_cc_vertex = 2;
+  EXPECT_EQ(ClassifyQuery(*q, strict).eval_regime, EvalRegime::kPspace);
+}
+
+TEST(PlannerTest, RoutesAndEvaluates) {
+  GraphDb db = CycleGraph(4, "ab");
+  Result<EcrpqQuery> chain = ChainEqLenQuery(db.alphabet(), 3);
+  ASSERT_TRUE(chain.ok());
+  QueryClassification c;
+  Result<EvalResult> r = EvaluatePlanned(db, *chain, {}, {}, &c);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(c.engine, EngineChoice::kCqReduction);
+  EXPECT_TRUE(r->satisfiable);  // Cycles admit equal-length consecutive hops.
+}
+
+TEST(PlannerTest, ClassificationToStringMentionsRegimes) {
+  Result<EcrpqQuery> q = EqLenStarQuery(kAb, 5);
+  ASSERT_TRUE(q.ok());
+  const QueryClassification c = ClassifyQuery(*q);
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("PSPACE"), std::string::npos);
+  EXPECT_NE(s.find("XNL"), std::string::npos);
+  EXPECT_NE(s.find("cc_vertex=5"), std::string::npos);
+}
+
+TEST(RegimeNamesTest, AllEnumeratorsNamed) {
+  EXPECT_STRNE(EvalRegimeName(EvalRegime::kPolynomialTime), "?");
+  EXPECT_STRNE(EvalRegimeName(EvalRegime::kNp), "?");
+  EXPECT_STRNE(EvalRegimeName(EvalRegime::kPspace), "?");
+  EXPECT_STRNE(ParamRegimeName(ParamRegime::kFpt), "?");
+  EXPECT_STRNE(ParamRegimeName(ParamRegime::kW1), "?");
+  EXPECT_STRNE(ParamRegimeName(ParamRegime::kXnl), "?");
+  EXPECT_STRNE(EngineChoiceName(EngineChoice::kGeneric), "?");
+}
+
+}  // namespace
+}  // namespace ecrpq

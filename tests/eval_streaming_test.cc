@@ -1,0 +1,71 @@
+// Streaming answers from the generic evaluator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/generic_eval.h"
+#include "graphdb/generators.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+EcrpqQuery Parse(std::string_view text) {
+  Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(StreamingTest, CallbackSeesEveryDistinctAnswer) {
+  const GraphDb db = CycleGraph(4, "ab");
+  const EcrpqQuery q =
+      Parse("q(x, y) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)");
+  std::vector<std::vector<VertexId>> streamed;
+  EvalOptions options;
+  options.on_answer = [&](const std::vector<VertexId>& answer) {
+    streamed.push_back(answer);
+    return true;
+  };
+  Result<EvalResult> r = EvaluateGeneric(db, q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(streamed.size(), r->answers.size());
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(streamed, r->answers);
+}
+
+TEST(StreamingTest, CallbackCanStopEarly) {
+  const GraphDb db = CycleGraph(6, "ab");
+  const EcrpqQuery q = Parse("q(x, y) := x -[/a|b/]-> y");
+  int seen = 0;
+  EvalOptions options;
+  options.on_answer = [&](const std::vector<VertexId>&) {
+    return ++seen < 3;
+  };
+  Result<EvalResult> r = EvaluateGeneric(db, q, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(r->answers.size(), 3u);
+  EXPECT_TRUE(r->satisfiable);
+}
+
+TEST(StreamingTest, NoDuplicateCallbacks) {
+  // Many satisfying assignments project to the same answer; the callback
+  // must fire once per distinct projection.
+  const GraphDb db = CycleGraph(3, "aaa");
+  const EcrpqQuery q = Parse("q(x) := x -[p1]-> y, x -[p2]-> z");
+  std::set<std::vector<VertexId>> seen;
+  EvalOptions options;
+  options.on_answer = [&](const std::vector<VertexId>& answer) {
+    EXPECT_TRUE(seen.insert(answer).second) << "duplicate callback";
+    return true;
+  };
+  Result<EvalResult> r = EvaluateGeneric(db, q, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(seen.size(), r->answers.size());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graphdb/generators.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/io.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(GraphDbTest, AddVerticesAndEdges) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(3);
+  EXPECT_EQ(db.NumVertices(), 3);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(1, "b", 2);
+  db.AddEdge(0, static_cast<Symbol>(1), 2);
+  EXPECT_EQ(db.NumEdges(), 3u);
+  EXPECT_TRUE(db.HasEdge(0, 0, 1));
+  EXPECT_TRUE(db.HasEdge(0, 1, 2));
+  EXPECT_FALSE(db.HasEdge(1, 0, 2));
+  ASSERT_EQ(db.OutEdges(0).size(), 2u);
+  ASSERT_EQ(db.InEdges(2).size(), 2u);
+  EXPECT_EQ(db.InEdges(2)[0].to, 1u);  // Tail of the incoming edge.
+}
+
+TEST(GraphDbTest, AppendDisjointRemapsSymbols) {
+  GraphDb a(Alphabet::OfChars("ab"));
+  a.AddVertices(2);
+  a.AddEdge(0, "a", 1);
+  GraphDb b(Alphabet::OfChars("ba"));  // Same names, different ids.
+  b.AddVertices(2);
+  b.AddEdge(0, "b", 1);
+  const VertexId offset = a.AppendDisjoint(b);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(a.NumVertices(), 4);
+  // b's "b" edge must map to a's "b" symbol (id 1 in a).
+  EXPECT_TRUE(a.HasEdge(2, *a.alphabet().Find("b"), 3));
+}
+
+TEST(GeneratorsTest, CycleGraphShape) {
+  const GraphDb db = CycleGraph(4, "ab");
+  EXPECT_EQ(db.NumVertices(), 4);
+  EXPECT_EQ(db.NumEdges(), 4u);
+  // Labels alternate a, b, a, b around the cycle.
+  EXPECT_EQ(db.OutEdges(0)[0].symbol, *db.alphabet().Find("a"));
+  EXPECT_EQ(db.OutEdges(1)[0].symbol, *db.alphabet().Find("b"));
+  EXPECT_EQ(db.OutEdges(3)[0].to, 0u);
+}
+
+TEST(GeneratorsTest, PathGraphShape) {
+  const GraphDb db = PathGraph(5, "a");
+  EXPECT_EQ(db.NumVertices(), 5);
+  EXPECT_EQ(db.NumEdges(), 4u);
+  EXPECT_TRUE(db.OutEdges(4).empty());
+}
+
+TEST(GeneratorsTest, GridGraphDegrees) {
+  const GraphDb db = GridGraph(3, 2);
+  EXPECT_EQ(db.NumVertices(), 6);
+  // Each non-boundary vertex has right+down edges.
+  EXPECT_EQ(db.NumEdges(), static_cast<size_t>(2 * 2 + 3 * 1));  // 4 r + 3 d.
+  EXPECT_EQ(db.OutEdges(0).size(), 2u);
+  EXPECT_TRUE(db.OutEdges(5).empty());
+}
+
+TEST(GeneratorsTest, RandomGraphRespectsParameters) {
+  Rng rng(42);
+  const GraphDb db = RandomGraph(&rng, 50, 3.0, 2);
+  EXPECT_EQ(db.NumVertices(), 50);
+  EXPECT_EQ(db.NumEdges(), 150u);
+  EXPECT_EQ(db.alphabet().size(), 2);
+}
+
+TEST(GeneratorsTest, DfaTransitionGraph) {
+  Dfa dfa(2, {0, 1});
+  dfa.SetInitial(0);
+  dfa.SetNext(0, 0, 1);
+  dfa.SetNext(0, 1, 0);
+  dfa.SetNext(1, 0, 0);
+  dfa.SetNext(1, 1, 1);
+  const GraphDb db = DfaTransitionGraph(dfa, Alphabet::OfChars("ab"));
+  EXPECT_EQ(db.NumVertices(), 2);
+  EXPECT_EQ(db.NumEdges(), 4u);
+  EXPECT_TRUE(db.HasEdge(0, 0, 1));
+  EXPECT_TRUE(db.HasEdge(1, 1, 1));
+}
+
+TEST(GraphDbIoTest, RoundTrip) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(3);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(1, "b", 2);
+  db.AddEdge(2, "a", 0);
+  const std::string text = GraphDbToString(db);
+  Result<GraphDb> parsed = GraphDbFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NumVertices(), 3);
+  EXPECT_EQ(parsed->NumEdges(), 3u);
+  EXPECT_TRUE(parsed->HasEdge(2, *parsed->alphabet().Find("a"), 0));
+}
+
+TEST(GraphDbIoTest, RejectsMalformed) {
+  EXPECT_FALSE(GraphDbFromString("edge 0 a 1\n").ok());
+  EXPECT_FALSE(GraphDbFromString("vertices 2\nedge 0 a 5\n").ok());
+  EXPECT_FALSE(GraphDbFromString("vertices 2\nnonsense\n").ok());
+  EXPECT_FALSE(GraphDbFromString("").ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

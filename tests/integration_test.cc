@@ -1,0 +1,113 @@
+// End-to-end flows gluing the text formats, the parser, the planner, the
+// engines and the satisfiability checker — the paths a downstream user
+// actually exercises.
+#include <gtest/gtest.h>
+
+#include "eval/adaptive.h"
+#include "eval/planner.h"
+#include "eval/satisfiability.h"
+#include "eval/uecrpq.h"
+#include "graphdb/dot.h"
+#include "graphdb/io.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr const char* kGraphText =
+    "# a small two-line metro\n"
+    "alphabet m g\n"
+    "vertices 5\n"
+    "edge 0 m 2\n"
+    "edge 1 g 2\n"
+    "edge 2 m 3\n"
+    "edge 2 g 4\n"
+    "edge 3 m 4\n";
+
+TEST(IntegrationTest, TextToAnswersRoundTrip) {
+  Result<GraphDb> db = GraphDbFromString(kGraphText);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->NumVertices(), 5);
+  EXPECT_EQ(db->NumEdges(), 5u);
+
+  // Serialize and re-parse: structure preserved.
+  Result<GraphDb> twice = GraphDbFromString(GraphDbToString(*db));
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->NumEdges(), db->NumEdges());
+
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x, y) := x -[p1]-> m, y -[p2]-> m, eqlen(p1, p2)", db->alphabet());
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  QueryClassification c;
+  Result<EvalResult> r = EvaluatePlanned(*db, *q, {}, {}, &c);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->satisfiable);
+  EXPECT_EQ(c.eval_regime, EvalRegime::kPolynomialTime);
+  // (0, 1) must be there: both reach 2 in one step.
+  EXPECT_NE(std::find(r->answers.begin(), r->answers.end(),
+                      std::vector<VertexId>{0, 1}),
+            r->answers.end());
+}
+
+TEST(IntegrationTest, AllEnginesAgreeOnTheMetro) {
+  Result<GraphDb> db = GraphDbFromString(kGraphText);
+  ASSERT_TRUE(db.ok());
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x) := x -[p1]-> a, x -[p2]-> b, prefix(p1, p2)", db->alphabet());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Result<EvalResult> generic = EvaluateGeneric(*db, *q);
+  Result<EvalResult> planned = EvaluatePlanned(*db, *q);
+  Result<EvalResult> adaptive = EvaluateAdaptive(*db, *q);
+  ASSERT_TRUE(generic.ok());
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(generic->answers, planned->answers);
+  EXPECT_EQ(generic->answers, adaptive->answers);
+}
+
+TEST(IntegrationTest, SatWitnessFeedsBackIntoEvaluation) {
+  const Alphabet alphabet = Alphabet::OfChars("mg");
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q() := x -[p1]-> y, y -[p2]-> z, eqlen(p1, p2), lang(/mgm/, p1),"
+      " lang(/g(m|g)*/, p2)",
+      alphabet);
+  ASSERT_TRUE(q.ok()) << q.status();
+  Result<SatisfiabilityResult> sat = CheckSatisfiable(*q);
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  ASSERT_TRUE(sat->satisfiable);
+  // Round-trip the witness through the text format, then evaluate.
+  Result<GraphDb> db = GraphDbFromString(GraphDbToString(*sat->witness));
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<EvalResult> check = EvaluateGeneric(*db, *q);
+  ASSERT_TRUE(check.ok()) << check.status();
+  EXPECT_TRUE(check->satisfiable);
+}
+
+TEST(IntegrationTest, UnionOverTextualDisjuncts) {
+  Result<GraphDb> db = GraphDbFromString(kGraphText);
+  ASSERT_TRUE(db.ok());
+  UecrpqQuery u;
+  for (const char* text :
+       {"q(x) := x -[/mm/]-> y", "q(x) := x -[/gg/]-> y"}) {
+    Result<EcrpqQuery> q = ParseEcrpq(text, db->alphabet());
+    ASSERT_TRUE(q.ok()) << q.status();
+    u.disjuncts.push_back(std::move(q).ValueOrDie());
+  }
+  Result<EvalResult> r = EvaluateUnion(*db, u);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // mm from 0 (0-m->2-m->3); gg from 1 (1-g->2-g->4).
+  EXPECT_EQ(r->answers,
+            (std::vector<std::vector<VertexId>>{{0}, {1}, {2}}));
+}
+
+TEST(IntegrationTest, DotOutputForTheMetro) {
+  Result<GraphDb> db = GraphDbFromString(kGraphText);
+  ASSERT_TRUE(db.ok());
+  const std::string dot = GraphDbToDot(*db);
+  EXPECT_NE(dot.find("v0 -> v2 [label=\"m\"]"), std::string::npos);
+  EXPECT_NE(dot.find("v2 -> v4 [label=\"g\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,154 @@
+// Metamorphic properties of evaluation: semantics-preserving transformations
+// of queries and databases must not change answers.
+#include <gtest/gtest.h>
+
+#include "eval/generic_eval.h"
+#include "eval/merge.h"
+#include "eval/planner.h"
+#include "graphdb/generators.h"
+#include "query/builder.h"
+#include "query/parser.h"
+#include "synchro/builders.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+std::shared_ptr<const SyncRelation> Shared(Result<SyncRelation> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::make_shared<const SyncRelation>(std::move(r).ValueOrDie());
+}
+
+EcrpqQuery Parse(std::string_view text) {
+  Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  GraphDb RandomDb() {
+    Rng rng(GetParam());
+    GraphDb db(kAb);
+    const int n = 3 + static_cast<int>(rng.Below(3));
+    db.AddVertices(n);
+    const int edges = 3 + static_cast<int>(rng.Below(2 * n));
+    for (int e = 0; e < edges; ++e) {
+      db.AddEdge(static_cast<VertexId>(rng.Below(n)),
+                 static_cast<Symbol>(rng.Below(2)),
+                 static_cast<VertexId>(rng.Below(n)));
+    }
+    return db;
+  }
+};
+
+TEST_P(MetamorphicTest, AddingUniversalAtomIsNoOp) {
+  const GraphDb db = RandomDb();
+  const EcrpqQuery base =
+      Parse("q(x) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)");
+  const EcrpqQuery with_universal = Parse(
+      "q(x) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2), universal(p1, p2)");
+  Result<EvalResult> a = EvaluateGeneric(db, base);
+  Result<EvalResult> b = EvaluateGeneric(db, with_universal);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+}
+
+TEST_P(MetamorphicTest, MergedQueryIsEquivalent) {
+  const GraphDb db = RandomDb();
+  const EcrpqQuery q = Parse(
+      "q(x) := x -[p0]-> y, x -[p1]-> y, y -[p2]-> z,"
+      " eqlen(p0, p1), prefix(p1, p2)");
+  Result<EcrpqQuery> merged = MergeQueryComponents(q);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  Result<EvalResult> a = EvaluateGeneric(db, q);
+  Result<EvalResult> b = EvaluateGeneric(db, *merged);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers) << "seed " << GetParam();
+}
+
+TEST_P(MetamorphicTest, DisjointUnionPreservesAnswers) {
+  // Answers on D are preserved (as a subset with the same ids) when a
+  // disjoint copy of another graph is appended.
+  const GraphDb db = RandomDb();
+  GraphDb bigger = db;
+  bigger.AppendDisjoint(CycleGraph(3, "ab"));
+  const EcrpqQuery q =
+      Parse("q(x, y) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)");
+  Result<EvalResult> small = EvaluateGeneric(db, q);
+  Result<EvalResult> big = EvaluateGeneric(bigger, q);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  // Every answer over the original vertices must persist, and no new answer
+  // may mention only original vertices without having existed before.
+  const VertexId n = static_cast<VertexId>(db.NumVertices());
+  std::vector<std::vector<VertexId>> big_restricted;
+  for (const auto& answer : big->answers) {
+    bool original = true;
+    for (VertexId v : answer) original = original && (v < n);
+    if (original) big_restricted.push_back(answer);
+  }
+  EXPECT_EQ(small->answers, big_restricted) << "seed " << GetParam();
+}
+
+TEST_P(MetamorphicTest, EdgeAdditionIsMonotone) {
+  const GraphDb db = RandomDb();
+  GraphDb bigger = db;
+  Rng rng(GetParam() * 31 + 7);
+  bigger.AddEdge(static_cast<VertexId>(rng.Below(db.NumVertices())),
+                 static_cast<Symbol>(rng.Below(2)),
+                 static_cast<VertexId>(rng.Below(db.NumVertices())));
+  const EcrpqQuery q =
+      Parse("q(x, y) := x -[p1]-> y, x -[p2]-> y, eq(p1, p2)");
+  Result<EvalResult> before = EvaluateGeneric(db, q);
+  Result<EvalResult> after = EvaluateGeneric(bigger, q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  // Positive queries are monotone under edge additions.
+  for (const auto& answer : before->answers) {
+    EXPECT_NE(std::find(after->answers.begin(), after->answers.end(), answer),
+              after->answers.end())
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(MetamorphicTest, RelationAtomOrderIrrelevant) {
+  const GraphDb db = RandomDb();
+  const EcrpqQuery q1 = Parse(
+      "q() := x -[p0]-> y, x -[p1]-> y, eqlen(p0, p1), prefix(p0, p1)");
+  const EcrpqQuery q2 = Parse(
+      "q() := x -[p0]-> y, x -[p1]-> y, prefix(p0, p1), eqlen(p0, p1)");
+  Result<EvalResult> a = EvaluateGeneric(db, q1);
+  Result<EvalResult> b = EvaluateGeneric(db, q2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->satisfiable, b->satisfiable);
+}
+
+TEST_P(MetamorphicTest, StricterRelationShrinksAnswers) {
+  // eq ⊆ eqlen: answers under eq must be a subset of answers under eqlen.
+  const GraphDb db = RandomDb();
+  const EcrpqQuery strict =
+      Parse("q(x, y) := x -[p1]-> y, x -[p2]-> y, eq(p1, p2)");
+  const EcrpqQuery loose =
+      Parse("q(x, y) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)");
+  Result<EvalResult> a = EvaluateGeneric(db, strict);
+  Result<EvalResult> b = EvaluateGeneric(db, loose);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& answer : a->answers) {
+    EXPECT_NE(std::find(b->answers.begin(), b->answers.end(), answer),
+              b->answers.end())
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace ecrpq

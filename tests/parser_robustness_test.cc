@@ -1,0 +1,88 @@
+// Robustness: arbitrary byte soup into every text-format parser must yield
+// a Status error or a valid object — never a crash.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "automata/io.h"
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "graphdb/io.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+std::string RandomBytes(Rng* rng, int max_len, std::string_view charset) {
+  std::string out;
+  const int len = static_cast<int>(rng->Below(max_len + 1));
+  for (int i = 0; i < len; ++i) {
+    out += charset[rng->Below(charset.size())];
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, QueryParserNeverCrashes) {
+  Rng rng(GetParam());
+  const Alphabet alphabet = Alphabet::OfChars("ab");
+  constexpr std::string_view kCharset =
+      "abxyzpq()[]-<>,/:=* \t0123456789eqlnprefixhamg";
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = RandomBytes(&rng, 60, kCharset);
+    Result<EcrpqQuery> q = ParseEcrpq(text, alphabet);
+    if (q.ok()) {
+      // Whatever parsed must re-parse from its own rendering.
+      Result<EcrpqQuery> again = ParseEcrpq(q->ToString(), alphabet);
+      EXPECT_TRUE(again.ok()) << text << " -> " << q->ToString();
+    }
+  }
+}
+
+TEST_P(FuzzTest, RegexParserNeverCrashes) {
+  Rng rng(GetParam() + 100);
+  constexpr std::string_view kCharset = "ab()|*+?.\\";
+  for (int i = 0; i < 300; ++i) {
+    const std::string pattern = RandomBytes(&rng, 25, kCharset);
+    Alphabet alphabet = Alphabet::OfChars("ab");
+    Result<Nfa> nfa = CompileRegex(pattern, &alphabet);
+    if (nfa.ok()) {
+      // Compiled regexes accept only words over their alphabet.
+      EXPECT_FALSE(nfa->Accepts(std::vector<Label>{999}));
+    }
+  }
+}
+
+TEST_P(FuzzTest, GraphParserNeverCrashes) {
+  Rng rng(GetParam() + 200);
+  constexpr std::string_view kCharset =
+      "abcdefgh vertices edge alphabet\n0123456789#";
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = RandomBytes(&rng, 80, kCharset);
+    Result<GraphDb> db = GraphDbFromString(text);
+    if (db.ok()) {
+      Result<GraphDb> again = GraphDbFromString(GraphDbToString(*db));
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, NfaParserNeverCrashes) {
+  Rng rng(GetParam() + 300);
+  constexpr std::string_view kCharset =
+      "states initial accepting trans eps\n0123456789 ";
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = RandomBytes(&rng, 80, kCharset);
+    Result<Nfa> nfa = NfaFromString(text);
+    if (nfa.ok()) {
+      Result<Nfa> again = NfaFromString(NfaToString(*nfa));
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ecrpq

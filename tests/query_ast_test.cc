@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "query/abstraction.h"
+#include "query/builder.h"
+#include "query/validate.h"
+#include "synchro/builders.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+std::shared_ptr<const SyncRelation> Shared(Result<SyncRelation> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::make_shared<const SyncRelation>(std::move(r).ValueOrDie());
+}
+
+TEST(BuilderTest, VariablesInternedByName) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x1 = b.NodeVar("x");
+  const NodeVarId x2 = b.NodeVar("x");
+  const NodeVarId y = b.NodeVar("y");
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+  EXPECT_EQ(b.PathVar("p"), b.PathVar("p"));
+}
+
+TEST(BuilderTest, BuildsExampleTwoOne) {
+  Result<EcrpqQuery> q = ExampleTwoOneQuery(kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumNodeVars(), 3);
+  EXPECT_EQ(q->NumPathVars(), 2);
+  EXPECT_EQ(q->free_vars().size(), 2u);
+  EXPECT_FALSE(q->IsBoolean());
+  EXPECT_FALSE(q->IsCrpq());  // Binary eq-len relation.
+  EXPECT_NE(q->ToString().find("eqlen(pi1, pi2)"), std::string::npos);
+}
+
+TEST(ValidateTest, PathVarMustAppearExactlyOnce) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const NodeVarId y = b.NodeVar("y");
+  const PathVarId p = b.PathVar("p");
+  // Zero reachability atoms for p.
+  b.Relate(Shared(EqualLengthRelation(kAb, 1)), {p});
+  EXPECT_FALSE(b.Build().ok());
+  // Two reachability atoms for p.
+  b.Reach(x, p, y);
+  b.Reach(y, p, x);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, ArityMismatchRejected) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const PathVarId p = b.PathVar("p");
+  b.Reach(x, p, x);
+  b.Relate(Shared(EqualLengthRelation(kAb, 2)), {p});  // Arity 2, one path.
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RepeatedPathVarInAtomRejected) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const PathVarId p = b.PathVar("p");
+  b.Reach(x, p, x);
+  b.Relate(Shared(EqualLengthRelation(kAb, 2)), {p, p});
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, AlphabetMismatchRejected) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const PathVarId p = b.PathVar("p");
+  b.Reach(x, p, x);
+  b.Relate(Shared(EqualLengthRelation(Alphabet::OfChars("abc"), 1)), {p});
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, IsCrpqDetection) {
+  // One unary language atom per path variable => CRPQ.
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const NodeVarId y = b.NodeVar("y");
+  Result<PathVarId> p = b.ReachRegex(x, "a*b", y);
+  ASSERT_TRUE(p.ok());
+  Result<EcrpqQuery> q = b.Build();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->IsCrpq());
+
+  // A path variable in two relation atoms is not a CRPQ.
+  EcrpqBuilder b2(kAb);
+  const NodeVarId x2 = b2.NodeVar("x");
+  const PathVarId p2 = b2.PathVar("p");
+  b2.Reach(x2, p2, x2);
+  b2.Relate(Shared(EqualLengthRelation(kAb, 1)), {p2});
+  b2.Relate(Shared(EqualLengthRelation(kAb, 1)), {p2});
+  Result<EcrpqQuery> q2 = b2.Build();
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_FALSE(q2->IsCrpq());
+}
+
+TEST(BuilderTest, ReachRegexRejectsForeignSymbols) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const NodeVarId y = b.NodeVar("y");
+  EXPECT_FALSE(b.ReachRegex(x, "a*z", y).ok());
+}
+
+TEST(AbstractionTest, ExampleTwoOneAbstraction) {
+  Result<EcrpqQuery> q = ExampleTwoOneQuery(kAb);
+  ASSERT_TRUE(q.ok());
+  const TwoLevelGraph g = QueryAbstraction(*q);
+  EXPECT_EQ(g.num_vertices, 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.NumHyperedges(), 1);  // The eq-len atom; no singletons needed.
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(AbstractionTest, ImplicitUniversalSingletons) {
+  EcrpqBuilder b(kAb);
+  const NodeVarId x = b.NodeVar("x");
+  const NodeVarId y = b.NodeVar("y");
+  const PathVarId p = b.PathVar("p");  // Unconstrained.
+  b.Reach(x, p, y);
+  Result<EcrpqQuery> q = b.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(QueryAbstraction(*q, true).NumHyperedges(), 1);
+  EXPECT_EQ(QueryAbstraction(*q, false).NumHyperedges(), 0);
+}
+
+TEST(AbstractionTest, CrpqGaifmanGraph) {
+  Result<EcrpqQuery> q = CliqueCrpqQuery(kAb, 4, "a*");
+  ASSERT_TRUE(q.ok());
+  const SimpleGraph g = CrpqGaifmanGraph(*q);
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 6u);  // Complete graph K4.
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(ParserTest, ParsesExampleTwoOne) {
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x, xp) := x -[pi1]-> y, xp -[pi2]-> y, eqlen(pi1, pi2)", kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumNodeVars(), 3);
+  EXPECT_EQ(q->NumPathVars(), 2);
+  EXPECT_EQ(q->free_vars().size(), 2u);
+  EXPECT_EQ(q->reach_atoms().size(), 2u);
+  EXPECT_EQ(q->rel_atoms().size(), 1u);
+  EXPECT_EQ(q->relation(0).arity(), 2);
+}
+
+TEST(ParserTest, BooleanQueryEmptyHead) {
+  Result<EcrpqQuery> q = ParseEcrpq("q() := x -[p]-> y, lang(/a*b/, p)", kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->IsBoolean());
+  EXPECT_TRUE(q->IsCrpq());
+}
+
+TEST(ParserTest, RegexSugarCreatesFreshPathVar) {
+  Result<EcrpqQuery> q = ParseEcrpq("q(x) := x -[/ab*/]-> y", kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumPathVars(), 1);
+  EXPECT_EQ(q->rel_atoms().size(), 1u);
+  EXPECT_TRUE(q->IsCrpq());
+}
+
+TEST(ParserTest, AllBuiltinRelations) {
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q() := x -[p1]-> y, x -[p2]-> y, x -[p3]-> y,"
+      " eq(p1, p2), eqlen(p2, p3), prefix(p1, p3), lexleq(p1, p2),"
+      " universal(p1, p2, p3), hamming(2, p1, p2), edit(1, p2, p3)",
+      kAb);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->rel_atoms().size(), 7u);
+}
+
+TEST(ParserTest, ErrorsArePositioned) {
+  EXPECT_FALSE(ParseEcrpq("q( := x -[p]-> y", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> ", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> y, frob(p)", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> y, eq(p", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[/a*/-> y", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> y extra", kAb).ok());
+}
+
+TEST(ParserTest, RegexOutsideAlphabetRejected) {
+  EXPECT_FALSE(ParseEcrpq("q() := x -[/c*/]-> y", kAb).ok());
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> y, lang(/zz/, p)", kAb).ok());
+}
+
+TEST(ParserTest, ValidationAppliesAfterParsing) {
+  // p used in a relation atom but no reachability atom.
+  EXPECT_FALSE(ParseEcrpq("q() := x -[q1]-> y, eqlen(q1, q2)", kAb).ok());
+  // Repeated path variable within an atom.
+  EXPECT_FALSE(ParseEcrpq("q() := x -[p]-> y, eq(p, p)", kAb).ok());
+}
+
+TEST(ParserTest, HammingAndEditArities) {
+  EXPECT_FALSE(
+      ParseEcrpq("q() := x -[p]-> y, hamming(1, p)", kAb).ok());
+  EXPECT_FALSE(
+      ParseEcrpq("q() := x -[p]-> y, edit(p, p)", kAb).ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x) := x -[pi1]-> y, x -[pi2]-> y, eqlen(pi1, pi2)", kAb);
+  ASSERT_TRUE(q.ok());
+  Result<EcrpqQuery> q2 = ParseEcrpq(q->ToString(), kAb);
+  ASSERT_TRUE(q2.ok()) << q2.status() << " for " << q->ToString();
+  EXPECT_EQ(q->NumNodeVars(), q2->NumNodeVars());
+  EXPECT_EQ(q->NumPathVars(), q2->NumPathVars());
+  EXPECT_EQ(q->reach_atoms().size(), q2->reach_atoms().size());
+  EXPECT_EQ(q->rel_atoms().size(), q2->rel_atoms().size());
+}
+
+}  // namespace
+}  // namespace ecrpq

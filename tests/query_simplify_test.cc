@@ -1,0 +1,117 @@
+// Query simplification: semantics preserved, regime improved.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/generic_eval.h"
+#include "eval/planner.h"
+#include "graphdb/generators.h"
+#include "query/parser.h"
+#include "query/simplify.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+EcrpqQuery Parse(std::string_view text) {
+  Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+TEST(SimplifyTest, DropsUniversalBinaryAtom) {
+  // The universal atom glues p1 and p2 into one component (ccv = 2,
+  // PSPACE-looking); dropping it makes the query a plain CRPQ.
+  const EcrpqQuery q = Parse(
+      "q() := x -[p1]-> y, y -[p2]-> z, universal(p1, p2),"
+      " lang(/a*/, p1), lang(/b*/, p2)");
+  const QueryClassification before = ClassifyQuery(q);
+  EXPECT_EQ(before.measures.cc_vertex, 2);
+  EXPECT_FALSE(before.is_crpq);
+
+  SimplifyStats stats;
+  Result<EcrpqQuery> simplified = SimplifyQuery(q, {}, &stats);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_EQ(stats.dropped_universal_atoms, 1);
+  const QueryClassification after = ClassifyQuery(*simplified);
+  EXPECT_EQ(after.measures.cc_vertex, 1);
+  EXPECT_TRUE(after.is_crpq);
+}
+
+TEST(SimplifyTest, MergesUnaryAtomsIntoCrpq) {
+  // Two language atoms on one path variable: formally not a CRPQ.
+  const EcrpqQuery q = Parse(
+      "q() := x -[p]-> y, lang(/a*b/, p), lang(/(a|b)(a|b)/, p)");
+  EXPECT_FALSE(q.IsCrpq());
+  SimplifyStats stats;
+  Result<EcrpqQuery> simplified = SimplifyQuery(q, {}, &stats);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_EQ(stats.merged_unary_atoms, 1);
+  EXPECT_TRUE(simplified->IsCrpq());
+  EXPECT_EQ(simplified->rel_atoms().size(), 1u);
+  // The merged language is a*b ∩ (a|b)^2 = {ab}.
+  EXPECT_TRUE(simplified->relation(0).Contains(
+      std::vector<Word>{{0, 1}}));
+  EXPECT_FALSE(simplified->relation(0).Contains(
+      std::vector<Word>{{1, 1}}));  // bb is not in a*b.
+  EXPECT_FALSE(simplified->relation(0).Contains(
+      std::vector<Word>{{1}}));
+}
+
+TEST(SimplifyTest, ReducesRelationStates) {
+  const EcrpqQuery q =
+      Parse("q() := x -[p]-> y, lang(/(a|b)*(ab|ba)(a|b)*/, p)");
+  SimplifyStats stats;
+  Result<EcrpqQuery> simplified = SimplifyQuery(q, {}, &stats);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_LT(stats.relation_states_after, stats.relation_states_before);
+}
+
+TEST(SimplifyTest, UniversalityCapIsConservative) {
+  const EcrpqQuery q = Parse(
+      "q() := x -[p1]-> y, x -[p2]-> y, x -[p3]-> y, x -[p4]-> y,"
+      " universal(p1, p2, p3, p4)");
+  SimplifyOptions options;
+  options.max_universality_arity = 3;  // Atom has arity 4: skipped.
+  SimplifyStats stats;
+  Result<EcrpqQuery> simplified = SimplifyQuery(q, options, &stats);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(stats.dropped_universal_atoms, 0);
+  EXPECT_EQ(simplified->rel_atoms().size(), 1u);
+  // With a higher cap it is detected.
+  options.max_universality_arity = 4;
+  simplified = SimplifyQuery(q, options, &stats);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(stats.dropped_universal_atoms, 1);
+}
+
+class SimplifyDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyDifferentialTest, SemanticsPreserved) {
+  Rng rng(GetParam());
+  GraphDb db(kAb);
+  const int n = 3 + static_cast<int>(rng.Below(3));
+  db.AddVertices(n);
+  for (int e = 0; e < 2 * n; ++e) {
+    db.AddEdge(static_cast<VertexId>(rng.Below(n)),
+               static_cast<Symbol>(rng.Below(2)),
+               static_cast<VertexId>(rng.Below(n)));
+  }
+  const EcrpqQuery q = Parse(
+      "q(x) := x -[p1]-> y, y -[p2]-> z, universal(p1, p2),"
+      " lang(/a(a|b)*/, p1), lang(/(a|b)*/, p1), eqlen(p1, p2)");
+  Result<EcrpqQuery> simplified = SimplifyQuery(q);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  Result<EvalResult> before = EvaluateGeneric(db, q);
+  Result<EvalResult> after = EvaluateGeneric(db, *simplified);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->satisfiable, after->satisfiable) << GetParam();
+  EXPECT_EQ(before->answers, after->answers) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace ecrpq

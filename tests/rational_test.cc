@@ -1,0 +1,127 @@
+// Rational relations (transducers) and the §1 hierarchy: semantics of the
+// non-synchronous examples plus differential agreement with SyncRelation
+// on the relations in both classes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "synchro/builders.h"
+#include "synchro/rational.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+Word RandomWordOf(Rng* rng, int max_len) {
+  Word w(rng->Below(max_len + 1));
+  for (Symbol& s : w) s = static_cast<Symbol>(rng->Below(2));
+  return w;
+}
+
+bool IsSuffix(const Word& u, const Word& v) {
+  return u.size() <= v.size() &&
+         std::equal(u.rbegin(), u.rend(), v.rbegin());
+}
+
+bool IsFactor(const Word& u, const Word& v) {
+  if (u.empty()) return true;
+  if (u.size() > v.size()) return false;
+  for (size_t start = 0; start + u.size() <= v.size(); ++start) {
+    if (std::equal(u.begin(), u.end(), v.begin() + start)) return true;
+  }
+  return false;
+}
+
+bool IsSubword(const Word& u, const Word& v) {
+  size_t i = 0;
+  for (size_t j = 0; j < v.size() && i < u.size(); ++j) {
+    if (u[i] == v[j]) ++i;
+  }
+  return i == u.size();
+}
+
+TEST(TransducerTest, ValidationOfTransitions) {
+  Transducer t(kAb);
+  const StateId s = t.AddState();
+  EXPECT_FALSE(t.AddTransition(s, std::nullopt, std::nullopt, s).ok());
+  EXPECT_FALSE(t.AddTransition(s, Symbol{9}, std::nullopt, s).ok());
+  EXPECT_TRUE(t.AddTransition(s, Symbol{0}, std::nullopt, s).ok());
+}
+
+TEST(TransducerTest, SuffixSemantics) {
+  const Transducer t = SuffixTransducer(kAb);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const Word u = RandomWordOf(&rng, 5);
+    const Word v = RandomWordOf(&rng, 5);
+    ASSERT_EQ(t.Contains(u, v), IsSuffix(u, v)) << "iteration " << i;
+  }
+}
+
+TEST(TransducerTest, FactorSemantics) {
+  const Transducer t = FactorTransducer(kAb);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const Word u = RandomWordOf(&rng, 4);
+    const Word v = RandomWordOf(&rng, 6);
+    ASSERT_EQ(t.Contains(u, v), IsFactor(u, v)) << "iteration " << i;
+  }
+}
+
+TEST(TransducerTest, SubwordSemantics) {
+  const Transducer t = SubwordTransducer(kAb);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Word u = RandomWordOf(&rng, 4);
+    const Word v = RandomWordOf(&rng, 6);
+    ASSERT_EQ(t.Contains(u, v), IsSubword(u, v)) << "iteration " << i;
+  }
+}
+
+TEST(TransducerTest, PrefixAgreesWithSynchronousPrefix) {
+  // Prefix is in Rational ∩ Synchronous: the transducer and the
+  // synchronous relation must agree everywhere.
+  const Transducer t = PrefixTransducer(kAb);
+  Result<SyncRelation> sync = PrefixRelation(kAb);
+  ASSERT_TRUE(sync.ok());
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const Word u = RandomWordOf(&rng, 5);
+    const Word v = RandomWordOf(&rng, 5);
+    ASSERT_EQ(t.Contains(u, v), sync->Contains(std::vector<Word>{u, v}))
+        << "iteration " << i;
+  }
+}
+
+TEST(TransducerTest, IdentityAgreesWithEquality) {
+  const Transducer t = IdentityTransducer(kAb);
+  Result<SyncRelation> eq = EqualityRelation(kAb, 2);
+  ASSERT_TRUE(eq.ok());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Word u = RandomWordOf(&rng, 5);
+    const Word v = rng.Chance(0.5) ? u : RandomWordOf(&rng, 5);
+    ASSERT_EQ(t.Contains(u, v), eq->Contains(std::vector<Word>{u, v}));
+  }
+}
+
+TEST(TransducerTest, HierarchyWitness) {
+  // The suffix relation relates (b, ab) but no synchronous lockstep
+  // automaton can: this is the textbook witness that Synchronous ⊊
+  // Rational. We verify the rational side accepts the witness family
+  // (u, a^n u) for growing n — the unbounded "shift" a synchronous
+  // automaton cannot absorb.
+  const Transducer t = SuffixTransducer(kAb);
+  Word u = {1, 0, 1};  // bab.
+  Word v = u;
+  for (int n = 0; n < 10; ++n) {
+    ASSERT_TRUE(t.Contains(u, v)) << "shift " << n;
+    v.insert(v.begin(), 0);  // Prepend 'a'.
+  }
+  ASSERT_FALSE(t.Contains(v, u));
+}
+
+}  // namespace
+}  // namespace ecrpq

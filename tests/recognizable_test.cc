@@ -1,0 +1,144 @@
+// Recognizable relations and the CRPQ+Recognizable ≡ UCRPQ collapse
+// (paper §1).
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "eval/generic_eval.h"
+#include "eval/uecrpq.h"
+#include "graphdb/generators.h"
+#include "query/recognizable.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+Nfa Compile(std::string_view pattern) {
+  Alphabet scratch = kAb;
+  Result<Nfa> nfa = CompileRegex(pattern, &scratch);
+  EXPECT_TRUE(nfa.ok()) << nfa.status();
+  return std::move(nfa).ValueOrDie();
+}
+
+// (a* × b*) ∪ (ab × ba): a 2-product binary recognizable relation.
+RecognizableRelation SampleRelation() {
+  std::vector<RecognizableRelation::Product> products(2);
+  products[0].languages.push_back(Compile("a*"));
+  products[0].languages.push_back(Compile("b*"));
+  products[1].languages.push_back(Compile("ab"));
+  products[1].languages.push_back(Compile("ba"));
+  Result<RecognizableRelation> rel =
+      RecognizableRelation::Create(kAb, 2, std::move(products));
+  EXPECT_TRUE(rel.ok()) << rel.status();
+  return std::move(rel).ValueOrDie();
+}
+
+TEST(RecognizableTest, ContainsUnionOfProducts) {
+  const RecognizableRelation rel = SampleRelation();
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 0}, {1}}));     // a*×b*.
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{}, {}}));          // ε, ε.
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 1}, {1, 0}}));  // ab, ba.
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{1}, {1}}));
+}
+
+TEST(RecognizableTest, CreateValidates) {
+  std::vector<RecognizableRelation::Product> products(1);
+  products[0].languages.push_back(Compile("a*"));
+  // Arity mismatch: one language, arity 2.
+  EXPECT_FALSE(RecognizableRelation::Create(kAb, 2, products).ok());
+  EXPECT_FALSE(RecognizableRelation::Create(kAb, 0, {}).ok());
+}
+
+TEST(RecognizableTest, ToSynchronousAgreesOnSamples) {
+  const RecognizableRelation rel = SampleRelation();
+  Result<SyncRelation> sync = rel.ToSynchronous();
+  ASSERT_TRUE(sync.ok()) << sync.status();
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Word> tuple(2);
+    for (Word& w : tuple) {
+      w.resize(rng.Below(5));
+      for (Symbol& s : w) s = static_cast<Symbol>(rng.Below(2));
+    }
+    ASSERT_EQ(sync->Contains(tuple), rel.Contains(tuple)) << "iter " << i;
+  }
+}
+
+TEST(RecognizableTest, EmptyUnionIsEmptyRelation) {
+  Result<RecognizableRelation> rel =
+      RecognizableRelation::Create(kAb, 2, {});
+  ASSERT_TRUE(rel.ok());
+  Result<SyncRelation> sync = rel->ToSynchronous();
+  ASSERT_TRUE(sync.ok());
+  EXPECT_TRUE(sync->IsEmpty());
+}
+
+TEST(RecognizableQueryTest, UcrpqExpansionCountsDisjuncts) {
+  RecognizableQuery q(kAb);
+  const NodeVarId x = q.NodeVar("x");
+  const NodeVarId y = q.NodeVar("y");
+  const PathVarId p1 = q.PathVar("p1");
+  const PathVarId p2 = q.PathVar("p2");
+  q.Reach(x, p1, y);
+  q.Reach(y, p2, x);
+  q.Relate(std::make_shared<const RecognizableRelation>(SampleRelation()),
+           {p1, p2});
+  q.Relate(std::make_shared<const RecognizableRelation>(SampleRelation()),
+           {p2, p1});
+  Result<UecrpqQuery> union_query = q.ToUcrpq();
+  ASSERT_TRUE(union_query.ok()) << union_query.status();
+  EXPECT_EQ(union_query->disjuncts.size(), 4u);  // 2 × 2 products.
+  for (const EcrpqQuery& disjunct : union_query->disjuncts) {
+    EXPECT_TRUE(disjunct.IsCrpq());
+  }
+}
+
+class RecognizableEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecognizableEquivalenceTest, UcrpqAndEcrpqFormsAgree) {
+  Rng rng(GetParam());
+  // Random small database.
+  GraphDb db(kAb);
+  const int n = 3 + static_cast<int>(rng.Below(2));
+  db.AddVertices(n);
+  for (int e = 0; e < 3 * n; ++e) {
+    db.AddEdge(static_cast<VertexId>(rng.Below(n)),
+               static_cast<Symbol>(rng.Below(2)),
+               static_cast<VertexId>(rng.Below(n)));
+  }
+
+  RecognizableQuery q(kAb);
+  const NodeVarId x = q.NodeVar("x");
+  const NodeVarId y = q.NodeVar("y");
+  const NodeVarId z = q.NodeVar("z");
+  const PathVarId p1 = q.PathVar("p1");
+  const PathVarId p2 = q.PathVar("p2");
+  q.Reach(x, p1, y);
+  q.Reach(y, p2, z);
+  q.Relate(std::make_shared<const RecognizableRelation>(SampleRelation()),
+           {p1, p2});
+  q.Free({x, z});
+
+  Result<UecrpqQuery> as_union = q.ToUcrpq();
+  ASSERT_TRUE(as_union.ok()) << as_union.status();
+  Result<EcrpqQuery> as_ecrpq = q.ToEcrpq();
+  ASSERT_TRUE(as_ecrpq.ok()) << as_ecrpq.status();
+
+  Result<EvalResult> via_union = EvaluateUnion(db, *as_union);
+  Result<EvalResult> via_ecrpq = EvaluateGeneric(db, *as_ecrpq);
+  ASSERT_TRUE(via_union.ok()) << via_union.status();
+  ASSERT_TRUE(via_ecrpq.ok()) << via_ecrpq.status();
+  EXPECT_EQ(via_union->satisfiable, via_ecrpq->satisfiable)
+      << "seed " << GetParam();
+  EXPECT_EQ(via_union->answers, via_ecrpq->answers) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecognizableEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace ecrpq

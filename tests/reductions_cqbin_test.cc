@@ -1,0 +1,149 @@
+// Lemma 5.3 (p-eval-CQ_bin(C_collapse) ≤fpt p-eval-ECRPQ): D̂ ⊨ q_G must
+// coincide with the relational CQ's satisfiability.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/eval_backtrack.h"
+#include "eval/generic_eval.h"
+#include "query/abstraction.h"
+#include "reductions/cqbin_to_ecrpq.h"
+#include "structure/derived.h"
+
+namespace ecrpq {
+namespace {
+
+// A shape: two node vertices joined by two edges in one component (via a
+// shared hyperedge), plus an independent edge.
+TwoLevelGraph TwoEdgeComponentShape() {
+  TwoLevelGraph shape;
+  shape.num_vertices = 3;
+  shape.first_edges = {{0, 1}, {0, 1}, {1, 2}};
+  shape.hyperedges = {{0, 1}, {2}};
+  return shape;
+}
+
+RelationalDb MakeDb(uint32_t domain,
+                    const std::vector<std::pair<std::string,
+                                                std::vector<std::pair<
+                                                    uint32_t, uint32_t>>>>&
+                        relations) {
+  RelationalDb db(domain);
+  for (const auto& [name, tuples] : relations) {
+    Relation* rel = *db.AddRelation(name, 2);
+    for (const auto& [a, b] : tuples) {
+      rel->Add(std::vector<uint32_t>{a, b});
+    }
+  }
+  db.FinalizeAll();
+  return db;
+}
+
+TEST(CqBinReductionTest, SatisfiableInstance) {
+  // Domain {0, 1, 2}; R = {(0,1)}, S = {(1,2)}, T = {(1,1)}.
+  const RelationalDb rdb = MakeDb(
+      3, {{"R", {{0, 1}}}, {"S", {{1, 2}}}, {"T", {{1, 1}}}});
+  const TwoLevelGraph shape = TwoEdgeComponentShape();
+  // Edge 0: R(x0, y) ∧ S(y, x1); edge 1: T(x0→y? ...).
+  // Use pairs: e0 = (R, S), e1 = (T, T), e2 = (S, T): satisfiable iff some
+  // consistent pivot exists.
+  Result<CqBinReduction> reduction = CqBinToEcrpq(
+      shape, rdb, {{"R", "S"}, {"T", "T"}, {"S", "T"}});
+  ASSERT_TRUE(reduction.ok()) << reduction.status();
+
+  Result<CqEvalResult> cq = CqEvaluateBacktracking(rdb, reduction->cq);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  Result<EvalResult> ecrpq = EvaluateGeneric(reduction->db, reduction->query);
+  ASSERT_TRUE(ecrpq.ok()) << ecrpq.status();
+  EXPECT_EQ(ecrpq->satisfiable, cq->satisfiable);
+}
+
+TEST(CqBinReductionTest, AbstractionMatchesShape) {
+  const RelationalDb rdb = MakeDb(2, {{"R", {{0, 1}}}});
+  const TwoLevelGraph shape = TwoEdgeComponentShape();
+  Result<CqBinReduction> reduction =
+      CqBinToEcrpq(shape, rdb, {{"R", "R"}, {"R", "R"}, {"R", "R"}});
+  ASSERT_TRUE(reduction.ok()) << reduction.status();
+  const TwoLevelGraph abstraction = QueryAbstraction(
+      reduction->query, /*implicit_universal_singletons=*/false);
+  EXPECT_EQ(abstraction.num_vertices, shape.num_vertices);
+  EXPECT_EQ(abstraction.NumEdges(), shape.NumEdges());
+  // One relation atom per G^rel *component* (2), not per hyperedge.
+  EXPECT_EQ(abstraction.NumHyperedges(),
+            static_cast<int>(RelComponents(shape).size()));
+}
+
+TEST(CqBinReductionTest, RejectsBadInput) {
+  const RelationalDb rdb = MakeDb(2, {{"R", {{0, 1}}}});
+  const TwoLevelGraph shape = TwoEdgeComponentShape();
+  // Wrong number of edge relations.
+  EXPECT_FALSE(CqBinToEcrpq(shape, rdb, {{"R", "R"}}).ok());
+  // Unknown relation.
+  EXPECT_FALSE(
+      CqBinToEcrpq(shape, rdb, {{"R", "R"}, {"X", "R"}, {"R", "R"}}).ok());
+  // Reserved bit names.
+  RelationalDb bit_db(2);
+  Relation* bit_rel = *bit_db.AddRelation("0", 2);
+  bit_rel->Add(std::vector<uint32_t>{0, 1});
+  bit_db.FinalizeAll();
+  TwoLevelGraph one_edge;
+  one_edge.num_vertices = 2;
+  one_edge.first_edges = {{0, 1}};
+  EXPECT_FALSE(CqBinToEcrpq(one_edge, bit_db, {{"0", "0"}}).ok());
+}
+
+class CqBinRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqBinRandomTest, EcrpqVerdictMatchesCqVerdict) {
+  Rng rng(GetParam());
+  const uint32_t domain = 2 + static_cast<uint32_t>(rng.Below(4));
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<uint32_t, uint32_t>>>>
+      spec(2);
+  spec[0].first = "R";
+  spec[1].first = "S";
+  for (auto& [name, tuples] : spec) {
+    const int n = 1 + static_cast<int>(rng.Below(domain));
+    for (int i = 0; i < n; ++i) {
+      tuples.emplace_back(static_cast<uint32_t>(rng.Below(domain)),
+                          static_cast<uint32_t>(rng.Below(domain)));
+    }
+  }
+  const RelationalDb rdb = MakeDb(domain, spec);
+
+  // Random small shape: 2-3 vertices, 2-3 edges, random small hyperedges.
+  TwoLevelGraph shape;
+  shape.num_vertices = 2 + static_cast<int>(rng.Below(2));
+  const int num_edges = 2 + static_cast<int>(rng.Below(2));
+  for (int e = 0; e < num_edges; ++e) {
+    shape.first_edges.emplace_back(
+        static_cast<int>(rng.Below(shape.num_vertices)),
+        static_cast<int>(rng.Below(shape.num_vertices)));
+  }
+  if (rng.Chance(0.7)) {
+    // Couple the first two edges.
+    shape.hyperedges.push_back({0, 1});
+  } else {
+    shape.hyperedges.push_back({0});
+  }
+  std::vector<std::pair<std::string, std::string>> edge_rels;
+  for (int e = 0; e < num_edges; ++e) {
+    edge_rels.emplace_back(rng.Chance(0.5) ? "R" : "S",
+                           rng.Chance(0.5) ? "R" : "S");
+  }
+
+  Result<CqBinReduction> reduction = CqBinToEcrpq(shape, rdb, edge_rels);
+  ASSERT_TRUE(reduction.ok()) << reduction.status();
+  Result<CqEvalResult> cq = CqEvaluateBacktracking(rdb, reduction->cq);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  Result<EvalResult> ecrpq = EvaluateGeneric(reduction->db, reduction->query);
+  ASSERT_TRUE(ecrpq.ok()) << ecrpq.status();
+  ASSERT_EQ(ecrpq->satisfiable, cq->satisfiable)
+      << "seed " << GetParam() << "\nquery: " << reduction->query.ToString()
+      << "\ncq: " << reduction->cq.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqBinRandomTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "graphdb/generators.h"
+#include "graphdb/rpq_reach.h"
+
+namespace ecrpq {
+namespace {
+
+Nfa Compile(std::string_view pattern, Alphabet* alphabet) {
+  Result<Nfa> nfa = CompileRegex(pattern, alphabet);
+  EXPECT_TRUE(nfa.ok()) << nfa.status();
+  return std::move(nfa).ValueOrDie();
+}
+
+TEST(RpqReachTest, SingleSourceOnPath) {
+  // Path a a a a: from vertex 0, language a* reaches everything; language
+  // aa reaches exactly vertex 2.
+  const GraphDb db = PathGraph(5, "a");
+  Alphabet alphabet = Alphabet::OfChars("a");
+  const Nfa astar = Compile("a*", &alphabet);
+  EXPECT_EQ(RpqReachFrom(db, astar, 0),
+            (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  const Nfa aa = Compile("aa", &alphabet);
+  EXPECT_EQ(RpqReachFrom(db, aa, 0), (std::vector<VertexId>{2}));
+  EXPECT_EQ(RpqReachFrom(db, aa, 3), (std::vector<VertexId>{}));
+}
+
+TEST(RpqReachTest, EmptyPathMatchesEpsilonLanguage) {
+  const GraphDb db = PathGraph(3, "a");
+  Alphabet alphabet = Alphabet::OfChars("a");
+  const Nfa eps = Compile("", &alphabet);
+  EXPECT_EQ(RpqReachFrom(db, eps, 1), (std::vector<VertexId>{1}));
+}
+
+TEST(RpqReachTest, AlternatingLabelsOnCycle) {
+  // Cycle abab: from 0, (ab)* returns to even positions.
+  const GraphDb db = CycleGraph(4, "ab");
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  const Nfa abstar = Compile("(ab)*", &alphabet);
+  EXPECT_EQ(RpqReachFrom(db, abstar, 0), (std::vector<VertexId>{0, 2}));
+}
+
+TEST(RpqReachTest, ReachAllMatchesPerSource) {
+  Rng rng(10);
+  const GraphDb db = RandomGraph(&rng, 15, 2.0, 2);
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  const Nfa lang = Compile("a(a|b)*b", &alphabet);
+  const auto all = RpqReachAll(db, lang);
+  for (VertexId u = 0; u < 15; ++u) {
+    const auto from_u = RpqReachFrom(db, lang, u);
+    for (VertexId v = 0; v < 15; ++v) {
+      const bool in_all =
+          std::find(all.begin(), all.end(), std::make_pair(u, v)) != all.end();
+      const bool in_from =
+          std::find(from_u.begin(), from_u.end(), v) != from_u.end();
+      ASSERT_EQ(in_all, in_from) << u << " -> " << v;
+    }
+  }
+}
+
+TEST(RpqReachTest, WitnessPathIsValidAndInLanguage) {
+  Rng rng(11);
+  const GraphDb db = RandomGraph(&rng, 12, 2.5, 2);
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  const Nfa lang = Compile("(a|b)*ab", &alphabet);
+  int found = 0;
+  for (VertexId u = 0; u < 12; ++u) {
+    for (VertexId v : RpqReachFrom(db, lang, u)) {
+      const auto path = RpqWitnessPath(db, lang, u, v);
+      ASSERT_TRUE(path.has_value()) << u << " -> " << v;
+      // Path is connected, starts at u, ends at v, uses real edges.
+      VertexId cur = u;
+      std::vector<Label> word;
+      for (const PathStep& step : *path) {
+        EXPECT_EQ(step.from, cur);
+        EXPECT_TRUE(db.HasEdge(step.from, step.symbol, step.to));
+        word.push_back(step.symbol);
+        cur = step.to;
+      }
+      EXPECT_EQ(cur, v);
+      EXPECT_TRUE(lang.Accepts(word));
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(RpqReachTest, WitnessAbsentWhenUnreachable) {
+  const GraphDb db = PathGraph(3, "a");
+  Alphabet alphabet = Alphabet::OfChars("a");
+  const Nfa lang = Compile("a", &alphabet);
+  EXPECT_FALSE(RpqWitnessPath(db, lang, 2, 0).has_value());
+  EXPECT_TRUE(RpqWitnessPath(db, lang, 0, 1).has_value());
+}
+
+TEST(RpqReachTest, SelfLoopWitness) {
+  // Self-loop edge must appear in the witness even though from == to.
+  GraphDb db(Alphabet::OfChars("a"));
+  db.AddVertices(1);
+  db.AddEdge(0, "a", 0);
+  Alphabet alphabet = Alphabet::OfChars("a");
+  const Nfa lang = Compile("aa", &alphabet);
+  const auto path = RpqWitnessPath(db, lang, 0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "structure/derived.h"
+#include "structure/measures.h"
+#include "structure/two_level_graph.h"
+
+namespace ecrpq {
+namespace {
+
+// A 2L graph modelled on the paper's running illustration: a component
+// {π2, π3, π4} glued by two hyperedges, plus an isolated constrained edge
+// π0 and an unconstrained edge π1. cc_vertex = 3, cc_hedge = 2.
+TwoLevelGraph PaperStyleGraph() {
+  TwoLevelGraph g;
+  g.num_vertices = 5;
+  g.first_edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  g.hyperedges = {{2, 3}, {3, 4}, {0}};
+  return g;
+}
+
+TEST(TwoLevelGraphTest, ValidateAcceptsAndRejects) {
+  TwoLevelGraph g = PaperStyleGraph();
+  EXPECT_TRUE(g.Validate().ok());
+  g.hyperedges.push_back({});
+  EXPECT_FALSE(g.Validate().ok());
+  g.hyperedges.back() = {1, 1};
+  EXPECT_FALSE(g.Validate().ok());
+  g.hyperedges.back() = {99};
+  EXPECT_FALSE(g.Validate().ok());
+  g.hyperedges.pop_back();
+  g.first_edges.push_back({0, 17});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(DerivedTest, RelComponentsPartitionEdges) {
+  const TwoLevelGraph g = PaperStyleGraph();
+  const std::vector<RelComponent> comps = RelComponents(g);
+  // Components: {0}, {1}, {2, 3, 4}.
+  ASSERT_EQ(comps.size(), 3u);
+  size_t total_edges = 0;
+  for (const RelComponent& c : comps) total_edges += c.edges.size();
+  EXPECT_EQ(total_edges, 5u);
+  // The big component has edges {2, 3, 4} and hyperedges {0, 1}.
+  auto big = std::find_if(comps.begin(), comps.end(), [](const auto& c) {
+    return c.edges.size() == 3;
+  });
+  ASSERT_NE(big, comps.end());
+  EXPECT_EQ(big->edges, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(big->hyperedges.size(), 2u);
+}
+
+TEST(MeasuresTest, PaperExampleValues) {
+  const TwoLevelGraph g = PaperStyleGraph();
+  EXPECT_EQ(CcVertex(g), 3);
+  EXPECT_EQ(CcHedge(g), 2);
+}
+
+TEST(MeasuresTest, NoHyperedges) {
+  TwoLevelGraph g;
+  g.num_vertices = 3;
+  g.first_edges = {{0, 1}, {1, 2}};
+  EXPECT_EQ(CcVertex(g), 1);  // Singleton components.
+  EXPECT_EQ(CcHedge(g), 0);
+}
+
+TEST(DerivedTest, NodeGraphCliquifiesComponents) {
+  const TwoLevelGraph g = PaperStyleGraph();
+  const SimpleGraph node = NodeGraph(g);
+  EXPECT_EQ(node.NumVertices(), 5);
+  // Component {π2=(2,3), π3=(3,4), π4=(4,0)} covers vertices {0, 2, 3, 4}:
+  // a 4-clique. Component {π0=(0,1)} adds edge {0, 1}.
+  EXPECT_TRUE(node.HasEdge(2, 3));
+  EXPECT_TRUE(node.HasEdge(2, 4));
+  EXPECT_TRUE(node.HasEdge(2, 0));
+  EXPECT_TRUE(node.HasEdge(3, 0));
+  EXPECT_TRUE(node.HasEdge(0, 1));
+  // π1 = (1, 2) is in no hyperedge: no clique contribution.
+  EXPECT_FALSE(node.HasEdge(1, 2));
+  EXPECT_EQ(node.NumEdges(), 7u);  // C(4,2) = 6 plus {0, 1}.
+}
+
+TEST(DerivedTest, CollapseGraphSplitsEdges) {
+  const TwoLevelGraph g = PaperStyleGraph();
+  const Multigraph collapse = CollapseGraph(g);
+  // 5 node vertices + 3 component vertices; 2 half-edges per edge.
+  EXPECT_EQ(collapse.num_vertices, 8);
+  EXPECT_EQ(collapse.edges.size(), 10u);
+  // Every collapse edge connects a node vertex (< 5) with a component
+  // vertex (>= 5).
+  for (const auto& [a, b] : collapse.edges) {
+    EXPECT_TRUE((a < 5 && b >= 5) || (a >= 5 && b < 5));
+  }
+}
+
+TEST(DerivedTest, SelfLoopFirstEdge) {
+  TwoLevelGraph g;
+  g.num_vertices = 1;
+  g.first_edges = {{0, 0}, {0, 0}};
+  g.hyperedges = {{0, 1}};
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(CcVertex(g), 2);
+  EXPECT_EQ(CcHedge(g), 1);
+  const SimpleGraph node = NodeGraph(g);
+  EXPECT_EQ(node.NumEdges(), 0u);  // Single vertex: no simple edges.
+}
+
+TEST(MeasuresTest, ComputeMeasuresBundlesTreewidth) {
+  const TwoLevelGraph g = PaperStyleGraph();
+  const TwoLevelMeasures m = ComputeMeasures(g);
+  EXPECT_EQ(m.cc_vertex, 3);
+  EXPECT_EQ(m.cc_hedge, 2);
+  EXPECT_EQ(m.treewidth, 3);  // The 4-clique in G^node.
+  EXPECT_TRUE(m.treewidth_exact);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "synchro/builders.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+SyncRelation Make(Result<SyncRelation> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).ValueOrDie();
+}
+
+Word RandomWordOf(Rng* rng, int max_len, int alphabet_size) {
+  Word w(rng->Below(max_len + 1));
+  for (Symbol& s : w) s = static_cast<Symbol>(rng->Below(alphabet_size));
+  return w;
+}
+
+TEST(BuildersTest, UniversalContainsEverything) {
+  const SyncRelation universal = Make(UniversalRelation(kAb, 3));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<Word> tuple = {RandomWordOf(&rng, 4, 2),
+                                     RandomWordOf(&rng, 4, 2),
+                                     RandomWordOf(&rng, 4, 2)};
+    EXPECT_TRUE(universal.Contains(tuple));
+  }
+}
+
+TEST(BuildersTest, EqualityExactlyDiagonal) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 3));
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Word w = RandomWordOf(&rng, 5, 2);
+    EXPECT_TRUE(eq.Contains(std::vector<Word>{w, w, w}));
+    Word w2 = RandomWordOf(&rng, 5, 2);
+    const bool all_equal = (w2 == w);
+    EXPECT_EQ(eq.Contains(std::vector<Word>{w, w2, w}), all_equal);
+  }
+}
+
+TEST(BuildersTest, EqualLengthChecksLengthsOnly) {
+  const SyncRelation eqlen = Make(EqualLengthRelation(kAb, 2));
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Word u = RandomWordOf(&rng, 6, 2);
+    const Word v = RandomWordOf(&rng, 6, 2);
+    EXPECT_EQ(eqlen.Contains(std::vector<Word>{u, v}), u.size() == v.size());
+  }
+}
+
+TEST(BuildersTest, PrefixSemantics) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Word u = RandomWordOf(&rng, 5, 2);
+    const Word v = RandomWordOf(&rng, 5, 2);
+    const bool is_prefix =
+        u.size() <= v.size() && std::equal(u.begin(), u.end(), v.begin());
+    EXPECT_EQ(prefix.Contains(std::vector<Word>{u, v}), is_prefix)
+        << "iteration " << i;
+  }
+}
+
+int HammingOrMinus1(const Word& u, const Word& v) {
+  if (u.size() != v.size()) return -1;
+  int d = 0;
+  for (size_t i = 0; i < u.size(); ++i) d += (u[i] != v[i]);
+  return d;
+}
+
+TEST(BuildersTest, HammingAtMost) {
+  for (int bound = 0; bound <= 2; ++bound) {
+    const SyncRelation rel = Make(HammingAtMostRelation(kAb, bound));
+    Rng rng(5 + bound);
+    for (int i = 0; i < 200; ++i) {
+      const Word u = RandomWordOf(&rng, 5, 2);
+      Word v = u;
+      if (rng.Chance(0.5)) v = RandomWordOf(&rng, 5, 2);
+      const int d = HammingOrMinus1(u, v);
+      EXPECT_EQ(rel.Contains(std::vector<Word>{u, v}), d >= 0 && d <= bound);
+    }
+  }
+}
+
+TEST(BuildersTest, LexLeqSemantics) {
+  const SyncRelation rel = Make(LexLeqRelation(kAb));
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 1}, {0, 1}}));
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 0}, {0, 1}}));
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0, 1}, {0, 0}}));
+  // Different lengths never relate.
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0}, {0, 1}}));
+  // ε <= ε.
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{}, {}}));
+}
+
+TEST(BuildersTest, FromLanguageMatchesNfa) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> lang = CompileRegex("a*b", &alphabet);
+  ASSERT_TRUE(lang.ok());
+  const SyncRelation rel = Make(FromLanguage(alphabet, *lang));
+  EXPECT_EQ(rel.arity(), 1);
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{1}}));           // "b".
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 0, 1}}));     // "aab".
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0}}));          // "a".
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{}}));           // ε.
+}
+
+TEST(BuildersTest, LanguageLiftConstrainsOneTape) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> lang = CompileRegex("ab", &alphabet);
+  ASSERT_TRUE(lang.ok());
+  const SyncRelation rel = Make(LanguageLift(alphabet, *lang, 3, 1));
+  Rng rng(8);
+  for (int i = 0; i < 150; ++i) {
+    const Word w0 = RandomWordOf(&rng, 4, 2);
+    const Word w1 = RandomWordOf(&rng, 4, 2);
+    const Word w2 = RandomWordOf(&rng, 4, 2);
+    const bool expected = (w1 == Word{0, 1});
+    EXPECT_EQ(rel.Contains(std::vector<Word>{w0, w1, w2}), expected);
+  }
+}
+
+TEST(BuildersTest, LanguageLiftWithEpsilonInLanguage) {
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Result<Nfa> lang = CompileRegex("(ab)*", &alphabet);  // ε-rich Thompson NFA.
+  ASSERT_TRUE(lang.ok());
+  const SyncRelation rel = Make(LanguageLift(alphabet, *lang, 2, 0));
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{}, {1, 1, 1}}));
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 1, 0, 1}, {}}));
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0}, {1}}));
+}
+
+TEST(BuildersTest, InvalidParameters) {
+  EXPECT_FALSE(HammingAtMostRelation(kAb, -1).ok());
+  EXPECT_FALSE(EditDistanceAtMostRelation(kAb, -2).ok());
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  Nfa lang(1);
+  lang.SetInitial(0);
+  lang.SetAccepting(0);
+  EXPECT_FALSE(LanguageLift(alphabet, lang, 2, 5).ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synchro/convolution.h"
+
+namespace ecrpq {
+namespace {
+
+TapePack MakePack(int arity, int alphabet_size) {
+  Result<TapePack> pack = TapePack::Create(arity, alphabet_size);
+  EXPECT_TRUE(pack.ok()) << pack.status();
+  return std::move(pack).ValueOrDie();
+}
+
+TEST(TapePackTest, PackUnpackRoundTrip) {
+  const TapePack pack = MakePack(3, 5);
+  const TapeLetter letters[3] = {4, kBlank, 0};
+  const Label l = pack.Pack(letters);
+  EXPECT_EQ(pack.Get(l, 0), 4u);
+  EXPECT_EQ(pack.Get(l, 1), kBlank);
+  EXPECT_EQ(pack.Get(l, 2), 0u);
+}
+
+TEST(TapePackTest, SetReplacesOneTape) {
+  const TapePack pack = MakePack(2, 3);
+  const TapeLetter letters[2] = {1, 2};
+  Label l = pack.Pack(letters);
+  l = pack.Set(l, 0, kBlank);
+  EXPECT_EQ(pack.Get(l, 0), kBlank);
+  EXPECT_EQ(pack.Get(l, 1), 2u);
+}
+
+TEST(TapePackTest, ArityCapacity) {
+  // 2 symbols -> 2 bits per tape -> up to 32 tapes.
+  EXPECT_TRUE(TapePack::Create(32, 2).ok());
+  EXPECT_FALSE(TapePack::Create(33, 2).ok());
+  EXPECT_FALSE(TapePack::Create(0, 2).ok());
+  EXPECT_FALSE(TapePack::Create(1, 0).ok());
+}
+
+TEST(TapePackTest, EnumerateAllLabelsCountsAndCaps) {
+  const TapePack pack = MakePack(2, 2);
+  Result<std::vector<Label>> labels = pack.EnumerateAllLabels();
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 9u);  // (2+1)^2.
+  EXPECT_FALSE(pack.EnumerateAllLabels(/*limit=*/8).ok());
+}
+
+TEST(ConvolutionTest, PaperExample) {
+  // aab ⊗ c ⊗ bb = (a,c,b)(a,⊥,b)(b,⊥,⊥) with a=0, b=1, c=2.
+  const TapePack pack = MakePack(3, 3);
+  const std::vector<Word> words = {{0, 0, 1}, {2}, {1, 1}};
+  const std::vector<Label> conv = Convolve(words, pack);
+  ASSERT_EQ(conv.size(), 3u);
+  EXPECT_EQ(pack.Get(conv[0], 0), 0u);
+  EXPECT_EQ(pack.Get(conv[0], 1), 2u);
+  EXPECT_EQ(pack.Get(conv[0], 2), 1u);
+  EXPECT_EQ(pack.Get(conv[1], 1), kBlank);
+  EXPECT_EQ(pack.Get(conv[2], 1), kBlank);
+  EXPECT_EQ(pack.Get(conv[2], 2), kBlank);
+}
+
+TEST(ConvolutionTest, EmptyTuple) {
+  const TapePack pack = MakePack(2, 2);
+  const std::vector<Word> words = {{}, {}};
+  EXPECT_TRUE(Convolve(words, pack).empty());
+}
+
+TEST(ConvolutionTest, DeconvolveInverts) {
+  Rng rng(17);
+  const TapePack pack = MakePack(3, 4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Word> words(3);
+    for (Word& w : words) {
+      const int len = static_cast<int>(rng.Below(6));
+      for (int i = 0; i < len; ++i) {
+        w.push_back(static_cast<Symbol>(rng.Below(4)));
+      }
+    }
+    const std::vector<Label> conv = Convolve(words, pack);
+    Result<std::vector<Word>> back = Deconvolve(conv, pack);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, words);
+    EXPECT_TRUE(IsValidConvolution(conv, pack));
+  }
+}
+
+TEST(ConvolutionTest, RejectsLetterAfterBlank) {
+  const TapePack pack = MakePack(2, 2);
+  const TapeLetter c1[2] = {kBlank, 0};
+  const TapeLetter c2[2] = {1, 0};
+  const std::vector<Label> bad = {pack.Pack(c1), pack.Pack(c2)};
+  EXPECT_FALSE(Deconvolve(bad, pack).ok());
+  EXPECT_FALSE(IsValidConvolution(bad, pack));
+}
+
+TEST(ConvolutionTest, RejectsAllBlankColumn) {
+  const TapePack pack = MakePack(2, 2);
+  const std::vector<Label> bad = {pack.AllBlank()};
+  EXPECT_FALSE(Deconvolve(bad, pack).ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synchro/builders.h"
+#include "synchro/io.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(SynchroIoTest, RoundTripsBuiltins) {
+  Rng rng(1);
+  for (Result<SyncRelation> built :
+       {EqualityRelation(kAb, 2), EqualLengthRelation(kAb, 3),
+        PrefixRelation(kAb), HammingAtMostRelation(kAb, 1)}) {
+    ASSERT_TRUE(built.ok()) << built.status();
+    const SyncRelation original = std::move(built).ValueOrDie();
+    const std::string text = SyncRelationToString(original);
+    Result<SyncRelation> parsed = SyncRelationFromString(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    EXPECT_EQ(parsed->arity(), original.arity());
+    Result<bool> equivalent = EquivalentRelations(original, *parsed);
+    ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+    EXPECT_TRUE(*equivalent);
+  }
+}
+
+TEST(SynchroIoTest, ParsesHandWrittenRelation) {
+  // {(a^n, b^n) : n >= 1}.
+  Result<SyncRelation> rel = SyncRelationFromString(
+      "relation arity 2\n"
+      "alphabet a b\n"
+      "states 2\n"
+      "initial 0\n"
+      "accepting 1\n"
+      "trans 0 (a,b) 1\n"
+      "trans 1 (a,b) 1\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0, 0}, {1, 1}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0}, {1, 1}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{}, {}}));
+}
+
+TEST(SynchroIoTest, BlanksAndEpsilonAndComments) {
+  Result<SyncRelation> rel = SyncRelationFromString(
+      "# u is one letter, v empty\n"
+      "relation arity 2\n"
+      "alphabet a b\n"
+      "states 3\n"
+      "initial 0\n"
+      "accepting 2\n"
+      "trans 0 (a,_) 1   # tape 1 already padding\n"
+      "trans 1 eps 2\n");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE(rel->Contains(std::vector<Word>{{0}, {}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{1}, {}}));
+  EXPECT_FALSE(rel->Contains(std::vector<Word>{{0}, {0}}));
+}
+
+TEST(SynchroIoTest, RejectsMalformed) {
+  EXPECT_FALSE(SyncRelationFromString("states 2\n").ok());
+  EXPECT_FALSE(
+      SyncRelationFromString("relation arity 2\nstates 2\n").ok());
+  EXPECT_FALSE(SyncRelationFromString(
+                   "relation arity 2\nalphabet a\nstates 1\ninitial 0\n"
+                   "trans 0 (a) 0\n")
+                   .ok());  // Column width mismatch.
+  EXPECT_FALSE(SyncRelationFromString(
+                   "relation arity 1\nalphabet a\nstates 1\ninitial 0\n"
+                   "trans 0 (z) 0\n")
+                   .ok());  // Unknown symbol.
+  EXPECT_FALSE(SyncRelationFromString(
+                   "relation arity 1\nalphabet a\nstates 1\ninitial 0\n"
+                   "trans 0 (a) 7\n")
+                   .ok());  // State out of range.
+}
+
+}  // namespace
+}  // namespace ecrpq

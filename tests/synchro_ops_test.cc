@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "synchro/builders.h"
+#include "synchro/ops.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+SyncRelation Make(Result<SyncRelation> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).ValueOrDie();
+}
+
+Word RandomWordOf(Rng* rng, int max_len, int alphabet_size) {
+  Word w(rng->Below(max_len + 1));
+  for (Symbol& s : w) s = static_cast<Symbol>(rng->Below(alphabet_size));
+  return w;
+}
+
+TEST(SynchroOpsTest, IntersectIsConjunction) {
+  const SyncRelation eqlen = Make(EqualLengthRelation(kAb, 2));
+  const SyncRelation hamming1 = Make(HammingAtMostRelation(kAb, 1));
+  const SyncRelation both = Make(Intersect(eqlen, hamming1));
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Word> t = {RandomWordOf(&rng, 5, 2),
+                                 RandomWordOf(&rng, 5, 2)};
+    ASSERT_EQ(both.Contains(t), eqlen.Contains(t) && hamming1.Contains(t));
+  }
+}
+
+TEST(SynchroOpsTest, UnionIsDisjunction) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation either = Make(Union(eq, prefix));
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Word> t = {RandomWordOf(&rng, 4, 2),
+                                 RandomWordOf(&rng, 4, 2)};
+    ASSERT_EQ(either.Contains(t), eq.Contains(t) || prefix.Contains(t));
+  }
+}
+
+TEST(SynchroOpsTest, ComplementIsRelationNegation) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation not_prefix = Make(Complement(prefix));
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Word> t = {RandomWordOf(&rng, 4, 2),
+                                 RandomWordOf(&rng, 4, 2)};
+    ASSERT_EQ(not_prefix.Contains(t), !prefix.Contains(t));
+  }
+}
+
+TEST(SynchroOpsTest, DoubleComplementIsIdentity) {
+  const SyncRelation eqlen = Make(EqualLengthRelation(kAb, 2));
+  const SyncRelation back = Make(Complement(Make(Complement(eqlen))));
+  Result<bool> equiv = EquivalentRelations(eqlen, back);
+  ASSERT_TRUE(equiv.ok()) << equiv.status();
+  EXPECT_TRUE(*equiv);
+}
+
+TEST(SynchroOpsTest, ProjectDropsTapes) {
+  // Project the 3-ary equality onto tapes {0, 2}: binary equality.
+  const SyncRelation eq3 = Make(EqualityRelation(kAb, 3));
+  const SyncRelation proj = Make(Project(eq3, {0, 2}));
+  EXPECT_EQ(proj.arity(), 2);
+  const SyncRelation eq2 = Make(EqualityRelation(kAb, 2));
+  Result<bool> equiv = EquivalentRelations(proj, eq2);
+  ASSERT_TRUE(equiv.ok()) << equiv.status();
+  EXPECT_TRUE(*equiv);
+}
+
+TEST(SynchroOpsTest, ProjectHandlesMidWordBlankColumns) {
+  // Prefix relation projected onto the *first* tape: the second tape may be
+  // longer, creating all-blank columns after projection. The result must be
+  // the universal unary relation A*.
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation proj = Make(Project(prefix, {0}));
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<Word> t = {RandomWordOf(&rng, 5, 2)};
+    EXPECT_TRUE(proj.Contains(t));
+  }
+}
+
+TEST(SynchroOpsTest, ProjectSwapsTapes) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation swapped = Make(Project(prefix, {1, 0}));
+  Rng rng(5);
+  for (int i = 0; i < 150; ++i) {
+    const Word u = RandomWordOf(&rng, 4, 2);
+    const Word v = RandomWordOf(&rng, 4, 2);
+    ASSERT_EQ(swapped.Contains(std::vector<Word>{u, v}),
+              prefix.Contains(std::vector<Word>{v, u}));
+  }
+}
+
+TEST(SynchroOpsTest, ProjectValidatesArguments) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  EXPECT_FALSE(Project(eq, {}).ok());
+  EXPECT_FALSE(Project(eq, {0, 0}).ok());
+  EXPECT_FALSE(Project(eq, {2}).ok());
+}
+
+TEST(SynchroOpsTest, ReindexEmbedsRelation) {
+  // Binary equality reindexed into tapes {2, 0} of a 3-tape relation:
+  // w2 == w0, w1 free.
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation wide = Make(Reindex(eq, {2, 0}, 3));
+  EXPECT_EQ(wide.arity(), 3);
+  Rng rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const Word w0 = RandomWordOf(&rng, 3, 2);
+    const Word w1 = RandomWordOf(&rng, 3, 2);
+    const Word w2 = rng.Chance(0.5) ? w0 : RandomWordOf(&rng, 3, 2);
+    ASSERT_EQ(wide.Contains(std::vector<Word>{w0, w1, w2}), w2 == w0);
+  }
+}
+
+TEST(SynchroOpsTest, ReindexValidatesMap) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  EXPECT_FALSE(Reindex(eq, {0}, 3).ok());        // Wrong size.
+  EXPECT_FALSE(Reindex(eq, {0, 0}, 3).ok());     // Not injective.
+  EXPECT_FALSE(Reindex(eq, {0, 3}, 3).ok());     // Out of range.
+}
+
+TEST(SynchroOpsTest, JoinComponentsLemma41) {
+  // Component: eqlen(t0, t1) ∧ eq(t1, t2). Joint relation over 3 tapes.
+  const SyncRelation eqlen = Make(EqualLengthRelation(kAb, 2));
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation joint = Make(JoinComponents(
+      kAb, {TapeMapping{&eqlen, {0, 1}}, TapeMapping{&eq, {1, 2}}}, 3));
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Word w0 = RandomWordOf(&rng, 4, 2);
+    Word w1 = rng.Chance(0.5) ? Word(w0.size(), 0) : RandomWordOf(&rng, 4, 2);
+    const Word w2 = rng.Chance(0.5) ? w1 : RandomWordOf(&rng, 4, 2);
+    const bool expected = (w0.size() == w1.size()) && (w1 == w2);
+    ASSERT_EQ(joint.Contains(std::vector<Word>{w0, w1, w2}), expected);
+  }
+}
+
+TEST(SynchroOpsTest, JoinOfNothingIsUniversal) {
+  const SyncRelation joint = Make(JoinComponents(kAb, {}, 2));
+  EXPECT_TRUE(joint.Contains(std::vector<Word>{{0}, {1, 1}}));
+}
+
+TEST(SynchroOpsTest, ComposePrefixWithPrefixIsPrefix) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation composed = Make(Compose(prefix, prefix));
+  Result<bool> equiv = EquivalentRelations(composed, prefix);
+  ASSERT_TRUE(equiv.ok()) << equiv.status();
+  EXPECT_TRUE(*equiv);  // Prefix order is transitive and reflexive.
+}
+
+TEST(SynchroOpsTest, ComposeEqualityIsIdentity) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation composed = Make(Compose(eq, eq));
+  Result<bool> equiv = EquivalentRelations(composed, eq);
+  ASSERT_TRUE(equiv.ok()) << equiv.status();
+  EXPECT_TRUE(*equiv);
+}
+
+TEST(SynchroOpsTest, ComposeHammingAddsBudgets) {
+  // hamming<=1 ∘ hamming<=1 ⊆ hamming<=2, and the composition reaches
+  // distance-2 pairs.
+  const SyncRelation h1 = Make(HammingAtMostRelation(kAb, 1));
+  const SyncRelation h2 = Make(HammingAtMostRelation(kAb, 2));
+  const SyncRelation composed = Make(Compose(h1, h1));
+  Rng rng(17);
+  for (int i = 0; i < 150; ++i) {
+    const Word u = RandomWordOf(&rng, 4, 2);
+    Word v = u;
+    for (size_t j = 0; j < v.size(); ++j) {
+      if (rng.Chance(0.4)) v[j] = static_cast<Symbol>(1 - v[j]);
+    }
+    const bool in_h2 = h2.Contains(std::vector<Word>{u, v});
+    ASSERT_EQ(composed.Contains(std::vector<Word>{u, v}), in_h2)
+        << "iteration " << i;
+  }
+}
+
+TEST(SynchroOpsTest, InclusionChain) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const SyncRelation hamming0 = Make(HammingAtMostRelation(kAb, 0));
+  const SyncRelation hamming2 = Make(HammingAtMostRelation(kAb, 2));
+  // eq ⊆ prefix, eq ≡ hamming0 ⊆ hamming2, prefix ⊄ eq.
+  EXPECT_TRUE(*RelationIncluded(eq, prefix));
+  EXPECT_TRUE(*RelationIncluded(eq, hamming0));
+  EXPECT_TRUE(*RelationIncluded(hamming0, eq));
+  EXPECT_TRUE(*RelationIncluded(hamming0, hamming2));
+  EXPECT_FALSE(*RelationIncluded(prefix, eq));
+  EXPECT_FALSE(*RelationIncluded(hamming2, hamming0));
+}
+
+TEST(SynchroOpsTest, EnumerateTuplesShortestFirst) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  Result<std::vector<std::vector<Word>>> tuples =
+      EnumerateTuples(prefix, 7);
+  ASSERT_TRUE(tuples.ok()) << tuples.status();
+  ASSERT_EQ(tuples->size(), 7u);
+  // First tuple: (ε, ε); next: all one-column pairs.
+  EXPECT_TRUE((*tuples)[0][0].empty());
+  EXPECT_TRUE((*tuples)[0][1].empty());
+  // One-column tuples come next: (ε,a), (ε,b), (a,a), (b,b) — then
+  // two-column ones. Lengths are non-decreasing.
+  for (size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ((*tuples)[i][1].size(), 1u);
+  }
+  for (size_t i = 1; i < 7; ++i) {
+    EXPECT_GE((*tuples)[i][1].size(), (*tuples)[i - 1][1].size());
+    // Every enumerated tuple is actually in the relation.
+    EXPECT_TRUE(prefix.Contains((*tuples)[i]));
+  }
+}
+
+TEST(SynchroOpsTest, EnumerateTuplesOfEmptyRelationIsEmpty) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation complement_eq = Make(Complement(eq));
+  const SyncRelation never = Make(Intersect(eq, complement_eq));
+  Result<std::vector<std::vector<Word>>> tuples = EnumerateTuples(never, 5);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_TRUE(tuples->empty());
+}
+
+TEST(SynchroOpsTest, EnumerateRespectsLimitAndNoDuplicates) {
+  const SyncRelation eqlen = Make(EqualLengthRelation(kAb, 2));
+  Result<std::vector<std::vector<Word>>> tuples = EnumerateTuples(eqlen, 30);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 30u);
+  std::set<std::vector<Word>> unique(tuples->begin(), tuples->end());
+  EXPECT_EQ(unique.size(), 30u);
+}
+
+TEST(SynchroOpsTest, ReduceRelationPreservesSemantics) {
+  // A deliberately bloated relation: union of eq with itself twice.
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const SyncRelation bloated = Make(Union(Make(Union(eq, eq)), eq));
+  const SyncRelation reduced = Make(ReduceRelation(bloated));
+  EXPECT_LT(reduced.nfa().NumStates(), bloated.nfa().NumStates());
+  Result<bool> equivalent = EquivalentRelations(reduced, eq);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(SynchroOpsTest, ComposeRequiresBinary) {
+  const SyncRelation eq3 = Make(EqualityRelation(kAb, 3));
+  const SyncRelation eq2 = Make(EqualityRelation(kAb, 2));
+  EXPECT_FALSE(Compose(eq3, eq2).ok());
+}
+
+TEST(SynchroOpsTest, ShapeMismatchErrors) {
+  const SyncRelation eq2 = Make(EqualityRelation(kAb, 2));
+  const SyncRelation eq3 = Make(EqualityRelation(kAb, 3));
+  EXPECT_FALSE(Intersect(eq2, eq3).ok());
+  const Alphabet abc = Alphabet::OfChars("abc");
+  const SyncRelation eq2c = Make(EqualityRelation(abc, 2));
+  EXPECT_FALSE(Union(eq2, eq2c).ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "synchro/builders.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+SyncRelation Make(Result<SyncRelation> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).ValueOrDie();
+}
+
+TEST(SyncRelationTest, CreateRejectsForeignSymbols) {
+  // A 1-tape NFA whose letter encodes symbol id 5 over a 2-symbol alphabet.
+  Result<TapePack> pack = TapePack::Create(1, 2);
+  ASSERT_TRUE(pack.ok());
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  const TapeLetter bad[1] = {5};
+  // Bypass Pack()'s DCHECK by building the raw label.
+  (void)bad;
+  nfa.AddTransition(0, 6 /* = symbol 5 + 1 */, 0);
+  EXPECT_FALSE(SyncRelation::Create(kAb, 1, std::move(nfa)).ok());
+}
+
+TEST(SyncRelationTest, ContainsUsesCanonicalConvolution) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const std::vector<Word> same = {{0, 1}, {0, 1}};
+  const std::vector<Word> diff = {{0, 1}, {0, 0}};
+  const std::vector<Word> shorter = {{0}, {0, 1}};
+  EXPECT_TRUE(eq.Contains(same));
+  EXPECT_FALSE(eq.Contains(diff));
+  EXPECT_FALSE(eq.Contains(shorter));
+}
+
+TEST(SyncRelationTest, NormalizedRejectsGarbageWords) {
+  // An NFA accepting the invalid word (⊥,a)(a,a): letter after blank.
+  Result<TapePack> pack_r = TapePack::Create(2, 2);
+  ASSERT_TRUE(pack_r.ok());
+  const TapePack& pack = *pack_r;
+  Nfa nfa(3);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(2);
+  const TapeLetter c1[2] = {kBlank, 0};
+  const TapeLetter c2[2] = {0, 0};
+  nfa.AddTransition(0, pack.Pack(c1), 1);
+  nfa.AddTransition(1, pack.Pack(c2), 2);
+  SyncRelation rel = Make(SyncRelation::Create(kAb, 2, std::move(nfa)));
+  EXPECT_FALSE(rel.nfa().IsEmpty());          // Language-level non-empty...
+  EXPECT_TRUE(rel.Normalized().nfa().IsEmpty());  // ...but no valid tuple.
+  EXPECT_TRUE(rel.IsEmpty());
+}
+
+TEST(SyncRelationTest, WitnessIsShortestValidTuple) {
+  const SyncRelation prefix = Make(PrefixRelation(kAb));
+  const auto witness = prefix.Witness();
+  ASSERT_TRUE(witness.has_value());
+  // Shortest tuple in the prefix relation: (ε, ε).
+  EXPECT_TRUE((*witness)[0].empty());
+  EXPECT_TRUE((*witness)[1].empty());
+}
+
+TEST(SyncRelationTest, EmptinessOfIntersectionStyleRelation) {
+  // {(w,w)} ∩-style: equality requires same first letters; build a relation
+  // accepting only (a·u, b·u) — empty under canonical semantics.
+  Result<TapePack> pack_r = TapePack::Create(2, 2);
+  ASSERT_TRUE(pack_r.ok());
+  const TapePack& pack = *pack_r;
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(1);
+  const TapeLetter ab[2] = {0, 1};
+  nfa.AddTransition(0, pack.Pack(ab), 1);
+  const TapeLetter aa[2] = {0, 0};
+  const TapeLetter bb[2] = {1, 1};
+  nfa.AddTransition(1, pack.Pack(aa), 1);
+  nfa.AddTransition(1, pack.Pack(bb), 1);
+  SyncRelation rel = Make(SyncRelation::Create(kAb, 2, std::move(nfa)));
+  EXPECT_FALSE(rel.IsEmpty());
+  EXPECT_TRUE(rel.Contains(std::vector<Word>{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(rel.Contains(std::vector<Word>{{0, 1}, {0, 1}}));
+}
+
+TEST(SyncRelationTest, FormatTuple) {
+  const SyncRelation eq = Make(EqualityRelation(kAb, 2));
+  const std::vector<Word> tuple = {{0, 1}, {0}};
+  EXPECT_EQ(eq.FormatTuple(tuple), "(\"ab\", \"a\")");
+}
+
+TEST(AlphabetCompatTest, PrefixCompatibility) {
+  const Alphabet ab = Alphabet::OfChars("ab");
+  const Alphabet abc = Alphabet::OfChars("abc");
+  const Alphabet ba = Alphabet::OfChars("ba");
+  EXPECT_TRUE(AlphabetsCompatible(ab, abc));
+  EXPECT_TRUE(AlphabetsCompatible(ab, ab));
+  EXPECT_FALSE(AlphabetsCompatible(abc, ab));
+  EXPECT_FALSE(AlphabetsCompatible(ba, abc));
+}
+
+}  // namespace
+}  // namespace ecrpq

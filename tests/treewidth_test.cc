@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "structure/tree_decomposition.h"
+#include "structure/treewidth.h"
+
+namespace ecrpq {
+namespace {
+
+SimpleGraph PathGraphSimple(int n) {
+  SimpleGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+SimpleGraph CycleGraphSimple(int n) {
+  SimpleGraph g = PathGraphSimple(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+SimpleGraph CompleteGraph(int n) {
+  SimpleGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+SimpleGraph GridGraphSimple(int w, int h) {
+  SimpleGraph g(w * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) g.AddEdge(y * w + x, y * w + x + 1);
+      if (y + 1 < h) g.AddEdge(y * w + x, (y + 1) * w + x);
+    }
+  }
+  return g;
+}
+
+SimpleGraph RandomSimpleGraph(Rng* rng, int n, double p) {
+  SimpleGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng->Chance(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+TEST(TreewidthExactTest, KnownValues) {
+  EXPECT_EQ(TreewidthExact(SimpleGraph(0))->width, 0);
+  EXPECT_EQ(TreewidthExact(SimpleGraph(3))->width, 0);  // No edges.
+  EXPECT_EQ(TreewidthExact(PathGraphSimple(8))->width, 1);
+  EXPECT_EQ(TreewidthExact(CycleGraphSimple(8))->width, 2);
+  EXPECT_EQ(TreewidthExact(CompleteGraph(5))->width, 4);
+  EXPECT_EQ(TreewidthExact(GridGraphSimple(3, 3))->width, 3);
+  EXPECT_EQ(TreewidthExact(GridGraphSimple(4, 4))->width, 4);
+}
+
+TEST(TreewidthExactTest, RefusesLargeGraphs) {
+  EXPECT_FALSE(TreewidthExact(PathGraphSimple(25), 20).ok());
+}
+
+TEST(TreewidthHeuristicTest, UpperBoundsExact) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimpleGraph g = RandomSimpleGraph(&rng, 9, 0.3);
+    const int exact = TreewidthExact(g)->width;
+    EXPECT_GE(TreewidthMinDegree(g).width, exact);
+    EXPECT_GE(TreewidthMinFill(g).width, exact);
+    EXPECT_GE(exact, DegeneracyLowerBound(g));
+  }
+}
+
+TEST(TreewidthHeuristicTest, ExactOnEasyFamilies) {
+  // Min-fill is exact on chordal-ish families like paths and cliques.
+  EXPECT_EQ(TreewidthMinFill(PathGraphSimple(10)).width, 1);
+  EXPECT_EQ(TreewidthMinFill(CompleteGraph(6)).width, 5);
+  EXPECT_EQ(TreewidthMinDegree(CycleGraphSimple(10)).width, 2);
+}
+
+TEST(TreeDecompositionTest, FromEliminationOrderIsValid) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimpleGraph g = RandomSimpleGraph(&rng, 10, 0.25);
+    const TreewidthResult tw = TreewidthMinFill(g);
+    const TreeDecomposition td =
+        DecompositionFromEliminationOrder(g, tw.elimination_order);
+    const Status valid = ValidateTreeDecomposition(g, td);
+    EXPECT_TRUE(valid.ok()) << valid;
+    EXPECT_EQ(td.Width(), tw.width);
+  }
+}
+
+TEST(TreeDecompositionTest, ExactOrderYieldsExactWidthDecomposition) {
+  const SimpleGraph g = GridGraphSimple(3, 3);
+  Result<TreewidthResult> tw = TreewidthExact(g);
+  ASSERT_TRUE(tw.ok());
+  const TreeDecomposition td =
+      DecompositionFromEliminationOrder(g, tw->elimination_order);
+  EXPECT_TRUE(ValidateTreeDecomposition(g, td).ok());
+  EXPECT_EQ(td.Width(), tw->width);
+}
+
+TEST(TreeDecompositionTest, DisconnectedGraphBecomesOneTree) {
+  SimpleGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);  // Two components + isolated vertices 4, 5.
+  const TreewidthResult tw = TreewidthMinDegree(g);
+  const TreeDecomposition td =
+      DecompositionFromEliminationOrder(g, tw.elimination_order);
+  EXPECT_TRUE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(TreeDecompositionTest, ValidatorCatchesViolations) {
+  const SimpleGraph g = PathGraphSimple(3);
+  // Missing edge coverage.
+  TreeDecomposition bad;
+  bad.bags = {{0, 1}, {2}};
+  bad.edges = {{0, 1}};
+  EXPECT_FALSE(ValidateTreeDecomposition(g, bad).ok());
+  // Disconnected occurrence of vertex 1.
+  TreeDecomposition split;
+  split.bags = {{0, 1}, {2}, {1, 2}};
+  split.edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(ValidateTreeDecomposition(g, split).ok());
+  // Valid decomposition for reference.
+  TreeDecomposition good;
+  good.bags = {{0, 1}, {1, 2}};
+  good.edges = {{0, 1}};
+  EXPECT_TRUE(ValidateTreeDecomposition(g, good).ok());
+  EXPECT_EQ(good.Width(), 1);
+}
+
+TEST(TreewidthBestTest, PicksExactWhenSmall) {
+  const TreewidthResult r = TreewidthBest(CycleGraphSimple(10));
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.width, 2);
+  const TreewidthResult big = TreewidthBest(PathGraphSimple(40));
+  EXPECT_FALSE(big.exact);
+  EXPECT_EQ(big.width, 1);  // Heuristics still nail paths.
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,93 @@
+// Two-way navigation (C2RPQ support): inverse-closed databases + <name>
+// symbol literals in regexes.
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "eval/generic_eval.h"
+#include "eval/naive_eval.h"
+#include "graphdb/generators.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(WithInversesTest, AddsReverseEdges) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(3);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(1, "b", 2);
+  const GraphDb two_way = WithInverses(db);
+  EXPECT_EQ(two_way.alphabet().size(), 4);  // a, b, a~, b~.
+  EXPECT_EQ(two_way.NumEdges(), 4u);
+  const Symbol a_inv = *two_way.alphabet().Find("a~");
+  const Symbol b_inv = *two_way.alphabet().Find("b~");
+  EXPECT_TRUE(two_way.HasEdge(1, a_inv, 0));
+  EXPECT_TRUE(two_way.HasEdge(2, b_inv, 1));
+  EXPECT_TRUE(two_way.HasEdge(0, *two_way.alphabet().Find("a"), 1));
+}
+
+TEST(RegexSymbolLiteralTest, MultiCharSymbols) {
+  Alphabet alphabet;
+  Result<Nfa> nfa = CompileRegex("<a~>*b", &alphabet);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+  const Symbol a_inv = *alphabet.Find("a~");
+  const Symbol b = *alphabet.Find("b");
+  EXPECT_TRUE(nfa->Accepts(std::vector<Label>{a_inv, a_inv, b}));
+  EXPECT_TRUE(nfa->Accepts(std::vector<Label>{b}));
+  EXPECT_FALSE(nfa->Accepts(std::vector<Label>{a_inv}));
+  EXPECT_FALSE(ParseRegex("<ab").ok());
+  EXPECT_FALSE(ParseRegex("<>").ok());
+}
+
+TEST(TwoWayTest, BacktrackingQueryOnAPath) {
+  // Path 0 -a-> 1 -a-> 2. Two-way query: from x walk forward twice and
+  // back once: x must be 0, landing at 1.
+  GraphDb db = PathGraph(3, "a");
+  const GraphDb two_way = WithInverses(db);
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x, y) := x -[/aa<a~>/]-> y", two_way.alphabet());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Result<EvalResult> r = EvaluateGeneric(two_way, *q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->answers.size(), 1u);
+  EXPECT_EQ(r->answers[0], (std::vector<VertexId>{0, 1}));
+}
+
+TEST(TwoWayTest, SiblingPattern) {
+  // "Siblings": two vertices with a common a-parent: y <-a- x -a-> z
+  // expressed as y -[/<a~>a/]-> z.
+  GraphDb db(Alphabet::OfChars("a"));
+  db.AddVertices(4);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(0, "a", 2);
+  db.AddEdge(3, "a", 3);
+  const GraphDb two_way = WithInverses(db);
+  Result<EcrpqQuery> q =
+      ParseEcrpq("q(y, z) := y -[/<a~>a/]-> z", two_way.alphabet());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Result<EvalResult> generic = EvaluateGeneric(two_way, *q);
+  Result<EvalResult> naive = EvaluateNaive(two_way, *q);
+  ASSERT_TRUE(generic.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(generic->answers, naive->answers);
+  // Siblings: (1,1), (1,2), (2,1), (2,2) and the self-loop vertex (3,3).
+  EXPECT_EQ(generic->answers.size(), 5u);
+}
+
+TEST(TwoWayTest, InverseRelationAtoms) {
+  // eq-len across one forward and one backward path.
+  GraphDb db = CycleGraph(4, "a");
+  const GraphDb two_way = WithInverses(db);
+  Result<EcrpqQuery> q = ParseEcrpq(
+      "q(x) := x -[p1]-> y, x -[p2]-> z, eqlen(p1, p2),"
+      " lang(/aa/, p1), lang(/<a~><a~>/, p2)",
+      two_way.alphabet());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Result<EvalResult> r = EvaluateGeneric(two_way, *q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->satisfiable);
+  EXPECT_EQ(r->answers.size(), 4u);  // Every cycle vertex.
+}
+
+}  // namespace
+}  // namespace ecrpq

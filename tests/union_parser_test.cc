@@ -1,0 +1,58 @@
+// Union syntax (';'-separated disjuncts) and 2L-graph DOT rendering.
+#include <gtest/gtest.h>
+
+#include "eval/uecrpq.h"
+#include "graphdb/generators.h"
+#include "query/abstraction.h"
+#include "query/parser.h"
+#include "structure/dot.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(UnionParserTest, SplitsAndParsesDisjuncts) {
+  Result<UecrpqQuery> u = ParseUecrpq(
+      "q(x) := x -[/a/]-> y ; q(x) := x -[/b/]-> y", kAb);
+  ASSERT_TRUE(u.ok()) << u.status();
+  ASSERT_EQ(u->disjuncts.size(), 2u);
+  EXPECT_TRUE(ValidateUnion(*u).ok());
+
+  const GraphDb db = PathGraph(4, "ab");
+  Result<EvalResult> r = EvaluateUnion(db, *u);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answers.size(), 3u);  // Starts 0, 2 (a) and 1 (b).
+}
+
+TEST(UnionParserTest, SingleDisjunctWorks) {
+  Result<UecrpqQuery> u = ParseUecrpq("q() := x -[/a/]-> y", kAb);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disjuncts.size(), 1u);
+}
+
+TEST(UnionParserTest, BadDisjunctPropagatesError) {
+  EXPECT_FALSE(ParseUecrpq("q() := x -[/a/]-> y ; garbage", kAb).ok());
+  EXPECT_FALSE(ParseUecrpq("q() := x -[/a/]-> y ;", kAb).ok());
+}
+
+TEST(UnionParserTest, MixedArityRejectedByValidation) {
+  Result<UecrpqQuery> u = ParseUecrpq(
+      "q(x) := x -[/a/]-> y ; q() := x -[/b/]-> y", kAb);
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(ValidateUnion(*u).ok());
+}
+
+TEST(TwoLevelDotTest, RendersNodesEdgesHyperedges) {
+  Result<EcrpqQuery> q = EqLenStarQuery(kAb, 3);
+  ASSERT_TRUE(q.ok());
+  const std::string dot = TwoLevelGraphToDot(QueryAbstraction(*q));
+  EXPECT_NE(dot.find("graph two_level"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- e0"), std::string::npos);
+  EXPECT_NE(dot.find("h0 -- e0 [style=dashed]"), std::string::npos);
+  EXPECT_NE(dot.find("h0 -- e2 [style=dashed]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "automata/ine.h"
+#include "eval/planner.h"
+#include "query/abstraction.h"
+#include "structure/measures.h"
+#include "workloads/db_gen.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+const Alphabet kAb = Alphabet::OfChars("ab");
+
+TEST(QueryGenTest, ChainMeasures) {
+  for (int length : {1, 2, 5, 9}) {
+    Result<EcrpqQuery> q = ChainEqLenQuery(kAb, length);
+    ASSERT_TRUE(q.ok()) << q.status();
+    const TwoLevelGraph g = QueryAbstraction(*q);
+    EXPECT_LE(CcVertex(g), 2);
+    EXPECT_LE(CcHedge(g), 1);
+    const TwoLevelMeasures m = ComputeMeasures(g);
+    EXPECT_LE(m.treewidth, 3) << "length " << length;
+  }
+  EXPECT_FALSE(ChainEqLenQuery(kAb, 0).ok());
+}
+
+TEST(QueryGenTest, CliqueMeasuresGrowInTreewidth) {
+  for (int k : {2, 3, 5}) {
+    Result<EcrpqQuery> q = CliqueCrpqQuery(kAb, k, "a*b");
+    ASSERT_TRUE(q.ok()) << q.status();
+    EXPECT_TRUE(q->IsCrpq());
+    const TwoLevelMeasures m = ComputeMeasures(QueryAbstraction(*q));
+    EXPECT_EQ(m.cc_vertex, 1);
+    EXPECT_EQ(m.treewidth, k - 1);
+  }
+  EXPECT_FALSE(CliqueCrpqQuery(kAb, 1, "a").ok());
+}
+
+TEST(QueryGenTest, StarMeasuresGrowInCcVertex) {
+  for (int k : {1, 3, 6}) {
+    Result<EcrpqQuery> q = EqLenStarQuery(kAb, k);
+    ASSERT_TRUE(q.ok()) << q.status();
+    const TwoLevelGraph g = QueryAbstraction(*q);
+    EXPECT_EQ(CcVertex(g), k);
+    EXPECT_EQ(CcHedge(g), 1);
+  }
+  Result<EcrpqQuery> eq = EqualityStarQuery(kAb, 4);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(CcVertex(QueryAbstraction(*eq)), 4);
+}
+
+TEST(QueryGenTest, RandomCrpqIsValidCrpq) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Result<EcrpqQuery> q = RandomCrpqQuery(&rng, kAb, 3, 4);
+    ASSERT_TRUE(q.ok()) << q.status();
+    EXPECT_TRUE(q->IsCrpq());
+    EXPECT_EQ(q->reach_atoms().size(), 4u);
+  }
+}
+
+TEST(DbGenTest, LayeredDagIsAcyclicByConstruction) {
+  Rng rng(4);
+  const GraphDb db = LayeredDag(&rng, 4, 5, 2, 2);
+  EXPECT_EQ(db.NumVertices(), 20);
+  // All edges go from layer l to layer l+1.
+  for (VertexId v = 0; v < 20; ++v) {
+    for (const LabeledEdge& e : db.OutEdges(v)) {
+      EXPECT_EQ(e.to / 5, v / 5 + 1);
+    }
+  }
+  // Last layer has no out-edges.
+  for (VertexId v = 15; v < 20; ++v) {
+    EXPECT_TRUE(db.OutEdges(v).empty());
+  }
+}
+
+TEST(DbGenTest, PlantedPieInstancesIntersect) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PieInstance pie = RandomPieInstance(&rng, 4, 6, 2, true);
+    // All automata accept the planted word: intersection non-empty.
+    std::vector<const Dfa*> ptrs;
+    for (const Dfa& dfa : pie.automata) ptrs.push_back(&dfa);
+    EXPECT_TRUE(IntersectionNonEmpty(ptrs).non_empty) << "trial " << trial;
+  }
+}
+
+TEST(DbGenTest, IneInstanceMirrorsPie) {
+  Rng rng(6);
+  const IneInstance ine = RandomIneInstance(&rng, 3, 5, 2, true);
+  EXPECT_EQ(ine.languages.size(), 3u);
+  EXPECT_EQ(ine.alphabet.size(), 2);
+  std::vector<const Nfa*> ptrs;
+  for (const Nfa& nfa : ine.languages) ptrs.push_back(&nfa);
+  EXPECT_TRUE(IntersectionNonEmpty(ptrs).non_empty);
+}
+
+}  // namespace
+}  // namespace ecrpq

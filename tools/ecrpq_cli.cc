@@ -1,0 +1,374 @@
+// ecrpq_cli — command-line front end for the library.
+//
+//   ecrpq_cli classify --alphabet=ab "q() := x -[p1]-> y, ..."
+//   ecrpq_cli eval <graph-file> "q(x) := ..." [--engine=auto|generic|cq|crpq]
+//   ecrpq_cli sat --alphabet=ab "q() := ..."
+//   ecrpq_cli dot <graph-file>
+//   ecrpq_cli parse --alphabet=ab "q() := ..."
+//
+// Graph files use the text format of graphdb/io.h:
+//   alphabet a b
+//   vertices 3
+//   edge 0 a 1
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/adaptive.h"
+#include "eval/crpq_eval.h"
+#include "eval/explain.h"
+#include "eval/generic_eval.h"
+#include "eval/planner.h"
+#include "eval/reduce_to_cq.h"
+#include "eval/satisfiability.h"
+#include "graphdb/dot.h"
+#include "cq/count.h"
+#include "query/abstraction.h"
+#include "query/simplify.h"
+#include "structure/dot.h"
+#include "graphdb/io.h"
+#include "synchro/io.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace internal_cli {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ecrpq_cli classify --alphabet=<chars> \"<query>\" [--dot]\n"
+      "  ecrpq_cli simplify --alphabet=<chars> \"<query>\"\n"
+      "  ecrpq_cli eval <graph-file> \"<query>\" [--engine=auto|generic|cq|"
+      "crpq|adaptive] [--rel=name=relation-file]\n"
+      "  ecrpq_cli sat --alphabet=<chars> \"<query>\"\n"
+      "  ecrpq_cli explain <graph-file> \"<query>\" <v1> <v2> ...\n"
+      "  ecrpq_cli count <graph-file> \"<query>\"\n"
+      "  ecrpq_cli dot <graph-file>\n"
+      "  ecrpq_cli parse --alphabet=<chars> \"<query>\"\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Parses --alphabet=abc into an Alphabet of single-char symbols.
+struct Args {
+  std::vector<std::string> positional;
+  std::string alphabet = "ab";
+  std::string engine = "auto";
+  bool emit_dot = false;
+  // --rel name=path pairs, loaded into a RelationRegistry.
+  std::vector<std::pair<std::string, std::string>> relations;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--alphabet=", 0) == 0) {
+      args.alphabet = arg.substr(strlen("--alphabet="));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      args.engine = arg.substr(strlen("--engine="));
+    } else if (arg == "--dot") {
+      args.emit_dot = true;
+    } else if (arg.rfind("--rel=", 0) == 0) {
+      const std::string spec = arg.substr(strlen("--rel="));
+      const size_t eq = spec.find('=');
+      if (eq != std::string::npos) {
+        args.relations.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Classify(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const Alphabet alphabet = Alphabet::OfChars(args.alphabet);
+  Result<EcrpqQuery> query = ParseEcrpq(args.positional[0], alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", query->ToString().c_str());
+  std::printf("%s\n", ClassifyQuery(*query).ToString().c_str());
+  if (args.emit_dot) {
+    std::printf("%s", TwoLevelGraphToDot(QueryAbstraction(*query)).c_str());
+  }
+  return 0;
+}
+
+int Simplify(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const Alphabet alphabet = Alphabet::OfChars(args.alphabet);
+  Result<EcrpqQuery> query = ParseEcrpq(args.positional[0], alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  SimplifyStats stats;
+  Result<EcrpqQuery> simplified = SimplifyQuery(*query, {}, &stats);
+  if (!simplified.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 simplified.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("before: %s\n%s\n\n", query->ToString().c_str(),
+              ClassifyQuery(*query).ToString().c_str());
+  std::printf("after:  %s\n%s\n", simplified->ToString().c_str(),
+              ClassifyQuery(*simplified).ToString().c_str());
+  std::printf(
+      "\ndropped %d universal atom(s), merged %d unary atom(s), "
+      "relation states %d -> %d\n",
+      stats.dropped_universal_atoms, stats.merged_unary_atoms,
+      stats.relation_states_before, stats.relation_states_after);
+  return 0;
+}
+
+Result<RelationRegistry> LoadRegistry(const Args& args) {
+  RelationRegistry registry;
+  for (const auto& [name, path] : args.relations) {
+    ECRPQ_ASSIGN_OR_RAISE(std::string text, ReadFile(path));
+    ECRPQ_ASSIGN_OR_RAISE(SyncRelation rel, SyncRelationFromString(text));
+    registry.emplace(name,
+                     std::make_shared<const SyncRelation>(std::move(rel)));
+  }
+  return registry;
+}
+
+int Eval(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<GraphDb> db = GraphDbFromString(*text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "graph parse error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Result<RelationRegistry> registry = LoadRegistry(args);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "relation load error: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  // The query's alphabet must be a superset of the graph's; reuse it.
+  Result<EcrpqQuery> query =
+      ParseEcrpq(args.positional[1], db->alphabet(), &*registry);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<EvalResult> result = Status::Invalid("unset");
+  if (args.engine == "generic") {
+    result = EvaluateGeneric(*db, *query);
+  } else if (args.engine == "cq") {
+    result = EvaluateViaCqReduction(*db, *query);
+  } else if (args.engine == "crpq") {
+    result = EvaluateCrpq(*db, *query);
+  } else if (args.engine == "adaptive") {
+    AdaptiveReport report;
+    result = EvaluateAdaptive(*db, *query, {}, &report);
+    if (result.ok()) {
+      std::printf("adaptive: budget=%zu fell_back=%s\n", report.phase1_budget,
+                  report.fell_back ? "yes" : "no");
+    }
+  } else if (args.engine == "auto") {
+    QueryClassification c;
+    result = EvaluatePlanned(*db, *query, {}, {}, &c);
+    if (result.ok()) std::printf("%s\n", c.ToString().c_str());
+  } else {
+    return Usage();
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("satisfiable: %s\n", result->satisfiable ? "yes" : "no");
+  if (!query->IsBoolean()) {
+    std::printf("%zu answers:\n", result->answers.size());
+    for (const auto& answer : result->answers) {
+      std::printf(" ");
+      for (VertexId v : answer) std::printf(" %u", v);
+      std::printf("\n");
+    }
+  }
+  return result->satisfiable ? 0 : 1;
+}
+
+int Explain(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<GraphDb> db = GraphDbFromString(*text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "graph parse error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Result<RelationRegistry> registry = LoadRegistry(args);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "relation load error: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  Result<EcrpqQuery> query =
+      ParseEcrpq(args.positional[1], db->alphabet(), &*registry);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<VertexId> answer;
+  for (size_t i = 2; i < args.positional.size(); ++i) {
+    answer.push_back(
+        static_cast<VertexId>(std::stoul(args.positional[i])));
+  }
+  Result<std::optional<Explanation>> explanation =
+      ExplainAnswer(*db, *query, answer);
+  if (!explanation.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 explanation.status().ToString().c_str());
+    return 1;
+  }
+  if (!explanation->has_value()) {
+    std::printf("not an answer\n");
+    return 1;
+  }
+  const Status valid = ValidateExplanation(*db, *query, **explanation);
+  std::printf("certificate (%s):\n%s", valid.ok() ? "valid" : "INVALID",
+              (**explanation).ToString(*query, *db).c_str());
+  return 0;
+}
+
+int Sat(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const Alphabet alphabet = Alphabet::OfChars(args.alphabet);
+  Result<EcrpqQuery> query = ParseEcrpq(args.positional[0], alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  Result<SatisfiabilityResult> sat = CheckSatisfiable(*query);
+  if (!sat.ok()) {
+    std::fprintf(stderr, "error: %s\n", sat.status().ToString().c_str());
+    return 1;
+  }
+  if (!sat->satisfiable) {
+    std::printf("unsatisfiable\n");
+    return 1;
+  }
+  std::printf("satisfiable; witness database:\n%s",
+              GraphDbToString(*sat->witness).c_str());
+  return 0;
+}
+
+int Count(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<GraphDb> db = GraphDbFromString(*text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "graph parse error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Result<RelationRegistry> registry = LoadRegistry(args);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "relation load error: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  Result<EcrpqQuery> query =
+      ParseEcrpq(args.positional[1], db->alphabet(), &*registry);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  Result<uint64_t> count = CountEcrpqNodeAssignments(*db, *query);
+  if (!count.ok()) {
+    std::fprintf(stderr, "error: %s\n", count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu satisfying node assignments\n",
+              static_cast<unsigned long long>(*count));
+  return 0;
+}
+
+int Dot(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<GraphDb> db = GraphDbFromString(*text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "graph parse error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", GraphDbToDot(*db).c_str());
+  return 0;
+}
+
+int Parse(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const Alphabet alphabet = Alphabet::OfChars(args.alphabet);
+  Result<EcrpqQuery> query = ParseEcrpq(args.positional[0], alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", query->ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv);
+  if (command == "classify") return Classify(args);
+  if (command == "eval") return Eval(args);
+  if (command == "sat") return Sat(args);
+  if (command == "explain") return Explain(args);
+  if (command == "simplify") return Simplify(args);
+  if (command == "count") return Count(args);
+  if (command == "dot") return Dot(args);
+  if (command == "parse") return Parse(args);
+  return Usage();
+}
+
+}  // namespace internal_cli
+}  // namespace ecrpq
+
+int main(int argc, char** argv) {
+  return ecrpq::internal_cli::Main(argc, argv);
+}
