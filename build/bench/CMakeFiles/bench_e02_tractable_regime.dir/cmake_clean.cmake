@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_tractable_regime.dir/bench_e02_tractable_regime.cc.o"
+  "CMakeFiles/bench_e02_tractable_regime.dir/bench_e02_tractable_regime.cc.o.d"
+  "bench_e02_tractable_regime"
+  "bench_e02_tractable_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_tractable_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

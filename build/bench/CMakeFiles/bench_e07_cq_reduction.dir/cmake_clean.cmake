@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_cq_reduction.dir/bench_e07_cq_reduction.cc.o"
+  "CMakeFiles/bench_e07_cq_reduction.dir/bench_e07_cq_reduction.cc.o.d"
+  "bench_e07_cq_reduction"
+  "bench_e07_cq_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_cq_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_ine_reduction.dir/bench_e08_ine_reduction.cc.o"
+  "CMakeFiles/bench_e08_ine_reduction.dir/bench_e08_ine_reduction.cc.o.d"
+  "bench_e08_ine_reduction"
+  "bench_e08_ine_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_ine_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e08_ine_reduction.
+# This may be replaced when dependencies are built.

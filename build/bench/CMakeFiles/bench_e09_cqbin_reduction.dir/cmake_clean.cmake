@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_cqbin_reduction.dir/bench_e09_cqbin_reduction.cc.o"
+  "CMakeFiles/bench_e09_cqbin_reduction.dir/bench_e09_cqbin_reduction.cc.o.d"
+  "bench_e09_cqbin_reduction"
+  "bench_e09_cqbin_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_cqbin_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_crpq_pipeline.dir/bench_e10_crpq_pipeline.cc.o"
+  "CMakeFiles/bench_e10_crpq_pipeline.dir/bench_e10_crpq_pipeline.cc.o.d"
+  "bench_e10_crpq_pipeline"
+  "bench_e10_crpq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_crpq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

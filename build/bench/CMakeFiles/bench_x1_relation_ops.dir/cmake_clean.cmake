@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_relation_ops.dir/bench_x1_relation_ops.cc.o"
+  "CMakeFiles/bench_x1_relation_ops.dir/bench_x1_relation_ops.cc.o.d"
+  "bench_x1_relation_ops"
+  "bench_x1_relation_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_relation_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_memoization.dir/bench_x2_memoization.cc.o"
+  "CMakeFiles/bench_x2_memoization.dir/bench_x2_memoization.cc.o.d"
+  "bench_x2_memoization"
+  "bench_x2_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_counting.dir/bench_x3_counting.cc.o"
+  "CMakeFiles/bench_x3_counting.dir/bench_x3_counting.cc.o.d"
+  "bench_x3_counting"
+  "bench_x3_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_simplify.dir/bench_x4_simplify.cc.o"
+  "CMakeFiles/bench_x4_simplify.dir/bench_x4_simplify.cc.o.d"
+  "bench_x4_simplify"
+  "bench_x4_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

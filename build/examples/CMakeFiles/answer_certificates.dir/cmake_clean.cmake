@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answer_certificates.dir/answer_certificates.cpp.o"
+  "CMakeFiles/answer_certificates.dir/answer_certificates.cpp.o.d"
+  "answer_certificates"
+  "answer_certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answer_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

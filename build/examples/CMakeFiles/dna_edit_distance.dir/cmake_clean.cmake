@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_edit_distance.dir/dna_edit_distance.cpp.o"
+  "CMakeFiles/dna_edit_distance.dir/dna_edit_distance.cpp.o.d"
+  "dna_edit_distance"
+  "dna_edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

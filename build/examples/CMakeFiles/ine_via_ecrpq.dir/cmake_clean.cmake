@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ine_via_ecrpq.dir/ine_via_ecrpq.cpp.o"
+  "CMakeFiles/ine_via_ecrpq.dir/ine_via_ecrpq.cpp.o.d"
+  "ine_via_ecrpq"
+  "ine_via_ecrpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ine_via_ecrpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

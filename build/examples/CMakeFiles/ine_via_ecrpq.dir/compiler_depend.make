@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ine_via_ecrpq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ine_via_ecrpq.
+# This may be replaced when dependencies are built.

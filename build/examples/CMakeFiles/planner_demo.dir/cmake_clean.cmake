@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_demo.dir/planner_demo.cpp.o"
+  "CMakeFiles/planner_demo.dir/planner_demo.cpp.o.d"
+  "planner_demo"
+  "planner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

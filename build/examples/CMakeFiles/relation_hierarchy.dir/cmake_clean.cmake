@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_hierarchy.dir/relation_hierarchy.cpp.o"
+  "CMakeFiles/relation_hierarchy.dir/relation_hierarchy.cpp.o.d"
+  "relation_hierarchy"
+  "relation_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_network.dir/transport_network.cpp.o"
+  "CMakeFiles/transport_network.dir/transport_network.cpp.o.d"
+  "transport_network"
+  "transport_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_way_navigation.dir/two_way_navigation.cpp.o"
+  "CMakeFiles/two_way_navigation.dir/two_way_navigation.cpp.o.d"
+  "two_way_navigation"
+  "two_way_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_way_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/alphabet.cc" "src/CMakeFiles/ecrpq.dir/automata/alphabet.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/alphabet.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/CMakeFiles/ecrpq.dir/automata/dfa.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/dfa.cc.o.d"
+  "/root/repo/src/automata/ine.cc" "src/CMakeFiles/ecrpq.dir/automata/ine.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/ine.cc.o.d"
+  "/root/repo/src/automata/io.cc" "src/CMakeFiles/ecrpq.dir/automata/io.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/io.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/CMakeFiles/ecrpq.dir/automata/nfa.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/nfa.cc.o.d"
+  "/root/repo/src/automata/ops.cc" "src/CMakeFiles/ecrpq.dir/automata/ops.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/ops.cc.o.d"
+  "/root/repo/src/automata/random.cc" "src/CMakeFiles/ecrpq.dir/automata/random.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/random.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/CMakeFiles/ecrpq.dir/automata/regex.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/regex.cc.o.d"
+  "/root/repo/src/automata/simulation.cc" "src/CMakeFiles/ecrpq.dir/automata/simulation.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/automata/simulation.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ecrpq.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/ecrpq.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/common/strings.cc.o.d"
+  "/root/repo/src/cq/count.cc" "src/CMakeFiles/ecrpq.dir/cq/count.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/count.cc.o.d"
+  "/root/repo/src/cq/cq.cc" "src/CMakeFiles/ecrpq.dir/cq/cq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/cq.cc.o.d"
+  "/root/repo/src/cq/eval_backtrack.cc" "src/CMakeFiles/ecrpq.dir/cq/eval_backtrack.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/eval_backtrack.cc.o.d"
+  "/root/repo/src/cq/eval_treedec.cc" "src/CMakeFiles/ecrpq.dir/cq/eval_treedec.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/eval_treedec.cc.o.d"
+  "/root/repo/src/cq/homomorphism.cc" "src/CMakeFiles/ecrpq.dir/cq/homomorphism.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/homomorphism.cc.o.d"
+  "/root/repo/src/cq/relation.cc" "src/CMakeFiles/ecrpq.dir/cq/relation.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/relation.cc.o.d"
+  "/root/repo/src/cq/relational_db.cc" "src/CMakeFiles/ecrpq.dir/cq/relational_db.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/cq/relational_db.cc.o.d"
+  "/root/repo/src/eval/adaptive.cc" "src/CMakeFiles/ecrpq.dir/eval/adaptive.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/adaptive.cc.o.d"
+  "/root/repo/src/eval/crpq_eval.cc" "src/CMakeFiles/ecrpq.dir/eval/crpq_eval.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/crpq_eval.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/CMakeFiles/ecrpq.dir/eval/explain.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/explain.cc.o.d"
+  "/root/repo/src/eval/generic_eval.cc" "src/CMakeFiles/ecrpq.dir/eval/generic_eval.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/generic_eval.cc.o.d"
+  "/root/repo/src/eval/merge.cc" "src/CMakeFiles/ecrpq.dir/eval/merge.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/merge.cc.o.d"
+  "/root/repo/src/eval/naive_eval.cc" "src/CMakeFiles/ecrpq.dir/eval/naive_eval.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/naive_eval.cc.o.d"
+  "/root/repo/src/eval/planner.cc" "src/CMakeFiles/ecrpq.dir/eval/planner.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/planner.cc.o.d"
+  "/root/repo/src/eval/reduce_to_cq.cc" "src/CMakeFiles/ecrpq.dir/eval/reduce_to_cq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/reduce_to_cq.cc.o.d"
+  "/root/repo/src/eval/satisfiability.cc" "src/CMakeFiles/ecrpq.dir/eval/satisfiability.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/satisfiability.cc.o.d"
+  "/root/repo/src/eval/uecrpq.cc" "src/CMakeFiles/ecrpq.dir/eval/uecrpq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/eval/uecrpq.cc.o.d"
+  "/root/repo/src/graphdb/dot.cc" "src/CMakeFiles/ecrpq.dir/graphdb/dot.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/dot.cc.o.d"
+  "/root/repo/src/graphdb/generators.cc" "src/CMakeFiles/ecrpq.dir/graphdb/generators.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/generators.cc.o.d"
+  "/root/repo/src/graphdb/graph_db.cc" "src/CMakeFiles/ecrpq.dir/graphdb/graph_db.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/graph_db.cc.o.d"
+  "/root/repo/src/graphdb/io.cc" "src/CMakeFiles/ecrpq.dir/graphdb/io.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/io.cc.o.d"
+  "/root/repo/src/graphdb/rpq_reach.cc" "src/CMakeFiles/ecrpq.dir/graphdb/rpq_reach.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/rpq_reach.cc.o.d"
+  "/root/repo/src/graphdb/tuple_search.cc" "src/CMakeFiles/ecrpq.dir/graphdb/tuple_search.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/graphdb/tuple_search.cc.o.d"
+  "/root/repo/src/query/abstraction.cc" "src/CMakeFiles/ecrpq.dir/query/abstraction.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/abstraction.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/ecrpq.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/builder.cc" "src/CMakeFiles/ecrpq.dir/query/builder.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/builder.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/ecrpq.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/recognizable.cc" "src/CMakeFiles/ecrpq.dir/query/recognizable.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/recognizable.cc.o.d"
+  "/root/repo/src/query/simplify.cc" "src/CMakeFiles/ecrpq.dir/query/simplify.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/simplify.cc.o.d"
+  "/root/repo/src/query/validate.cc" "src/CMakeFiles/ecrpq.dir/query/validate.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/query/validate.cc.o.d"
+  "/root/repo/src/reductions/cc_tame.cc" "src/CMakeFiles/ecrpq.dir/reductions/cc_tame.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/reductions/cc_tame.cc.o.d"
+  "/root/repo/src/reductions/cqbin_to_ecrpq.cc" "src/CMakeFiles/ecrpq.dir/reductions/cqbin_to_ecrpq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/reductions/cqbin_to_ecrpq.cc.o.d"
+  "/root/repo/src/reductions/ine_to_ecrpq.cc" "src/CMakeFiles/ecrpq.dir/reductions/ine_to_ecrpq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/reductions/ine_to_ecrpq.cc.o.d"
+  "/root/repo/src/reductions/pie_to_ecrpq.cc" "src/CMakeFiles/ecrpq.dir/reductions/pie_to_ecrpq.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/reductions/pie_to_ecrpq.cc.o.d"
+  "/root/repo/src/structure/derived.cc" "src/CMakeFiles/ecrpq.dir/structure/derived.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/derived.cc.o.d"
+  "/root/repo/src/structure/dot.cc" "src/CMakeFiles/ecrpq.dir/structure/dot.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/dot.cc.o.d"
+  "/root/repo/src/structure/hypergraph.cc" "src/CMakeFiles/ecrpq.dir/structure/hypergraph.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/hypergraph.cc.o.d"
+  "/root/repo/src/structure/measures.cc" "src/CMakeFiles/ecrpq.dir/structure/measures.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/measures.cc.o.d"
+  "/root/repo/src/structure/tree_decomposition.cc" "src/CMakeFiles/ecrpq.dir/structure/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/tree_decomposition.cc.o.d"
+  "/root/repo/src/structure/treewidth.cc" "src/CMakeFiles/ecrpq.dir/structure/treewidth.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/treewidth.cc.o.d"
+  "/root/repo/src/structure/two_level_graph.cc" "src/CMakeFiles/ecrpq.dir/structure/two_level_graph.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/structure/two_level_graph.cc.o.d"
+  "/root/repo/src/synchro/builders.cc" "src/CMakeFiles/ecrpq.dir/synchro/builders.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/builders.cc.o.d"
+  "/root/repo/src/synchro/convolution.cc" "src/CMakeFiles/ecrpq.dir/synchro/convolution.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/convolution.cc.o.d"
+  "/root/repo/src/synchro/io.cc" "src/CMakeFiles/ecrpq.dir/synchro/io.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/io.cc.o.d"
+  "/root/repo/src/synchro/join.cc" "src/CMakeFiles/ecrpq.dir/synchro/join.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/join.cc.o.d"
+  "/root/repo/src/synchro/ops.cc" "src/CMakeFiles/ecrpq.dir/synchro/ops.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/ops.cc.o.d"
+  "/root/repo/src/synchro/rational.cc" "src/CMakeFiles/ecrpq.dir/synchro/rational.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/rational.cc.o.d"
+  "/root/repo/src/synchro/recognizable.cc" "src/CMakeFiles/ecrpq.dir/synchro/recognizable.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/recognizable.cc.o.d"
+  "/root/repo/src/synchro/sync_relation.cc" "src/CMakeFiles/ecrpq.dir/synchro/sync_relation.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/sync_relation.cc.o.d"
+  "/root/repo/src/synchro/tape_pack.cc" "src/CMakeFiles/ecrpq.dir/synchro/tape_pack.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/synchro/tape_pack.cc.o.d"
+  "/root/repo/src/workloads/db_gen.cc" "src/CMakeFiles/ecrpq.dir/workloads/db_gen.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/workloads/db_gen.cc.o.d"
+  "/root/repo/src/workloads/query_gen.cc" "src/CMakeFiles/ecrpq.dir/workloads/query_gen.cc.o" "gcc" "src/CMakeFiles/ecrpq.dir/workloads/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_dfa_test.dir/automata_dfa_test.cc.o"
+  "CMakeFiles/automata_dfa_test.dir/automata_dfa_test.cc.o.d"
+  "automata_dfa_test"
+  "automata_dfa_test.pdb"
+  "automata_dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_nfa_test.dir/automata_nfa_test.cc.o"
+  "CMakeFiles/automata_nfa_test.dir/automata_nfa_test.cc.o.d"
+  "automata_nfa_test"
+  "automata_nfa_test.pdb"
+  "automata_nfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_nfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

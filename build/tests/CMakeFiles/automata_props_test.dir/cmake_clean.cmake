@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_props_test.dir/automata_props_test.cc.o"
+  "CMakeFiles/automata_props_test.dir/automata_props_test.cc.o.d"
+  "automata_props_test"
+  "automata_props_test.pdb"
+  "automata_props_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

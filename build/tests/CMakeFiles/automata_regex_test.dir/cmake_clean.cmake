@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_regex_test.dir/automata_regex_test.cc.o"
+  "CMakeFiles/automata_regex_test.dir/automata_regex_test.cc.o.d"
+  "automata_regex_test"
+  "automata_regex_test.pdb"
+  "automata_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

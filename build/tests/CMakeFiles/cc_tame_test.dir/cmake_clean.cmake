@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_tame_test.dir/cc_tame_test.cc.o"
+  "CMakeFiles/cc_tame_test.dir/cc_tame_test.cc.o.d"
+  "cc_tame_test"
+  "cc_tame_test.pdb"
+  "cc_tame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_tame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

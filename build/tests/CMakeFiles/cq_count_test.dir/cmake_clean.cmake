@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_count_test.dir/cq_count_test.cc.o"
+  "CMakeFiles/cq_count_test.dir/cq_count_test.cc.o.d"
+  "cq_count_test"
+  "cq_count_test.pdb"
+  "cq_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

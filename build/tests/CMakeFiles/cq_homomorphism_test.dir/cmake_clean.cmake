@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_homomorphism_test.dir/cq_homomorphism_test.cc.o"
+  "CMakeFiles/cq_homomorphism_test.dir/cq_homomorphism_test.cc.o.d"
+  "cq_homomorphism_test"
+  "cq_homomorphism_test.pdb"
+  "cq_homomorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_homomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

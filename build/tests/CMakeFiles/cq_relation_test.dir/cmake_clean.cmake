@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_relation_test.dir/cq_relation_test.cc.o"
+  "CMakeFiles/cq_relation_test.dir/cq_relation_test.cc.o.d"
+  "cq_relation_test"
+  "cq_relation_test.pdb"
+  "cq_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

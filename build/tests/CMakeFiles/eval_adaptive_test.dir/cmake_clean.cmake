@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_adaptive_test.dir/eval_adaptive_test.cc.o"
+  "CMakeFiles/eval_adaptive_test.dir/eval_adaptive_test.cc.o.d"
+  "eval_adaptive_test"
+  "eval_adaptive_test.pdb"
+  "eval_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

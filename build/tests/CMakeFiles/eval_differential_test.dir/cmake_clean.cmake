@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_differential_test.dir/eval_differential_test.cc.o"
+  "CMakeFiles/eval_differential_test.dir/eval_differential_test.cc.o.d"
+  "eval_differential_test"
+  "eval_differential_test.pdb"
+  "eval_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

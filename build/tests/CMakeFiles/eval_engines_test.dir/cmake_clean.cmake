@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_engines_test.dir/eval_engines_test.cc.o"
+  "CMakeFiles/eval_engines_test.dir/eval_engines_test.cc.o.d"
+  "eval_engines_test"
+  "eval_engines_test.pdb"
+  "eval_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

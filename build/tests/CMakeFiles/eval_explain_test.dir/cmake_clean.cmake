@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_explain_test.dir/eval_explain_test.cc.o"
+  "CMakeFiles/eval_explain_test.dir/eval_explain_test.cc.o.d"
+  "eval_explain_test"
+  "eval_explain_test.pdb"
+  "eval_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_merge_test.dir/eval_merge_test.cc.o"
+  "CMakeFiles/eval_merge_test.dir/eval_merge_test.cc.o.d"
+  "eval_merge_test"
+  "eval_merge_test.pdb"
+  "eval_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

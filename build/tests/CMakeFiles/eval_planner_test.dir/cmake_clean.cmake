@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_planner_test.dir/eval_planner_test.cc.o"
+  "CMakeFiles/eval_planner_test.dir/eval_planner_test.cc.o.d"
+  "eval_planner_test"
+  "eval_planner_test.pdb"
+  "eval_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_streaming_test.dir/eval_streaming_test.cc.o"
+  "CMakeFiles/eval_streaming_test.dir/eval_streaming_test.cc.o.d"
+  "eval_streaming_test"
+  "eval_streaming_test.pdb"
+  "eval_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_registry_test.dir/parser_registry_test.cc.o"
+  "CMakeFiles/parser_registry_test.dir/parser_registry_test.cc.o.d"
+  "parser_registry_test"
+  "parser_registry_test.pdb"
+  "parser_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_ast_test.dir/query_ast_test.cc.o"
+  "CMakeFiles/query_ast_test.dir/query_ast_test.cc.o.d"
+  "query_ast_test"
+  "query_ast_test.pdb"
+  "query_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

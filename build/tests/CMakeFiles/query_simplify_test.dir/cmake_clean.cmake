@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_simplify_test.dir/query_simplify_test.cc.o"
+  "CMakeFiles/query_simplify_test.dir/query_simplify_test.cc.o.d"
+  "query_simplify_test"
+  "query_simplify_test.pdb"
+  "query_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recognizable_test.dir/recognizable_test.cc.o"
+  "CMakeFiles/recognizable_test.dir/recognizable_test.cc.o.d"
+  "recognizable_test"
+  "recognizable_test.pdb"
+  "recognizable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recognizable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

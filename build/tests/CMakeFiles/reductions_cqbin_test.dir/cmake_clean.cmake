@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_cqbin_test.dir/reductions_cqbin_test.cc.o"
+  "CMakeFiles/reductions_cqbin_test.dir/reductions_cqbin_test.cc.o.d"
+  "reductions_cqbin_test"
+  "reductions_cqbin_test.pdb"
+  "reductions_cqbin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_cqbin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_ine_test.dir/reductions_ine_test.cc.o"
+  "CMakeFiles/reductions_ine_test.dir/reductions_ine_test.cc.o.d"
+  "reductions_ine_test"
+  "reductions_ine_test.pdb"
+  "reductions_ine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_ine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

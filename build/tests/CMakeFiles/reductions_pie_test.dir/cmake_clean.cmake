@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_pie_test.dir/reductions_pie_test.cc.o"
+  "CMakeFiles/reductions_pie_test.dir/reductions_pie_test.cc.o.d"
+  "reductions_pie_test"
+  "reductions_pie_test.pdb"
+  "reductions_pie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_pie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

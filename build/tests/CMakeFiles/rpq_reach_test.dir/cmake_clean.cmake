@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_reach_test.dir/rpq_reach_test.cc.o"
+  "CMakeFiles/rpq_reach_test.dir/rpq_reach_test.cc.o.d"
+  "rpq_reach_test"
+  "rpq_reach_test.pdb"
+  "rpq_reach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

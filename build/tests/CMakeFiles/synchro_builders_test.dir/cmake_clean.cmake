@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_builders_test.dir/synchro_builders_test.cc.o"
+  "CMakeFiles/synchro_builders_test.dir/synchro_builders_test.cc.o.d"
+  "synchro_builders_test"
+  "synchro_builders_test.pdb"
+  "synchro_builders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_builders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_convolution_test.dir/synchro_convolution_test.cc.o"
+  "CMakeFiles/synchro_convolution_test.dir/synchro_convolution_test.cc.o.d"
+  "synchro_convolution_test"
+  "synchro_convolution_test.pdb"
+  "synchro_convolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_convolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_io_test.dir/synchro_io_test.cc.o"
+  "CMakeFiles/synchro_io_test.dir/synchro_io_test.cc.o.d"
+  "synchro_io_test"
+  "synchro_io_test.pdb"
+  "synchro_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

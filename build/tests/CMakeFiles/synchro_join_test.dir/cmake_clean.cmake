@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_join_test.dir/synchro_join_test.cc.o"
+  "CMakeFiles/synchro_join_test.dir/synchro_join_test.cc.o.d"
+  "synchro_join_test"
+  "synchro_join_test.pdb"
+  "synchro_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_ops_test.dir/synchro_ops_test.cc.o"
+  "CMakeFiles/synchro_ops_test.dir/synchro_ops_test.cc.o.d"
+  "synchro_ops_test"
+  "synchro_ops_test.pdb"
+  "synchro_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchro_relation_test.dir/synchro_relation_test.cc.o"
+  "CMakeFiles/synchro_relation_test.dir/synchro_relation_test.cc.o.d"
+  "synchro_relation_test"
+  "synchro_relation_test.pdb"
+  "synchro_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchro_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

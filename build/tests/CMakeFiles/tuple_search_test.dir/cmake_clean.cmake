@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_search_test.dir/tuple_search_test.cc.o"
+  "CMakeFiles/tuple_search_test.dir/tuple_search_test.cc.o.d"
+  "tuple_search_test"
+  "tuple_search_test.pdb"
+  "tuple_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

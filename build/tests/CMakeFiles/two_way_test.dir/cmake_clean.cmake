@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_way_test.dir/two_way_test.cc.o"
+  "CMakeFiles/two_way_test.dir/two_way_test.cc.o.d"
+  "two_way_test"
+  "two_way_test.pdb"
+  "two_way_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_way_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

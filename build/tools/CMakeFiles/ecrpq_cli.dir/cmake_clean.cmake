@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrpq_cli.dir/ecrpq_cli.cc.o"
+  "CMakeFiles/ecrpq_cli.dir/ecrpq_cli.cc.o.d"
+  "ecrpq_cli"
+  "ecrpq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrpq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
