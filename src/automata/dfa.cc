@@ -10,9 +10,29 @@ namespace ecrpq {
 Dfa::Dfa(int num_states, std::vector<Label> labels)
     : num_states_(num_states), labels_(std::move(labels)) {
   ECRPQ_CHECK_GT(num_states_, 0);
-  ECRPQ_DCHECK(std::is_sorted(labels_.begin(), labels_.end()));
   table_.assign(static_cast<size_t>(num_states_) * labels_.size(), 0);
   accepting_.assign(num_states_, false);
+  ECRPQ_DCHECK_INVARIANT(*this);
+}
+
+void Dfa::CheckInvariants() const {
+  ECRPQ_CHECK_GT(num_states_, 0) << "Dfa: must have at least one state";
+  ECRPQ_CHECK(std::is_sorted(labels_.begin(), labels_.end()))
+      << "Dfa: label set must be sorted";
+  ECRPQ_CHECK(std::adjacent_find(labels_.begin(), labels_.end()) ==
+              labels_.end())
+      << "Dfa: label set must be deduplicated";
+  ECRPQ_CHECK_EQ(table_.size(),
+                 static_cast<size_t>(num_states_) * labels_.size())
+      << "Dfa: transition table is not dense";
+  ECRPQ_CHECK_EQ(accepting_.size(), static_cast<size_t>(num_states_))
+      << "Dfa: accepting bitmap out of sync with state count";
+  ECRPQ_CHECK_LT(initial_, static_cast<StateId>(num_states_))
+      << "Dfa: initial state out of range";
+  for (const StateId to : table_) {
+    ECRPQ_CHECK_LT(to, static_cast<StateId>(num_states_))
+        << "Dfa: transition target out of range";
+  }
 }
 
 int Dfa::LabelIndex(Label label) const {
@@ -118,6 +138,7 @@ Dfa Dfa::Minimize() const {
       out.SetNext(block[i], li, block[reach_id[Next(s, li)]]);
     }
   }
+  ECRPQ_DCHECK_INVARIANT(out);
   return out;
 }
 

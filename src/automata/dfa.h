@@ -32,8 +32,12 @@ class Dfa {
     initial_ = s;
   }
 
-  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  bool IsAccepting(StateId s) const {
+    ECRPQ_DCHECK(s < static_cast<StateId>(num_states_));
+    return accepting_[s];
+  }
   void SetAccepting(StateId s, bool accepting = true) {
+    ECRPQ_DCHECK(s < static_cast<StateId>(num_states_));
     accepting_[s] = accepting;
   }
 
@@ -44,9 +48,16 @@ class Dfa {
   int FindLabelIndex(Label label) const;
 
   StateId Next(StateId s, int label_index) const {
+    ECRPQ_DCHECK(s < static_cast<StateId>(num_states_));
+    ECRPQ_DCHECK(label_index >= 0 &&
+                 label_index < static_cast<int>(labels_.size()));
     return table_[static_cast<size_t>(s) * labels_.size() + label_index];
   }
   void SetNext(StateId s, int label_index, StateId to) {
+    ECRPQ_DCHECK(s < static_cast<StateId>(num_states_));
+    ECRPQ_DCHECK(label_index >= 0 &&
+                 label_index < static_cast<int>(labels_.size()));
+    ECRPQ_DCHECK(to < static_cast<StateId>(num_states_));
     table_[static_cast<size_t>(s) * labels_.size() + label_index] = to;
   }
 
@@ -63,6 +74,13 @@ class Dfa {
   // Returns the minimal DFA for the same language (Moore's partition
   // refinement followed by removal of unreachable states).
   Dfa Minimize() const;
+
+  // Structural invariants (fires ECRPQ_CHECK on violation, any build mode):
+  //  - the label set is sorted and deduplicated (alphabet consistency);
+  //  - the transition table is dense: num_states × |labels| entries;
+  //  - every transition target and the initial state are in range
+  //    (completeness of the transition function).
+  void CheckInvariants() const;
 
  private:
   int num_states_;

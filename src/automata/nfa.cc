@@ -191,6 +191,7 @@ void Nfa::Trim() {
   transitions_ = std::move(new_transitions);
   accepting_ = std::move(new_accepting);
   initial_ = std::move(new_initial);
+  ECRPQ_DCHECK_INVARIANT(*this);
 }
 
 void Nfa::Normalize() {
@@ -204,6 +205,22 @@ void Nfa::Normalize() {
   std::sort(initial_.begin(), initial_.end());
   initial_.erase(std::unique(initial_.begin(), initial_.end()),
                  initial_.end());
+  ECRPQ_DCHECK_INVARIANT(*this);
+}
+
+void Nfa::CheckInvariants() const {
+  const size_t n = transitions_.size();
+  ECRPQ_CHECK_EQ(accepting_.size(), n)
+      << "Nfa: accepting bitmap out of sync with state count";
+  for (const StateId s : initial_) {
+    ECRPQ_CHECK_LT(s, n) << "Nfa: initial state out of range";
+  }
+  for (size_t from = 0; from < n; ++from) {
+    for (const Transition& t : transitions_[from]) {
+      ECRPQ_CHECK_LT(t.to, n) << "Nfa: transition target out of range (from "
+                              << from << ")";
+    }
+  }
 }
 
 }  // namespace ecrpq

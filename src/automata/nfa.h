@@ -99,6 +99,13 @@ class Nfa {
   // Sorts each state's transition list by (label, to) and removes duplicates.
   void Normalize();
 
+  // Structural invariants (fires ECRPQ_CHECK on violation, any build mode):
+  //  - accepting bits sized to the state count;
+  //  - every initial state id in range;
+  //  - every transition target in range.
+  // Mutating operations re-assert this via ECRPQ_DCHECK_INVARIANT.
+  void CheckInvariants() const;
+
   // Deep equality of representation (not language equivalence).
   bool operator==(const Nfa&) const = default;
 

@@ -55,7 +55,7 @@ class Parser {
       ECRPQ_ASSIGN_OR_RAISE(RegexPtr part, ParseRep());
       parts.push_back(std::move(part));
     }
-    if (parts.empty()) return MakeNode(RegexNode::Kind::kEpsilon);
+    if (parts.empty()) return MakeNode(RegexNode::Kind::kEmptyString);
     if (parts.size() == 1) return std::move(parts[0]);
     RegexPtr concat = MakeNode(RegexNode::Kind::kConcat);
     concat->children = std::move(parts);
@@ -152,7 +152,7 @@ struct Fragment {
 
 Fragment Compile(const RegexNode& node, Alphabet* alphabet, Nfa* nfa) {
   switch (node.kind) {
-    case RegexNode::Kind::kEpsilon: {
+    case RegexNode::Kind::kEmptyString: {
       const StateId s = nfa->AddState();
       const StateId t = nfa->AddState();
       nfa->AddTransition(s, kEpsilon, t);
@@ -252,7 +252,7 @@ Result<Nfa> CompileRegex(std::string_view pattern, Alphabet* alphabet) {
 
 std::string RegexToString(const RegexNode& regex) {
   switch (regex.kind) {
-    case RegexNode::Kind::kEpsilon:
+    case RegexNode::Kind::kEmptyString:
       return "()";
     case RegexNode::Kind::kSymbol:
       return EscapeSymbol(regex.symbol);

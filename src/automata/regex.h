@@ -29,7 +29,16 @@ struct RegexNode;
 using RegexPtr = std::unique_ptr<RegexNode>;
 
 struct RegexNode {
-  enum class Kind { kEpsilon, kSymbol, kAny, kConcat, kAlt, kStar, kPlus, kOpt };
+  enum class Kind {
+    kEmptyString,  // ε — named to avoid shadowing nfa.h's kEpsilon label.
+    kSymbol,
+    kAny,
+    kConcat,
+    kAlt,
+    kStar,
+    kPlus,
+    kOpt
+  };
   Kind kind;
   std::string symbol;            // kSymbol only.
   std::vector<RegexPtr> children;  // kConcat/kAlt: 2+; kStar/kPlus/kOpt: 1.

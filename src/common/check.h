@@ -54,10 +54,8 @@ struct CheckVoidify {
 #define ECRPQ_CHECK_GT(a, b) ECRPQ_CHECK((a) > (b))
 #define ECRPQ_CHECK_GE(a, b) ECRPQ_CHECK((a) >= (b))
 
-#ifdef NDEBUG
-#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(true || (cond))
-#else
-#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(cond)
-#endif
+// Debug-invariant macros (ECRPQ_DCHECK*, ECRPQ_DCHECK_INVARIANT) live in
+// common/dcheck.h; included here so every ECRPQ_CHECK user keeps them.
+#include "common/dcheck.h"  // IWYU pragma: export
 
 #endif  // ECRPQ_COMMON_CHECK_H_

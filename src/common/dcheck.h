@@ -1,0 +1,62 @@
+// Debug-invariant macros: assertions that document and enforce the
+// structural invariants the paper's constructions rely on, without taxing
+// release builds.
+//
+// ECRPQ_DCHECK(cond)            — like ECRPQ_CHECK, but compiled out when
+//                                 dchecks are off.
+// ECRPQ_DCHECK_EQ/NE/LT/...     — comparison forms.
+// ECRPQ_DCHECK_INVARIANT(obj)   — calls (obj).CheckInvariants() when dchecks
+//                                 are on; a no-op otherwise. Core data
+//                                 structures (Nfa, Dfa, SyncRelation,
+//                                 Hypergraph, TreeDecomposition, Relation)
+//                                 expose CheckInvariants() and invoke this at
+//                                 construction and after mutating operations.
+//
+// Dchecks are ON when either:
+//   - NDEBUG is not defined (Debug builds), or
+//   - ECRPQ_SANITIZE_BUILD is defined (any -DECRPQ_SANITIZE=... build mode;
+//     see the top-level CMakeLists.txt), so sanitized test runs exercise the
+//     invariants even though they compile with optimizations.
+// In plain release builds (RelWithDebInfo/Release) every dcheck compiles to
+// a no-op that still parses and odr-uses its arguments, so a dcheck cannot
+// hide a compile error or an unused-variable warning.
+//
+// CheckInvariants() methods themselves are ordinary functions built on
+// ECRPQ_CHECK: calling one directly fires in every build mode. Tests use
+// that to demonstrate corruption detection without requiring a debug build.
+#ifndef ECRPQ_COMMON_DCHECK_H_
+#define ECRPQ_COMMON_DCHECK_H_
+
+#include "common/check.h"
+
+#if !defined(NDEBUG) || defined(ECRPQ_SANITIZE_BUILD)
+#define ECRPQ_DCHECK_IS_ON 1
+#else
+#define ECRPQ_DCHECK_IS_ON 0
+#endif
+
+#if ECRPQ_DCHECK_IS_ON
+
+#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(cond)
+#define ECRPQ_DCHECK_INVARIANT(obj) (obj).CheckInvariants()
+
+#else  // !ECRPQ_DCHECK_IS_ON
+
+// `true || (cond)` keeps the condition compiled (types checked, variables
+// odr-used) while letting the optimizer delete it.
+#define ECRPQ_DCHECK(cond) ECRPQ_CHECK(true || (cond))
+#define ECRPQ_DCHECK_INVARIANT(obj) \
+  do {                              \
+    if (false) (obj).CheckInvariants(); \
+  } while (false)
+
+#endif  // ECRPQ_DCHECK_IS_ON
+
+#define ECRPQ_DCHECK_EQ(a, b) ECRPQ_DCHECK((a) == (b))
+#define ECRPQ_DCHECK_NE(a, b) ECRPQ_DCHECK((a) != (b))
+#define ECRPQ_DCHECK_LT(a, b) ECRPQ_DCHECK((a) < (b))
+#define ECRPQ_DCHECK_LE(a, b) ECRPQ_DCHECK((a) <= (b))
+#define ECRPQ_DCHECK_GT(a, b) ECRPQ_DCHECK((a) > (b))
+#define ECRPQ_DCHECK_GE(a, b) ECRPQ_DCHECK((a) >= (b))
+
+#endif  // ECRPQ_COMMON_DCHECK_H_

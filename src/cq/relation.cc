@@ -37,6 +37,23 @@ void Relation::Finalize() {
   }
   data_ = std::move(sorted);
   finalized_ = true;
+  ECRPQ_DCHECK_INVARIANT(*this);
+}
+
+void Relation::CheckInvariants() const {
+  ECRPQ_CHECK_GT(arity_, 0) << "Relation " << name_ << ": non-positive arity";
+  ECRPQ_CHECK_EQ(data_.size() % arity_, 0u)
+      << "Relation " << name_ << ": data is not a whole number of rows";
+  if (!finalized_) return;
+  const size_t n = NumTuples();
+  for (size_t row = 1; row < n; ++row) {
+    const auto prev = data_.begin() + (row - 1) * arity_;
+    const auto cur = data_.begin() + row * arity_;
+    ECRPQ_CHECK(std::lexicographical_compare(prev, prev + arity_, cur,
+                                             cur + arity_))
+        << "Relation " << name_
+        << ": finalized rows not sorted/deduplicated at row " << row;
+  }
 }
 
 bool Relation::Contains(std::span<const uint32_t> tuple) const {

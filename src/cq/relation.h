@@ -44,6 +44,12 @@ class Relation {
   const std::vector<uint32_t>& Matches(uint32_t mask,
                                        const std::vector<uint32_t>& key) const;
 
+  // Storage invariants (fires ECRPQ_CHECK on violation, any build mode):
+  // positive arity, data a whole number of rows, and — once finalized —
+  // rows sorted lexicographically and deduplicated. Finalize() re-asserts
+  // this via ECRPQ_DCHECK_INVARIANT.
+  void CheckInvariants() const;
+
  private:
   using Index =
       std::unordered_map<std::vector<uint32_t>, std::vector<uint32_t>,

@@ -15,14 +15,9 @@ namespace ecrpq {
 
 Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
                                 bool use_treedec, size_t max_answers) {
-  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
   if (!query.IsCrpq()) {
     return Status::Invalid("EvaluateCrpq requires a CRPQ");
-  }
-  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
-    return Status::Invalid(
-        "database alphabet is not an id-aligned prefix of the query "
-        "alphabet");
   }
   EvalResult out;
   if (db.NumVertices() == 0) {

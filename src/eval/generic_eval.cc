@@ -143,12 +143,7 @@ struct Engine {
 
 Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
                                    const EvalOptions& options) {
-  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
-  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
-    return Status::Invalid(
-        "database alphabet is not an id-aligned prefix of the query "
-        "alphabet");
-  }
+  ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
 
   EvalResult empty_result;
   if (db.NumVertices() == 0) {

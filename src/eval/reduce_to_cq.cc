@@ -1,5 +1,6 @@
 #include "eval/reduce_to_cq.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,12 +16,7 @@ namespace ecrpq {
 
 Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
                                const ReduceOptions& options) {
-  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
-  if (!AlphabetsCompatible(db.alphabet(), query.alphabet())) {
-    return Status::Invalid(
-        "database alphabet is not an id-aligned prefix of the query "
-        "alphabet");
-  }
+  ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
   CqReduction reduction;
   reduction.db = std::make_unique<RelationalDb>(
       static_cast<uint32_t>(db.NumVertices()));
@@ -51,6 +47,37 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
 
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel,
                           reduction.db->AddRelation(name, 2 * r));
+
+    // The CQ atom R'_C(x_1, y_1, ..., x_r, y_r). Lemma 4.3's atom is a pure
+    // 2r-ary template: when the same node variable occupies several endpoint
+    // positions of the component, every position after the first gets a
+    // fresh copy variable and the coincidence is pushed into the
+    // materialized relation (only rows agreeing on coinciding positions are
+    // kept). The atom therefore spans 2r pairwise-distinct variables and
+    // its hypergraph edge has the full 2r-clique Gaifman footprint.
+    CqAtom atom;
+    atom.relation = name;
+    std::vector<int> same_as(2 * r, -1);  // Position of the original, or -1.
+    {
+      std::map<NodeVarId, int> first_position;
+      for (int i = 0; i < 2 * r; ++i) {
+        const NodeVarId v =
+            (i % 2 == 0) ? plan.sources[i / 2] : plan.targets[i / 2];
+        const auto [it, inserted] = first_position.try_emplace(v, i);
+        if (inserted) {
+          atom.vars.push_back(v);
+        } else {
+          same_as[i] = it->second;
+          atom.vars.push_back(
+              static_cast<CqVarId>(reduction.query.num_vars));
+          reduction.query.var_names.push_back(
+              query.NodeVarName(v) + "'" +
+              std::to_string(reduction.query.num_vars));
+          ++reduction.query.num_vars;
+        }
+      }
+    }
+
     // Enumerate all |V|^r source tuples — the O(|D|^{2 cc_vertex}) step.
     std::vector<VertexId> sources(r, 0);
     std::vector<uint32_t> row(2 * r);
@@ -66,6 +93,11 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
           row[2 * i] = sources[i];
           row[2 * i + 1] = targets[i];
         }
+        bool coincides = true;
+        for (int i = 0; i < 2 * r && coincides; ++i) {
+          if (same_as[i] >= 0 && row[i] != row[same_as[i]]) coincides = false;
+        }
+        if (!coincides) continue;
         rel->Add(row);
         ++total_tuples;
         if (options.max_tuples != 0 && total_tuples > options.max_tuples) {
@@ -83,13 +115,6 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
     }
     reduction.product_states += searcher.TotalExploredStates();
 
-    // The CQ atom R'_C(x_1, y_1, ..., x_r, y_r).
-    CqAtom atom;
-    atom.relation = name;
-    for (int i = 0; i < r; ++i) {
-      atom.vars.push_back(plan.sources[i]);
-      atom.vars.push_back(plan.targets[i]);
-    }
     reduction.query.atoms.push_back(std::move(atom));
   }
   reduction.db->FinalizeAll();

@@ -6,7 +6,10 @@
 //           jointly accepted by the component's merged relation}
 // is materialized over the vertex domain, and the ECRPQ becomes the CQ
 //   ⋀_C R'_C(x_1, y_1, ..., x_r, y_r)
-// whose Gaifman graph is exactly G^node. Construction cost is
+// over 2r pairwise-distinct variables per atom (coinciding endpoints are
+// split into fresh copies whose equality is enforced inside R'_C), so each
+// atom contributes a full 2r-clique to the Gaifman graph while the atom
+// hypergraph keeps the component chain structure. Construction cost is
 // O(|D|^{2·cc_vertex}) per component — polynomial when cc_vertex (and, for
 // the query-rewriting step, cc_hedge) are bounded, as the lemma states.
 #ifndef ECRPQ_EVAL_REDUCE_TO_CQ_H_

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "synchro/sync_relation.h"
+
 namespace ecrpq {
 
 Status ValidateQuery(const EcrpqQuery& query) {
@@ -61,6 +63,18 @@ Status ValidateQuery(const EcrpqQuery& query) {
     if (v >= static_cast<NodeVarId>(num_nodes)) {
       return Status::Invalid("free variable is not a node variable");
     }
+  }
+  return Status::OK();
+}
+
+Status ValidateQueryForDb(const EcrpqQuery& query,
+                          const Alphabet& db_alphabet) {
+  ECRPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (query.NumPathVars() == 0) return Status::OK();
+  if (!AlphabetsCompatible(db_alphabet, query.alphabet())) {
+    return Status::Invalid(
+        "database alphabet is not an id-aligned prefix of the query "
+        "alphabet");
   }
   return Status::OK();
 }

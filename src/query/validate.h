@@ -17,6 +17,16 @@ namespace ecrpq {
 //  - variable ids are in range.
 Status ValidateQuery(const EcrpqQuery& query);
 
+// ValidateQuery plus the database-facing precondition shared by every
+// evaluation entry point: the database alphabet must be an id-aligned prefix
+// of the query alphabet, so database symbols feed directly into the query's
+// automata. The check is vacuous for queries without path variables (and
+// hence without reachability or relation atoms): no automaton ever consumes
+// a database symbol, so any database is acceptable — in particular the
+// empty query is trivially true on every database.
+Status ValidateQueryForDb(const EcrpqQuery& query,
+                          const Alphabet& db_alphabet);
+
 }  // namespace ecrpq
 
 #endif  // ECRPQ_QUERY_VALIDATE_H_

@@ -12,6 +12,23 @@ void Hypergraph::Normalize() {
     std::sort(e.begin(), e.end());
     e.erase(std::unique(e.begin(), e.end()), e.end());
   }
+  ECRPQ_DCHECK_INVARIANT(*this);
+}
+
+void Hypergraph::CheckInvariants() const {
+  ECRPQ_CHECK_GE(num_vertices, 0) << "Hypergraph: negative vertex count";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const std::vector<int>& e = edges[i];
+    ECRPQ_CHECK(std::is_sorted(e.begin(), e.end()))
+        << "Hypergraph: edge " << i << " is not sorted";
+    ECRPQ_CHECK(std::adjacent_find(e.begin(), e.end()) == e.end())
+        << "Hypergraph: edge " << i << " has duplicate vertices";
+    for (const int v : e) {
+      ECRPQ_CHECK(v >= 0 && v < num_vertices)
+          << "Hypergraph: edge " << i << " member " << v
+          << " outside [0, " << num_vertices << ")";
+    }
+  }
 }
 
 Hypergraph CqHypergraph(const CqQuery& query) {

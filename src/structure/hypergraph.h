@@ -25,6 +25,11 @@ struct Hypergraph {
   std::vector<std::vector<int>> edges;
 
   void Normalize();
+
+  // Normalized-form invariants (fires ECRPQ_CHECK on violation, any build
+  // mode): every edge member in [0, num_vertices), each edge sorted and
+  // deduplicated. Normalize() re-asserts this via ECRPQ_DCHECK_INVARIANT.
+  void CheckInvariants() const;
 };
 
 // The atom hypergraph of a CQ: vertices = variables, one hyperedge per

@@ -16,6 +16,43 @@ int TreeDecomposition::Width() const {
   return width;
 }
 
+void TreeDecomposition::CheckInvariants() const {
+  const int num_bags = static_cast<int>(bags.size());
+  for (int b = 0; b < num_bags; ++b) {
+    const std::vector<int>& bag = bags[b];
+    ECRPQ_CHECK(std::is_sorted(bag.begin(), bag.end()))
+        << "TreeDecomposition: bag " << b << " is not sorted";
+    ECRPQ_CHECK(std::adjacent_find(bag.begin(), bag.end()) == bag.end())
+        << "TreeDecomposition: bag " << b << " has duplicate vertices";
+    for (const int v : bag) {
+      ECRPQ_CHECK_GE(v, 0) << "TreeDecomposition: negative vertex in bag "
+                           << b;
+    }
+  }
+  ECRPQ_CHECK(edges.empty() ||
+              static_cast<int>(edges.size()) <= num_bags - 1)
+      << "TreeDecomposition: more tree edges than a tree allows";
+  for (const auto& [a, b] : edges) {
+    ECRPQ_CHECK(a >= 0 && a < num_bags && b >= 0 && b < num_bags)
+        << "TreeDecomposition: tree edge (" << a << ", " << b
+        << ") references a missing bag";
+    ECRPQ_CHECK_NE(a, b) << "TreeDecomposition: self-loop tree edge";
+  }
+}
+
+void TreeDecomposition::CheckInvariantsFor(const SimpleGraph& graph) const {
+  CheckInvariants();
+  const Status status = ValidateTreeDecomposition(graph, *this);
+  ECRPQ_CHECK(status.ok())
+      << "TreeDecomposition: invalid for graph: " << status.ToString();
+  int max_bag = -1;
+  for (const auto& bag : bags) {
+    max_bag = std::max(max_bag, static_cast<int>(bag.size()) - 1);
+  }
+  ECRPQ_CHECK_EQ(Width(), max_bag)
+      << "TreeDecomposition: declared width out of sync with bags";
+}
+
 Status ValidateTreeDecomposition(const SimpleGraph& graph,
                                  const TreeDecomposition& td) {
   const int n = graph.NumVertices();
@@ -193,6 +230,7 @@ TreeDecomposition DecompositionFromEliminationOrder(
       td.edges.emplace_back(roots[0], roots[i]);
     }
   }
+  ECRPQ_DCHECK_INVARIANT(td);
   return td;
 }
 

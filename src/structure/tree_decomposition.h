@@ -16,6 +16,19 @@ struct TreeDecomposition {
 
   // Width = max bag size - 1 (or -1 for the empty decomposition).
   int Width() const;
+
+  // Structural invariants independent of any graph (fires ECRPQ_CHECK on
+  // violation, any build mode): bags sorted/deduped with non-negative
+  // members, tree edges between existing bags, and no more than |bags|-1
+  // tree edges. Graph-dependent conditions (edge coverage, connected
+  // occurrence) stay in ValidateTreeDecomposition / CheckInvariantsFor.
+  void CheckInvariants() const;
+
+  // Full tree-decomposition invariant against `graph`: CheckInvariants()
+  // plus vertex/edge coverage and the connected-occurrence property, and
+  // that the declared width matches the bags. Fires ECRPQ_CHECK on
+  // violation.
+  void CheckInvariantsFor(const SimpleGraph& graph) const;
 };
 
 // Checks the two tree-decomposition conditions plus tree-ness:

@@ -5,9 +5,28 @@
 #include <set>
 
 #include "common/check.h"
+#include "structure/tree_decomposition.h"
 
 namespace ecrpq {
 namespace {
+
+// Debug invariant: the decomposition induced by the reported elimination
+// order is valid for the graph and its bags realize the declared width.
+void CheckWidthMatchesOrder(const SimpleGraph& graph,
+                            const TreewidthResult& result) {
+#if ECRPQ_DCHECK_IS_ON
+  if (graph.NumVertices() == 0) return;
+  const TreeDecomposition td =
+      DecompositionFromEliminationOrder(graph, result.elimination_order);
+  td.CheckInvariantsFor(graph);
+  ECRPQ_CHECK_EQ(td.Width(), result.width)
+      << "TreewidthResult: declared width does not match the bags of its "
+         "elimination order";
+#else
+  (void)graph;
+  (void)result;
+#endif
+}
 
 // Shared greedy elimination: pick(v, adj) returns the cost of eliminating v
 // next; the minimum-cost vertex is eliminated.
@@ -59,6 +78,7 @@ TreewidthResult TreewidthMinDegree(const SimpleGraph& graph) {
         return static_cast<long>(adj[v].size());
       });
   r.exact = false;
+  CheckWidthMatchesOrder(graph, r);
   return r;
 }
 
@@ -76,6 +96,7 @@ TreewidthResult TreewidthMinFill(const SimpleGraph& graph) {
         return fill;
       });
   r.exact = false;
+  CheckWidthMatchesOrder(graph, r);
   return r;
 }
 
@@ -160,6 +181,7 @@ Result<TreewidthResult> TreewidthExact(const SimpleGraph& graph,
   }
   std::reverse(order.begin(), order.end());
   result.elimination_order = std::move(order);
+  CheckWidthMatchesOrder(graph, result);
   return result;
 }
 

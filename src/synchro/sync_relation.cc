@@ -36,7 +36,24 @@ Result<SyncRelation> SyncRelation::Create(Alphabet alphabet, int arity,
     }
   }
   (void)num_labels;
-  return SyncRelation(std::move(alphabet), pack, std::move(nfa));
+  SyncRelation relation(std::move(alphabet), pack, std::move(nfa));
+  ECRPQ_DCHECK_INVARIANT(relation);
+  return relation;
+}
+
+void SyncRelation::CheckInvariants() const {
+  pack_.CheckInvariants();
+  nfa_.CheckInvariants();
+  ECRPQ_CHECK_EQ(pack_.alphabet_size(), alphabet_.size())
+      << "SyncRelation: tape pack sized for a different alphabet";
+  for (StateId s = 0; s < static_cast<StateId>(nfa_.NumStates()); ++s) {
+    for (const Nfa::Transition& t : nfa_.TransitionsFrom(s)) {
+      if (t.label == kEpsilon) continue;
+      ECRPQ_CHECK(pack_.IsValidLabel(t.label))
+          << "SyncRelation: transition label " << t.label
+          << " violates the packing discipline (state " << s << ")";
+    }
+  }
 }
 
 bool SyncRelation::Contains(std::span<const Word> words) const {
@@ -102,7 +119,9 @@ SyncRelation SyncRelation::Normalized() const {
     }
   }
   out.Trim();
-  return SyncRelation(alphabet_, pack_, std::move(out));
+  SyncRelation normalized(alphabet_, pack_, std::move(out));
+  ECRPQ_DCHECK_INVARIANT(normalized);
+  return normalized;
 }
 
 bool SyncRelation::IsEmpty() const { return !Witness().has_value(); }

@@ -51,6 +51,14 @@ class SyncRelation {
   // Human-readable tuple rendering, e.g. ("ab", "b") using symbol names.
   std::string FormatTuple(std::span<const Word> words) const;
 
+  // Arity/padding discipline (fires ECRPQ_CHECK on violation, any build
+  // mode): the pack matches the alphabet, the NFA is structurally sound,
+  // and every non-ε transition label is a valid packed letter — no stray
+  // high bits, every tape field ⊥ or an in-alphabet symbol. Re-asserted via
+  // ECRPQ_DCHECK_INVARIANT after construction and normalization; callers
+  // mutating through mutable_nfa() should re-check explicitly.
+  void CheckInvariants() const;
+
  private:
   SyncRelation(Alphabet alphabet, TapePack pack, Nfa nfa)
       : alphabet_(std::move(alphabet)), pack_(pack), nfa_(std::move(nfa)) {}

@@ -49,6 +49,29 @@ Label TapePack::Set(Label label, int tape, TapeLetter letter) const {
   return label | (v << (bits_ * tape));
 }
 
+bool TapePack::IsValidLabel(Label label) const {
+  const int used_bits = bits_ * arity_;
+  if (used_bits < 64 && (label >> used_bits) != 0) return false;
+  for (int tape = 0; tape < arity_; ++tape) {
+    const uint64_t v = (label >> (bits_ * tape)) & mask_;
+    // 0 encodes ⊥; otherwise v-1 must be a symbol id.
+    if (v > static_cast<uint64_t>(alphabet_size_)) return false;
+  }
+  return true;
+}
+
+void TapePack::CheckInvariants() const {
+  ECRPQ_CHECK_GE(arity_, 1) << "TapePack: arity must be positive";
+  ECRPQ_CHECK_GE(alphabet_size_, 1) << "TapePack: alphabet must be non-empty";
+  ECRPQ_CHECK((uint64_t{1} << bits_) >=
+              static_cast<uint64_t>(alphabet_size_) + 1)
+      << "TapePack: per-tape bit width too small for alphabet + blank";
+  ECRPQ_CHECK_LE(bits_ * arity_, 64)
+      << "TapePack: tapes do not fit into a 64-bit label";
+  ECRPQ_CHECK_EQ(mask_, (uint64_t{1} << bits_) - 1)
+      << "TapePack: mask out of sync with bit width";
+}
+
 Result<std::vector<Label>> TapePack::EnumerateAllLabels(uint64_t limit) const {
   const uint64_t n = NumLabels();
   if (n > limit) {

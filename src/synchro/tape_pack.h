@@ -54,6 +54,16 @@ class TapePack {
   // Fails if there are more than `limit` of them.
   Result<std::vector<Label>> EnumerateAllLabels(uint64_t limit = 1 << 22) const;
 
+  // True iff `label` respects the packing discipline: no bits beyond
+  // arity·bits_per_tape, and every tape field holds ⊥ or a symbol id below
+  // the alphabet size.
+  bool IsValidLabel(Label label) const;
+
+  // Packing invariants (fires ECRPQ_CHECK on violation, any build mode):
+  // positive arity and alphabet, bit width covering the alphabet, and all
+  // tapes fitting into the 64-bit label.
+  void CheckInvariants() const;
+
   bool operator==(const TapePack&) const = default;
 
  private:

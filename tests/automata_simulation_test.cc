@@ -47,7 +47,9 @@ TEST(SimulationTest, PreorderIsTransitive) {
       for (int b = 0; b < n; ++b) {
         if (!sim[a][b]) continue;
         for (int c = 0; c < n; ++c) {
-          if (sim[b][c]) EXPECT_TRUE(sim[a][c]) << a << b << c;
+          if (sim[b][c]) {
+            EXPECT_TRUE(sim[a][c]) << a << b << c;
+          }
         }
       }
     }

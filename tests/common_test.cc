@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/bitset.h"
@@ -134,6 +135,61 @@ TEST(HashTest, VectorHashDistinguishes) {
   EXPECT_NE(h({1, 2, 3}), h({3, 2, 1}));
   EXPECT_NE(h({}), h({0}));
   EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+// Shift edge cases: bit 0, bit 63 (the full 64-bit shift range), and sizes
+// straddling a word boundary. Written against the UBSan-checked build —
+// any shift-width or overflow slip here is a sanitizer failure.
+TEST(BitsetTest, WordBoundaryAndBit63) {
+  for (const size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                         size_t{128}, size_t{129}}) {
+    DynamicBitset bits(n);
+    EXPECT_EQ(bits.CountSet(), 0u) << n;
+    bits.Set(0);
+    bits.Set(n - 1);
+    EXPECT_TRUE(bits.Test(0)) << n;
+    EXPECT_TRUE(bits.Test(n - 1)) << n;
+    EXPECT_EQ(bits.CountSet(), n == 1 ? 1u : 2u) << n;
+    bits.Reset(n - 1);
+    EXPECT_FALSE(bits.Test(n - 1)) << n;
+  }
+}
+
+TEST(BitsetTest, AllOnesConstructionTrimsPastTheEnd) {
+  // Initializing to all-ones must not count ghost bits in the last word.
+  for (const size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65}}) {
+    DynamicBitset bits(n, true);
+    EXPECT_EQ(bits.CountSet(), n) << n;
+    EXPECT_TRUE(bits.Test(n - 1)) << n;
+  }
+}
+
+TEST(BitsetTest, EmptyBitsetIsWellFormed) {
+  DynamicBitset bits(0);
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.CountSet(), 0u);
+  bits.Clear();
+}
+
+// Signed/overflow edge cases: the mixers must accept extreme and negative
+// inputs without signed overflow (all arithmetic is on unsigned types) and
+// still distinguish values.
+TEST(HashTest, MixersHandleExtremeInputs) {
+  EXPECT_NE(HashMix64(0), HashMix64(~uint64_t{0}));
+  EXPECT_NE(HashMix64(uint64_t{1} << 63), HashMix64(0));
+  EXPECT_NE(HashCombine(~size_t{0}, ~uint64_t{0}),
+            HashCombine(~size_t{0}, 0));
+}
+
+TEST(HashTest, SignedValuesHashConsistently) {
+  VectorHash<int64_t> h;
+  const std::vector<int64_t> negatives = {-1, std::numeric_limits<int64_t>::min()};
+  EXPECT_EQ(h(negatives), h(negatives));
+  EXPECT_NE(h(negatives), h({-1, -1}));
+  PairHash<int32_t, int32_t> ph;
+  EXPECT_NE(ph({-1, 0}), ph({0, -1}));
+  EXPECT_EQ(ph({std::numeric_limits<int32_t>::min(), -1}),
+            ph({std::numeric_limits<int32_t>::min(), -1}));
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// Death tests for the CheckInvariants() layer: deliberately corrupt each
+// structure and verify the invariant check aborts with a diagnostic.
+//
+// CheckInvariants() uses always-on ECRPQ_CHECK internally, so these tests
+// are meaningful in every build mode, including NDEBUG builds where
+// ECRPQ_DCHECK itself compiles out. In DCHECK-on builds some corruptions
+// are caught even earlier (by the mutator's own DCHECK) — the corrupting
+// call therefore lives inside EXPECT_DEATH together with the check.
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "cq/relation.h"
+#include "gtest/gtest.h"
+#include "structure/hypergraph.h"
+#include "structure/tree_decomposition.h"
+#include "structure/two_level_graph.h"
+#include "synchro/sync_relation.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(NfaInvariantsDeathTest, OutOfRangeTransitionTargetDies) {
+  EXPECT_DEATH(
+      {
+        Nfa nfa(2);
+        nfa.AddTransition(0, 7, 5);  // State 5 does not exist.
+        nfa.CheckInvariants();
+      },
+      "CHECK failed");
+}
+
+TEST(NfaInvariantsDeathTest, OutOfRangeInitialStateDies) {
+  EXPECT_DEATH(
+      {
+        Nfa nfa(1);
+        nfa.SetInitial(3);
+        nfa.CheckInvariants();
+      },
+      "CHECK failed");
+}
+
+TEST(DfaInvariantsDeathTest, UnsortedLabelSetDies) {
+  // In DCHECK-on builds the constructor itself dies; in NDEBUG builds the
+  // explicit invariant call does.
+  EXPECT_DEATH(Dfa(2, std::vector<Label>{5, 3}).CheckInvariants(),
+               "CHECK failed");
+}
+
+TEST(DfaInvariantsDeathTest, DuplicateLabelsDie) {
+  EXPECT_DEATH(Dfa(2, std::vector<Label>{3, 3}).CheckInvariants(),
+               "CHECK failed");
+}
+
+TEST(DfaInvariantsDeathTest, OutOfRangeTableEntryDies) {
+  EXPECT_DEATH(
+      {
+        Dfa dfa(2, std::vector<Label>{0, 1});
+        dfa.SetNext(0, 0, 9);  // State 9 does not exist.
+        dfa.CheckInvariants();
+      },
+      "CHECK failed");
+}
+
+TEST(SyncRelationInvariantsDeathTest, InvalidPackedLabelDies) {
+  const Alphabet ab = Alphabet::OfChars("ab");
+  Nfa nfa(1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  Result<SyncRelation> rel = SyncRelation::Create(ab, /*arity=*/1, nfa);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  // Arity 1 over |A|=2 packs into 2 bits; a label with higher bits set
+  // violates the packing discipline.
+  EXPECT_DEATH(
+      {
+        rel->mutable_nfa()->AddTransition(0, uint64_t{1} << 10, 0);
+        rel->CheckInvariants();
+      },
+      "IsValidLabel|CHECK failed");
+}
+
+TEST(HypergraphInvariantsDeathTest, EdgeMemberOutOfRangeDies) {
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{0, 5}};  // Vertex 5 does not exist.
+  EXPECT_DEATH(h.CheckInvariants(), "CHECK failed");
+}
+
+TEST(HypergraphInvariantsDeathTest, UnsortedEdgeDies) {
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{2, 0}};
+  EXPECT_DEATH(h.CheckInvariants(), "CHECK failed");
+}
+
+TEST(TreeDecompositionInvariantsDeathTest, UnsortedBagDies) {
+  TreeDecomposition td;
+  td.bags = {{2, 1}};
+  EXPECT_DEATH(td.CheckInvariants(), "not sorted");
+}
+
+TEST(TreeDecompositionInvariantsDeathTest, SelfLoopTreeEdgeDies) {
+  TreeDecomposition td;
+  td.bags = {{0}, {1}};
+  td.edges = {{0, 0}};
+  EXPECT_DEATH(td.CheckInvariants(), "self-loop");
+}
+
+TEST(TreeDecompositionInvariantsDeathTest, MissingEdgeCoverageDies) {
+  // A decomposition that never puts the graph's single edge inside a bag.
+  SimpleGraph graph(2);
+  graph.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0}, {1}};
+  td.edges = {{0, 1}};
+  EXPECT_DEATH(td.CheckInvariantsFor(graph), "invalid for graph");
+}
+
+TEST(TreeDecompositionInvariantsDeathTest, WidthOutOfSyncDies) {
+  // Valid decomposition, but Width() is recomputed from bags — corrupting a
+  // bag after the fact must be caught by the graph-aware check.
+  SimpleGraph graph(2);
+  graph.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {0, 1, 1}};  // Second bag has a duplicate: invalid.
+  td.edges = {{0, 1}};
+  EXPECT_DEATH(td.CheckInvariantsFor(graph), "duplicate");
+}
+
+TEST(RelationInvariantsDeathTest, NonPositiveArityDies) {
+  EXPECT_DEATH(Relation("r", 0), "CHECK failed");
+}
+
+// Non-death sanity companion: intact structures pass their checks.
+TEST(InvariantsTest, IntactStructuresPass) {
+  Nfa nfa(2);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 7, 1);
+  nfa.SetAccepting(1);
+  nfa.CheckInvariants();
+
+  Dfa dfa(2, std::vector<Label>{0, 1});
+  dfa.SetNext(0, 0, 1);
+  dfa.CheckInvariants();
+
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{0, 1}, {1, 2}};
+  h.CheckInvariants();
+
+  SimpleGraph graph(2);
+  graph.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}};
+  td.CheckInvariantsFor(graph);
+
+  Relation rel("r", 2);
+  rel.Add(std::vector<uint32_t>{1, 2});
+  rel.Add(std::vector<uint32_t>{0, 1});
+  rel.Add(std::vector<uint32_t>{1, 2});
+  rel.Finalize();
+  rel.CheckInvariants();
+  EXPECT_EQ(rel.NumTuples(), 2u);
+}
+
+}  // namespace
+}  // namespace ecrpq

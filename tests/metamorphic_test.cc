@@ -16,11 +16,6 @@ namespace {
 
 const Alphabet kAb = Alphabet::OfChars("ab");
 
-std::shared_ptr<const SyncRelation> Shared(Result<SyncRelation> r) {
-  EXPECT_TRUE(r.ok()) << r.status();
-  return std::make_shared<const SyncRelation>(std::move(r).ValueOrDie());
-}
-
 EcrpqQuery Parse(std::string_view text) {
   Result<EcrpqQuery> q = ParseEcrpq(text, kAb);
   EXPECT_TRUE(q.ok()) << q.status();

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local CI: default build + tests, ASan/UBSan build + tests, lint.
+#
+#   tools/ci.sh [jobs]
+#
+# Build trees: ./build (default) and ./build-asan (sanitized). Exits
+# non-zero on the first failing stage.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+cd "$REPO_ROOT"
+
+echo "== [1/5] configure + build (default) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== [2/5] ctest (default) =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [3/5] configure + build (address,undefined) =="
+cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "== [4/5] ctest (address,undefined) =="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== [5/5] lint =="
+tools/run_lint.sh build
+
+echo "CI: all stages passed."

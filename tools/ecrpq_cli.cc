@@ -17,6 +17,7 @@
 #include <string>
 
 #include "eval/adaptive.h"
+#include "query/validate.h"
 #include "eval/crpq_eval.h"
 #include "eval/explain.h"
 #include "eval/generic_eval.h"
@@ -40,6 +41,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  ecrpq_cli classify --alphabet=<chars> \"<query>\" [--dot]\n"
+      "  ecrpq_cli check --alphabet=<chars> \"<query>\" [--strict] "
+      "[--rel=name=relation-file]\n"
       "  ecrpq_cli simplify --alphabet=<chars> \"<query>\"\n"
       "  ecrpq_cli eval <graph-file> \"<query>\" [--engine=auto|generic|cq|"
       "crpq|adaptive] [--rel=name=relation-file]\n"
@@ -65,6 +68,7 @@ struct Args {
   std::string alphabet = "ab";
   std::string engine = "auto";
   bool emit_dot = false;
+  bool strict = false;
   // --rel name=path pairs, loaded into a RelationRegistry.
   std::vector<std::pair<std::string, std::string>> relations;
 };
@@ -79,6 +83,8 @@ Args ParseArgs(int argc, char** argv) {
       args.engine = arg.substr(strlen("--engine="));
     } else if (arg == "--dot") {
       args.emit_dot = true;
+    } else if (arg == "--strict") {
+      args.strict = true;
     } else if (arg.rfind("--rel=", 0) == 0) {
       const std::string spec = arg.substr(strlen("--rel="));
       const size_t eq = spec.find('=');
@@ -107,6 +113,64 @@ int Classify(const Args& args) {
     std::printf("%s", TwoLevelGraphToDot(QueryAbstraction(*query)).c_str());
   }
   return 0;
+}
+
+Result<RelationRegistry> LoadRegistry(const Args& args);
+
+// check: validate a query and report the 2L-abstraction measures that drive
+// the planner (cc_vertex, cc_hedge, tw(G^node)) plus the predicted regime.
+// With --strict, additionally run the structural invariant pass over the
+// query's synchronous relations (aborts with a diagnostic on corruption) and
+// fail on an unsatisfiable query.
+int Check(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const Alphabet alphabet = Alphabet::OfChars(args.alphabet);
+  Result<RelationRegistry> registry = LoadRegistry(args);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "relation load error: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  Result<EcrpqQuery> query =
+      ParseEcrpq(args.positional[0], alphabet, &*registry);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query:       %s\n", query->ToString().c_str());
+  const Status valid = ValidateQuery(*query);
+  if (!valid.ok()) {
+    std::printf("validation:  FAILED: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("validation:  OK\n");
+  std::printf("shape:       %d node var(s), %d path var(s), %zu reach "
+              "atom(s), %zu rel atom(s)%s\n",
+              query->NumNodeVars(), query->NumPathVars(),
+              query->reach_atoms().size(), query->rel_atoms().size(),
+              query->IsCrpq() ? " [CRPQ]" : "");
+  const QueryClassification c = ClassifyQuery(*query);
+  std::printf("cc_vertex:   %d\n", c.measures.cc_vertex);
+  std::printf("cc_hedge:    %d\n", c.measures.cc_hedge);
+  std::printf("tw(G^node):  %d (%s)\n", c.measures.treewidth,
+              c.measures.treewidth_exact ? "exact" : "heuristic upper bound");
+  std::printf("regime:      %s (combined), %s (parameterized)\n",
+              EvalRegimeName(c.eval_regime), ParamRegimeName(c.param_regime));
+  std::printf("engine:      %s\n", EngineChoiceName(c.engine));
+  if (!args.strict) return 0;
+
+  for (const auto& rel : query->relations()) rel->CheckInvariants();
+  std::printf("invariants:  OK (%zu relation(s) checked)\n",
+              query->relations().size());
+  Result<SatisfiabilityResult> sat = CheckSatisfiable(*query);
+  if (!sat.ok()) {
+    std::fprintf(stderr, "satisfiability error: %s\n",
+                 sat.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("satisfiable: %s\n", sat->satisfiable ? "yes" : "no");
+  return sat->satisfiable ? 0 : 1;
 }
 
 int Simplify(const Args& args) {
@@ -356,6 +420,7 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = ParseArgs(argc, argv);
   if (command == "classify") return Classify(args);
+  if (command == "check") return Check(args);
   if (command == "eval") return Eval(args);
   if (command == "sat") return Sat(args);
   if (command == "explain") return Explain(args);

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit, using the compile database exported by CMake.
+#
+#   tools/run_lint.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exit status: 0 when clean (or when clang-tidy is not installed — the lint
+# gate degrades to a no-op on machines without it, matching the repo policy
+# of never requiring tools the build image lacks), 1 on findings.
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [ "${1:-}" = "--" ]; then
+  shift
+fi
+
+# Locate clang-tidy: plain name first, then versioned binaries (newest wins).
+CLANG_TIDY="${CLANG_TIDY:-}"
+if [ -z "$CLANG_TIDY" ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    CLANG_TIDY=clang-tidy
+  else
+    for ver in 21 20 19 18 17 16 15 14; do
+      if command -v "clang-tidy-$ver" >/dev/null 2>&1; then
+        CLANG_TIDY="clang-tidy-$ver"
+        break
+      fi
+    done
+  fi
+fi
+if [ -z "$CLANG_TIDY" ]; then
+  echo "run_lint.sh: clang-tidy not found on PATH; skipping lint (not a failure)." >&2
+  exit 0
+fi
+
+# Make sure a compile database exists; configure one if needed.
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_lint.sh: no compile database in $BUILD_DIR; configuring..." >&2
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      >/dev/null || exit 1
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_lint.sh: compile database still missing; aborting." >&2
+  exit 1
+fi
+
+# Every first-party translation unit. Headers are covered transitively via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t SOURCES < <(
+  find "$REPO_ROOT/src" "$REPO_ROOT/tools" "$REPO_ROOT/tests" \
+       "$REPO_ROOT/bench" "$REPO_ROOT/examples" \
+       -name '*.cc' -o -name '*.cpp' 2>/dev/null | sort)
+if [ "${#SOURCES[@]}" -eq 0 ]; then
+  echo "run_lint.sh: no sources found." >&2
+  exit 1
+fi
+
+echo "run_lint.sh: $CLANG_TIDY over ${#SOURCES[@]} translation units..." >&2
+STATUS=0
+for src in "${SOURCES[@]}"; do
+  "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$@" "$src" || STATUS=1
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_lint.sh: findings above must be fixed (WarningsAsErrors: '*')." >&2
+fi
+exit "$STATUS"
