@@ -29,6 +29,7 @@ void BM_TractableQueryLength(benchmark::State& state) {
   }
   state.counters["chain_length"] = length;
   state.counters["satisfiable"] = satisfiable ? 1 : 0;
+  state.counters["n"] = length;  // Canonical size for --json.
 }
 BENCHMARK(BM_TractableQueryLength)
     ->DenseRange(2, 14, 2)
@@ -43,6 +44,7 @@ void BM_TractableDataScaling(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["vertices"] = n;
+  state.counters["n"] = n;  // Canonical size for --json.
 }
 BENCHMARK(BM_TractableDataScaling)
     ->RangeMultiplier(2)

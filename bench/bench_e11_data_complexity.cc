@@ -24,6 +24,7 @@ void RunFixedQuery(benchmark::State& state, const EcrpqQuery& query) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["vertices"] = db.NumVertices();
+  state.counters["n"] = db.NumVertices();  // Canonical size for --json.
 }
 
 void BM_DataTractableQuery(benchmark::State& state) {

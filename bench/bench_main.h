@@ -1,0 +1,27 @@
+// Shared entry point for the benchmark binaries.
+//
+// Accepts every google-benchmark flag plus one extension:
+//   --json=PATH   After the run, write one JSON record per benchmark:
+//                   {"name": ..., "n": ..., "median_ns": ..., "threads": ...}
+//                 `n` is the workload-size counter exported by the benchmark
+//                 (the "n" counter when present, else the first of a few
+//                 well-known size counters, else the trailing /N range
+//                 argument). `median_ns` is the median per-iteration real
+//                 time across repetitions (the single run's time when
+//                 repetitions are not requested). `threads` is the engine's
+//                 resolved worker-pool default (ECRPQ_THREADS / hardware),
+//                 not google-benchmark's own threading.
+//
+// Console output is unchanged — the JSON is written in addition to it.
+#ifndef ECRPQ_BENCH_BENCH_MAIN_H_
+#define ECRPQ_BENCH_BENCH_MAIN_H_
+
+namespace ecrpq {
+namespace bench {
+
+int BenchMain(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace ecrpq
+
+#endif  // ECRPQ_BENCH_BENCH_MAIN_H_

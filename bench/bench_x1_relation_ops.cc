@@ -25,6 +25,7 @@ void BM_EditDistanceConstruction(benchmark::State& state) {
   }
   state.counters["d"] = d;
   state.counters["nfa_states"] = states;  // ~ 2·|A|^d·d growth.
+  state.counters["n"] = d;  // Canonical size for --json.
 }
 BENCHMARK(BM_EditDistanceConstruction)
     ->DenseRange(0, 5)

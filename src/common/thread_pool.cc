@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+
+namespace ecrpq {
+
+void WaitGroup::Add(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += n;
+  ECRPQ_CHECK_GE(count_, 0);
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ECRPQ_CHECK_GT(count_, 0);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ > 1) {
+    workers_.reserve(num_threads_);
+    for (int i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("ECRPQ_THREADS"); env != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::ResolveNumThreads(int requested) {
+  if (requested == 0) return DefaultNumThreads();
+  return requested < 1 ? 1 : requested;
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  WaitGroup wg;
+  const size_t drains =
+      std::min(static_cast<size_t>(num_threads_), n);
+  auto drain = [next, &fn, n] {
+    for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  wg.Add(static_cast<int>(drains));
+  for (size_t t = 0; t < drains; ++t) {
+    Submit([drain, &wg] {
+      drain();
+      wg.Done();
+    });
+  }
+  wg.Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ecrpq

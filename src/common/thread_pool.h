@@ -1,0 +1,100 @@
+// ThreadPool: a small fixed-size worker pool for the parallel evaluation
+// layer (per-source RPQ searches, product-tuple searches, leaf-relation
+// materialization).
+//
+// Design constraints, in order:
+//  - pool size 1 is *exactly* the sequential engine: no worker threads are
+//    spawned and every task runs inline on the calling thread, so the
+//    single-threaded code path is byte-for-byte today's behavior;
+//  - callers own determinism: the pool only promises that every submitted
+//    task runs; callers index results by input position and merge in input
+//    order, never in completion order;
+//  - cooperative cancellation: long tasks poll a CancelToken so early-stop
+//    options (max_answers, streaming callbacks returning false) can cut
+//    short in-flight work.
+//
+// The default pool size is the ECRPQ_THREADS environment variable when set
+// to a positive integer, otherwise std::thread::hardware_concurrency().
+#ifndef ECRPQ_COMMON_THREAD_POOL_H_
+#define ECRPQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecrpq {
+
+// Cooperative cancellation flag shared between a coordinator and workers.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Counts outstanding tasks; Wait() blocks until the count returns to zero.
+class WaitGroup {
+ public:
+  void Add(int n = 1);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+class ThreadPool {
+ public:
+  // A pool of max(1, num_threads) threads. Size 1 spawns no threads.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // ECRPQ_THREADS env override when positive, else hardware concurrency
+  // (at least 1).
+  static int DefaultNumThreads();
+
+  // Maps an options-style request to a concrete size: 0 means
+  // DefaultNumThreads(), anything else is clamped to at least 1.
+  static int ResolveNumThreads(int requested);
+
+  // Enqueues fn. With one thread, runs fn inline before returning.
+  void Submit(std::function<void()> fn);
+
+  // Runs fn(0) .. fn(n - 1), blocking until all complete. Iterations are
+  // claimed dynamically (an atomic counter), so the *schedule* is
+  // nondeterministic but each index always receives the same work; callers
+  // write results into slot i and get deterministic output. With one thread
+  // this is a plain sequential loop on the calling thread; otherwise all
+  // work runs on the pool's workers and the caller only blocks.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_THREAD_POOL_H_

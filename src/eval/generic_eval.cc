@@ -1,11 +1,16 @@
 #include "eval/generic_eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "eval/merge.h"
 #include "query/validate.h"
 
@@ -14,24 +19,96 @@ namespace {
 
 constexpr VertexId kUnset = ~VertexId{0};
 
+// One answer recorded by a branch engine, in branch-local emission order.
+// The parallel driver partitions the sequential enumeration by the value of
+// one branch variable, lets workers record what each branch *would* emit,
+// and replays the branches in value order — so the user-visible stream
+// (dedup, max_answers cutoff, on_answer calls) is exactly the sequential
+// one.
+struct RecordedAnswer {
+  std::vector<VertexId> answer;
+  // Full node assignment; captured only for the first event of a branch
+  // when EvalOptions::capture_assignment is set (the replay's first
+  // consumed event is always some branch's first event).
+  std::vector<VertexId> assignment;
+};
+
 struct Engine {
+  Engine(const GraphDb& db, const EcrpqQuery& query,
+         const EvalOptions& options, const std::vector<ComponentPlan>& plans)
+      : db(db), query(query), options(options), plans(plans) {}
+
   const GraphDb& db;
   const EcrpqQuery& query;
   const EvalOptions& options;
+  const std::vector<ComponentPlan>& plans;
 
-  std::vector<ComponentPlan> plans;
   std::vector<std::unique_ptr<JoinMachine>> machines;
   std::vector<std::unique_ptr<TupleSearcher>> searchers;
 
   std::vector<VertexId> assignment;
+  // In record mode this set persists across a worker's branches: an answer
+  // suppressed here was recorded by an earlier branch of the same worker,
+  // which the ordered replay always consumes first.
   std::unordered_set<std::vector<VertexId>, VectorHash<VertexId>> answers;
   EvalResult result;
   bool done = false;
+
+  // Record mode (parallel branches): Emit() appends locally-new answers to
+  // *record instead of running the sequential side effects; max_answers and
+  // on_answer are applied by the ordered replay on the coordinator thread.
+  std::vector<RecordedAnswer>* record = nullptr;
+  // Cooperative cancellation, flipped by the coordinator once the replay
+  // has everything it needs (or an abort stopped it).
+  const CancelToken* cancel = nullptr;
+
+  Status InitSearchers() {
+    for (const ComponentPlan& plan : plans) {
+      ECRPQ_ASSIGN_OR_RAISE(
+          JoinMachine machine,
+          JoinMachine::Create(query.alphabet(), plan.machine_components,
+                              static_cast<int>(plan.paths.size())));
+      machines.push_back(std::make_unique<JoinMachine>(std::move(machine)));
+      TupleSearchOptions search_options;
+      search_options.max_states = options.max_product_states;
+      search_options.disable_memo = options.disable_memo;
+      ECRPQ_ASSIGN_OR_RAISE(
+          TupleSearcher searcher,
+          TupleSearcher::Create(&db, machines.back().get(), search_options));
+      searchers.push_back(
+          std::make_unique<TupleSearcher>(std::move(searcher)));
+    }
+    return Status();  // Default-constructed == OK.
+  }
+
+  void ResetForBranch(std::vector<RecordedAnswer>* branch_record) {
+    record = branch_record;
+    done = false;
+    result.aborted = false;
+  }
+
+  bool Stopped() const {
+    return done || (cancel != nullptr && cancel->IsCancelled());
+  }
 
   void Emit() {
     std::vector<VertexId> answer;
     answer.reserve(query.free_vars().size());
     for (NodeVarId v : query.free_vars()) answer.push_back(assignment[v]);
+    if (record != nullptr) {
+      const auto [it, inserted] = answers.insert(std::move(answer));
+      if (inserted) {
+        RecordedAnswer rec;
+        rec.answer = *it;
+        if (options.capture_assignment && record->empty()) {
+          rec.assignment = assignment;
+        }
+        record->push_back(std::move(rec));
+      }
+      result.satisfiable = true;  // Branch-local; the replay recomputes it.
+      if (query.IsBoolean()) done = true;
+      return;
+    }
     const auto [it, inserted] = answers.insert(std::move(answer));
     if (inserted && options.on_answer && !options.on_answer(*it)) {
       done = true;
@@ -50,7 +127,7 @@ struct Engine {
   // the whole vertex set.
   void AssignIsolated(const std::vector<NodeVarId>& isolated_free,
                       size_t idx) {
-    if (done) return;
+    if (Stopped()) return;
     if (idx == isolated_free.size()) {
       Emit();
       return;
@@ -61,7 +138,8 @@ struct Engine {
       return;
     }
     for (VertexId value = 0;
-         value < static_cast<VertexId>(db.NumVertices()) && !done; ++value) {
+         value < static_cast<VertexId>(db.NumVertices()) && !Stopped();
+         ++value) {
       assignment[v] = value;
       AssignIsolated(isolated_free, idx + 1);
     }
@@ -98,7 +176,7 @@ struct Engine {
       }
       if (consistent) SolveComponent(comp + 1, isolated_free);
       for (NodeVarId v : newly) assignment[v] = kUnset;
-      if (done) return;
+      if (Stopped()) return;
     }
   }
 
@@ -106,14 +184,15 @@ struct Engine {
   // variables, then hand over to SolveTargets.
   void SolveSources(size_t comp, const std::vector<NodeVarId>& unassigned,
                     size_t idx, const std::vector<NodeVarId>& isolated_free) {
-    if (done) return;
+    if (Stopped()) return;
     if (idx == unassigned.size()) {
       SolveTargets(comp, isolated_free);
       return;
     }
     const NodeVarId v = unassigned[idx];
     for (VertexId value = 0;
-         value < static_cast<VertexId>(db.NumVertices()) && !done; ++value) {
+         value < static_cast<VertexId>(db.NumVertices()) && !Stopped();
+         ++value) {
       ++result.stats.assignments_tried;
       assignment[v] = value;
       SolveSources(comp, unassigned, idx + 1, isolated_free);
@@ -121,12 +200,17 @@ struct Engine {
     assignment[v] = kUnset;
   }
 
-  void SolveComponent(size_t comp, const std::vector<NodeVarId>& isolated_free) {
-    if (done) return;
+  void SolveComponent(size_t comp,
+                      const std::vector<NodeVarId>& isolated_free) {
+    if (Stopped()) return;
     if (comp == plans.size()) {
       AssignIsolated(isolated_free, 0);
       return;
     }
+    SolveSources(comp, UnassignedSources(comp), 0, isolated_free);
+  }
+
+  std::vector<NodeVarId> UnassignedSources(size_t comp) const {
     std::vector<NodeVarId> unassigned;
     for (NodeVarId v : plans[comp].sources) {
       if (assignment[v] == kUnset &&
@@ -135,9 +219,123 @@ struct Engine {
         unassigned.push_back(v);
       }
     }
-    SolveSources(comp, unassigned, 0, isolated_free);
+    return unassigned;
+  }
+
+  void AccumulateSearchStats() {
+    for (const auto& searcher : searchers) {
+      result.stats.product_states += searcher->TotalExploredStates();
+      result.stats.reach_queries += searcher->NumMemoizedSources();
+    }
   }
 };
+
+// Branch-parallel evaluation: partition the sequential enumeration by the
+// value of the first unassigned source variable of the first component,
+// search branches concurrently (each worker owns a full engine and reuses
+// its searcher memo across the branches it claims), then replay recorded
+// answers in branch order. See docs/ARCHITECTURE.md, "Threading model".
+Result<EvalResult> EvaluateParallel(
+    const GraphDb& db, const EcrpqQuery& query, const EvalOptions& options,
+    const std::vector<ComponentPlan>& plans,
+    const std::vector<VertexId>& base_assignment,
+    const std::vector<NodeVarId>& isolated_free, NodeVarId branch_var,
+    int threads) {
+  db.Finalize();  // The lazy CSR build is not thread-safe; do it up front.
+  const VertexId n = static_cast<VertexId>(db.NumVertices());
+  const int num_workers = std::min<int>(threads, static_cast<int>(n));
+
+  CancelToken cancel;
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    engines.push_back(std::make_unique<Engine>(db, query, options, plans));
+    ECRPQ_RETURN_NOT_OK(engines.back()->InitSearchers());
+    engines.back()->cancel = &cancel;
+  }
+
+  struct Branch {
+    std::vector<RecordedAnswer> events;
+    bool aborted = false;
+  };
+  std::vector<Branch> branches(n);
+  std::vector<char> ready(n, 0);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<uint32_t> next{0};
+
+  ThreadPool pool(threads);
+  WaitGroup wg;
+  wg.Add(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    pool.Submit([&, w] {
+      Engine& eng = *engines[w];
+      for (uint32_t b = next.fetch_add(1, std::memory_order_relaxed); b < n;
+           b = next.fetch_add(1, std::memory_order_relaxed)) {
+        if (!cancel.IsCancelled()) {
+          eng.ResetForBranch(&branches[b].events);
+          eng.assignment = base_assignment;
+          eng.assignment[branch_var] = b;
+          eng.SolveComponent(0, isolated_free);
+          branches[b].aborted = eng.result.aborted;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          ready[b] = 1;
+        }
+        cv.notify_all();
+      }
+      wg.Done();
+    });
+  }
+
+  // Ordered replay on this thread: consume branches in value order and
+  // apply the sequential side effects (global dedup, callback, cutoffs).
+  EvalResult result;
+  std::unordered_set<std::vector<VertexId>, VectorHash<VertexId>> global;
+  bool stopped = false;
+  bool any_event = false;
+  for (VertexId b = 0; b < n && !stopped; ++b) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return ready[b] != 0; });
+    }
+    for (const RecordedAnswer& event : branches[b].events) {
+      if (!any_event && options.capture_assignment) {
+        result.first_assignment = event.assignment;
+      }
+      any_event = true;
+      result.satisfiable = true;
+      const auto [it, inserted] = global.insert(event.answer);
+      if (inserted && options.on_answer && !options.on_answer(*it)) {
+        stopped = true;
+        break;
+      }
+      if (query.IsBoolean() ||
+          (options.max_answers != 0 &&
+           global.size() >= options.max_answers)) {
+        stopped = true;
+        break;
+      }
+    }
+    if (!stopped && branches[b].aborted) {
+      result.aborted = true;
+      stopped = true;
+    }
+  }
+  cancel.Cancel();
+  wg.Wait();
+
+  result.answers.assign(global.begin(), global.end());
+  std::sort(result.answers.begin(), result.answers.end());
+  for (const auto& eng : engines) {
+    eng->AccumulateSearchStats();
+    result.stats.product_states += eng->result.stats.product_states;
+    result.stats.reach_queries += eng->result.stats.reach_queries;
+    result.stats.assignments_tried += eng->result.stats.assignments_tried;
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -152,33 +350,15 @@ Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
     return empty_result;
   }
 
-  Engine engine{db, query, options, {}, {}, {}, {}, {}, {}, false};
-  engine.plans = PlanComponents(query);
+  std::vector<ComponentPlan> plans = PlanComponents(query);
   // Solve small components first: they bind variables cheaply and their
   // memoized reach sets are reused across backtracking branches.
-  std::sort(engine.plans.begin(), engine.plans.end(),
+  std::sort(plans.begin(), plans.end(),
             [](const ComponentPlan& a, const ComponentPlan& b) {
               return a.paths.size() < b.paths.size();
             });
-  for (const ComponentPlan& plan : engine.plans) {
-    ECRPQ_ASSIGN_OR_RAISE(
-        JoinMachine machine,
-        JoinMachine::Create(query.alphabet(), plan.machine_components,
-                            static_cast<int>(plan.paths.size())));
-    engine.machines.push_back(
-        std::make_unique<JoinMachine>(std::move(machine)));
-    TupleSearchOptions search_options;
-    search_options.max_states = options.max_product_states;
-    search_options.disable_memo = options.disable_memo;
-    ECRPQ_ASSIGN_OR_RAISE(
-        TupleSearcher searcher,
-        TupleSearcher::Create(&db, engine.machines.back().get(),
-                              search_options));
-    engine.searchers.push_back(
-        std::make_unique<TupleSearcher>(std::move(searcher)));
-  }
 
-  engine.assignment.assign(query.NumNodeVars(), kUnset);
+  std::vector<VertexId> base_assignment(query.NumNodeVars(), kUnset);
   for (const auto& [var, value] : options.pin) {
     if (var >= static_cast<NodeVarId>(query.NumNodeVars())) {
       return Status::Invalid("pinned variable out of range");
@@ -186,7 +366,7 @@ Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
     if (value >= static_cast<VertexId>(db.NumVertices())) {
       return Status::Invalid("pinned value out of range");
     }
-    engine.assignment[var] = value;
+    base_assignment[var] = value;
   }
 
   // Free variables not touched by any reachability atom.
@@ -202,14 +382,32 @@ Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
     }
   }
 
+  const int threads = ThreadPool::ResolveNumThreads(options.num_threads);
+  if (threads > 1 && db.NumVertices() > 1 && !plans.empty()) {
+    // Branch on the first value the sequential engine would enumerate: the
+    // first unassigned source variable of the first component.
+    std::vector<NodeVarId> unassigned;
+    for (NodeVarId v : plans[0].sources) {
+      if (base_assignment[v] == kUnset &&
+          std::find(unassigned.begin(), unassigned.end(), v) ==
+              unassigned.end()) {
+        unassigned.push_back(v);
+      }
+    }
+    if (!unassigned.empty()) {
+      return EvaluateParallel(db, query, options, plans, base_assignment,
+                              isolated_free, unassigned[0], threads);
+    }
+  }
+
+  Engine engine(db, query, options, plans);
+  ECRPQ_RETURN_NOT_OK(engine.InitSearchers());
+  engine.assignment = base_assignment;
   engine.SolveComponent(0, isolated_free);
 
   engine.result.answers.assign(engine.answers.begin(), engine.answers.end());
   std::sort(engine.result.answers.begin(), engine.result.answers.end());
-  for (const auto& searcher : engine.searchers) {
-    engine.result.stats.product_states += searcher->TotalExploredStates();
-    engine.result.stats.reach_queries += searcher->NumMemoizedSources();
-  }
+  engine.AccumulateSearchStats();
   return engine.result;
 }
 

@@ -26,6 +26,13 @@
 namespace ecrpq {
 
 struct EvalOptions {
+  // Worker threads for the branch-parallel search: 0 = the ECRPQ_THREADS /
+  // hardware default, 1 = fully sequential, N > 1 = a pool of N workers.
+  // Answers (including max_answers early-stop and on_answer callback
+  // sequences) are identical for every value; only EvalStats may grow with
+  // parallelism, because branches explored concurrently are not un-explored
+  // when an early stop cuts the replay short.
+  int num_threads = 0;
   // Abort any single component search beyond this many product states
   // (0 = unlimited).
   size_t max_product_states = 0;

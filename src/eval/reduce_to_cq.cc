@@ -1,10 +1,13 @@
 #include "eval/reduce_to_cq.h"
 
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "cq/eval_backtrack.h"
 #include "cq/eval_treedec.h"
 #include "eval/merge.h"
@@ -31,19 +34,40 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
   const std::vector<ComponentPlan> plans = PlanComponents(query);
   const VertexId n = static_cast<VertexId>(db.NumVertices());
 
+  const int threads = ThreadPool::ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && n > 1) {
+    db.Finalize();  // The lazy CSR build is not thread-safe.
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  const int num_workers = pool != nullptr ? threads : 1;
+
   size_t total_tuples = 0;
   for (size_t c = 0; c < plans.size() && n > 0; ++c) {
     const ComponentPlan& plan = plans[c];
     const int r = static_cast<int>(plan.paths.size());
     const std::string name = "comp" + std::to_string(c);
 
-    ECRPQ_ASSIGN_OR_RAISE(
-        JoinMachine machine,
-        JoinMachine::Create(query.alphabet(), plan.machine_components, r));
-    TupleSearchOptions search_options;
-    search_options.max_states = options.max_product_states;
-    ECRPQ_ASSIGN_OR_RAISE(TupleSearcher searcher,
-                          TupleSearcher::Create(&db, &machine, search_options));
+    // One machine + searcher per worker: the machine's lazy determinization
+    // caches are not shareable across threads, and the enumeration below
+    // never repeats a source tuple, so splitting the memo loses nothing.
+    std::vector<std::unique_ptr<JoinMachine>> machines;
+    std::vector<std::unique_ptr<TupleSearcher>> searchers;
+    std::vector<TupleSearcher*> searcher_ptrs;
+    for (int w = 0; w < num_workers; ++w) {
+      ECRPQ_ASSIGN_OR_RAISE(
+          JoinMachine machine,
+          JoinMachine::Create(query.alphabet(), plan.machine_components, r));
+      machines.push_back(std::make_unique<JoinMachine>(std::move(machine)));
+      TupleSearchOptions search_options;
+      search_options.max_states = options.max_product_states;
+      ECRPQ_ASSIGN_OR_RAISE(
+          TupleSearcher searcher,
+          TupleSearcher::Create(&db, machines.back().get(), search_options));
+      searchers.push_back(
+          std::make_unique<TupleSearcher>(std::move(searcher)));
+      searcher_ptrs.push_back(searchers.back().get());
+    }
 
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel,
                           reduction.db->AddRelation(name, 2 * r));
@@ -79,41 +103,63 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
     }
 
     // Enumerate all |V|^r source tuples — the O(|D|^{2 cc_vertex}) step.
+    // Tuples are drawn in mixed-radix order and searched in batches: the
+    // per-tuple product BFS runs fan out across the pool, and the batch is
+    // merged back in enumeration order, so relation contents and any budget
+    // error are identical to the sequential run.
+    constexpr size_t kBatchSize = 1024;
     std::vector<VertexId> sources(r, 0);
     std::vector<uint32_t> row(2 * r);
-    while (true) {
-      ++reduction.source_tuples_enumerated;
-      const ReachSet& reach = searcher.Reach(sources);
-      if (reach.aborted) {
-        return Status::CapacityExceeded(
-            "component search exceeded the product-state budget");
+    std::vector<std::vector<VertexId>> batch;
+    bool exhausted = false;
+    while (!exhausted) {
+      batch.clear();
+      while (batch.size() < kBatchSize) {
+        batch.push_back(sources);
+        // Mixed-radix increment of the source tuple.
+        int i = 0;
+        for (; i < r; ++i) {
+          if (++sources[i] < n) break;
+          sources[i] = 0;
+        }
+        if (i == r) {
+          exhausted = true;
+          break;
+        }
       }
-      for (const std::vector<VertexId>& targets : reach.targets) {
-        for (int i = 0; i < r; ++i) {
-          row[2 * i] = sources[i];
-          row[2 * i + 1] = targets[i];
-        }
-        bool coincides = true;
-        for (int i = 0; i < 2 * r && coincides; ++i) {
-          if (same_as[i] >= 0 && row[i] != row[same_as[i]]) coincides = false;
-        }
-        if (!coincides) continue;
-        rel->Add(row);
-        ++total_tuples;
-        if (options.max_tuples != 0 && total_tuples > options.max_tuples) {
+      const std::vector<const ReachSet*> reaches =
+          ReachMany(searcher_ptrs, batch, pool.get());
+      for (size_t b = 0; b < batch.size(); ++b) {
+        ++reduction.source_tuples_enumerated;
+        const ReachSet& reach = *reaches[b];
+        if (reach.aborted) {
           return Status::CapacityExceeded(
-              "materialized relations exceeded the tuple budget");
+              "component search exceeded the product-state budget");
+        }
+        for (const std::vector<VertexId>& targets : reach.targets) {
+          for (int i = 0; i < r; ++i) {
+            row[2 * i] = batch[b][i];
+            row[2 * i + 1] = targets[i];
+          }
+          bool coincides = true;
+          for (int i = 0; i < 2 * r && coincides; ++i) {
+            if (same_as[i] >= 0 && row[i] != row[same_as[i]]) {
+              coincides = false;
+            }
+          }
+          if (!coincides) continue;
+          rel->Add(row);
+          ++total_tuples;
+          if (options.max_tuples != 0 && total_tuples > options.max_tuples) {
+            return Status::CapacityExceeded(
+                "materialized relations exceeded the tuple budget");
+          }
         }
       }
-      // Mixed-radix increment of the source tuple.
-      int i = 0;
-      for (; i < r; ++i) {
-        if (++sources[i] < n) break;
-        sources[i] = 0;
-      }
-      if (i == r || n == 0) break;
     }
-    reduction.product_states += searcher.TotalExploredStates();
+    for (const auto& searcher : searchers) {
+      reduction.product_states += searcher->TotalExploredStates();
+    }
 
     reduction.query.atoms.push_back(std::move(atom));
   }

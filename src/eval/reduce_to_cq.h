@@ -40,6 +40,12 @@ struct ReduceOptions {
   size_t max_tuples = 0;
   // Per-source search budget (0 = unlimited).
   size_t max_product_states = 0;
+  // Worker threads for the per-source-tuple searches of the leaf-relation
+  // materialization: 0 = ECRPQ_THREADS / hardware default, 1 = sequential.
+  // The materialized relations (and any budget error) are identical for
+  // every value: batches of source tuples are searched concurrently but
+  // merged in enumeration order.
+  int num_threads = 0;
 };
 
 Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,

@@ -5,12 +5,11 @@
 namespace ecrpq {
 
 void GraphDb::AddEdge(VertexId from, Symbol symbol, VertexId to) {
-  ECRPQ_CHECK_LT(from, out_.size());
-  ECRPQ_CHECK_LT(to, out_.size());
+  ECRPQ_CHECK_LT(from, num_vertices_);
+  ECRPQ_CHECK_LT(to, num_vertices_);
   ECRPQ_CHECK_LT(symbol, static_cast<Symbol>(alphabet_.size()));
-  out_[from].push_back(LabeledEdge{symbol, to});
-  in_[to].push_back(LabeledEdge{symbol, from});
-  ++num_edges_;
+  edges_.push_back(EdgeRec{from, symbol, to});
+  csr_valid_ = false;
 }
 
 void GraphDb::AddEdge(VertexId from, std::string_view symbol_name,
@@ -18,16 +17,132 @@ void GraphDb::AddEdge(VertexId from, std::string_view symbol_name,
   AddEdge(from, alphabet_.Intern(symbol_name), to);
 }
 
-bool GraphDb::HasEdge(VertexId from, Symbol symbol, VertexId to) const {
-  ECRPQ_CHECK_LT(from, out_.size());
-  for (const LabeledEdge& e : out_[from]) {
-    if (e.symbol == symbol && e.to == to) return true;
+void GraphDb::BuildCsr() const {
+  // Canonicalize the staged triples: sort by (from, symbol, to), dedup.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const size_t n = num_vertices_;
+  const size_t m = edges_.size();
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  out_edges_.resize(m);
+  in_edges_.resize(m);
+  for (const EdgeRec& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
   }
-  return false;
+  for (size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  // Forward slices inherit (symbol, to) order from the canonical sort.
+  {
+    std::vector<uint32_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (const EdgeRec& e : edges_) {
+      out_edges_[cursor[e.from]++] = LabeledEdge{e.symbol, e.to};
+    }
+  }
+  // Backward slices: bucket by head, then sort each slice by (symbol, tail).
+  {
+    std::vector<uint32_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const EdgeRec& e : edges_) {
+      in_edges_[cursor[e.to]++] = LabeledEdge{e.symbol, e.from};
+    }
+    for (size_t v = 0; v < n; ++v) {
+      std::sort(in_edges_.begin() + in_offsets_[v],
+                in_edges_.begin() + in_offsets_[v + 1]);
+    }
+  }
+  csr_valid_ = true;
+}
+
+std::span<const LabeledEdge> GraphDb::OutEdges(VertexId v,
+                                               Symbol symbol) const {
+  const std::span<const LabeledEdge> all = OutEdges(v);
+  const auto [first, last] = std::equal_range(
+      all.begin(), all.end(), symbol,
+      [](const auto& a, const auto& b) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(a)>, Symbol>) {
+          return a < b.symbol;
+        } else {
+          return a.symbol < b;
+        }
+      });
+  return all.subspan(first - all.begin(), last - first);
+}
+
+std::span<const LabeledEdge> GraphDb::InEdges(VertexId v, Symbol symbol) const {
+  const std::span<const LabeledEdge> all = InEdges(v);
+  const auto [first, last] = std::equal_range(
+      all.begin(), all.end(), symbol,
+      [](const auto& a, const auto& b) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(a)>, Symbol>) {
+          return a < b.symbol;
+        } else {
+          return a.symbol < b;
+        }
+      });
+  return all.subspan(first - all.begin(), last - first);
+}
+
+bool GraphDb::HasEdge(VertexId from, Symbol symbol, VertexId to) const {
+  ECRPQ_CHECK_LT(from, num_vertices_);
+  const std::span<const LabeledEdge> all = OutEdges(from);
+  return std::binary_search(all.begin(), all.end(),
+                            LabeledEdge{symbol, to});
+}
+
+size_t GraphDb::DedupEdges() {
+  const size_t before = edges_.size();
+  csr_valid_ = false;
+  Finalize();
+  return before - edges_.size();
+}
+
+void GraphDb::CheckInvariants() const {
+  EnsureFinalized();
+  const size_t n = num_vertices_;
+  const size_t m = edges_.size();
+  ECRPQ_CHECK_EQ(out_offsets_.size(), n + 1);
+  ECRPQ_CHECK_EQ(in_offsets_.size(), n + 1);
+  ECRPQ_CHECK_EQ(out_offsets_[0], 0u);
+  ECRPQ_CHECK_EQ(in_offsets_[0], 0u);
+  ECRPQ_CHECK_EQ(out_offsets_[n], m);
+  ECRPQ_CHECK_EQ(in_offsets_[n], m);
+  ECRPQ_CHECK_EQ(out_edges_.size(), m);
+  ECRPQ_CHECK_EQ(in_edges_.size(), m);
+  for (size_t v = 0; v < n; ++v) {
+    ECRPQ_CHECK_LE(out_offsets_[v], out_offsets_[v + 1]);
+    ECRPQ_CHECK_LE(in_offsets_[v], in_offsets_[v + 1]);
+    for (uint32_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
+      const LabeledEdge& e = out_edges_[i];
+      ECRPQ_CHECK_LT(e.symbol, static_cast<Symbol>(alphabet_.size()));
+      ECRPQ_CHECK_LT(e.to, num_vertices_);
+      // Strictly increasing (symbol, to): sorted and duplicate-free.
+      if (i > out_offsets_[v]) ECRPQ_CHECK(out_edges_[i - 1] < e);
+    }
+    for (uint32_t i = in_offsets_[v]; i < in_offsets_[v + 1]; ++i) {
+      const LabeledEdge& e = in_edges_[i];
+      ECRPQ_CHECK_LT(e.symbol, static_cast<Symbol>(alphabet_.size()));
+      ECRPQ_CHECK_LT(e.to, num_vertices_);
+      if (i > in_offsets_[v]) ECRPQ_CHECK(in_edges_[i - 1] < e);
+    }
+  }
+  // Forward/backward views describe the same edge set.
+  for (size_t v = 0; v < n; ++v) {
+    for (uint32_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
+      const LabeledEdge& e = out_edges_[i];
+      const auto slice = InEdges(e.to, e.symbol);
+      ECRPQ_CHECK(std::binary_search(
+          slice.begin(), slice.end(),
+          LabeledEdge{e.symbol, static_cast<VertexId>(v)}));
+    }
+  }
 }
 
 VertexId GraphDb::AppendDisjoint(const GraphDb& other) {
-  const VertexId offset = static_cast<VertexId>(out_.size());
+  const VertexId offset = num_vertices_;
   // Merge alphabets by name; build a symbol remap.
   std::vector<Symbol> remap(other.alphabet_.size());
   for (int s = 0; s < other.alphabet_.size(); ++s) {

@@ -1,8 +1,18 @@
 // GraphDb: a finite edge-labelled directed graph — the paper's data model.
 //
-// D = (V, E) with E ⊆ V × A × V. Vertices are dense ids; edges are stored in
-// forward and backward adjacency lists sorted by (symbol, endpoint) for
-// binary-searchable access.
+// D = (V, E) with E ⊆ V × A × V. Vertices are dense ids. Edges are staged as
+// a flat triple list by AddEdge and flattened on first read access into two
+// CSR (compressed sparse row) views — forward and backward — each a packed
+// edge array plus per-vertex offsets. Within a vertex's slice edges are
+// sorted by (symbol, endpoint), so per-symbol sub-slices are binary
+// searchable, and the CSR build removes duplicate triples (the data model is
+// a set; generator-produced multigraphs would otherwise inflate BFS
+// fan-out).
+//
+// Thread-safety: the CSR build is lazy and NOT thread-safe. Call Finalize()
+// once before handing a GraphDb to concurrent readers (the parallel
+// evaluation paths do); after that, all const accessors are safe to call
+// from any number of threads as long as no mutation interleaves.
 #ifndef ECRPQ_GRAPHDB_GRAPH_DB_H_
 #define ECRPQ_GRAPHDB_GRAPH_DB_H_
 
@@ -23,6 +33,7 @@ struct LabeledEdge {
   Symbol symbol;
   VertexId to;
   bool operator==(const LabeledEdge&) const = default;
+  auto operator<=>(const LabeledEdge&) const = default;
 };
 
 class GraphDb {
@@ -33,48 +44,93 @@ class GraphDb {
   Alphabet* mutable_alphabet() { return &alphabet_; }
 
   VertexId AddVertex() {
-    out_.emplace_back();
-    in_.emplace_back();
-    return static_cast<VertexId>(out_.size() - 1);
+    csr_valid_ = false;
+    return num_vertices_++;
   }
 
   void AddVertices(int n) {
     for (int i = 0; i < n; ++i) AddVertex();
   }
 
-  int NumVertices() const { return static_cast<int>(out_.size()); }
-  size_t NumEdges() const { return num_edges_; }
+  int NumVertices() const { return static_cast<int>(num_vertices_); }
 
-  // Adds edge (from, symbol, to). Duplicate edges are kept (the data model
-  // is a set, but duplicates only cost memory, never change query answers).
+  // Number of stored edges. Duplicate AddEdge calls are counted until the
+  // CSR build (first read access, Finalize() or DedupEdges()) collapses
+  // them to set semantics.
+  size_t NumEdges() const { return edges_.size(); }
+
+  // Adds edge (from, symbol, to). Duplicates are tolerated and removed by
+  // the CSR build — they never change query answers.
   void AddEdge(VertexId from, Symbol symbol, VertexId to);
 
   // Interns the symbol name and adds the edge.
   void AddEdge(VertexId from, std::string_view symbol_name, VertexId to);
 
-  // Outgoing edges of v: (symbol, head) pairs.
+  // Outgoing edges of v: (symbol, head) pairs sorted by (symbol, head).
   std::span<const LabeledEdge> OutEdges(VertexId v) const {
-    ECRPQ_DCHECK(v < out_.size());
-    return out_[v];
+    EnsureFinalized();
+    ECRPQ_DCHECK(v < num_vertices_);
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
   }
 
-  // Incoming edges of v: (symbol, tail) pairs.
+  // Incoming edges of v: (symbol, tail) pairs sorted by (symbol, tail).
   std::span<const LabeledEdge> InEdges(VertexId v) const {
-    ECRPQ_DCHECK(v < in_.size());
-    return in_[v];
+    EnsureFinalized();
+    ECRPQ_DCHECK(v < num_vertices_);
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
   }
+
+  // The sub-slice of OutEdges(v) labelled `symbol` (binary search).
+  std::span<const LabeledEdge> OutEdges(VertexId v, Symbol symbol) const;
+
+  // The sub-slice of InEdges(v) labelled `symbol` (binary search).
+  std::span<const LabeledEdge> InEdges(VertexId v, Symbol symbol) const;
 
   bool HasEdge(VertexId from, Symbol symbol, VertexId to) const;
+
+  // Builds (or rebuilds) the CSR views now. Idempotent; called implicitly
+  // by every read accessor. Call explicitly before concurrent reads.
+  void Finalize() const { EnsureFinalized(); }
+
+  // Forces the CSR build and returns how many duplicate triples this call
+  // removed from the staged edge list.
+  size_t DedupEdges();
+
+  // Structural invariants of the finalized representation: monotone
+  // offsets, per-vertex sorted + duplicate-free slices, endpoint/symbol
+  // bounds, and forward/backward view consistency. Dies on violation.
+  void CheckInvariants() const;
 
   // Appends a disjoint copy of `other` (alphabets are merged by name).
   // Returns the id offset: vertex v of `other` becomes offset + v.
   VertexId AppendDisjoint(const GraphDb& other);
 
  private:
+  struct EdgeRec {
+    VertexId from;
+    Symbol symbol;
+    VertexId to;
+    auto operator<=>(const EdgeRec&) const = default;
+  };
+
+  void EnsureFinalized() const {
+    if (!csr_valid_) BuildCsr();
+  }
+  void BuildCsr() const;
+
   Alphabet alphabet_;
-  std::vector<std::vector<LabeledEdge>> out_;
-  std::vector<std::vector<LabeledEdge>> in_;
-  size_t num_edges_ = 0;
+  VertexId num_vertices_ = 0;
+  // Canonical edge set; staged unsorted by AddEdge, sorted by
+  // (from, symbol, to) and deduplicated by BuildCsr.
+  mutable std::vector<EdgeRec> edges_;
+  // CSR views, rebuilt lazily from edges_.
+  mutable bool csr_valid_ = false;
+  mutable std::vector<uint32_t> out_offsets_;  // Size |V| + 1.
+  mutable std::vector<uint32_t> in_offsets_;   // Size |V| + 1.
+  mutable std::vector<LabeledEdge> out_edges_;
+  mutable std::vector<LabeledEdge> in_edges_;
 };
 
 // Two-way navigation (2RPQ/C2RPQ support): a copy of `db` where every

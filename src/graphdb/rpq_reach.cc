@@ -5,6 +5,7 @@
 
 #include "common/bitset.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace ecrpq {
 namespace {
@@ -80,12 +81,30 @@ std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
 }
 
 std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
-                                                       const Nfa& lang) {
+                                                       const Nfa& lang,
+                                                       int num_threads) {
+  const VertexId n = static_cast<VertexId>(db.NumVertices());
+  const int threads = ThreadPool::ResolveNumThreads(num_threads);
   std::vector<std::pair<VertexId, VertexId>> out;
-  for (VertexId u = 0; u < static_cast<VertexId>(db.NumVertices()); ++u) {
-    for (VertexId v : RpqReachFrom(db, lang, u)) {
-      out.emplace_back(u, v);
+  if (threads <= 1 || n < 2) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : RpqReachFrom(db, lang, u)) {
+        out.emplace_back(u, v);
+      }
     }
+    return out;
+  }
+  // Each source's BFS is independent; workers fill slot u and the slots are
+  // concatenated in source order, so the answer is byte-identical to the
+  // sequential loop above for any pool size.
+  db.Finalize();  // The lazy CSR build is not thread-safe; do it up front.
+  std::vector<std::vector<VertexId>> per_source(n);
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, [&](size_t u) {
+    per_source[u] = RpqReachFrom(db, lang, static_cast<VertexId>(u));
+  });
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : per_source[u]) out.emplace_back(u, v);
   }
   return out;
 }

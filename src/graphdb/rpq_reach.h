@@ -28,8 +28,14 @@ std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
                                    VertexId source);
 
 // The full relation R_L as sorted (u, v) pairs. O(|V|·(|V|·|Q| + |E|·|δ|)).
+//
+// The per-source BFS runs are independent and execute on a thread pool of
+// `num_threads` workers (0 = ECRPQ_THREADS / hardware default, 1 = fully
+// sequential). Per-source results are concatenated in source order, so the
+// output is identical for every pool size.
 std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
-                                                       const Nfa& lang);
+                                                       const Nfa& lang,
+                                                       int num_threads = 0);
 
 // A shortest witness path from `source` to `target` with label in L(lang).
 std::optional<std::vector<PathStep>> RpqWitnessPath(const GraphDb& db,

@@ -1,9 +1,12 @@
 #include "graphdb/tuple_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <map>
 #include <utility>
 
+#include "common/bitset.h"
 #include "common/check.h"
 
 namespace ecrpq {
@@ -11,6 +14,11 @@ namespace {
 
 // Coded search state: [v_0 .. v_{r-1}, finished_mask, machine components...].
 using Coded = std::vector<uint32_t>;
+
+// Bit budget per joint machine state for the dense visited set: |V|^r · 2^r
+// must fit in this many bits (4 MiB per state). Beyond that the sparse
+// hash-interned path is used instead.
+constexpr uint64_t kDenseBitsPerMachineState = uint64_t{1} << 25;
 
 }  // namespace
 
@@ -68,6 +76,17 @@ ReachSet TupleSearcher::RunBfs(
   const int r = arity();
   ECRPQ_CHECK_EQ(static_cast<int>(sources.size()), r);
   ECRPQ_DCHECK(r < 31);  // Enforced with a Status in Create().
+
+  // Untargeted searches over a small-enough (vertex-tuple, mask) space use
+  // dense bitset visited tracking instead of hash-set interning — same BFS,
+  // same results, much lighter bookkeeping in the hot loop. Targeted /
+  // witness searches need per-state ids and parent pointers, so they stay on
+  // the sparse path.
+  if (stop_at_target == nullptr && witness_out == nullptr &&
+      !options_.disable_dense_visited) {
+    uint64_t space = 0;
+    if (DenseFeasible(&space)) return RunBfsDense(sources, space);
+  }
 
   ReachSet result;
   const bool track_parents = witness_out != nullptr;
@@ -210,6 +229,183 @@ ReachSet TupleSearcher::RunBfs(
     return targeted;
   }
   return result;
+}
+
+bool TupleSearcher::DenseFeasible(uint64_t* space_out) const {
+  const int r = arity();
+  const uint64_t n = db_->NumVertices();
+  if (n == 0 || r <= 0) return false;
+  uint64_t space = 1;
+  for (int i = 0; i < r; ++i) {
+    if (space > kDenseBitsPerMachineState / n) return false;
+    space *= n;
+  }
+  const uint64_t masks = uint64_t{1} << r;
+  if (space > kDenseBitsPerMachineState / masks) return false;
+  space *= masks;
+  *space_out = space;
+  return true;
+}
+
+ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
+                                    uint64_t space) {
+  const int r = arity();
+  ECRPQ_CHECK_EQ(static_cast<int>(sources.size()), r);
+  const uint64_t n = db_->NumVertices();
+
+  ReachSet result;
+
+  // Joint machine states are interned to small ids; each id owns a (lazily
+  // allocated) bitset over the dense (vertex-tuple, mask) code. In practice
+  // only a handful of joint states are ever reached, so memory stays
+  // proportional to the part of the product actually touched.
+  std::map<JoinMachine::State, uint32_t> machine_ids;
+  std::vector<JoinMachine::State> machine_states;
+  std::vector<std::unique_ptr<DynamicBitset>> visited;
+  auto machine_id_of = [&](const JoinMachine::State& m) -> uint32_t {
+    auto it = machine_ids.find(m);
+    if (it != machine_ids.end()) return it->second;
+    const uint32_t id = static_cast<uint32_t>(machine_states.size());
+    machine_ids.emplace(m, id);
+    machine_states.push_back(m);
+    visited.push_back(nullptr);
+    return id;
+  };
+  auto visited_of = [&](uint32_t mid) -> DynamicBitset& {
+    if (visited[mid] == nullptr) {
+      visited[mid] = std::make_unique<DynamicBitset>(space);
+    }
+    return *visited[mid];
+  };
+
+  const uint32_t mask_bits = static_cast<uint32_t>(r);
+  auto encode = [&](const std::vector<VertexId>& verts,
+                    uint32_t mask) -> uint64_t {
+    uint64_t code = 0;
+    for (int i = 0; i < r; ++i) code = code * n + verts[i];
+    return (code << mask_bits) | mask;
+  };
+
+  // (dense code, machine id) pairs; vertices/mask are decoded on pop.
+  std::deque<std::pair<uint64_t, uint32_t>> queue;
+  size_t interned = 0;
+
+  // Seed state.
+  {
+    const JoinMachine::State m0 = machine_->Initial();
+    if (!machine_->IsDead(m0)) {
+      const uint32_t mid = machine_id_of(m0);
+      const uint64_t code = encode(sources, 0);
+      visited_of(mid).Set(code);
+      queue.emplace_back(code, mid);
+      interned = 1;
+    }
+  }
+
+  std::vector<VertexId> current(r);
+  std::vector<TapeLetter> letters(r);
+  std::vector<VertexId> scratch(r);
+
+  while (!queue.empty()) {
+    const auto [code, mid] = queue.front();
+    queue.pop_front();
+    uint64_t rest = code >> mask_bits;
+    const uint32_t mask =
+        static_cast<uint32_t>(code & ((uint64_t{1} << mask_bits) - 1));
+    for (int i = r - 1; i >= 0; --i) {
+      current[i] = static_cast<VertexId>(rest % n);
+      rest /= n;
+    }
+    // `machine_states` grows during successor expansion; copy, don't alias.
+    const JoinMachine::State mstate = machine_states[mid];
+
+    if (machine_->IsAccepting(mstate)) {
+      result.targets.insert(current);
+    }
+
+    // Successor enumeration — identical column discipline to the sparse
+    // path: each unfinished tape takes an out-edge or finishes (⊥), frozen
+    // tapes stay put, at least one tape must read a letter.
+    scratch = current;
+    auto recurse = [&](auto&& self, int tape, uint32_t new_mask,
+                       bool any_letter) -> bool {
+      if (tape == r) {
+        if (!any_letter) return true;  // All-blank column: not a step.
+        const Label label = machine_->pack().Pack(letters);
+        const JoinMachine::State next_m = machine_->Next(mstate, label);
+        if (machine_->IsDead(next_m)) return true;
+        const uint32_t nmid = machine_id_of(next_m);
+        const uint64_t ncode = encode(scratch, new_mask);
+        if (visited_of(nmid).TestAndSet(ncode)) {
+          if (options_.max_states != 0 && interned >= options_.max_states) {
+            result.aborted = true;
+            return false;
+          }
+          ++interned;
+          queue.emplace_back(ncode, nmid);
+        }
+        return true;
+      }
+      const uint32_t bit = uint32_t{1} << tape;
+      if (mask & bit) {
+        letters[tape] = kBlank;
+        scratch[tape] = current[tape];
+        return self(self, tape + 1, new_mask, any_letter);
+      }
+      // Option 1: finish this tape now.
+      letters[tape] = kBlank;
+      scratch[tape] = current[tape];
+      if (!self(self, tape + 1, new_mask | bit, any_letter)) return false;
+      // Option 2: advance along an out-edge.
+      for (const LabeledEdge& e : db_->OutEdges(current[tape])) {
+        letters[tape] = static_cast<TapeLetter>(e.symbol);
+        scratch[tape] = e.to;
+        if (!self(self, tape + 1, new_mask, true)) return false;
+      }
+      scratch[tape] = current[tape];
+      return true;
+    };
+    if (!recurse(recurse, 0, mask, false)) break;  // Budget exhausted.
+  }
+
+  result.explored_states = interned;
+  return result;
+}
+
+std::vector<const ReachSet*> ReachMany(
+    const std::vector<TupleSearcher*>& searchers,
+    const std::vector<std::vector<VertexId>>& sources, ThreadPool* pool,
+    CancelToken* cancel) {
+  ECRPQ_CHECK(!searchers.empty());
+  std::vector<const ReachSet*> results(sources.size(), nullptr);
+  if (sources.empty()) return results;
+  // Returned pointers alias the memo tables; the scratch used by
+  // disable_memo would be overwritten by the next Reach() call.
+  for (TupleSearcher* s : searchers) {
+    ECRPQ_CHECK(s != nullptr);
+    ECRPQ_DCHECK(!s->options().disable_memo);
+  }
+  if (pool == nullptr || pool->num_threads() <= 1 || searchers.size() == 1) {
+    TupleSearcher* s = searchers[0];
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (cancel != nullptr && cancel->IsCancelled()) break;
+      results[i] = &s->Reach(sources[i]);
+    }
+    return results;
+  }
+  // Worker w owns searchers[w]; tuples are claimed off a shared counter so
+  // an expensive tuple does not stall the rest of the batch.
+  std::atomic<size_t> next{0};
+  pool->ParallelFor(searchers.size(), [&](size_t w) {
+    TupleSearcher* s = searchers[w];
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < sources.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (cancel != nullptr && cancel->IsCancelled()) return;
+      results[i] = &s->Reach(sources[i]);
+    }
+  });
+  return results;
 }
 
 }  // namespace ecrpq

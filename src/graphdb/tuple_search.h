@@ -24,6 +24,7 @@
 
 #include "common/hash.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graphdb/graph_db.h"
 #include "graphdb/rpq_reach.h"
 #include "synchro/join.h"
@@ -37,6 +38,10 @@ struct TupleSearchOptions {
   // Recompute every Reach() call instead of memoizing per source tuple —
   // ablation hook for experiment X2.
   bool disable_memo = false;
+  // Force the sparse (hash-interned) visited set even when the
+  // (vertex-tuple, finished-mask) space is dense enough for bitsets —
+  // ablation/differential-testing hook.
+  bool disable_dense_visited = false;
 };
 
 // The set of accepting target tuples reachable from one source tuple.
@@ -54,6 +59,7 @@ class TupleSearcher {
                                       TupleSearchOptions options = {});
 
   int arity() const { return machine_->joint_arity(); }
+  const TupleSearchOptions& options() const { return options_; }
 
   // Full accepting-reachability from `sources`, memoized.
   const ReachSet& Reach(const std::vector<VertexId>& sources);
@@ -85,6 +91,16 @@ class TupleSearcher {
                   std::optional<std::vector<std::vector<PathStep>>>*
                       witness_out);
 
+  // Dense-visited variant of the untargeted search: the
+  // (vertex-tuple, finished-mask) part of the product state is coded into
+  // `space` = |V|^r · 2^r dense ids and deduplicated with one DynamicBitset
+  // per (lazily interned) joint machine state, replacing the hash-set
+  // bookkeeping of the sparse path in the BFS hot loop.
+  ReachSet RunBfsDense(const std::vector<VertexId>& sources, uint64_t space);
+
+  // True when the dense coding fits the per-machine-state bit budget.
+  bool DenseFeasible(uint64_t* space_out) const;
+
   const GraphDb* db_;
   JoinMachine* machine_;
   TupleSearchOptions options_;
@@ -95,6 +111,21 @@ class TupleSearcher {
       memo_;
   ReachSet unmemoized_scratch_;
 };
+
+// Evaluates Reach() for every tuple in `sources` across a thread pool.
+// `searchers` holds one searcher per worker (all wrapping the same database
+// and options but *distinct* JoinMachines — the machine's lazy
+// determinization caches are not shareable across threads). Tuples are
+// claimed dynamically; slot i of the result always holds the ReachSet of
+// sources[i], so the output is deterministic for any pool size. The
+// pointers alias the searchers' memo tables and stay valid while the
+// searchers live (memoization must be enabled).
+//
+// When `cancel` is non-null and fires, remaining slots are left as nullptr.
+std::vector<const ReachSet*> ReachMany(
+    const std::vector<TupleSearcher*>& searchers,
+    const std::vector<std::vector<VertexId>>& sources, ThreadPool* pool,
+    CancelToken* cancel = nullptr);
 
 }  // namespace ecrpq
 

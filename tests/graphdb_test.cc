@@ -21,7 +21,78 @@ TEST(GraphDbTest, AddVerticesAndEdges) {
   EXPECT_FALSE(db.HasEdge(1, 0, 2));
   ASSERT_EQ(db.OutEdges(0).size(), 2u);
   ASSERT_EQ(db.InEdges(2).size(), 2u);
-  EXPECT_EQ(db.InEdges(2)[0].to, 1u);  // Tail of the incoming edge.
+  // In-slices are sorted by (symbol, tail): both incoming edges of 2 are
+  // "b", so tails come in increasing order.
+  EXPECT_EQ(db.InEdges(2)[0].to, 0u);
+  EXPECT_EQ(db.InEdges(2)[1].to, 1u);
+}
+
+TEST(GraphDbTest, DedupEdgesCollapsesDuplicates) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(3);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(0, "a", 1);  // Duplicate.
+  db.AddEdge(0, "a", 1);  // Duplicate.
+  db.AddEdge(1, "b", 2);
+  EXPECT_EQ(db.NumEdges(), 4u);  // Raw count until the CSR build dedups.
+  EXPECT_EQ(db.DedupEdges(), 2u);
+  EXPECT_EQ(db.NumEdges(), 2u);
+  EXPECT_TRUE(db.HasEdge(0, 0, 1));
+  EXPECT_EQ(db.OutEdges(0).size(), 1u);
+  // Idempotent.
+  EXPECT_EQ(db.DedupEdges(), 0u);
+}
+
+TEST(GraphDbTest, CsrAccessDedupsImplicitly) {
+  // The adjacency views are set-semantic even before an explicit dedup call:
+  // the CSR build collapses duplicates.
+  GraphDb db(Alphabet::OfChars("a"));
+  db.AddVertices(2);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(0, "a", 1);
+  EXPECT_EQ(db.OutEdges(0).size(), 1u);
+  EXPECT_EQ(db.InEdges(1).size(), 1u);
+}
+
+TEST(GraphDbTest, PerSymbolSlices) {
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(4);
+  db.AddEdge(0, "b", 3);
+  db.AddEdge(0, "a", 2);
+  db.AddEdge(0, "a", 1);
+  db.AddEdge(0, "b", 1);
+  db.AddEdge(2, "a", 0);
+  const Symbol a = *db.alphabet().Find("a");
+  const Symbol b = *db.alphabet().Find("b");
+  ASSERT_EQ(db.OutEdges(0, a).size(), 2u);
+  EXPECT_EQ(db.OutEdges(0, a)[0].to, 1u);
+  EXPECT_EQ(db.OutEdges(0, a)[1].to, 2u);
+  ASSERT_EQ(db.OutEdges(0, b).size(), 2u);
+  EXPECT_EQ(db.OutEdges(0, b)[0].to, 1u);
+  EXPECT_EQ(db.OutEdges(0, b)[1].to, 3u);
+  EXPECT_TRUE(db.OutEdges(1, a).empty());
+  ASSERT_EQ(db.InEdges(0, a).size(), 1u);
+  EXPECT_EQ(db.InEdges(0, a)[0].to, 2u);  // Backward edge stores the tail.
+  EXPECT_TRUE(db.InEdges(3, a).empty());
+  ASSERT_EQ(db.InEdges(3, b).size(), 1u);
+}
+
+TEST(GraphDbTest, CheckInvariantsOnGeneratedGraphs) {
+  Rng rng(9);
+  GraphDb random = RandomGraph(&rng, 40, 3.0, 3);
+  random.Finalize();
+  random.CheckInvariants();
+
+  GraphDb grid = GridGraph(4, 4);
+  grid.CheckInvariants();  // Also triggers the lazy CSR build itself.
+
+  // Mutation invalidates and a rebuild restores the invariants.
+  grid.AddVertex();
+  grid.AddEdge(15, "r", 16);
+  grid.CheckInvariants();
+
+  GraphDb empty(Alphabet::OfChars("a"));
+  empty.CheckInvariants();
 }
 
 TEST(GraphDbTest, AppendDisjointRemapsSymbols) {

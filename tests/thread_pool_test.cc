@@ -1,0 +1,110 @@
+// The worker pool behind the parallel evaluation layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ecrpq {
+namespace {
+
+class ThreadPoolEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("ECRPQ_THREADS"); }
+};
+
+TEST_F(ThreadPoolEnvTest, DefaultHonorsEnvOverride) {
+  setenv("ECRPQ_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  setenv("ECRPQ_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST_F(ThreadPoolEnvTest, DefaultIgnoresBadEnvValues) {
+  for (const char* bad : {"0", "-2", "lots", ""}) {
+    setenv("ECRPQ_THREADS", bad, 1);
+    EXPECT_GE(ThreadPool::DefaultNumThreads(), 1) << "ECRPQ_THREADS=" << bad;
+  }
+}
+
+TEST_F(ThreadPoolEnvTest, ResolveNumThreads) {
+  setenv("ECRPQ_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(0), 7);  // 0 = the default.
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(4), 4);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(-5), 1);  // Clamped.
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  // With no worker threads, Submit must complete the task before returning.
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.Submit([&] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", pool " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsANoop) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitGroup) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  WaitGroup wg;
+  wg.Add(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, CancelToken) {
+  CancelToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+
+  // Workers observe a coordinator's cancel (relaxed is enough for a
+  // monotonic flag polled in a loop).
+  CancelToken shared;
+  ThreadPool pool(2);
+  WaitGroup wg;
+  wg.Add(1);
+  pool.Submit([&] {
+    while (!shared.IsCancelled()) std::this_thread::yield();
+    wg.Done();
+  });
+  shared.Cancel();
+  wg.Wait();
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,31 +1,45 @@
 #!/usr/bin/env bash
-# Full local CI: default build + tests, ASan/UBSan build + tests, lint.
+# Full local CI: default build + tests, ASan/UBSan build + tests, TSan build
+# + parallel-layer tests, benchmark smoke run, lint.
 #
 #   tools/ci.sh [jobs]
 #
-# Build trees: ./build (default) and ./build-asan (sanitized). Exits
-# non-zero on the first failing stage.
+# Build trees: ./build (default), ./build-asan (address,undefined) and
+# ./build-tsan (thread). Exits non-zero on the first failing stage.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/5] configure + build (default) =="
+echo "== [1/7] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/5] ctest (default) =="
+echo "== [2/7] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/5] configure + build (address,undefined) =="
+echo "== [3/7] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/5] ctest (address,undefined) =="
+echo "== [4/7] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/5] lint =="
+echo "== [5/7] TSan over the parallel layer (thread) =="
+cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# The threaded code paths: pool primitives, parallel determinism harness,
+# the CSR graph layout and the engines that fan out over the pool. Run with
+# a multi-worker default so the pool actually spawns threads even when the
+# suite's own options ask for the hardware default.
+ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval'
+
+echo "== [6/7] benchmark smoke (BENCH_*.json) =="
+cmake --build build -j "$JOBS" --target bench-smoke
+
+echo "== [7/7] lint =="
 tools/run_lint.sh build
 
 echo "CI: all stages passed."
