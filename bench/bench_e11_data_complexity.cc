@@ -4,6 +4,7 @@
 // polynomial in |D|, with the regime affecting only the constant.
 #include <benchmark/benchmark.h>
 
+#include "common/obs.h"
 #include "common/rng.h"
 #include "eval/generic_eval.h"
 #include "workloads/db_gen.h"
@@ -25,6 +26,21 @@ void RunFixedQuery(benchmark::State& state, const EcrpqQuery& query) {
   }
   state.counters["vertices"] = db.NumVertices();
   state.counters["n"] = db.NumVertices();  // Canonical size for --json.
+  // One instrumented run outside the timing loop: export the engine metrics
+  // so BENCH_*.json records the work profile alongside the timings.
+  obs::Session session;
+  EvalOptions options;
+  options.obs = &session;
+  EvaluateGeneric(db, query, options).ValueOrDie();
+  const obs::StatsReport report = session.Report();
+  state.counters["product_states_expanded"] = static_cast<double>(
+      report[obs::CounterId::kProductStatesExpanded]);
+  state.counters["reach_queries"] =
+      static_cast<double>(report[obs::CounterId::kReachQueries]);
+  state.counters["assignments_tried"] =
+      static_cast<double>(report[obs::CounterId::kAssignmentsTried]);
+  state.counters["visited_bytes"] =
+      static_cast<double>(report[obs::CounterId::kVisitedBytes]);
 }
 
 void BM_DataTractableQuery(benchmark::State& state) {

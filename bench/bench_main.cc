@@ -27,7 +27,21 @@ struct Record {
   std::string name;
   double n = 0;
   std::vector<double> sample_ns;  // One entry per (non-aggregate) run.
+  // All user counters of the run (last run wins; counters are per-iteration
+  // rates or totals as the benchmark declared them).
+  std::map<std::string, double> counters;
 };
+
+// Compile-time build mode for the JSON metadata.
+const char* BuildMode() {
+#if defined(ECRPQ_SANITIZE_BUILD)
+  return "sanitized";
+#elif defined(NDEBUG)
+  return "optimized";
+#else
+  return "debug";
+#endif
+}
 
 // Trailing /N range argument of a benchmark name, or 0.
 double RangeArgOf(const std::string& name) {
@@ -62,6 +76,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
         }
         if (rec.n == 0) rec.n = RangeArgOf(name);
         records_.push_back(std::move(rec));
+      }
+      for (const auto& [key, counter] : run.counters) {
+        records_[it->second].counters[key] = counter.value;
       }
       if (run.iterations > 0) {
         records_[it->second].sample_ns.push_back(
@@ -120,7 +137,14 @@ bool WriteJson(const std::string& path, const std::vector<Record>& records) {
     out << "  {\"name\": \"" << JsonEscape(rec.name) << "\", \"n\": "
         << JsonNumber(rec.n) << ", \"median_ns\": "
         << JsonNumber(Median(rec.sample_ns)) << ", \"threads\": " << threads
-        << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+        << ", \"build\": \"" << BuildMode() << "\", \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : rec.counters) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": " << JsonNumber(value);
+    }
+    out << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
   return static_cast<bool>(out);

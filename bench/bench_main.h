@@ -2,7 +2,8 @@
 //
 // Accepts every google-benchmark flag plus one extension:
 //   --json=PATH   After the run, write one JSON record per benchmark:
-//                   {"name": ..., "n": ..., "median_ns": ..., "threads": ...}
+//                   {"name": ..., "n": ..., "median_ns": ..., "threads": ...,
+//                    "build": "debug|optimized|sanitized", "counters": {...}}
 //                 `n` is the workload-size counter exported by the benchmark
 //                 (the "n" counter when present, else the first of a few
 //                 well-known size counters, else the trailing /N range
@@ -10,7 +11,10 @@
 //                 time across repetitions (the single run's time when
 //                 repetitions are not requested). `threads` is the engine's
 //                 resolved worker-pool default (ECRPQ_THREADS / hardware),
-//                 not google-benchmark's own threading.
+//                 not google-benchmark's own threading. `counters` carries
+//                 every user counter the benchmark exported (engine metrics
+//                 such as product_states_expanded included), and `build`
+//                 records the compile mode so runs are comparable.
 //
 // Console output is unchanged — the JSON is written in addition to it.
 #ifndef ECRPQ_BENCH_BENCH_MAIN_H_

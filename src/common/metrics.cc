@@ -1,0 +1,115 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecrpq {
+namespace obs {
+
+const char* CounterName(CounterId id) {
+  switch (id) {
+    case CounterId::kProductStatesExpanded:
+      return "product_states_expanded";
+    case CounterId::kFrontierPeak:
+      return "frontier_peak";
+    case CounterId::kTuplesMaterialized:
+      return "tuples_materialized";
+    case CounterId::kBagTuplesMaterialized:
+      return "bag_tuples_materialized";
+    case CounterId::kMemoHits:
+      return "memo_hits";
+    case CounterId::kMemoMisses:
+      return "memo_misses";
+    case CounterId::kReachQueries:
+      return "reach_queries";
+    case CounterId::kVisitedBytes:
+      return "visited_bytes";
+    case CounterId::kRpqBfsRuns:
+      return "rpq_bfs_runs";
+    case CounterId::kAssignmentsTried:
+      return "assignments_tried";
+    case CounterId::kBranchesExplored:
+      return "branches_explored";
+    case CounterId::kAnswersEmitted:
+      return "answers_emitted";
+    case CounterId::kNumCounters:
+      break;
+  }
+  ECRPQ_CHECK(false) << "invalid CounterId " << static_cast<int>(id);
+  return "?";
+}
+
+CounterKind CounterKindOf(CounterId id) {
+  return id == CounterId::kFrontierPeak ? CounterKind::kMax
+                                        : CounterKind::kSum;
+}
+
+std::string StatsReport::ToString() const {
+  size_t width = 0;
+  for (int i = 0; i < kNumCounters; ++i) {
+    width = std::max(width,
+                     std::string_view(CounterName(static_cast<CounterId>(i)))
+                         .size());
+  }
+  std::ostringstream out;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const std::string name = CounterName(static_cast<CounterId>(i));
+    out << name << std::string(width - name.size() + 2, ' ') << values[i]
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string StatsReport::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  for (int i = 0; i < kNumCounters; ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << CounterName(static_cast<CounterId>(i))
+        << "\": " << values[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+MetricsShard* Metrics::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.emplace_back();
+  return &shards_.back();
+}
+
+StatsReport Metrics::Aggregate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsReport report;
+  for (const MetricsShard& shard : shards_) {
+    for (int i = 0; i < kNumCounters; ++i) {
+      const CounterId id = static_cast<CounterId>(i);
+      const uint64_t v = shard.Load(id);
+      if (CounterKindOf(id) == CounterKind::kMax) {
+        report.values[i] = std::max(report.values[i], v);
+      } else {
+        report.values[i] += v;
+      }
+    }
+  }
+  return report;
+}
+
+uint64_t Metrics::Total(CounterId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const MetricsShard& shard : shards_) {
+    const uint64_t v = shard.Load(id);
+    if (CounterKindOf(id) == CounterKind::kMax) {
+      total = std::max(total, v);
+    } else {
+      total += v;
+    }
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace ecrpq

@@ -1,0 +1,131 @@
+// Lock-free evaluation metrics: per-thread counter shards aggregated
+// deterministically into a StatsReport.
+//
+// Design:
+//  - every worker (engine, searcher) acquires its *own* MetricsShard from
+//    the evaluation's Metrics registry; increments are relaxed atomic adds
+//    on a cache-line-aligned block the worker exclusively writes, so the
+//    hot path is wait-free and contention-free;
+//  - aggregation folds shards with commutative operations only (sum for
+//    throughput counters, max for peaks), so the StatsReport is identical
+//    for every interleaving and pool size that does the same work;
+//  - everything is null-safe: call sites guard on a nullable shard pointer
+//    (see the free Add/RecordMax helpers), and with observability disabled
+//    the engine never touches a shard at all — the zero-overhead-when-
+//    disabled contract of docs/OBSERVABILITY.md.
+#ifndef ECRPQ_COMMON_METRICS_H_
+#define ECRPQ_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace ecrpq {
+namespace obs {
+
+// The metric vocabulary. Names (CounterName) are the stable identifiers
+// used in reports, trace metadata, BENCH_*.json and docs/OBSERVABILITY.md.
+enum class CounterId : int {
+  kProductStatesExpanded = 0,  // Product-BFS states interned (all searches).
+  kFrontierPeak,               // Max BFS frontier size (max-aggregated).
+  kTuplesMaterialized,         // Rows added to materialized CQ relations.
+  kBagTuplesMaterialized,      // Tuples materialized in tree-dec bags.
+  kMemoHits,                   // Reach() calls served from the memo.
+  kMemoMisses,                 // Reach() calls that ran a fresh BFS.
+  kReachQueries,               // Total Reach() calls (hits + misses).
+  kVisitedBytes,               // Bytes allocated for visited-set tracking.
+  kRpqBfsRuns,                 // Per-source product BFS runs (RPQ layer).
+  kAssignmentsTried,           // Backtracking nodes in the generic engine.
+  kBranchesExplored,           // Parallel branches claimed by workers.
+  kAnswersEmitted,             // Answers emitted (pre-dedup, per branch).
+  kNumCounters,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(CounterId::kNumCounters);
+
+// How a counter folds across shards.
+enum class CounterKind { kSum, kMax };
+
+const char* CounterName(CounterId id);
+CounterKind CounterKindOf(CounterId id);
+
+// Deterministic aggregate of one evaluation's metrics.
+struct StatsReport {
+  std::array<uint64_t, kNumCounters> values{};
+
+  uint64_t operator[](CounterId id) const {
+    return values[static_cast<int>(id)];
+  }
+  uint64_t& at(CounterId id) { return values[static_cast<int>(id)]; }
+
+  // Aligned "name  value" lines, one per counter.
+  std::string ToString() const;
+  // Flat JSON object {"product_states_expanded": 0, ...}, keys in enum
+  // order.
+  std::string ToJson() const;
+};
+
+// One worker's counter block. Writers own their shard exclusively; readers
+// (aggregation, budget checks) may load concurrently from any thread.
+class alignas(64) MetricsShard {
+ public:
+  void Add(CounterId id, uint64_t n = 1) {
+    counters_[static_cast<int>(id)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordMax(CounterId id, uint64_t v) {
+    std::atomic<uint64_t>& c = counters_[static_cast<int>(id)];
+    uint64_t cur = c.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !c.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t Load(CounterId id) const {
+    return counters_[static_cast<int>(id)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumCounters> counters_{};
+};
+
+// Registry of shards for one evaluation. AcquireShard() is the only
+// synchronized operation and is called once per worker-scoped object
+// (engine, searcher) — never from a hot loop.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // Returns a fresh shard with a stable address (lives as long as the
+  // Metrics object).
+  MetricsShard* AcquireShard();
+
+  // Folds all shards (sum / max per CounterKindOf). Safe to call while
+  // writers are active: the result is then a consistent-enough snapshot of
+  // a moment in the run (each counter individually exact at load time).
+  StatsReport Aggregate() const;
+
+  // Current folded value of a single counter — the cheap primitive budget
+  // checks poll.
+  uint64_t Total(CounterId id) const;
+
+ private:
+  mutable std::mutex mutex_;            // Guards shards_ growth only.
+  std::deque<MetricsShard> shards_;     // deque: stable element addresses.
+};
+
+// Null-safe increment helpers: the disabled path is one predictable branch.
+inline void Add(MetricsShard* shard, CounterId id, uint64_t n = 1) {
+  if (shard != nullptr) shard->Add(id, n);
+}
+inline void RecordMax(MetricsShard* shard, CounterId id, uint64_t v) {
+  if (shard != nullptr) shard->RecordMax(id, v);
+}
+
+}  // namespace obs
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_METRICS_H_

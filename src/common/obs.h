@@ -1,0 +1,137 @@
+// ecrpq::obs — the observability & resource-governance session threaded
+// through the engines.
+//
+// One obs::Session spans one evaluation (or a batch the caller wants
+// observed together). It bundles:
+//  - Metrics: lock-free per-worker counter shards, deterministically
+//    aggregated into a StatsReport (common/metrics.h);
+//  - Trace: RAII spans exported as chrome://tracing JSON, opt-in via
+//    EnableTrace() (common/trace.h);
+//  - EvalBudget: cooperative resource limits (product states, visited-set
+//    memory, wall-clock deadline). Workers poll CheckBudget() at a coarse
+//    stride; when a limit is crossed the session trips an atomic flag and
+//    its CancelToken, in-flight work unwinds, and the evaluation entry
+//    point returns Status::ResourceExhausted. The partial StatsReport
+//    stays readable on the session (Report()) — the "what had it done so
+//    far" channel for budget post-mortems.
+//
+// Determinism contract: attaching a session with metrics/tracing (no
+// budget) never changes answers, cutoff behavior, or callback sequences —
+// observation only reads. A budget can of course cut an evaluation short;
+// the outcome is then either the exact un-budgeted result or a clean
+// ResourceExhausted, never a third behavior.
+//
+// Sessions are not reusable across evaluations that need separate reports:
+// counters accumulate monotonically.
+#ifndef ECRPQ_COMMON_OBS_H_
+#define ECRPQ_COMMON_OBS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace ecrpq {
+namespace obs {
+
+// Cooperative resource limits. 0 always means "no limit on this axis";
+// arming a budget requires at least one axis to be limited (CheckInvariants
+// fires otherwise — arming an all-unlimited budget is a programmer error).
+struct EvalBudget {
+  // Evaluation-wide cap on product states interned across every search
+  // (kProductStatesExpanded). Distinct from the *per-search* abort of
+  // EvalOptions::max_product_states, which predates budgets and returns an
+  // aborted-but-OK result.
+  uint64_t max_product_states = 0;
+  // Cap on bytes allocated for visited-set tracking (kVisitedBytes).
+  uint64_t max_memory_bytes = 0;
+  // Wall-clock limit, applied from the moment the budget is armed
+  // (Session::SetBudget). Must be non-negative.
+  int64_t timeout_millis = 0;
+
+  bool Unlimited() const {
+    return max_product_states == 0 && max_memory_bytes == 0 &&
+           timeout_millis == 0;
+  }
+
+  // Always-on invariant checks (PR 1 dcheck.h pattern: the method uses
+  // ECRPQ_CHECK so tests can demonstrate the failure in every build mode;
+  // Session::SetBudget invokes it on the arming path).
+  void CheckInvariants() const;
+};
+
+class Session {
+ public:
+  Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Tracing is off (trace() == nullptr, spans are no-ops) until enabled.
+  void EnableTrace() { trace_enabled_ = true; }
+  Trace* trace() { return trace_enabled_ ? &trace_ : nullptr; }
+
+  // Arms (or re-arms) the budget. Invariants, enforced in every build mode:
+  //  - at least one limit is non-zero and timeout_millis >= 0
+  //    (EvalBudget::CheckInvariants);
+  //  - deadline monotonicity: re-arming may only keep or tighten an
+  //    already-armed deadline, never push it later.
+  void SetBudget(const EvalBudget& budget);
+  bool armed() const { return armed_; }
+  const EvalBudget& budget() const { return budget_; }
+
+  // Fast path for hot loops: has some limit already tripped?
+  bool Exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  // Re-evaluates the armed limits against the current counters and clock;
+  // trips Exhausted() and the cancel token when one is crossed. Returns
+  // Exhausted(). Cheap enough for a ~1k-iteration stride, not for every
+  // iteration. No-op (false) when no budget is armed.
+  bool CheckBudget();
+
+  // Fired when the budget trips; engines already polling a CancelToken can
+  // share this one.
+  CancelToken* cancel_token() { return &cancel_; }
+
+  // "max_product_states", "max_memory_bytes" or "deadline"; nullptr while
+  // not exhausted.
+  const char* exhausted_reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  // ResourceExhausted carrying the reason, or OK when not exhausted.
+  Status ExhaustedStatus() const;
+
+  // Deterministic aggregate of everything counted so far — complete after
+  // a successful run, partial after a budget trip.
+  StatsReport Report() const { return metrics_.Aggregate(); }
+
+ private:
+  void Trip(const char* reason);
+
+  Metrics metrics_;
+  Trace trace_;
+  bool trace_enabled_ = false;
+
+  EvalBudget budget_;
+  bool armed_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  std::atomic<bool> exhausted_{false};
+  std::atomic<const char*> reason_{nullptr};
+  CancelToken cancel_;
+};
+
+}  // namespace obs
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_OBS_H_

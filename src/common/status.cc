@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not found";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

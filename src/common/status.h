@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kCapacityExceeded = 5,
   kNotFound = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
 };
 
 // Returns a human-readable name ("Invalid argument", ...) for a code.
@@ -55,6 +56,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // An evaluation budget (states, memory, deadline) was exhausted; see
+  // common/obs.h. The caller's obs::Session holds the partial StatsReport.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

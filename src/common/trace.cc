@@ -1,0 +1,418 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ecrpq {
+namespace obs {
+
+int CurrentTraceThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Trace::Trace() : origin_(std::chrono::steady_clock::now()) {}
+
+uint64_t Trace::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void Trace::Record(const char* name, int tid, uint64_t start_ns,
+                   uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{name, tid, start_ns, dur_ns, 0, false});
+}
+
+void Trace::Record(const char* name, int tid, uint64_t start_ns,
+                   uint64_t dur_ns, uint64_t arg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{name, tid, start_ns, dur_ns, arg, true});
+}
+
+size_t Trace::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<Trace::Event> Trace::Events() const {
+  std::vector<Event> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = events_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const Event& a, const Event& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return snapshot;
+}
+
+namespace {
+
+// Trace Event Format timestamps are microseconds; keep ns precision as a
+// fraction.
+std::string Micros(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  const std::vector<Event> events = Events();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out << "  {\"name\": \"" << EscapeJson(e.name)
+        << "\", \"cat\": \"ecrpq\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+        << e.tid << ", \"ts\": " << Micros(e.start_ns)
+        << ", \"dur\": " << Micros(e.dur_ns);
+    if (e.has_arg) out << ", \"args\": {\"v\": " << e.arg << "}";
+    out << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Status Trace::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << ToJson();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for the schema check. Recognizes the full JSON value
+// grammar (objects, arrays, strings, numbers, true/false/null); no unicode
+// unescaping — the validator only needs structure and key presence.
+
+namespace {
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  // Parses one value; on success leaves pos_ after it.
+  bool ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(nullptr);
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString(nullptr);
+    if (c == 't') return ParseLiteral("true");
+    if (c == 'f') return ParseLiteral("false");
+    if (c == 'n') return ParseLiteral("null");
+    return ParseNumber();
+  }
+
+  // Parses an object; records its top-level keys (and, for "traceEvents",
+  // remembers the array span) via the callback when non-null.
+  bool ParseObject(std::vector<std::string>* keys_out) {
+    if (!Expect('{')) return false;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (keys_out != nullptr) keys_out->push_back(key);
+      SkipSpace();
+      if (!Expect(':')) return false;
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  const std::string& error() const { return error_; }
+  size_t pos() const { return pos_; }
+  void set_pos(size_t p) { pos_ = p; }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+      } else if (out != nullptr) {
+        out->push_back(c);
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a number");
+    return true;
+  }
+
+  bool ParseArray() {
+    if (!Expect('[')) return false;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseLiteral(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) {
+      return Fail(std::string("expected ") + lit);
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// Validates one event object in place (scanner positioned at '{').
+bool ValidateEventObject(JsonScanner* scanner, std::string* why) {
+  // Re-parse the object manually so key/value types can be checked.
+  scanner->SkipSpace();
+  if (!scanner->Expect('{')) {
+    *why = scanner->error();
+    return false;
+  }
+  bool has_name = false, has_ph = false, has_ts = false, has_dur = false,
+       has_pid = false, has_tid = false;
+  scanner->SkipSpace();
+  if (scanner->Peek() == '}') {
+    *why = "empty trace event object";
+    return false;
+  }
+  while (true) {
+    scanner->SkipSpace();
+    std::string key;
+    if (!scanner->ParseString(&key)) {
+      *why = scanner->error();
+      return false;
+    }
+    scanner->SkipSpace();
+    if (!scanner->Expect(':')) {
+      *why = scanner->error();
+      return false;
+    }
+    scanner->SkipSpace();
+    const char c = scanner->Peek();
+    const bool is_string = c == '"';
+    const bool is_number =
+        c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!scanner->ParseValue()) {
+      *why = scanner->error();
+      return false;
+    }
+    if (key == "name" || key == "ph" || key == "cat") {
+      if (!is_string) {
+        *why = "event field \"" + key + "\" is not a string";
+        return false;
+      }
+      if (key == "name") has_name = true;
+      if (key == "ph") has_ph = true;
+    } else if (key == "ts" || key == "dur" || key == "pid" || key == "tid") {
+      if (!is_number) {
+        *why = "event field \"" + key + "\" is not a number";
+        return false;
+      }
+      if (key == "ts") has_ts = true;
+      if (key == "dur") has_dur = true;
+      if (key == "pid") has_pid = true;
+      if (key == "tid") has_tid = true;
+    }
+    scanner->SkipSpace();
+    if (scanner->Peek() == ',') {
+      scanner->set_pos(scanner->pos() + 1);
+      continue;
+    }
+    if (!scanner->Expect('}')) {
+      *why = scanner->error();
+      return false;
+    }
+    break;
+  }
+  if (!has_name || !has_ph || !has_ts || !has_dur || !has_pid || !has_tid) {
+    *why = "event object missing a required field "
+           "(name/ph/ts/dur/pid/tid)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ValidateTraceJson(const std::string& text, size_t min_events) {
+  // Pass 1: the whole text must be one well-formed JSON value.
+  {
+    JsonScanner scanner(text);
+    if (!scanner.ParseValue() || !scanner.AtEnd()) {
+      return Status::ParseError(
+          "trace is not well-formed JSON: " +
+          (scanner.error().empty() ? "trailing garbage" : scanner.error()));
+    }
+  }
+  // Pass 2: structural schema. Walk to the "traceEvents" array and check
+  // each element.
+  JsonScanner scanner(text);
+  scanner.SkipSpace();
+  if (scanner.Peek() != '{') {
+    return Status::ParseError("trace top level is not a JSON object");
+  }
+  scanner.set_pos(scanner.pos() + 1);
+  size_t num_events = 0;
+  bool saw_trace_events = false;
+  scanner.SkipSpace();
+  if (scanner.Peek() != '}') {
+    while (true) {
+      scanner.SkipSpace();
+      std::string key;
+      if (!scanner.ParseString(&key)) {
+        return Status::ParseError(scanner.error());
+      }
+      scanner.SkipSpace();
+      if (!scanner.Expect(':')) return Status::ParseError(scanner.error());
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        scanner.SkipSpace();
+        if (scanner.Peek() != '[') {
+          return Status::ParseError("\"traceEvents\" is not an array");
+        }
+        scanner.set_pos(scanner.pos() + 1);
+        scanner.SkipSpace();
+        if (scanner.Peek() == ']') {
+          scanner.set_pos(scanner.pos() + 1);
+        } else {
+          while (true) {
+            scanner.SkipSpace();
+            if (scanner.Peek() != '{') {
+              return Status::ParseError("trace event is not an object");
+            }
+            std::string why;
+            if (!ValidateEventObject(&scanner, &why)) {
+              return Status::ParseError(why);
+            }
+            ++num_events;
+            scanner.SkipSpace();
+            if (scanner.Peek() == ',') {
+              scanner.set_pos(scanner.pos() + 1);
+              continue;
+            }
+            if (!scanner.Expect(']')) {
+              return Status::ParseError(scanner.error());
+            }
+            break;
+          }
+        }
+      } else {
+        if (!scanner.ParseValue()) return Status::ParseError(scanner.error());
+      }
+      scanner.SkipSpace();
+      if (scanner.Peek() == ',') {
+        scanner.set_pos(scanner.pos() + 1);
+        continue;
+      }
+      if (!scanner.Expect('}')) return Status::ParseError(scanner.error());
+      break;
+    }
+  }
+  if (!saw_trace_events) {
+    return Status::ParseError("trace has no \"traceEvents\" key");
+  }
+  if (num_events < min_events) {
+    return Status::Invalid("trace holds " + std::to_string(num_events) +
+                           " event(s), expected at least " +
+                           std::to_string(min_events));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ecrpq

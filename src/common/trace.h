@@ -1,0 +1,115 @@
+// Tracing: RAII spans recorded into a chrome://tracing-compatible JSON
+// trace (the "Trace Event Format", complete events, ph:"X").
+//
+// A Span measures one region on one thread; on destruction it appends a
+// completed event to the owning Trace. Span construction against a null
+// Trace* is a no-op (two stores), which is how observability-disabled runs
+// pay nothing: the engine holds a null trace pointer and every span
+// collapses.
+//
+// Span names must be string literals (or otherwise outlive the Trace);
+// events store the pointer, not a copy. The optional `arg` renders as
+// {"args":{"v":N}} — used for branch indices, component ids, sizes.
+//
+// Load a written file in chrome://tracing or https://ui.perfetto.dev.
+#ifndef ECRPQ_COMMON_TRACE_H_
+#define ECRPQ_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecrpq {
+namespace obs {
+
+// Small dense id for the calling thread, stable for the thread's lifetime
+// (process-wide numbering; the main thread is usually 0).
+int CurrentTraceThreadId();
+
+class Trace {
+ public:
+  struct Event {
+    const char* name;
+    int tid;
+    uint64_t start_ns;  // Relative to the Trace's construction.
+    uint64_t dur_ns;
+    uint64_t arg;
+    bool has_arg;
+  };
+
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Appends a completed event. Thread-safe.
+  void Record(const char* name, int tid, uint64_t start_ns, uint64_t dur_ns);
+  void Record(const char* name, int tid, uint64_t start_ns, uint64_t dur_ns,
+              uint64_t arg);
+
+  // Nanoseconds since this Trace was constructed.
+  uint64_t NowNs() const;
+
+  size_t NumEvents() const;
+  std::vector<Event> Events() const;  // Snapshot, sorted by (start, tid).
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} — events sorted by
+  // (start, tid, name) so output layout is stable for a given set of spans.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+// RAII span. Usage:
+//   obs::Span span(trace, "ReduceToCq");          // trace may be null
+//   obs::Span span(trace, "branch", branch_index);
+class Span {
+ public:
+  Span(Trace* trace, const char* name)
+      : trace_(trace), name_(name), has_arg_(false), arg_(0) {
+    if (trace_ != nullptr) start_ns_ = trace_->NowNs();
+  }
+  Span(Trace* trace, const char* name, uint64_t arg)
+      : trace_(trace), name_(name), has_arg_(true), arg_(arg) {
+    if (trace_ != nullptr) start_ns_ = trace_->NowNs();
+  }
+  ~Span() {
+    if (trace_ == nullptr) return;
+    const uint64_t end_ns = trace_->NowNs();
+    if (has_arg_) {
+      trace_->Record(name_, CurrentTraceThreadId(), start_ns_,
+                     end_ns - start_ns_, arg_);
+    } else {
+      trace_->Record(name_, CurrentTraceThreadId(), start_ns_,
+                     end_ns - start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_;
+  const char* name_;
+  bool has_arg_;
+  uint64_t arg_;
+  uint64_t start_ns_ = 0;
+};
+
+// Schema check for an exported trace: the text must parse as JSON, carry a
+// top-level "traceEvents" array, and every event must be an object with
+// string "name"/"ph" and numeric "ts"/"dur"/"pid"/"tid" fields. With
+// `min_events` > 0, additionally fails when the trace holds fewer events —
+// the "non-empty trace" gate used by tools/ci.sh.
+Status ValidateTraceJson(const std::string& text, size_t min_events = 0);
+
+}  // namespace obs
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_TRACE_H_

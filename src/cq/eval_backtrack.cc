@@ -11,6 +11,10 @@ namespace {
 
 constexpr uint32_t kUnset = ~uint32_t{0};
 
+// Backtracking nodes between full budget checks (exhaustion itself is a
+// relaxed flag load on every node).
+constexpr size_t kCqBudgetStride = 4096;
+
 // Greedy join order: repeatedly pick the atom with the most already-bound
 // variables, breaking ties by smaller relation.
 std::vector<size_t> OrderAtoms(const RelationalDb& db, const CqQuery& query) {
@@ -76,6 +80,10 @@ Result<CqEvalResult> CqEvaluateBacktracking(const RelationalDb& db,
 
   const bool want_all = options.max_answers != 1;
   bool done = false;
+  obs::MetricsShard* shard = options.obs != nullptr
+                                 ? options.obs->metrics().AcquireShard()
+                                 : nullptr;
+  size_t budget_tick = 0;
 
   // Emits the current full assignment's projection (expanding uncovered free
   // variables over the domain).
@@ -108,6 +116,14 @@ Result<CqEvalResult> CqEvaluateBacktracking(const RelationalDb& db,
       done = true;
       return;
     }
+    if (options.obs != nullptr &&
+        (options.obs->Exhausted() ||
+         ((++budget_tick & (kCqBudgetStride - 1)) == 0 &&
+          options.obs->CheckBudget()))) {
+      result.aborted = true;
+      done = true;
+      return;
+    }
     if (depth == order.size()) {
       emit(emit, 0);
       return;
@@ -125,6 +141,7 @@ Result<CqEvalResult> CqEvaluateBacktracking(const RelationalDb& db,
     std::vector<CqVarId> newly_bound;
     for (const uint32_t row : rel.Matches(mask, key)) {
       ++result.steps;
+      obs::Add(shard, obs::CounterId::kAssignmentsTried);
       if (options.max_steps != 0 && result.steps >= options.max_steps) {
         result.aborted = true;
         done = true;
@@ -149,6 +166,12 @@ Result<CqEvalResult> CqEvaluateBacktracking(const RelationalDb& db,
     }
   };
   recurse(recurse, 0);
+
+  // Final check (not just Exhausted()): totals that crossed the budget
+  // between poll strides still surface as ResourceExhausted.
+  if (options.obs != nullptr && options.obs->CheckBudget()) {
+    return options.obs->ExhaustedStatus();
+  }
 
   result.answers.assign(answers.begin(), answers.end());
   std::sort(result.answers.begin(), result.answers.end());

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/obs.h"
 #include "common/result.h"
 #include "cq/cq.h"
 
@@ -19,6 +20,11 @@ struct CqEvalOptions {
   size_t max_answers = 0;
   // Abort after this many backtracking steps (0 = unlimited).
   size_t max_steps = 0;
+  // Observability & resource-governance session (common/obs.h). A tripped
+  // budget turns the evaluation into Status::ResourceExhausted (the
+  // max_steps cutoff above instead returns OK with aborted = true). Null =
+  // zero overhead.
+  obs::Session* obs = nullptr;
 };
 
 struct CqEvalResult {

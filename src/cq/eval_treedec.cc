@@ -51,6 +51,12 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
                                        const CqEvalOptions& options,
                                        TreeDecEvalStats* stats) {
   ECRPQ_RETURN_NOT_OK(ValidateCq(db, query));
+  obs::Trace* trace =
+      options.obs != nullptr ? options.obs->trace() : nullptr;
+  obs::MetricsShard* shard = options.obs != nullptr
+                                 ? options.obs->metrics().AcquireShard()
+                                 : nullptr;
+  obs::Span eval_span(trace, "CqEvaluateTreeDec");
   CqEvalResult result;
   if (query.num_vars == 0) {
     result.satisfiable = true;
@@ -60,9 +66,13 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
 
   // 1. Decompose the Gaifman graph.
   const SimpleGraph gaifman = query.GaifmanGraph();
-  const TreewidthResult tw = TreewidthBest(gaifman);
-  const TreeDecomposition td =
-      DecompositionFromEliminationOrder(gaifman, tw.elimination_order);
+  TreewidthResult tw;
+  TreeDecomposition td;
+  {
+    obs::Span span(trace, "TreeDec.decompose");
+    tw = TreewidthBest(gaifman);
+    td = DecompositionFromEliminationOrder(gaifman, tw.elimination_order);
+  }
   if (stats != nullptr) stats->width_used = td.Width();
 
   const int num_bags = static_cast<int>(td.bags.size());
@@ -121,41 +131,57 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
 
   // 3. Materialize bag relations via the backtracking evaluator on the
   // bag-local sub-query (free vars = bag vars).
-  for (int b = 0; b < num_bags; ++b) {
-    CqQuery sub;
-    sub.num_vars = query.num_vars;
-    for (int v : bags[b].vars) sub.free_vars.push_back(static_cast<CqVarId>(v));
-    for (size_t a : atoms_of_bag[b]) sub.atoms.push_back(query.atoms[a]);
-    CqEvalOptions sub_options;
-    sub_options.max_steps = options.max_steps;
-    ECRPQ_ASSIGN_OR_RAISE(CqEvalResult sub_result,
-                          CqEvaluateBacktracking(db, sub, sub_options));
-    if (sub_result.aborted) {
-      result.aborted = true;
-      return result;
-    }
-    bags[b].tuples = std::move(sub_result.answers);
-    if (stats != nullptr) {
-      stats->bag_tuples_materialized += bags[b].tuples.size();
+  {
+    obs::Span span(trace, "TreeDec.materialize_bags");
+    for (int b = 0; b < num_bags; ++b) {
+      CqQuery sub;
+      sub.num_vars = query.num_vars;
+      for (int v : bags[b].vars) {
+        sub.free_vars.push_back(static_cast<CqVarId>(v));
+      }
+      for (size_t a : atoms_of_bag[b]) sub.atoms.push_back(query.atoms[a]);
+      CqEvalOptions sub_options;
+      sub_options.max_steps = options.max_steps;
+      sub_options.obs = options.obs;
+      ECRPQ_ASSIGN_OR_RAISE(CqEvalResult sub_result,
+                            CqEvaluateBacktracking(db, sub, sub_options));
+      if (sub_result.aborted) {
+        result.aborted = true;
+        return result;
+      }
+      bags[b].tuples = std::move(sub_result.answers);
+      obs::Add(shard, obs::CounterId::kBagTuplesMaterialized,
+               bags[b].tuples.size());
+      if (stats != nullptr) {
+        stats->bag_tuples_materialized += bags[b].tuples.size();
+      }
+      if (options.obs != nullptr && options.obs->CheckBudget()) {
+        return options.obs->ExhaustedStatus();
+      }
     }
   }
 
   // 4. Yannakakis up-pass: semijoin-filter each bag's parent.
-  for (int b : post_order) {
-    if (bags[b].parent < 0) continue;
-    BagData& parent = bags[bags[b].parent];
-    const std::vector<int> sep = SortedIntersection(bags[b].vars, parent.vars);
-    std::unordered_set<std::vector<uint32_t>, VectorHash<uint32_t>> child_keys;
-    for (const auto& t : bags[b].tuples) {
-      child_keys.insert(ProjectTuple(bags[b].vars, t, sep));
-    }
-    std::vector<std::vector<uint32_t>> kept;
-    for (auto& t : parent.tuples) {
-      if (child_keys.count(ProjectTuple(parent.vars, t, sep)) > 0) {
-        kept.push_back(std::move(t));
+  {
+    obs::Span span(trace, "TreeDec.semijoin");
+    for (int b : post_order) {
+      if (bags[b].parent < 0) continue;
+      BagData& parent = bags[bags[b].parent];
+      const std::vector<int> sep =
+          SortedIntersection(bags[b].vars, parent.vars);
+      std::unordered_set<std::vector<uint32_t>, VectorHash<uint32_t>>
+          child_keys;
+      for (const auto& t : bags[b].tuples) {
+        child_keys.insert(ProjectTuple(bags[b].vars, t, sep));
       }
+      std::vector<std::vector<uint32_t>> kept;
+      for (auto& t : parent.tuples) {
+        if (child_keys.count(ProjectTuple(parent.vars, t, sep)) > 0) {
+          kept.push_back(std::move(t));
+        }
+      }
+      parent.tuples = std::move(kept);
     }
-    parent.tuples = std::move(kept);
   }
 
   if (bags[0].tuples.empty()) {
@@ -185,6 +211,7 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
   std::vector<uint32_t> assignment(query.num_vars, kUnset);
   std::unordered_set<std::vector<uint32_t>, VectorHash<uint32_t>> answers;
   bool done = false;
+  size_t budget_tick = 0;
 
   // Pre-order list of bags for the enumeration walk.
   std::vector<int> pre_order;
@@ -200,6 +227,12 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
 
   auto walk = [&](auto&& self, size_t idx) -> void {
     if (done) return;
+    if (options.obs != nullptr &&
+        (options.obs->Exhausted() ||
+         ((++budget_tick & 4095) == 0 && options.obs->CheckBudget()))) {
+      done = true;
+      return;
+    }
     if (idx == pre_order.size()) {
       std::vector<uint32_t> answer;
       answer.reserve(query.free_vars.size());
@@ -251,7 +284,16 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
       }
     }
   };
-  walk(walk, 0);
+  {
+    obs::Span span(trace, "TreeDec.enumerate");
+    walk(walk, 0);
+  }
+
+  // Final check (not just Exhausted()): totals that crossed the budget
+  // between poll strides still surface as ResourceExhausted.
+  if (options.obs != nullptr && options.obs->CheckBudget()) {
+    return options.obs->ExhaustedStatus();
+  }
 
   result.answers.assign(answers.begin(), answers.end());
   std::sort(result.answers.begin(), result.answers.end());

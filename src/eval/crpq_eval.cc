@@ -14,7 +14,9 @@
 namespace ecrpq {
 
 Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
-                                bool use_treedec, size_t max_answers) {
+                                bool use_treedec, size_t max_answers,
+                                obs::Session* obs) {
+  obs::Span span(obs != nullptr ? obs->trace() : nullptr, "EvaluateCrpq");
   ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
   if (!query.IsCrpq()) {
     return Status::Invalid("EvaluateCrpq requires a CRPQ");
@@ -74,9 +76,12 @@ Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
     }
     const std::string name = "reach" + std::to_string(a);
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel, rdb.AddRelation(name, 2));
-    for (const auto& [u, v] : RpqReachAll(db, lang)) {
+    for (const auto& [u, v] : RpqReachAll(db, lang, /*num_threads=*/0, obs)) {
       const uint32_t row[2] = {u, v};
       rel->Add(row);
+    }
+    if (obs != nullptr && obs->CheckBudget()) {
+      return obs->ExhaustedStatus();
     }
     cq.atoms.push_back(CqAtom{name, {atom.from, atom.to}});
   }
@@ -84,6 +89,7 @@ Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
 
   CqEvalOptions options;
   options.max_answers = query.IsBoolean() ? 1 : max_answers;
+  options.obs = obs;
   ECRPQ_ASSIGN_OR_RAISE(CqEvalResult cq_result,
                         use_treedec
                             ? CqEvaluateTreeDec(rdb, cq, options)

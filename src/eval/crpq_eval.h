@@ -14,10 +14,13 @@ namespace ecrpq {
 
 // Errors with InvalidArgument if !query.IsCrpq(). `use_treedec` selects the
 // tree-decomposition CQ engine (polynomial for bounded-treewidth queries)
-// over the backtracking engine.
+// over the backtracking engine. A non-null `obs` session observes the
+// per-atom relation builds and the CQ phase and enforces the session budget
+// (Status::ResourceExhausted on trip).
 Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
                                 bool use_treedec = true,
-                                size_t max_answers = 0);
+                                size_t max_answers = 0,
+                                obs::Session* obs = nullptr);
 
 }  // namespace ecrpq
 

@@ -19,6 +19,15 @@ namespace {
 
 constexpr VertexId kUnset = ~VertexId{0};
 
+// Backtracking nodes between full budget checks. Exhaustion is observed via
+// a relaxed flag load on every Stopped() call; the (counter totals + clock)
+// check only runs at this stride.
+constexpr size_t kEngineBudgetStride = 4096;
+
+obs::Trace* TraceOf(const EvalOptions& options) {
+  return options.obs != nullptr ? options.obs->trace() : nullptr;
+}
+
 // One answer recorded by a branch engine, in branch-local emission order.
 // The parallel driver partitions the sequential enumeration by the value of
 // one branch variable, lets workers record what each branch *would* emit,
@@ -36,7 +45,12 @@ struct RecordedAnswer {
 struct Engine {
   Engine(const GraphDb& db, const EcrpqQuery& query,
          const EvalOptions& options, const std::vector<ComponentPlan>& plans)
-      : db(db), query(query), options(options), plans(plans) {}
+      : db(db),
+        query(query),
+        options(options),
+        plans(plans),
+        shard(options.obs != nullptr ? options.obs->metrics().AcquireShard()
+                                     : nullptr) {}
 
   const GraphDb& db;
   const EcrpqQuery& query;
@@ -62,7 +76,15 @@ struct Engine {
   // has everything it needs (or an abort stopped it).
   const CancelToken* cancel = nullptr;
 
+  // Metrics shard of this engine (one engine == one worker thread); null
+  // when no obs session is attached.
+  obs::MetricsShard* shard;
+  // Stopped() is called on hot paths and must stay const; the budget tick
+  // counter is bookkeeping, not engine state.
+  mutable size_t budget_tick = 0;
+
   Status InitSearchers() {
+    obs::Span span(TraceOf(options), "JoinMachine::Create");
     for (const ComponentPlan& plan : plans) {
       ECRPQ_ASSIGN_OR_RAISE(
           JoinMachine machine,
@@ -72,6 +94,7 @@ struct Engine {
       TupleSearchOptions search_options;
       search_options.max_states = options.max_product_states;
       search_options.disable_memo = options.disable_memo;
+      search_options.obs = options.obs;
       ECRPQ_ASSIGN_OR_RAISE(
           TupleSearcher searcher,
           TupleSearcher::Create(&db, machines.back().get(), search_options));
@@ -88,7 +111,16 @@ struct Engine {
   }
 
   bool Stopped() const {
-    return done || (cancel != nullptr && cancel->IsCancelled());
+    if (done) return true;
+    if (cancel != nullptr && cancel->IsCancelled()) return true;
+    if (options.obs != nullptr) {
+      if (options.obs->Exhausted()) return true;
+      if ((++budget_tick & (kEngineBudgetStride - 1)) == 0 &&
+          options.obs->CheckBudget()) {
+        return true;
+      }
+    }
+    return false;
   }
 
   void Emit() {
@@ -98,6 +130,7 @@ struct Engine {
     if (record != nullptr) {
       const auto [it, inserted] = answers.insert(std::move(answer));
       if (inserted) {
+        obs::Add(shard, obs::CounterId::kAnswersEmitted);
         RecordedAnswer rec;
         rec.answer = *it;
         if (options.capture_assignment && record->empty()) {
@@ -110,6 +143,7 @@ struct Engine {
       return;
     }
     const auto [it, inserted] = answers.insert(std::move(answer));
+    if (inserted) obs::Add(shard, obs::CounterId::kAnswersEmitted);
     if (inserted && options.on_answer && !options.on_answer(*it)) {
       done = true;
     }
@@ -163,6 +197,7 @@ struct Engine {
     }
     for (const std::vector<VertexId>& targets : reach.targets) {
       ++result.stats.assignments_tried;
+      obs::Add(shard, obs::CounterId::kAssignmentsTried);
       std::vector<NodeVarId> newly;
       bool consistent = true;
       for (size_t i = 0; i < plan.paths.size() && consistent; ++i) {
@@ -194,6 +229,7 @@ struct Engine {
          value < static_cast<VertexId>(db.NumVertices()) && !Stopped();
          ++value) {
       ++result.stats.assignments_tried;
+      obs::Add(shard, obs::CounterId::kAssignmentsTried);
       assignment[v] = value;
       SolveSources(comp, unassigned, idx + 1, isolated_free);
     }
@@ -273,6 +309,9 @@ Result<EvalResult> EvaluateParallel(
       for (uint32_t b = next.fetch_add(1, std::memory_order_relaxed); b < n;
            b = next.fetch_add(1, std::memory_order_relaxed)) {
         if (!cancel.IsCancelled()) {
+          obs::Span branch_span(TraceOf(options), "EvaluateGeneric.branch",
+                                b);
+          obs::Add(eng.shard, obs::CounterId::kBranchesExplored);
           eng.ResetForBranch(&branches[b].events);
           eng.assignment = base_assignment;
           eng.assignment[branch_var] = b;
@@ -326,6 +365,12 @@ Result<EvalResult> EvaluateParallel(
   cancel.Cancel();
   wg.Wait();
 
+  // Final check (not just Exhausted()): a run whose totals crossed the
+  // budget never returns OK, even when it finished between poll strides.
+  if (options.obs != nullptr && options.obs->CheckBudget()) {
+    return options.obs->ExhaustedStatus();
+  }
+
   result.answers.assign(global.begin(), global.end());
   std::sort(result.answers.begin(), result.answers.end());
   for (const auto& eng : engines) {
@@ -341,6 +386,7 @@ Result<EvalResult> EvaluateParallel(
 
 Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
                                    const EvalOptions& options) {
+  obs::Span span(TraceOf(options), "EvaluateGeneric");
   ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
 
   EvalResult empty_result;
@@ -404,6 +450,12 @@ Result<EvalResult> EvaluateGeneric(const GraphDb& db, const EcrpqQuery& query,
   ECRPQ_RETURN_NOT_OK(engine.InitSearchers());
   engine.assignment = base_assignment;
   engine.SolveComponent(0, isolated_free);
+
+  // Final check, as in EvaluateParallel: totals that crossed the budget
+  // between poll strides still surface as ResourceExhausted.
+  if (options.obs != nullptr && options.obs->CheckBudget()) {
+    return options.obs->ExhaustedStatus();
+  }
 
   engine.result.answers.assign(engine.answers.begin(), engine.answers.end());
   std::sort(engine.result.answers.begin(), engine.result.answers.end());

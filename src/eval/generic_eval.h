@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/obs.h"
 #include "common/result.h"
 #include "graphdb/graph_db.h"
 #include "graphdb/tuple_search.h"
@@ -51,6 +52,12 @@ struct EvalOptions {
   // the final sorted answer vector is produced). Returning false stops the
   // evaluation early. Boolean queries stream at most one (empty) tuple.
   std::function<bool(const std::vector<VertexId>&)> on_answer;
+  // Observability & resource-governance session (common/obs.h): counters,
+  // trace spans and the evaluation-wide budget. When the budget trips,
+  // EvaluateGeneric returns Status::ResourceExhausted and the partial
+  // StatsReport stays readable via the session. Null = zero overhead;
+  // answers are byte-identical with or without a session attached.
+  obs::Session* obs = nullptr;
 };
 
 struct EvalStats {

@@ -101,10 +101,11 @@ Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,
   if (classification_out != nullptr) *classification_out = c;
   ReduceOptions reduce_options;
   reduce_options.max_product_states = options.max_product_states;
+  reduce_options.obs = options.obs;
   switch (c.engine) {
     case EngineChoice::kCrpqPipeline:
       return EvaluateCrpq(db, query, /*use_treedec=*/true,
-                          options.max_answers);
+                          options.max_answers, options.obs);
     case EngineChoice::kCqReduction:
       return EvaluateViaCqReduction(db, query, /*use_treedec=*/true,
                                     reduce_options, options.max_answers);

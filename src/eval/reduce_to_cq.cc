@@ -16,9 +16,20 @@
 #include "synchro/join.h"
 
 namespace ecrpq {
+namespace {
+
+obs::Trace* TraceOf(const ReduceOptions& options) {
+  return options.obs != nullptr ? options.obs->trace() : nullptr;
+}
+
+}  // namespace
 
 Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
                                const ReduceOptions& options) {
+  obs::Span span(TraceOf(options), "ReduceToCq");
+  obs::MetricsShard* shard = options.obs != nullptr
+                                 ? options.obs->metrics().AcquireShard()
+                                 : nullptr;
   ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
   CqReduction reduction;
   reduction.db = std::make_unique<RelationalDb>(
@@ -47,6 +58,8 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
     const ComponentPlan& plan = plans[c];
     const int r = static_cast<int>(plan.paths.size());
     const std::string name = "comp" + std::to_string(c);
+    obs::Span component_span(TraceOf(options), "ReduceToCq.component",
+                             static_cast<uint64_t>(c));
 
     // One machine + searcher per worker: the machine's lazy determinization
     // caches are not shareable across threads, and the enumeration below
@@ -61,6 +74,7 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
       machines.push_back(std::make_unique<JoinMachine>(std::move(machine)));
       TupleSearchOptions search_options;
       search_options.max_states = options.max_product_states;
+      search_options.obs = options.obs;
       ECRPQ_ASSIGN_OR_RAISE(
           TupleSearcher searcher,
           TupleSearcher::Create(&db, machines.back().get(), search_options));
@@ -127,12 +141,21 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
           break;
         }
       }
-      const std::vector<const ReachSet*> reaches =
-          ReachMany(searcher_ptrs, batch, pool.get());
+      const std::vector<const ReachSet*> reaches = ReachMany(
+          searcher_ptrs, batch, pool.get(),
+          options.obs != nullptr ? options.obs->cancel_token() : nullptr);
       for (size_t b = 0; b < batch.size(); ++b) {
         ++reduction.source_tuples_enumerated;
+        if (reaches[b] == nullptr) {
+          // Slots are only skipped when the session's cancel token fired,
+          // which here means the budget tripped mid-batch.
+          return options.obs->ExhaustedStatus();
+        }
         const ReachSet& reach = *reaches[b];
         if (reach.aborted) {
+          if (options.obs != nullptr && options.obs->Exhausted()) {
+            return options.obs->ExhaustedStatus();
+          }
           return Status::CapacityExceeded(
               "component search exceeded the product-state budget");
         }
@@ -150,11 +173,15 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
           if (!coincides) continue;
           rel->Add(row);
           ++total_tuples;
+          obs::Add(shard, obs::CounterId::kTuplesMaterialized);
           if (options.max_tuples != 0 && total_tuples > options.max_tuples) {
             return Status::CapacityExceeded(
                 "materialized relations exceeded the tuple budget");
           }
         }
+      }
+      if (options.obs != nullptr && options.obs->CheckBudget()) {
+        return options.obs->ExhaustedStatus();
       }
     }
     for (const auto& searcher : searchers) {
@@ -181,6 +208,8 @@ Result<EvalResult> EvaluateViaCqReduction(const GraphDb& db,
   ECRPQ_ASSIGN_OR_RAISE(CqReduction reduction, ReduceToCq(db, query, options));
   CqEvalOptions cq_options;
   cq_options.max_answers = query.IsBoolean() ? 1 : max_answers;
+  cq_options.obs = options.obs;
+  obs::Span cq_span(TraceOf(options), "EvaluateReducedCq");
   ECRPQ_ASSIGN_OR_RAISE(
       CqEvalResult cq_result,
       use_treedec

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "common/obs.h"
 #include "common/result.h"
 #include "cq/cq.h"
 #include "cq/relational_db.h"
@@ -46,6 +47,11 @@ struct ReduceOptions {
   // every value: batches of source tuples are searched concurrently but
   // merged in enumeration order.
   int num_threads = 0;
+  // Observability & resource-governance session (common/obs.h). A tripped
+  // budget turns into Status::ResourceExhausted (distinct from the
+  // CapacityExceeded of max_tuples / max_product_states above); the partial
+  // StatsReport stays readable via the session. Null = zero overhead.
+  obs::Session* obs = nullptr;
 };
 
 Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,

@@ -82,12 +82,23 @@ std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
 
 std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
                                                        const Nfa& lang,
-                                                       int num_threads) {
+                                                       int num_threads,
+                                                       obs::Session* obs) {
   const VertexId n = static_cast<VertexId>(db.NumVertices());
   const int threads = ThreadPool::ResolveNumThreads(num_threads);
+  obs::Span span(obs != nullptr ? obs->trace() : nullptr, "RpqReachAll");
+  obs::MetricsShard* shard =
+      obs != nullptr ? obs->metrics().AcquireShard() : nullptr;
+  // One product-space visited bitset per source BFS.
+  const uint64_t bfs_bytes =
+      (static_cast<uint64_t>(n) * static_cast<uint64_t>(lang.NumStates()) +
+       7) /
+      8;
   std::vector<std::pair<VertexId, VertexId>> out;
   if (threads <= 1 || n < 2) {
     for (VertexId u = 0; u < n; ++u) {
+      obs::Add(shard, obs::CounterId::kRpqBfsRuns);
+      obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
       for (VertexId v : RpqReachFrom(db, lang, u)) {
         out.emplace_back(u, v);
       }
@@ -101,6 +112,8 @@ std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
   std::vector<std::vector<VertexId>> per_source(n);
   ThreadPool pool(threads);
   pool.ParallelFor(n, [&](size_t u) {
+    obs::Add(shard, obs::CounterId::kRpqBfsRuns);
+    obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
     per_source[u] = RpqReachFrom(db, lang, static_cast<VertexId>(u));
   });
   for (VertexId u = 0; u < n; ++u) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "automata/nfa.h"
+#include "common/obs.h"
 #include "graphdb/graph_db.h"
 
 namespace ecrpq {
@@ -33,9 +34,15 @@ std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
 // `num_threads` workers (0 = ECRPQ_THREADS / hardware default, 1 = fully
 // sequential). Per-source results are concatenated in source order, so the
 // output is identical for every pool size.
-std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
-                                                       const Nfa& lang,
-                                                       int num_threads = 0);
+//
+// With a non-null `obs` session the relation build is wrapped in an
+// "RpqReachAll" span and counts its BFS runs and visited-bitset bytes. The
+// relation is returned whole (no Result plumbing), so the session's budget
+// is observed between per-source runs only when it was tripped elsewhere —
+// callers that need enforcement check the session after the call.
+std::vector<std::pair<VertexId, VertexId>> RpqReachAll(
+    const GraphDb& db, const Nfa& lang, int num_threads = 0,
+    obs::Session* obs = nullptr);
 
 // A shortest witness path from `source` to `target` with label in L(lang).
 std::optional<std::vector<PathStep>> RpqWitnessPath(const GraphDb& db,

@@ -20,6 +20,18 @@ using Coded = std::vector<uint32_t>;
 // hash-interned path is used instead.
 constexpr uint64_t kDenseBitsPerMachineState = uint64_t{1} << 25;
 
+// BFS iterations between obs::Session budget polls. Coarse enough that the
+// poll (a few atomic loads + a clock read) is invisible, fine enough that a
+// tripped budget stops a runaway search within microseconds.
+constexpr size_t kBudgetCheckStride = 1024;
+
+// Approximate heap bytes per sparse-interned product state: the coded
+// vector's payload plus hash-node/bookkeeping overhead. Feeds the
+// kVisitedBytes counter and the max_memory_bytes budget axis.
+size_t SparseStateBytes(size_t coded_words) {
+  return coded_words * sizeof(uint32_t) + 64;
+}
+
 }  // namespace
 
 Result<TupleSearcher> TupleSearcher::Create(const GraphDb* db,
@@ -39,14 +51,20 @@ Result<TupleSearcher> TupleSearcher::Create(const GraphDb* db,
 }
 
 const ReachSet& TupleSearcher::Reach(const std::vector<VertexId>& sources) {
+  obs::Add(shard_, obs::CounterId::kReachQueries);
   if (options_.disable_memo) {
+    obs::Add(shard_, obs::CounterId::kMemoMisses);
     unmemoized_scratch_ = RunBfs(sources, nullptr, nullptr);
     total_explored_ += unmemoized_scratch_.explored_states;
     any_aborted_ = any_aborted_ || unmemoized_scratch_.aborted;
     return unmemoized_scratch_;
   }
   auto it = memo_.find(sources);
-  if (it != memo_.end()) return *it->second;
+  if (it != memo_.end()) {
+    obs::Add(shard_, obs::CounterId::kMemoHits);
+    return *it->second;
+  }
+  obs::Add(shard_, obs::CounterId::kMemoMisses);
   auto result = std::make_unique<ReachSet>(RunBfs(sources, nullptr, nullptr));
   total_explored_ += result->explored_states;
   any_aborted_ = any_aborted_ || result->aborted;
@@ -108,6 +126,9 @@ ReachSet TupleSearcher::RunBfs(
     states.push_back(it->first);
     if (track_parents) parents.emplace_back(from, label);
     queue.push_back(it->second);
+    obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
+    obs::Add(shard_, obs::CounterId::kVisitedBytes,
+             SparseStateBytes(it->first.size()));
     return true;
   };
 
@@ -125,6 +146,9 @@ ReachSet TupleSearcher::RunBfs(
       states.push_back(it->first);
       if (track_parents) parents.emplace_back(0u, 0u);
       queue.push_back(0);
+      obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
+      obs::Add(shard_, obs::CounterId::kVisitedBytes,
+               SparseStateBytes(it->first.size()));
     }
   }
 
@@ -137,7 +161,17 @@ ReachSet TupleSearcher::RunBfs(
   std::vector<TapeLetter> letters(r);
   Coded scratch;
 
+  size_t pops = 0;
+  uint64_t frontier_peak = 0;
   while (!queue.empty()) {
+    frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
+    if (options_.obs != nullptr &&
+        (options_.obs->Exhausted() ||
+         ((++pops & (kBudgetCheckStride - 1)) == 0 &&
+          options_.obs->CheckBudget()))) {
+      result.aborted = true;
+      break;
+    }
     const uint32_t id = queue.front();
     queue.pop_front();
     const Coded current = states[id];  // Copy: `states` grows below.
@@ -216,6 +250,7 @@ ReachSet TupleSearcher::RunBfs(
     };
     if (!recurse(recurse, 0, mask, false)) break;  // Budget exhausted.
   }
+  obs::RecordMax(shard_, obs::CounterId::kFrontierPeak, frontier_peak);
 
   result.explored_states = states.size();
   if (stop_at_target != nullptr) {
@@ -274,6 +309,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
   auto visited_of = [&](uint32_t mid) -> DynamicBitset& {
     if (visited[mid] == nullptr) {
       visited[mid] = std::make_unique<DynamicBitset>(space);
+      obs::Add(shard_, obs::CounterId::kVisitedBytes, (space + 7) / 8);
     }
     return *visited[mid];
   };
@@ -299,6 +335,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
       visited_of(mid).Set(code);
       queue.emplace_back(code, mid);
       interned = 1;
+      obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
     }
   }
 
@@ -306,7 +343,17 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
   std::vector<TapeLetter> letters(r);
   std::vector<VertexId> scratch(r);
 
+  size_t pops = 0;
+  uint64_t frontier_peak = 0;
   while (!queue.empty()) {
+    frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
+    if (options_.obs != nullptr &&
+        (options_.obs->Exhausted() ||
+         ((++pops & (kBudgetCheckStride - 1)) == 0 &&
+          options_.obs->CheckBudget()))) {
+      result.aborted = true;
+      break;
+    }
     const auto [code, mid] = queue.front();
     queue.pop_front();
     uint64_t rest = code >> mask_bits;
@@ -343,6 +390,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
           }
           ++interned;
           queue.emplace_back(ncode, nmid);
+          obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
         }
         return true;
       }
@@ -367,6 +415,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
     };
     if (!recurse(recurse, 0, mask, false)) break;  // Budget exhausted.
   }
+  obs::RecordMax(shard_, obs::CounterId::kFrontierPeak, frontier_peak);
 
   result.explored_states = interned;
   return result;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/obs.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "graphdb/graph_db.h"
@@ -42,6 +43,12 @@ struct TupleSearchOptions {
   // (vertex-tuple, finished-mask) space is dense enough for bitsets —
   // ablation/differential-testing hook.
   bool disable_dense_visited = false;
+  // Observability & resource-governance session (common/obs.h). When set,
+  // the searcher counts product states, frontier peaks, memo traffic and
+  // visited-set bytes into its own metrics shard and polls the session's
+  // budget at a coarse stride inside the BFS loops; a tripped budget marks
+  // the ReachSet aborted so callers unwind. Null = zero overhead.
+  obs::Session* obs = nullptr;
 };
 
 // The set of accepting target tuples reachable from one source tuple.
@@ -84,7 +91,12 @@ class TupleSearcher {
  private:
   TupleSearcher(const GraphDb* db, JoinMachine* machine,
                 TupleSearchOptions options)
-      : db_(db), machine_(machine), options_(options) {}
+      : db_(db),
+        machine_(machine),
+        options_(options),
+        shard_(options.obs != nullptr
+                   ? options.obs->metrics().AcquireShard()
+                   : nullptr) {}
 
   ReachSet RunBfs(const std::vector<VertexId>& sources,
                   const std::vector<VertexId>* stop_at_target,
@@ -104,6 +116,7 @@ class TupleSearcher {
   const GraphDb* db_;
   JoinMachine* machine_;
   TupleSearchOptions options_;
+  obs::MetricsShard* shard_;  // Null when no session attached.
   size_t total_explored_ = 0;
   bool any_aborted_ = false;
   std::unordered_map<std::vector<VertexId>, std::unique_ptr<ReachSet>,

@@ -1,0 +1,276 @@
+// Unit tests for the ecrpq::obs layer (common/metrics.h, common/trace.h,
+// common/obs.h): deterministic counter aggregation under a real thread
+// pool, span nesting, trace JSON schema round-trip, budget trips on every
+// axis with a readable partial report, and always-on death tests for the
+// budget invariants (suite BudgetInvariantsDeathTest, kept out of the
+// TSan ctest regex — fork-based death tests and TSan don't mix).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/obs.h"
+#include "common/thread_pool.h"
+#include "eval/generic_eval.h"
+#include "workloads/db_gen.h"
+#include "workloads/query_gen.h"
+
+namespace ecrpq {
+namespace {
+
+using obs::CounterId;
+using obs::CounterKind;
+
+TEST(ObsTest, CounterVocabularyIsStable) {
+  EXPECT_STREQ(obs::CounterName(CounterId::kProductStatesExpanded),
+               "product_states_expanded");
+  EXPECT_STREQ(obs::CounterName(CounterId::kFrontierPeak), "frontier_peak");
+  EXPECT_STREQ(obs::CounterName(CounterId::kAnswersEmitted),
+               "answers_emitted");
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    EXPECT_NE(obs::CounterName(id), nullptr);
+    // The only peak (max-folded) counter today is the BFS frontier.
+    EXPECT_EQ(obs::CounterKindOf(id) == CounterKind::kMax,
+              id == CounterId::kFrontierPeak)
+        << obs::CounterName(id);
+  }
+}
+
+// Hammer per-worker shards from a real 4-thread pool; the aggregate must
+// equal the arithmetic total (sum counters) / maximum (peak counters) no
+// matter how the scheduler interleaved the workers. Run under TSan via the
+// dedicated ci.sh stage.
+TEST(ObsTest, ShardAggregationDeterministicAcrossThreads) {
+  constexpr size_t kWorkers = 8;
+  constexpr uint64_t kAddsPerWorker = 10000;
+  obs::Metrics metrics;
+  std::vector<obs::MetricsShard*> shards(kWorkers);
+  for (size_t w = 0; w < kWorkers; ++w) shards[w] = metrics.AcquireShard();
+
+  ThreadPool pool(4);
+  pool.ParallelFor(kWorkers, [&](size_t w) {
+    for (uint64_t i = 0; i < kAddsPerWorker; ++i) {
+      shards[w]->Add(CounterId::kProductStatesExpanded);
+      shards[w]->Add(CounterId::kVisitedBytes, 3);
+    }
+    shards[w]->RecordMax(CounterId::kFrontierPeak, 100 * (w + 1));
+  });
+
+  const obs::StatsReport report = metrics.Aggregate();
+  EXPECT_EQ(report[CounterId::kProductStatesExpanded],
+            kWorkers * kAddsPerWorker);
+  EXPECT_EQ(report[CounterId::kVisitedBytes], kWorkers * kAddsPerWorker * 3);
+  EXPECT_EQ(report[CounterId::kFrontierPeak], 100 * kWorkers);
+  EXPECT_EQ(report[CounterId::kMemoHits], 0u);
+  // Aggregate() is a pure fold: calling it again gives the same report.
+  EXPECT_EQ(metrics.Aggregate().values, report.values);
+  EXPECT_EQ(metrics.Total(CounterId::kVisitedBytes),
+            report[CounterId::kVisitedBytes]);
+}
+
+TEST(ObsTest, NullSafeHelpersAndSpansAreNoOps) {
+  obs::Add(nullptr, CounterId::kProductStatesExpanded);
+  obs::RecordMax(nullptr, CounterId::kFrontierPeak, 42);
+  { obs::Span span(nullptr, "never recorded", 7); }
+  // Reaching here without a crash is the assertion.
+  SUCCEED();
+}
+
+TEST(ObsTest, StatsReportRendersEveryCounter) {
+  obs::StatsReport report;
+  report.at(CounterId::kProductStatesExpanded) = 123;
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("product_states_expanded"), std::string::npos);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  const std::string json = report.ToJson();
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_NE(json.find(obs::CounterName(static_cast<CounterId>(i))),
+              std::string::npos)
+        << json;
+  }
+}
+
+TEST(ObsTest, SpanNestingIsRecordedWithContainment) {
+  obs::Trace trace;
+  {
+    obs::Span outer(&trace, "outer");
+    { obs::Span inner_a(&trace, "inner_a", 0); }
+    { obs::Span inner_b(&trace, "inner_b", 1); }
+  }
+  ASSERT_EQ(trace.NumEvents(), 3u);
+  const std::vector<obs::Trace::Event> events = trace.Events();
+  // Events() sorts by start time: the outer span started first but is
+  // recorded last (RAII), and must contain both inner spans.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner_a");
+  EXPECT_STREQ(events[2].name, "inner_b");
+  const uint64_t outer_end = events[0].start_ns + events[0].dur_ns;
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns, outer_end);
+  }
+  EXPECT_TRUE(events[1].has_arg);
+  EXPECT_EQ(events[2].arg, 1u);
+  // inner_a ended before inner_b started (sequential blocks).
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns, events[2].start_ns);
+}
+
+TEST(ObsTest, TraceJsonRoundTripValidates) {
+  obs::Trace trace;
+  {
+    obs::Span outer(&trace, "phase \"quoted\"\\slash");  // Escaping path.
+    obs::Span inner(&trace, "inner", 9);
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(obs::ValidateTraceJson(json, /*min_events=*/2).ok())
+      << obs::ValidateTraceJson(json, 2) << "\n"
+      << json;
+}
+
+TEST(ObsTest, ValidateTraceJsonRejectsMalformedInput) {
+  EXPECT_FALSE(obs::ValidateTraceJson("", 0).ok());
+  EXPECT_FALSE(obs::ValidateTraceJson("not json", 0).ok());
+  EXPECT_FALSE(obs::ValidateTraceJson("{}", 0).ok());
+  EXPECT_FALSE(obs::ValidateTraceJson(R"({"traceEvents": 5})", 0).ok());
+  EXPECT_FALSE(
+      obs::ValidateTraceJson(R"({"traceEvents": [{"name": 1}]})", 0).ok());
+  EXPECT_FALSE(obs::ValidateTraceJson(
+                   R"({"traceEvents": [{"name": "x", "ph": "X")"
+                   R"(, "ts": 0, "dur": 1, "pid": 0}]})",
+                   0)
+                   .ok())
+      << "event missing tid must be rejected";
+  // Well-formed empty trace: OK at min_events 0, rejected at 1.
+  const std::string empty = obs::Trace().ToJson();
+  EXPECT_TRUE(obs::ValidateTraceJson(empty, 0).ok());
+  EXPECT_FALSE(obs::ValidateTraceJson(empty, 1).ok());
+}
+
+// A PSPACE-regime workload big enough that every budget axis below trips
+// well before the evaluation finishes.
+struct HardInstance {
+  GraphDb db;
+  EcrpqQuery query;
+};
+
+HardInstance MakeHardInstance() {
+  Rng rng(7);
+  // ~17k product states / tens of milliseconds even optimized: large
+  // enough that the strided CheckBudget polls fire many times per axis.
+  return HardInstance{
+      LayeredDag(&rng, 6, 32, 3, 2),
+      EqualityStarQuery(Alphabet::OfChars("ab"), 3).ValueOrDie()};
+}
+
+void ExpectBudgetTrip(const obs::EvalBudget& budget, const char* want_reason,
+                      int threads) {
+  const HardInstance inst = MakeHardInstance();
+  obs::Session session;
+  session.SetBudget(budget);
+  EvalOptions options;
+  options.num_threads = threads;
+  options.obs = &session;
+  Result<EvalResult> result = EvaluateGeneric(inst.db, inst.query, options);
+  ASSERT_FALSE(result.ok()) << "budget did not trip (threads " << threads
+                            << ")";
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status();
+  EXPECT_TRUE(session.Exhausted());
+  ASSERT_NE(session.exhausted_reason(), nullptr);
+  EXPECT_STREQ(session.exhausted_reason(), want_reason);
+  EXPECT_EQ(session.ExhaustedStatus().code(),
+            StatusCode::kResourceExhausted);
+  // The partial report is readable and reflects real work.
+  const obs::StatsReport report = session.Report();
+  EXPECT_GT(report[CounterId::kProductStatesExpanded], 0u)
+      << report.ToString();
+}
+
+TEST(ObsTest, StateBudgetTripsSequentialWithPartialReport) {
+  obs::EvalBudget budget;
+  budget.max_product_states = 256;
+  ExpectBudgetTrip(budget, "max_product_states", /*threads=*/1);
+}
+
+TEST(ObsTest, StateBudgetTripsParallelWithPartialReport) {
+  obs::EvalBudget budget;
+  budget.max_product_states = 256;
+  ExpectBudgetTrip(budget, "max_product_states", /*threads=*/4);
+}
+
+TEST(ObsTest, MemoryBudgetTripsWithPartialReport) {
+  obs::EvalBudget budget;
+  budget.max_memory_bytes = 1024;
+  ExpectBudgetTrip(budget, "max_memory_bytes", /*threads=*/1);
+}
+
+TEST(ObsTest, DeadlineBudgetTripsWithPartialReport) {
+  obs::EvalBudget budget;
+  budget.timeout_millis = 1;  // Far below this instance's runtime.
+  ExpectBudgetTrip(budget, "deadline", /*threads=*/1);
+}
+
+TEST(ObsTest, UntrippedBudgetLeavesResultIntact) {
+  const HardInstance inst = MakeHardInstance();
+  Result<EvalResult> plain = EvaluateGeneric(inst.db, inst.query);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  obs::Session session;
+  obs::EvalBudget budget;
+  budget.max_product_states = 1ull << 40;  // Effectively unreachable.
+  session.SetBudget(budget);
+  EvalOptions options;
+  options.obs = &session;
+  Result<EvalResult> budgeted = EvaluateGeneric(inst.db, inst.query, options);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status();
+  EXPECT_EQ(plain->satisfiable, budgeted->satisfiable);
+  EXPECT_EQ(plain->answers, budgeted->answers);
+  EXPECT_FALSE(session.Exhausted());
+  EXPECT_EQ(session.exhausted_reason(), nullptr);
+  EXPECT_TRUE(session.ExhaustedStatus().ok());
+}
+
+TEST(ObsTest, CheckBudgetIsNoOpWhenUnarmed) {
+  obs::Session session;
+  EXPECT_FALSE(session.armed());
+  EXPECT_FALSE(session.CheckBudget());
+  EXPECT_FALSE(session.Exhausted());
+}
+
+TEST(ObsTest, DeadlineMayBeTightenedOnRearm) {
+  obs::Session session;
+  obs::EvalBudget budget;
+  budget.timeout_millis = 60000;
+  session.SetBudget(budget);
+  budget.timeout_millis = 30000;  // Tightening is allowed...
+  session.SetBudget(budget);      // ...and must not die.
+  EXPECT_TRUE(session.armed());
+  EXPECT_EQ(session.budget().timeout_millis, 30000);
+}
+
+// Budget invariants use always-on ECRPQ_CHECK (PR 1), so these die in
+// every build mode.
+TEST(BudgetInvariantsDeathTest, ArmingAllUnlimitedBudgetDies) {
+  obs::Session session;
+  EXPECT_DEATH(session.SetBudget(obs::EvalBudget{}), "CHECK failed");
+}
+
+TEST(BudgetInvariantsDeathTest, NegativeTimeoutDies) {
+  obs::EvalBudget budget;
+  budget.timeout_millis = -1;
+  EXPECT_DEATH(budget.CheckInvariants(), "CHECK failed");
+}
+
+TEST(BudgetInvariantsDeathTest, LooseningDeadlineOnRearmDies) {
+  obs::Session session;
+  obs::EvalBudget budget;
+  budget.timeout_millis = 1000;
+  session.SetBudget(budget);
+  obs::EvalBudget later = budget;
+  later.timeout_millis = 600000;
+  EXPECT_DEATH(session.SetBudget(later), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ecrpq

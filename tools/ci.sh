@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI: default build + tests, ASan/UBSan build + tests, TSan build
-# + parallel-layer tests, benchmark smoke run, lint.
+# + parallel-layer tests, observability smoke (differential suite, CLI
+# --stats/--trace/--budget-*), benchmark smoke run, lint.
 #
 #   tools/ci.sh [jobs]
 #
@@ -12,34 +13,70 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/7] configure + build (default) =="
+echo "== [1/8] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/7] ctest (default) =="
+echo "== [2/8] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/7] configure + build (address,undefined) =="
+echo "== [3/8] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/7] ctest (address,undefined) =="
+echo "== [4/8] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/7] TSan over the parallel layer (thread) =="
+echo "== [5/8] TSan over the parallel layer (thread) =="
 cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The threaded code paths: pool primitives, parallel determinism harness,
-# the CSR graph layout and the engines that fan out over the pool. Run with
-# a multi-worker default so the pool actually spawns threads even when the
-# suite's own options ask for the hardware default.
+# the CSR graph layout, the engines that fan out over the pool and the
+# observability layer (metrics shards, budget trips, differential suite).
+# Run with a multi-worker default so the pool actually spawns threads even
+# when the suite's own options ask for the hardware default. Death tests
+# (BudgetInvariantsDeathTest etc.) stay out of the regex: fork-style death
+# tests and TSan don't mix.
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval'
+  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|DifferentialSuite'
 
-echo "== [6/7] benchmark smoke (BENCH_*.json) =="
+echo "== [6/8] observability smoke (differential suite + CLI stats/trace/budget) =="
+ctest --test-dir build --output-on-failure -j "$JOBS" \
+  -R 'DifferentialSuite|ObsTest|BudgetInvariantsDeathTest'
+OBS_TMP="build/obs-smoke"
+mkdir -p "$OBS_TMP"
+{
+  echo "alphabet a b"
+  echo "vertices 64"
+  for ((v = 0; v < 64; ++v)); do
+    echo "edge $v a $(((v + 1) % 64))"
+  done
+} > "$OBS_TMP/graph.txt"
+OBS_QUERY='q(x) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)'
+# A satisfiable query: eval exits 0, writes stats and a non-empty trace.
+build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" \
+  --stats --trace="$OBS_TMP/trace.json" | grep -q 'stats:'
+test -s "$OBS_TMP/trace.json"
+build/tools/ecrpq_cli trace-check "$OBS_TMP/trace.json"
+# A starved budget: eval must exit 3 (ResourceExhausted) and still print
+# the partial stats report. --engine=cq checks the budget after every
+# materialization batch, so a 1-state budget trips deterministically.
+BUDGET_RC=0
+build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" \
+  --engine=cq --budget-states=1 --budget-mem=1 \
+  > "$OBS_TMP/budget.out" 2>&1 || BUDGET_RC=$?
+if [ "$BUDGET_RC" -ne 3 ]; then
+  echo "obs smoke: expected exit 3 on exhausted budget, got $BUDGET_RC" >&2
+  cat "$OBS_TMP/budget.out" >&2
+  exit 1
+fi
+grep -q 'partial stats:' "$OBS_TMP/budget.out"
+echo "observability smoke passed."
+
+echo "== [7/8] benchmark smoke (BENCH_*.json) =="
 cmake --build build -j "$JOBS" --target bench-smoke
 
-echo "== [7/7] lint =="
+echo "== [8/8] lint =="
 tools/run_lint.sh build
 
 echo "CI: all stages passed."

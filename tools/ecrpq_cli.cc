@@ -12,10 +12,12 @@
 //   edge 0 a 1
 #include <cstdio>
 #include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/obs.h"
 #include "eval/adaptive.h"
 #include "query/validate.h"
 #include "eval/crpq_eval.h"
@@ -46,6 +48,9 @@ int Usage() {
       "  ecrpq_cli simplify --alphabet=<chars> \"<query>\"\n"
       "  ecrpq_cli eval <graph-file> \"<query>\" [--engine=auto|generic|cq|"
       "crpq|adaptive] [--rel=name=relation-file]\n"
+      "             [--stats] [--trace=<out.json>] [--budget-states=<n>]\n"
+      "             [--budget-mem=<bytes>] [--budget-ms=<millis>]\n"
+      "  ecrpq_cli trace-check <trace.json>\n"
       "  ecrpq_cli sat --alphabet=<chars> \"<query>\"\n"
       "  ecrpq_cli explain <graph-file> \"<query>\" <v1> <v2> ...\n"
       "  ecrpq_cli count <graph-file> \"<query>\"\n"
@@ -71,6 +76,14 @@ struct Args {
   bool strict = false;
   // --rel name=path pairs, loaded into a RelationRegistry.
   std::vector<std::pair<std::string, std::string>> relations;
+  // Observability (eval only): print the StatsReport, export a
+  // chrome://tracing JSON file, and/or arm an evaluation budget. A tripped
+  // budget exits with code 3 and prints the partial stats.
+  bool stats = false;
+  std::string trace_path;
+  uint64_t budget_states = 0;
+  uint64_t budget_mem = 0;
+  int64_t budget_ms = 0;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -85,6 +98,19 @@ Args ParseArgs(int argc, char** argv) {
       args.emit_dot = true;
     } else if (arg == "--strict") {
       args.strict = true;
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = arg.substr(strlen("--trace="));
+    } else if (arg.rfind("--budget-states=", 0) == 0) {
+      args.budget_states =
+          std::strtoull(arg.c_str() + strlen("--budget-states="), nullptr, 10);
+    } else if (arg.rfind("--budget-mem=", 0) == 0) {
+      args.budget_mem =
+          std::strtoull(arg.c_str() + strlen("--budget-mem="), nullptr, 10);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      args.budget_ms =
+          std::strtoll(arg.c_str() + strlen("--budget-ms="), nullptr, 10);
     } else if (arg.rfind("--rel=", 0) == 0) {
       const std::string spec = arg.substr(strlen("--rel="));
       const size_t eq = spec.find('=');
@@ -240,28 +266,73 @@ int Eval(const Args& args) {
     return 1;
   }
 
+  // Observability session — attached only when asked for, so the default
+  // path keeps the zero-overhead contract.
+  obs::Session session;
+  const bool want_budget = args.budget_states != 0 || args.budget_mem != 0 ||
+                           args.budget_ms != 0;
+  const bool want_obs =
+      args.stats || !args.trace_path.empty() || want_budget;
+  obs::Session* obs = want_obs ? &session : nullptr;
+  if (!args.trace_path.empty()) session.EnableTrace();
+  if (want_budget) {
+    obs::EvalBudget budget;
+    budget.max_product_states = args.budget_states;
+    budget.max_memory_bytes = args.budget_mem;
+    budget.timeout_millis = args.budget_ms;
+    session.SetBudget(budget);
+  }
+  // Written on every exit path below once evaluation ran — a budget trip
+  // still leaves a valid (partial) trace on disk.
+  auto write_trace = [&]() -> bool {
+    if (args.trace_path.empty()) return true;
+    const Status st = session.trace()->WriteFile(args.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write error: %s\n", st.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+
   Result<EvalResult> result = Status::Invalid("unset");
   if (args.engine == "generic") {
-    result = EvaluateGeneric(*db, *query);
+    EvalOptions options;
+    options.obs = obs;
+    result = EvaluateGeneric(*db, *query, options);
   } else if (args.engine == "cq") {
-    result = EvaluateViaCqReduction(*db, *query);
+    ReduceOptions reduce_options;
+    reduce_options.obs = obs;
+    result = EvaluateViaCqReduction(*db, *query, /*use_treedec=*/true,
+                                    reduce_options);
   } else if (args.engine == "crpq") {
-    result = EvaluateCrpq(*db, *query);
+    result = EvaluateCrpq(*db, *query, /*use_treedec=*/true,
+                          /*max_answers=*/0, obs);
   } else if (args.engine == "adaptive") {
     AdaptiveReport report;
-    result = EvaluateAdaptive(*db, *query, {}, &report);
+    AdaptiveOptions adaptive_options;
+    adaptive_options.eval.obs = obs;
+    result = EvaluateAdaptive(*db, *query, adaptive_options, &report);
     if (result.ok()) {
       std::printf("adaptive: budget=%zu fell_back=%s\n", report.phase1_budget,
                   report.fell_back ? "yes" : "no");
     }
   } else if (args.engine == "auto") {
     QueryClassification c;
-    result = EvaluatePlanned(*db, *query, {}, {}, &c);
+    EvalOptions options;
+    options.obs = obs;
+    result = EvaluatePlanned(*db, *query, options, {}, &c);
     if (result.ok()) std::printf("%s\n", c.ToString().c_str());
   } else {
     return Usage();
   }
   if (!result.ok()) {
+    write_trace();
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      std::printf("partial stats:\n%s",
+                  session.Report().ToString().c_str());
+      return 3;
+    }
     std::fprintf(stderr, "evaluation error: %s\n",
                  result.status().ToString().c_str());
     return 1;
@@ -275,7 +346,30 @@ int Eval(const Args& args) {
       std::printf("\n");
     }
   }
+  if (args.stats) {
+    std::printf("stats:\n%s", session.Report().ToString().c_str());
+  }
+  if (!write_trace()) return 1;
   return result->satisfiable ? 0 : 1;
+}
+
+// trace-check: schema-validate an exported trace file (tools/ci.sh gate).
+// Fails on malformed JSON, a missing/ill-typed traceEvents array, or an
+// empty trace.
+int TraceCheck(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = obs::ValidateTraceJson(*text, /*min_events=*/1);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace check failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace OK\n");
+  return 0;
 }
 
 int Explain(const Args& args) {
@@ -422,6 +516,7 @@ int Main(int argc, char** argv) {
   if (command == "classify") return Classify(args);
   if (command == "check") return Check(args);
   if (command == "eval") return Eval(args);
+  if (command == "trace-check") return TraceCheck(args);
   if (command == "sat") return Sat(args);
   if (command == "explain") return Explain(args);
   if (command == "simplify") return Simplify(args);
