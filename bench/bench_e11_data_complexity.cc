@@ -4,6 +4,7 @@
 // polynomial in |D|, with the regime affecting only the constant.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "common/obs.h"
 #include "common/rng.h"
 #include "eval/generic_eval.h"
@@ -14,7 +15,7 @@ namespace ecrpq {
 namespace {
 
 GraphDb Db(int width) {
-  Rng rng(61);
+  Rng rng(61 + bench::BaseSeed());
   return LayeredDag(&rng, 4, width, 2, 2);
 }
 
@@ -41,6 +42,15 @@ void RunFixedQuery(benchmark::State& state, const EcrpqQuery& query) {
       static_cast<double>(report[obs::CounterId::kAssignmentsTried]);
   state.counters["visited_bytes"] =
       static_cast<double>(report[obs::CounterId::kVisitedBytes]);
+  // Histogram summaries of the same instrumented run: the work-shape
+  // percentiles are deterministic, the phase-time percentile is the one
+  // noisy counter (bench_compare gives *_ns counters time-style slack).
+  state.counters["frontier_size_p90"] = static_cast<double>(
+      report.hist(obs::HistogramId::kFrontierSize).Percentile(0.90));
+  state.counters["reach_set_size_p90"] = static_cast<double>(
+      report.hist(obs::HistogramId::kReachSetSize).Percentile(0.90));
+  state.counters["phase_bfs_ns_p90"] = static_cast<double>(
+      report.hist(obs::HistogramId::kPhaseBfsNs).Percentile(0.90));
 }
 
 void BM_DataTractableQuery(benchmark::State& state) {

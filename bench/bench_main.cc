@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
@@ -103,6 +104,12 @@ double Median(std::vector<double> values) {
                                 : (values[mid - 1] + values[mid]) / 2;
 }
 
+double Min(const std::vector<double>& values) {
+  return values.empty() ? 0 : *std::min_element(values.begin(), values.end());
+}
+
+uint64_t g_base_seed = 0;
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -136,7 +143,10 @@ bool WriteJson(const std::string& path, const std::vector<Record>& records) {
     const Record& rec = records[i];
     out << "  {\"name\": \"" << JsonEscape(rec.name) << "\", \"n\": "
         << JsonNumber(rec.n) << ", \"median_ns\": "
-        << JsonNumber(Median(rec.sample_ns)) << ", \"threads\": " << threads
+        << JsonNumber(Median(rec.sample_ns)) << ", \"min_ns\": "
+        << JsonNumber(Min(rec.sample_ns)) << ", \"repeats\": "
+        << rec.sample_ns.size() << ", \"seed\": " << g_base_seed
+        << ", \"threads\": " << threads
         << ", \"build\": \"" << BuildMode() << "\", \"counters\": {";
     bool first = true;
     for (const auto& [key, value] : rec.counters) {
@@ -152,14 +162,21 @@ bool WriteJson(const std::string& path, const std::vector<Record>& records) {
 
 }  // namespace
 
+uint64_t BaseSeed() { return g_base_seed; }
+
 int BenchMain(int argc, char** argv) {
   std::string json_path;
   std::vector<char*> args;
   constexpr std::string_view kJsonFlag = "--json=";
+  constexpr std::string_view kSeedFlag = "--seed=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, kJsonFlag.size()) == kJsonFlag) {
       json_path = arg.substr(kJsonFlag.size());
+      continue;
+    }
+    if (arg.substr(0, kSeedFlag.size()) == kSeedFlag) {
+      g_base_seed = std::strtoull(arg.data() + kSeedFlag.size(), nullptr, 10);
       continue;
     }
     args.push_back(argv[i]);

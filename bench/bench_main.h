@@ -1,29 +1,43 @@
 // Shared entry point for the benchmark binaries.
 //
-// Accepts every google-benchmark flag plus one extension:
+// Accepts every google-benchmark flag plus two extensions:
 //   --json=PATH   After the run, write one JSON record per benchmark:
-//                   {"name": ..., "n": ..., "median_ns": ..., "threads": ...,
+//                   {"name": ..., "n": ..., "median_ns": ..., "min_ns": ...,
+//                    "repeats": ..., "seed": ..., "threads": ...,
 //                    "build": "debug|optimized|sanitized", "counters": {...}}
 //                 `n` is the workload-size counter exported by the benchmark
 //                 (the "n" counter when present, else the first of a few
 //                 well-known size counters, else the trailing /N range
-//                 argument). `median_ns` is the median per-iteration real
-//                 time across repetitions (the single run's time when
-//                 repetitions are not requested). `threads` is the engine's
-//                 resolved worker-pool default (ECRPQ_THREADS / hardware),
-//                 not google-benchmark's own threading. `counters` carries
-//                 every user counter the benchmark exported (engine metrics
-//                 such as product_states_expanded included), and `build`
-//                 records the compile mode so runs are comparable.
+//                 argument). `median_ns` / `min_ns` are the median and
+//                 minimum per-iteration real time across repetitions
+//                 (`repeats` of them; 1 when repetitions are not requested —
+//                 tools/bench_compare prefers min_ns as the noise-robust
+//                 statistic). `threads` is the engine's resolved worker-pool
+//                 default (ECRPQ_THREADS / hardware), not google-benchmark's
+//                 own threading. `counters` carries every user counter the
+//                 benchmark exported (engine metrics such as
+//                 product_states_expanded included), and `build` records the
+//                 compile mode so runs are comparable.
+//   --seed=N      Offsets every benchmark's fixed RNG seed (see BaseSeed).
+//                 Recorded in the JSON `seed` field so two BENCH files can
+//                 be checked for input-identical workloads; defaults to 0.
 //
 // Console output is unchanged — the JSON is written in addition to it.
 #ifndef ECRPQ_BENCH_BENCH_MAIN_H_
 #define ECRPQ_BENCH_BENCH_MAIN_H_
 
+#include <cstdint>
+
 namespace ecrpq {
 namespace bench {
 
 int BenchMain(int argc, char** argv);
+
+// The --seed=N offset (0 by default). Benchmarks with randomized workloads
+// derive their Rng seed as `fixed_constant + BaseSeed()`, so the committed
+// baseline (seed 0) is reproducible while sensitivity to a particular
+// instance stays one flag away.
+uint64_t BaseSeed();
 
 }  // namespace bench
 }  // namespace ecrpq

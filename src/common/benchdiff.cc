@@ -1,0 +1,173 @@
+#include "common/benchdiff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace ecrpq {
+namespace benchdiff {
+namespace {
+
+bool IsTimeCounter(const std::string& name) {
+  // Wall-clock-valued counter exports end in "_ns" or "_ns_pXX".
+  if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    return true;
+  }
+  return name.find("_ns_p") != std::string::npos;
+}
+
+std::string Fmt(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+const BenchRecord* FindByName(const std::vector<BenchRecord>& records,
+                              const std::string& name) {
+  for (const BenchRecord& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<BenchRecord>> ParseBenchJson(const std::string& text) {
+  ECRPQ_ASSIGN_OR_RAISE(json::Value doc, json::Parse(text));
+  if (!doc.is_array()) {
+    return Status::ParseError("bench JSON: top-level value is not an array");
+  }
+  std::vector<BenchRecord> records;
+  for (const json::Value& entry : doc.AsArray()) {
+    if (!entry.is_object()) {
+      return Status::ParseError("bench JSON: record is not an object");
+    }
+    BenchRecord rec;
+    if (!entry.GetString("name", &rec.name)) {
+      return Status::ParseError("bench JSON: record without \"name\"");
+    }
+    entry.GetNumber("n", &rec.n);
+    entry.GetNumber("median_ns", &rec.median_ns);
+    rec.min_ns = rec.median_ns;  // Pre-min_ns baselines.
+    entry.GetNumber("min_ns", &rec.min_ns);
+    entry.GetUint64("repeats", &rec.repeats);
+    entry.GetUint64("seed", &rec.seed);
+    entry.GetUint64("threads", &rec.threads);
+    entry.GetString("build", &rec.build);
+    if (const json::Value* counters = entry.Find("counters")) {
+      if (!counters->is_object()) {
+        return Status::ParseError("bench JSON: \"counters\" is not an object");
+      }
+      for (const auto& [key, value] : counters->AsObject()) {
+        if (!value.is_number()) {
+          return Status::ParseError("bench JSON: counter \"" + key +
+                                    "\" is not a number");
+        }
+        rec.counters.emplace_back(key, value.AsNumber());
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::string CompareReport::ToString() const {
+  std::ostringstream out;
+  for (const std::string& note : notes) {
+    out << "note: " << note << "\n";
+  }
+  for (const Regression& r : regressions) {
+    out << "REGRESSION " << r.bench << " " << r.metric << ": baseline "
+        << Fmt(r.baseline) << " -> current " << Fmt(r.current) << " (limit "
+        << Fmt(r.limit) << ")\n";
+  }
+  out << (ok() ? "OK" : "FAIL") << ": " << compared << " benchmark(s) compared, "
+      << regressions.size() << " regression(s)\n";
+  return out.str();
+}
+
+CompareReport CompareBenchRecords(const std::vector<BenchRecord>& baseline,
+                                  const std::vector<BenchRecord>& current,
+                                  const CompareOptions& options) {
+  CompareReport report;
+  for (const BenchRecord& base : baseline) {
+    const BenchRecord* cur = FindByName(current, base.name);
+    if (cur == nullptr) {
+      report.notes.push_back(base.name + ": missing from current run");
+      continue;
+    }
+    if (base.build != cur->build) {
+      report.notes.push_back(base.name + ": build mode differs (" +
+                             base.build + " vs " + cur->build +
+                             "), time comparison skipped");
+      continue;
+    }
+    if (base.threads != cur->threads) {
+      report.notes.push_back(base.name + ": thread count differs, " +
+                             "time comparison skipped");
+      continue;
+    }
+    if (base.seed != cur->seed) {
+      report.notes.push_back(base.name + ": RNG seed differs, " +
+                             "comparison skipped (different workloads)");
+      continue;
+    }
+    ++report.compared;
+
+    const double time_limit = base.min_ns * (1 + options.time_rel_slack) +
+                              options.time_abs_slack_ns;
+    if (cur->min_ns > time_limit) {
+      report.regressions.push_back(
+          {base.name, "min_ns", base.min_ns, cur->min_ns, time_limit});
+    }
+
+    if (!options.check_counters) continue;
+    for (const auto& [key, base_value] : base.counters) {
+      const double* cur_value = nullptr;
+      for (const auto& [ckey, cvalue] : cur->counters) {
+        if (ckey == key) {
+          cur_value = &cvalue;
+          break;
+        }
+      }
+      if (cur_value == nullptr) {
+        report.notes.push_back(base.name + ": counter " + key +
+                               " missing from current run");
+        continue;
+      }
+      if (IsTimeCounter(key)) {
+        // Wall-clock-valued counter: one-sided, time-style slack.
+        const double limit = base_value * (1 + options.time_rel_slack) +
+                             options.time_abs_slack_ns;
+        if (*cur_value > limit) {
+          report.regressions.push_back(
+              {base.name, key, base_value, *cur_value, limit});
+        }
+      } else {
+        // Work counter: two-sided — shrinking work is as suspicious as
+        // growing it (the benchmark no longer measures the same thing).
+        const double slack = std::fabs(base_value) * options.counter_rel_slack +
+                             options.counter_abs_slack;
+        if (std::fabs(*cur_value - base_value) > slack) {
+          report.regressions.push_back({base.name, key, base_value, *cur_value,
+                                        base_value + slack});
+        }
+      }
+    }
+  }
+  for (const BenchRecord& cur : current) {
+    if (FindByName(baseline, cur.name) == nullptr) {
+      report.notes.push_back(cur.name + ": not in baseline (new benchmark)");
+    }
+  }
+  return report;
+}
+
+}  // namespace benchdiff
+}  // namespace ecrpq

@@ -1,5 +1,5 @@
-// Lock-free evaluation metrics: per-thread counter shards aggregated
-// deterministically into a StatsReport.
+// Lock-free evaluation metrics: per-thread counter and histogram shards
+// aggregated deterministically into a StatsReport.
 //
 // Design:
 //  - every worker (engine, searcher) acquires its *own* MetricsShard from
@@ -7,17 +7,30 @@
 //    on a cache-line-aligned block the worker exclusively writes, so the
 //    hot path is wait-free and contention-free;
 //  - aggregation folds shards with commutative operations only (sum for
-//    throughput counters, max for peaks), so the StatsReport is identical
-//    for every interleaving and pool size that does the same work;
+//    throughput counters and histogram buckets, max for peaks), so the
+//    StatsReport is identical for every interleaving and pool size that
+//    does the same work;
 //  - everything is null-safe: call sites guard on a nullable shard pointer
-//    (see the free Add/RecordMax helpers), and with observability disabled
-//    the engine never touches a shard at all — the zero-overhead-when-
-//    disabled contract of docs/OBSERVABILITY.md.
+//    (see the free Add/RecordMax/Record helpers), and with observability
+//    disabled the engine never touches a shard at all — the
+//    zero-overhead-when-disabled contract of docs/OBSERVABILITY.md.
+//
+// Histograms use log2 ("power of two") buckets: bucket 0 holds the value
+// 0 and bucket k >= 1 holds values in [2^(k-1), 2^k - 1]. Two kinds exist:
+//  - kTimeNs histograms record wall-clock phase durations; their bucket
+//    counts vary run to run and are *excluded* from determinism checks;
+//  - kSize histograms record work-shape samples (frontier sizes, bag
+//    widths); their bucket counts are a pure function of the work done, so
+//    engines whose work set is pool-size-independent produce identical
+//    bucket counts at every pool size (checked by the differential suite).
 #ifndef ECRPQ_COMMON_METRICS_H_
 #define ECRPQ_COMMON_METRICS_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -52,19 +65,88 @@ enum class CounterKind { kSum, kMax };
 const char* CounterName(CounterId id);
 CounterKind CounterKindOf(CounterId id);
 
+// The histogram vocabulary — phase wall-times and work-size distributions.
+// Names (HistogramName) are the stable identifiers used in reports,
+// StatsReport::ToJson() and docs/OBSERVABILITY.md.
+enum class HistogramId : int {
+  // Phase wall-time (nanoseconds per occurrence). Non-deterministic values;
+  // excluded from determinism checks.
+  kPhaseNfaBuildNs = 0,      // JoinMachine / product-NFA construction.
+  kPhaseBfsNs,               // One product BFS run (tuple or per-source).
+  kPhaseReduceNs,            // One reduction component materialization.
+  kPhaseBagMaterializeNs,    // One tree-dec bag materialization.
+  kPhaseBranchNs,            // One parallel branch evaluation.
+  kAnswerLatencyNs,          // Engine start -> each answer emission.
+  // Work-size samples. Deterministic bucket counts whenever the engine's
+  // work set does not depend on the pool size (see header comment).
+  kFrontierSize,             // BFS frontier size at each pop.
+  kReachSetSize,             // Accepting targets found per fresh BFS.
+  kBagWidth,                 // Variables per materialized tree-dec bag.
+  kNumHistograms,
+};
+
+inline constexpr int kNumHistograms =
+    static_cast<int>(HistogramId::kNumHistograms);
+
+// Log2 bucketing: bucket 0 <=> value 0; bucket k >= 1 <=> [2^(k-1), 2^k).
+// 65 buckets cover the full uint64_t range (bit_width(~0ull) == 64).
+inline constexpr int kNumHistogramBuckets = 65;
+
+constexpr int HistogramBucketOf(uint64_t v) { return std::bit_width(v); }
+
+// Inclusive upper bound of a bucket's value range (0 for bucket 0,
+// 2^k - 1 for bucket k) — the deterministic representative used for
+// percentile estimates.
+constexpr uint64_t HistogramBucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << bucket) - 1;
+}
+
+// Whether a histogram records wall-clock durations or work sizes.
+enum class HistogramKind { kTimeNs, kSize };
+
+const char* HistogramName(HistogramId id);
+HistogramKind HistogramKindOf(HistogramId id);
+
+// Folded (cross-shard) view of one histogram: bucket counts plus exact
+// sum/max. Percentiles are estimated from the buckets (each bucket's
+// upper bound stands in for its values, clamped to the exact max), so the
+// summary is a deterministic function of the bucket counts.
+struct HistogramData {
+  std::array<uint64_t, kNumHistogramBuckets> buckets{};
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  uint64_t Count() const;
+  // q in [0, 1]; returns 0 on an empty histogram. Percentile(1.0) == max.
+  uint64_t Percentile(double q) const;
+  bool Empty() const { return Count() == 0; }
+};
+
 // Deterministic aggregate of one evaluation's metrics.
 struct StatsReport {
   std::array<uint64_t, kNumCounters> values{};
+  std::array<HistogramData, kNumHistograms> histograms{};
 
   uint64_t operator[](CounterId id) const {
     return values[static_cast<int>(id)];
   }
   uint64_t& at(CounterId id) { return values[static_cast<int>(id)]; }
 
-  // Aligned "name  value" lines, one per counter.
+  const HistogramData& hist(HistogramId id) const {
+    return histograms[static_cast<int>(id)];
+  }
+  HistogramData& hist(HistogramId id) {
+    return histograms[static_cast<int>(id)];
+  }
+
+  // Aligned "name  value" lines, one per counter, followed by one
+  // count/sum/p50/p90/p99/max line per non-empty histogram.
   std::string ToString() const;
-  // Flat JSON object {"product_states_expanded": 0, ...}, keys in enum
-  // order.
+  // {"counters": {...}, "histograms": {...}}; counter keys in enum order,
+  // histogram entries carry count/sum/max/p50/p90/p99 and a sparse
+  // "buckets" array of [bucket_index, count] pairs.
   std::string ToJson() const;
 };
 
@@ -86,8 +168,37 @@ class alignas(64) MetricsShard {
     return counters_[static_cast<int>(id)].load(std::memory_order_relaxed);
   }
 
+  // Records one sample into a histogram: a relaxed bucket increment, a
+  // relaxed sum add and a CAS-max — wait-free for the (exclusive) writer.
+  void Record(HistogramId id, uint64_t v) {
+    Hist& h = histograms_[static_cast<int>(id)];
+    h.buckets[HistogramBucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = h.max.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !h.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Concurrent-read snapshot of one histogram (folded by Metrics).
+  void LoadInto(HistogramId id, HistogramData* out) const {
+    const Hist& h = histograms_[static_cast<int>(id)];
+    for (int b = 0; b < kNumHistogramBuckets; ++b) {
+      out->buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+    }
+    out->sum += h.sum.load(std::memory_order_relaxed);
+    out->max = std::max(out->max, h.max.load(std::memory_order_relaxed));
+  }
+
  private:
+  struct Hist {
+    std::array<std::atomic<uint64_t>, kNumHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{};
+    std::atomic<uint64_t> max{};
+  };
+
   std::array<std::atomic<uint64_t>, kNumCounters> counters_{};
+  std::array<Hist, kNumHistograms> histograms_{};
 };
 
 // Registry of shards for one evaluation. AcquireShard() is the only
@@ -124,6 +235,34 @@ inline void Add(MetricsShard* shard, CounterId id, uint64_t n = 1) {
 inline void RecordMax(MetricsShard* shard, CounterId id, uint64_t v) {
   if (shard != nullptr) shard->RecordMax(id, v);
 }
+inline void Record(MetricsShard* shard, HistogramId id, uint64_t v) {
+  if (shard != nullptr) shard->Record(id, v);
+}
+
+// RAII phase timer: records the scope's wall time (ns) into a kTimeNs
+// histogram on destruction. Against a null shard the clock is never read —
+// the zero-overhead-when-disabled contract.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsShard* shard, HistogramId id) : shard_(shard), id_(id) {
+    if (shard_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (shard_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    shard_->Record(
+        id_, static_cast<uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                     .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsShard* shard_;
+  HistogramId id_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 }  // namespace obs
 }  // namespace ecrpq

@@ -114,6 +114,12 @@ class Session {
   // a successful run, partial after a budget trip.
   StatsReport Report() const { return metrics_.Aggregate(); }
 
+  // Top-down time breakdown (self vs. cumulative per phase, per-thread and
+  // folded) derived from the spans recorded so far. Meaningful only after
+  // EnableTrace(); with tracing off the profile is empty. Qualified return
+  // type: the method name shadows obs::PhaseProfile inside the class.
+  obs::PhaseProfile PhaseProfile() const { return BuildPhaseProfile(trace_); }
+
  private:
   void Trip(const char* reason);
 

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <vector>
 
 namespace ecrpq {
 namespace obs {
@@ -102,6 +104,156 @@ Status Trace::WriteFile(const std::string& path) const {
   out << ToJson();
   if (!out) return Status::Internal("short write to " + path);
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiles.
+
+namespace {
+
+// Accumulates one thread's events (already sorted by start) into per-name
+// stats using an interval-nesting stack: a span's self time is its duration
+// minus the durations of its direct children on the same thread.
+void AccumulateThread(const std::vector<Trace::Event>& events,
+                      std::map<std::string, PhaseStats>* stats) {
+  struct Open {
+    const char* name;
+    uint64_t end_ns;
+    uint64_t child_ns = 0;
+    uint64_t dur_ns;
+  };
+  std::vector<Open> stack;
+  auto close_top = [&]() {
+    const Open top = stack.back();
+    stack.pop_back();
+    PhaseStats& s = (*stats)[top.name];
+    if (s.name.empty()) s.name = top.name;
+    const uint64_t child = std::min(top.child_ns, top.dur_ns);
+    s.self_ns += top.dur_ns - child;
+    if (!stack.empty()) stack.back().child_ns += top.dur_ns;
+  };
+  for (const Trace::Event& e : events) {
+    while (!stack.empty() && stack.back().end_ns <= e.start_ns) close_top();
+    PhaseStats& s = (*stats)[e.name];
+    if (s.name.empty()) s.name = e.name;
+    ++s.count;
+    s.total_ns += e.dur_ns;
+    stack.push_back(Open{e.name, e.start_ns + e.dur_ns, 0, e.dur_ns});
+  }
+  while (!stack.empty()) close_top();
+}
+
+std::vector<PhaseStats> SortedStats(
+    const std::map<std::string, PhaseStats>& stats) {
+  std::vector<PhaseStats> out;
+  out.reserve(stats.size());
+  for (const auto& [name, s] : stats) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Millis(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void AppendPhaseTable(const std::vector<PhaseStats>& phases,
+                      uint64_t denom_ns, std::ostringstream* out) {
+  size_t width = std::strlen("phase");
+  for (const PhaseStats& p : phases) {
+    width = std::max(width, p.name.size());
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-*s  %8s  %12s  %12s  %7s\n",
+                static_cast<int>(width), "phase", "count", "total_ms",
+                "self_ms", "self%");
+  *out << line;
+  for (const PhaseStats& p : phases) {
+    const double pct =
+        denom_ns == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(p.self_ns) /
+                  static_cast<double>(denom_ns);
+    std::snprintf(line, sizeof(line), "%-*s  %8llu  %12s  %12s  %6.1f%%\n",
+                  static_cast<int>(width), p.name.c_str(),
+                  static_cast<unsigned long long>(p.count),
+                  Millis(p.total_ns).c_str(), Millis(p.self_ns).c_str(), pct);
+    *out << line;
+  }
+}
+
+}  // namespace
+
+uint64_t PhaseProfile::TotalSelfNs() const {
+  uint64_t total = 0;
+  for (const PhaseStats& p : folded) total += p.self_ns;
+  return total;
+}
+
+std::string PhaseProfile::ToString() const {
+  std::ostringstream out;
+  AppendPhaseTable(folded, span_ns, &out);
+  if (per_thread.size() > 1) {
+    for (const auto& [tid, phases] : per_thread) {
+      out << "\nthread " << tid << ":\n";
+      AppendPhaseTable(phases, span_ns, &out);
+    }
+  }
+  const uint64_t self = TotalSelfNs();
+  const double coverage =
+      span_ns == 0 ? 0.0
+                   : 100.0 * static_cast<double>(self) /
+                         static_cast<double>(span_ns);
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "self-time coverage: %.1f%% of %s ms wall\n", coverage,
+                Millis(span_ns).c_str());
+  out << line;
+  return out.str();
+}
+
+PhaseProfile BuildPhaseProfile(const Trace& trace) {
+  PhaseProfile profile;
+  const std::vector<Trace::Event> events = trace.Events();
+  if (events.empty()) return profile;
+  uint64_t first_start = ~uint64_t{0};
+  uint64_t last_end = 0;
+  std::map<int, std::vector<Trace::Event>> by_tid;
+  for (const Trace::Event& e : events) {
+    first_start = std::min(first_start, e.start_ns);
+    last_end = std::max(last_end, e.start_ns + e.dur_ns);
+    by_tid[e.tid].push_back(e);
+  }
+  profile.span_ns = last_end - first_start;
+  std::map<std::string, PhaseStats> folded;
+  for (auto& [tid, tid_events] : by_tid) {
+    // The nesting stack needs parents before children: start ascending,
+    // and at equal start the longer (enclosing) span first.
+    std::stable_sort(tid_events.begin(), tid_events.end(),
+                     [](const Trace::Event& a, const Trace::Event& b) {
+                       if (a.start_ns != b.start_ns) {
+                         return a.start_ns < b.start_ns;
+                       }
+                       return a.dur_ns > b.dur_ns;
+                     });
+    std::map<std::string, PhaseStats> per;
+    AccumulateThread(tid_events, &per);
+    for (const auto& [name, s] : per) {
+      PhaseStats& f = folded[name];
+      if (f.name.empty()) f.name = name;
+      f.count += s.count;
+      f.total_ns += s.total_ns;
+      f.self_ns += s.self_ns;
+    }
+    profile.per_thread.emplace_back(tid, SortedStats(per));
+  }
+  profile.folded = SortedStats(folded);
+  return profile;
 }
 
 // ---------------------------------------------------------------------------

@@ -102,6 +102,44 @@ class Span {
   uint64_t start_ns_ = 0;
 };
 
+// Aggregated per-phase timing derived from a Trace's spans.
+//
+// "Cumulative" (total_ns) is the summed duration of every span with that
+// name; "self" (self_ns) subtracts the time spent in spans nested inside it
+// on the same thread, so for a properly nested single-thread trace the
+// self times of all phases telescope to exactly the duration of the
+// top-level span(s) — the invariant behind `ecrpq_cli profile`'s coverage
+// line. Spans on different threads never nest into each other, so on a
+// multi-thread trace the per-thread sections are exact while the folded
+// self-time sum can exceed wall time (concurrent phases both count).
+struct PhaseStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;  // Cumulative: sum of span durations.
+  uint64_t self_ns = 0;   // Cumulative minus nested same-thread spans.
+};
+
+struct PhaseProfile {
+  // Per-phase stats folded across threads, sorted by self_ns descending
+  // (ties by name, so output is stable).
+  std::vector<PhaseStats> folded;
+  // The same breakdown per trace thread id, phases in the same order
+  // discipline.
+  std::vector<std::pair<int, std::vector<PhaseStats>>> per_thread;
+  // First span start to last span end across the whole trace.
+  uint64_t span_ns = 0;
+
+  uint64_t TotalSelfNs() const;
+  // Aligned table: phase, count, cumulative ms, self ms, self%; followed by
+  // per-thread sections when more than one thread recorded spans, and a
+  // closing "self-time coverage" line (TotalSelfNs / span_ns).
+  std::string ToString() const;
+};
+
+// Builds the profile from the trace's current events. Deterministic for a
+// fixed set of events.
+PhaseProfile BuildPhaseProfile(const Trace& trace);
+
 // Schema check for an exported trace: the text must parse as JSON, carry a
 // top-level "traceEvents" array, and every event must be an object with
 // string "name"/"ph" and numeric "ts"/"dur"/"pid"/"tid" fields. With

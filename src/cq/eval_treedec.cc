@@ -134,6 +134,9 @@ Result<CqEvalResult> CqEvaluateTreeDec(const RelationalDb& db,
   {
     obs::Span span(trace, "TreeDec.materialize_bags");
     for (int b = 0; b < num_bags; ++b) {
+      obs::ScopedTimer bag_timer(shard,
+                                 obs::HistogramId::kPhaseBagMaterializeNs);
+      obs::Record(shard, obs::HistogramId::kBagWidth, bags[b].vars.size());
       CqQuery sub;
       sub.num_vars = query.num_vars;
       for (int v : bags[b].vars) {

@@ -17,6 +17,8 @@ Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
                                 bool use_treedec, size_t max_answers,
                                 obs::Session* obs) {
   obs::Span span(obs != nullptr ? obs->trace() : nullptr, "EvaluateCrpq");
+  obs::MetricsShard* shard =
+      obs != nullptr ? obs->metrics().AcquireShard() : nullptr;
   ECRPQ_RETURN_NOT_OK(ValidateQueryForDb(query, db.alphabet()));
   if (!query.IsCrpq()) {
     return Status::Invalid("EvaluateCrpq requires a CRPQ");
@@ -76,9 +78,15 @@ Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
     }
     const std::string name = "reach" + std::to_string(a);
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel, rdb.AddRelation(name, 2));
-    for (const auto& [u, v] : RpqReachAll(db, lang, /*num_threads=*/0, obs)) {
-      const uint32_t row[2] = {u, v};
-      rel->Add(row);
+    {
+      // One reach-atom materialization == one kPhaseReduceNs sample.
+      obs::ScopedTimer reduce_timer(shard, obs::HistogramId::kPhaseReduceNs);
+      for (const auto& [u, v] :
+           RpqReachAll(db, lang, /*num_threads=*/0, obs)) {
+        const uint32_t row[2] = {u, v};
+        rel->Add(row);
+        obs::Add(shard, obs::CounterId::kTuplesMaterialized);
+      }
     }
     if (obs != nullptr && obs->CheckBudget()) {
       return obs->ExhaustedStatus();

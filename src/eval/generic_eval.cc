@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -50,7 +51,9 @@ struct Engine {
         options(options),
         plans(plans),
         shard(options.obs != nullptr ? options.obs->metrics().AcquireShard()
-                                     : nullptr) {}
+                                     : nullptr) {
+    if (shard != nullptr) start_time = std::chrono::steady_clock::now();
+  }
 
   const GraphDb& db;
   const EcrpqQuery& query;
@@ -79,12 +82,26 @@ struct Engine {
   // Metrics shard of this engine (one engine == one worker thread); null
   // when no obs session is attached.
   obs::MetricsShard* shard;
+  // Engine construction time — the zero point for kAnswerLatencyNs samples.
+  std::chrono::steady_clock::time_point start_time{};
   // Stopped() is called on hot paths and must stay const; the budget tick
   // counter is bookkeeping, not engine state.
   mutable size_t budget_tick = 0;
 
+  // Records engine-start -> now into the answer-latency histogram.
+  void RecordAnswerLatency() {
+    if (shard == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_time;
+    shard->Record(
+        obs::HistogramId::kAnswerLatencyNs,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
   Status InitSearchers() {
     obs::Span span(TraceOf(options), "JoinMachine::Create");
+    obs::ScopedTimer timer(shard, obs::HistogramId::kPhaseNfaBuildNs);
     for (const ComponentPlan& plan : plans) {
       ECRPQ_ASSIGN_OR_RAISE(
           JoinMachine machine,
@@ -131,6 +148,7 @@ struct Engine {
       const auto [it, inserted] = answers.insert(std::move(answer));
       if (inserted) {
         obs::Add(shard, obs::CounterId::kAnswersEmitted);
+        RecordAnswerLatency();
         RecordedAnswer rec;
         rec.answer = *it;
         if (options.capture_assignment && record->empty()) {
@@ -143,7 +161,10 @@ struct Engine {
       return;
     }
     const auto [it, inserted] = answers.insert(std::move(answer));
-    if (inserted) obs::Add(shard, obs::CounterId::kAnswersEmitted);
+    if (inserted) {
+      obs::Add(shard, obs::CounterId::kAnswersEmitted);
+      RecordAnswerLatency();
+    }
     if (inserted && options.on_answer && !options.on_answer(*it)) {
       done = true;
     }
@@ -312,6 +333,8 @@ Result<EvalResult> EvaluateParallel(
           obs::Span branch_span(TraceOf(options), "EvaluateGeneric.branch",
                                 b);
           obs::Add(eng.shard, obs::CounterId::kBranchesExplored);
+          obs::ScopedTimer branch_timer(eng.shard,
+                                        obs::HistogramId::kPhaseBranchNs);
           eng.ResetForBranch(&branches[b].events);
           eng.assignment = base_assignment;
           eng.assignment[branch_var] = b;

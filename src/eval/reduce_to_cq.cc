@@ -60,6 +60,7 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
     const std::string name = "comp" + std::to_string(c);
     obs::Span component_span(TraceOf(options), "ReduceToCq.component",
                              static_cast<uint64_t>(c));
+    obs::ScopedTimer component_timer(shard, obs::HistogramId::kPhaseReduceNs);
 
     // One machine + searcher per worker: the machine's lazy determinization
     // caches are not shareable across threads, and the enumeration below
@@ -67,20 +68,23 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
     std::vector<std::unique_ptr<JoinMachine>> machines;
     std::vector<std::unique_ptr<TupleSearcher>> searchers;
     std::vector<TupleSearcher*> searcher_ptrs;
-    for (int w = 0; w < num_workers; ++w) {
-      ECRPQ_ASSIGN_OR_RAISE(
-          JoinMachine machine,
-          JoinMachine::Create(query.alphabet(), plan.machine_components, r));
-      machines.push_back(std::make_unique<JoinMachine>(std::move(machine)));
-      TupleSearchOptions search_options;
-      search_options.max_states = options.max_product_states;
-      search_options.obs = options.obs;
-      ECRPQ_ASSIGN_OR_RAISE(
-          TupleSearcher searcher,
-          TupleSearcher::Create(&db, machines.back().get(), search_options));
-      searchers.push_back(
-          std::make_unique<TupleSearcher>(std::move(searcher)));
-      searcher_ptrs.push_back(searchers.back().get());
+    {
+      obs::ScopedTimer nfa_timer(shard, obs::HistogramId::kPhaseNfaBuildNs);
+      for (int w = 0; w < num_workers; ++w) {
+        ECRPQ_ASSIGN_OR_RAISE(
+            JoinMachine machine,
+            JoinMachine::Create(query.alphabet(), plan.machine_components, r));
+        machines.push_back(std::make_unique<JoinMachine>(std::move(machine)));
+        TupleSearchOptions search_options;
+        search_options.max_states = options.max_product_states;
+        search_options.obs = options.obs;
+        ECRPQ_ASSIGN_OR_RAISE(
+            TupleSearcher searcher,
+            TupleSearcher::Create(&db, machines.back().get(), search_options));
+        searchers.push_back(
+            std::make_unique<TupleSearcher>(std::move(searcher)));
+        searcher_ptrs.push_back(searchers.back().get());
+      }
     }
 
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel,

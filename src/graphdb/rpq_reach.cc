@@ -99,7 +99,10 @@ std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
     for (VertexId u = 0; u < n; ++u) {
       obs::Add(shard, obs::CounterId::kRpqBfsRuns);
       obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
-      for (VertexId v : RpqReachFrom(db, lang, u)) {
+      obs::ScopedTimer bfs_timer(shard, obs::HistogramId::kPhaseBfsNs);
+      std::vector<VertexId> reached = RpqReachFrom(db, lang, u);
+      obs::Record(shard, obs::HistogramId::kReachSetSize, reached.size());
+      for (VertexId v : reached) {
         out.emplace_back(u, v);
       }
     }
@@ -114,7 +117,9 @@ std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
   pool.ParallelFor(n, [&](size_t u) {
     obs::Add(shard, obs::CounterId::kRpqBfsRuns);
     obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
+    obs::ScopedTimer bfs_timer(shard, obs::HistogramId::kPhaseBfsNs);
     per_source[u] = RpqReachFrom(db, lang, static_cast<VertexId>(u));
+    obs::Record(shard, obs::HistogramId::kReachSetSize, per_source[u].size());
   });
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v : per_source[u]) out.emplace_back(u, v);

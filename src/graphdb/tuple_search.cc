@@ -95,6 +95,10 @@ ReachSet TupleSearcher::RunBfs(
   ECRPQ_CHECK_EQ(static_cast<int>(sources.size()), r);
   ECRPQ_DCHECK(r < 31);  // Enforced with a Status in Create().
 
+  // One fresh BFS == one kPhaseBfsNs sample (the dense path below is a
+  // delegate of this function, so the timer covers both).
+  obs::ScopedTimer bfs_timer(shard_, obs::HistogramId::kPhaseBfsNs);
+
   // Untargeted searches over a small-enough (vertex-tuple, mask) space use
   // dense bitset visited tracking instead of hash-set interning — same BFS,
   // same results, much lighter bookkeeping in the hot loop. Targeted /
@@ -103,7 +107,12 @@ ReachSet TupleSearcher::RunBfs(
   if (stop_at_target == nullptr && witness_out == nullptr &&
       !options_.disable_dense_visited) {
     uint64_t space = 0;
-    if (DenseFeasible(&space)) return RunBfsDense(sources, space);
+    if (DenseFeasible(&space)) {
+      ReachSet dense = RunBfsDense(sources, space);
+      obs::Record(shard_, obs::HistogramId::kReachSetSize,
+                  dense.targets.size());
+      return dense;
+    }
   }
 
   ReachSet result;
@@ -165,6 +174,7 @@ ReachSet TupleSearcher::RunBfs(
   uint64_t frontier_peak = 0;
   while (!queue.empty()) {
     frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
+    obs::Record(shard_, obs::HistogramId::kFrontierSize, queue.size());
     if (options_.obs != nullptr &&
         (options_.obs->Exhausted() ||
          ((++pops & (kBudgetCheckStride - 1)) == 0 &&
@@ -261,8 +271,11 @@ ReachSet TupleSearcher::RunBfs(
     if (result.targets.count(*stop_at_target) > 0) {
       targeted.targets.insert(*stop_at_target);
     }
+    obs::Record(shard_, obs::HistogramId::kReachSetSize,
+                targeted.targets.size());
     return targeted;
   }
+  obs::Record(shard_, obs::HistogramId::kReachSetSize, result.targets.size());
   return result;
 }
 
@@ -347,6 +360,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
   uint64_t frontier_peak = 0;
   while (!queue.empty()) {
     frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
+    obs::Record(shard_, obs::HistogramId::kFrontierSize, queue.size());
     if (options_.obs != nullptr &&
         (options_.obs->Exhausted() ||
          ((++pops & (kBudgetCheckStride - 1)) == 0 &&

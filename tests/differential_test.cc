@@ -10,7 +10,10 @@
 //    Status::ResourceExhausted with a populated partial StatsReport — never
 //    a third behavior, a crash, or a hang.
 //
-// Four parameterized tests x 125 seeds = 500 random instances per run.
+//  - the pipeline's size-histogram bucket counts are identical at 1 and 4
+//    worker threads (its work set is pool-size-independent).
+//
+// Five parameterized tests x 125 seeds = 625 random instances per run.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -146,7 +149,15 @@ TEST_P(DifferentialSuite, ObsOnOffAgreesWithOracle) {
         << "seed " << GetParam() << " threads " << threads;
     // Observation observed something whenever there was work to do.
     if (!q->reach_atoms().empty()) {
-      EXPECT_GT(session.Report()[obs::CounterId::kReachQueries], 0u)
+      const obs::StatsReport report = session.Report();
+      EXPECT_GT(report[obs::CounterId::kReachQueries], 0u)
+          << "seed " << GetParam() << " threads " << threads;
+      // Histograms are always on with a session attached; a run that
+      // issued reach queries sampled BFS phase times and frontier sizes —
+      // and recording them must not have perturbed the answers above.
+      EXPECT_FALSE(report.hist(obs::HistogramId::kPhaseBfsNs).Empty())
+          << "seed " << GetParam() << " threads " << threads;
+      EXPECT_FALSE(report.hist(obs::HistogramId::kFrontierSize).Empty())
           << "seed " << GetParam() << " threads " << threads;
     }
     EXPECT_GT(session.trace()->NumEvents(), 0u);
@@ -214,6 +225,46 @@ void CheckTightBudget(uint64_t seed, int threads) {
   EXPECT_GE(session.Report()[obs::CounterId::kProductStatesExpanded],
             budget.max_product_states)
       << "seed " << seed << " threads " << threads;
+}
+
+// Size-histogram determinism across pool sizes: the Lemma 4.3 pipeline
+// searches every source tuple exactly once whatever the worker count, so
+// the kSize histogram bucket counts (frontier sizes, reach-set sizes, bag
+// widths) are identical at 1 and 4 threads — only the kTimeNs histograms
+// are allowed to differ. (The generic engine's parallel mode does NOT have
+// this property: its per-worker searcher memos split schedule-dependently.)
+TEST_P(DifferentialSuite, PipelineSizeHistogramsPoolSizeInvariant) {
+  Rng rng(GetParam() + 40000);
+  Result<EcrpqQuery> q = RandomEcrpq(&rng);
+  ASSERT_TRUE(q.ok()) << q.status();
+  const GraphDb db = RandomSmallDb(&rng);
+
+  auto run = [&](int threads) -> std::pair<EvalResult, obs::StatsReport> {
+    obs::Session session;
+    ReduceOptions options;
+    options.obs = &session;
+    options.num_threads = threads;
+    Result<EvalResult> result =
+        EvaluateViaCqReduction(db, *q, /*use_treedec=*/true, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return {std::move(result).ValueOrDie(), session.Report()};
+  };
+
+  const auto [r1, s1] = run(1);
+  const auto [r4, s4] = run(4);
+  ASSERT_EQ(r1.answers, r4.answers)
+      << "seed " << GetParam() << "\nquery: " << q->ToString();
+  for (int i = 0; i < obs::kNumHistograms; ++i) {
+    const obs::HistogramId id = static_cast<obs::HistogramId>(i);
+    if (obs::HistogramKindOf(id) != obs::HistogramKind::kSize) continue;
+    const obs::HistogramData& a = s1.hist(id);
+    const obs::HistogramData& b = s4.hist(id);
+    EXPECT_EQ(a.buckets, b.buckets)
+        << obs::HistogramName(id) << " seed " << GetParam()
+        << "\nquery: " << q->ToString();
+    EXPECT_EQ(a.sum, b.sum) << obs::HistogramName(id);
+    EXPECT_EQ(a.max, b.max) << obs::HistogramName(id);
+  }
 }
 
 TEST_P(DifferentialSuite, TightBudgetSequentialAgreesOrExhausts) {

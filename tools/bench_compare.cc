@@ -1,0 +1,94 @@
+// bench_compare — diff two BENCH_*.json files with noise-aware thresholds.
+//
+//   bench_compare [flags] BASELINE.json CURRENT.json
+//
+// Flags (defaults in common/benchdiff.h):
+//   --time-rel=F       Relative slack on the min-of-repeats time statistic.
+//   --time-abs-ns=F    Absolute slack (ns) added on top of the relative one.
+//   --counter-rel=F    Relative slack for work counters (two-sided).
+//   --counter-abs=F    Absolute slack for work counters.
+//   --no-counters      Compare timings only.
+//
+// Exit status: 0 when no regression fired, 1 on regressions, 2 on bad
+// usage or unreadable/unparsable input. The report goes to stdout either
+// way — this is the CI perf gate's entire interface.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/benchdiff.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* prefix, double* out) {
+  const size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  *out = std::strtod(arg + len, nullptr);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--time-rel=F] [--time-abs-ns=F] "
+               "[--counter-rel=F] [--counter-abs=F] [--no-counters] "
+               "BASELINE.json CURRENT.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecrpq::benchdiff::CompareOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseDoubleFlag(arg, "--time-rel=", &options.time_rel_slack) ||
+        ParseDoubleFlag(arg, "--time-abs-ns=", &options.time_abs_slack_ns) ||
+        ParseDoubleFlag(arg, "--counter-rel=", &options.counter_rel_slack) ||
+        ParseDoubleFlag(arg, "--counter-abs=", &options.counter_abs_slack)) {
+      continue;
+    }
+    if (std::strcmp(arg, "--no-counters") == 0) {
+      options.check_counters = false;
+      continue;
+    }
+    if (arg[0] == '-') return Usage();
+    paths.push_back(arg);
+  }
+  if (paths.size() != 2) return Usage();
+
+  std::string texts[2];
+  std::vector<ecrpq::benchdiff::BenchRecord> records[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!ReadFile(paths[i], &texts[i])) {
+      std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                   paths[i].c_str());
+      return 2;
+    }
+    auto parsed = ecrpq::benchdiff::ParseBenchJson(texts[i]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_compare: %s: %s\n", paths[i].c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    records[i] = std::move(parsed).ValueOrDie();
+  }
+
+  const ecrpq::benchdiff::CompareReport report =
+      ecrpq::benchdiff::CompareBenchRecords(records[0], records[1], options);
+  std::fputs(report.ToString().c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}

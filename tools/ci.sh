@@ -1,48 +1,55 @@
 #!/usr/bin/env bash
 # Full local CI: default build + tests, ASan/UBSan build + tests, TSan build
 # + parallel-layer tests, observability smoke (differential suite, CLI
-# --stats/--trace/--budget-*), benchmark smoke run, lint.
+# --stats/--trace/--budget-*/profile), benchmark smoke run, perf-regression
+# gate, lint.
 #
 #   tools/ci.sh [jobs]
 #
 # Build trees: ./build (default), ./build-asan (address,undefined) and
 # ./build-tsan (thread). Exits non-zero on the first failing stage.
+#
+# The perf gate compares the fresh bench-smoke output in build/ against the
+# BENCH_*.json baselines committed at the repo root (taken from git HEAD, so
+# a bench-smoke run refreshing the working-tree copies cannot gate against
+# itself). Skip it with ECRPQ_SKIP_PERF_GATE=1 — e.g. on a loaded machine or
+# when a deliberate perf change is about to re-baseline.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/8] configure + build (default) =="
+echo "== [1/9] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/8] ctest (default) =="
+echo "== [2/9] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/8] configure + build (address,undefined) =="
+echo "== [3/9] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/8] ctest (address,undefined) =="
+echo "== [4/9] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/8] TSan over the parallel layer (thread) =="
+echo "== [5/9] TSan over the parallel layer (thread) =="
 cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The threaded code paths: pool primitives, parallel determinism harness,
 # the CSR graph layout, the engines that fan out over the pool and the
-# observability layer (metrics shards, budget trips, differential suite).
-# Run with a multi-worker default so the pool actually spawns threads even
-# when the suite's own options ask for the hardware default. Death tests
-# (BudgetInvariantsDeathTest etc.) stay out of the regex: fork-style death
-# tests and TSan don't mix.
+# observability layer (metrics shards, histogram recording, budget trips,
+# differential suite). Run with a multi-worker default so the pool actually
+# spawns threads even when the suite's own options ask for the hardware
+# default. Death tests (BudgetInvariantsDeathTest etc.) stay out of the
+# regex: fork-style death tests and TSan don't mix.
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|DifferentialSuite'
+  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite'
 
-echo "== [6/8] observability smoke (differential suite + CLI stats/trace/budget) =="
+echo "== [6/9] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
-  -R 'DifferentialSuite|ObsTest|BudgetInvariantsDeathTest'
+  -R 'DifferentialSuite|ObsTest|ObsHistogramTest|PhaseProfileTest|BenchDiffTest|JsonTest|BudgetInvariantsDeathTest'
 OBS_TMP="build/obs-smoke"
 mkdir -p "$OBS_TMP"
 {
@@ -53,11 +60,31 @@ mkdir -p "$OBS_TMP"
   done
 } > "$OBS_TMP/graph.txt"
 OBS_QUERY='q(x) := x -[p1]-> y, x -[p2]-> y, eqlen(p1, p2)'
-# A satisfiable query: eval exits 0, writes stats and a non-empty trace.
+# A satisfiable query: eval exits 0, writes stats (histogram summaries
+# included) and a non-empty trace.
 build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" \
   --stats --trace="$OBS_TMP/trace.json" | grep -q 'stats:'
 test -s "$OBS_TMP/trace.json"
 build/tools/ecrpq_cli trace-check "$OBS_TMP/trace.json"
+# The same query traced under load: a 4-worker pool exercises the
+# concurrent span-recording path, and the exported trace must still pass
+# the schema gate.
+ECRPQ_THREADS=4 build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" \
+  "$OBS_QUERY" --trace="$OBS_TMP/trace-mt.json" >/dev/null
+build/tools/ecrpq_cli trace-check "$OBS_TMP/trace-mt.json"
+# profile: the single-threaded per-phase breakdown must print its table and
+# account for (nearly all of) the traced wall time — the telescoping
+# invariant the command is built on.
+build/tools/ecrpq_cli profile "$OBS_TMP/graph.txt" "$OBS_QUERY" \
+  > "$OBS_TMP/profile.out"
+grep -q 'self-time coverage' "$OBS_TMP/profile.out"
+COVERAGE=$(sed -n 's/^self-time coverage: \([0-9.]*\)%.*/\1/p' \
+  "$OBS_TMP/profile.out")
+if ! awk -v c="$COVERAGE" 'BEGIN { exit !(c >= 95.0 && c <= 100.5) }'; then
+  echo "obs smoke: profile self-time coverage out of range: $COVERAGE%" >&2
+  cat "$OBS_TMP/profile.out" >&2
+  exit 1
+fi
 # A starved budget: eval must exit 3 (ResourceExhausted) and still print
 # the partial stats report. --engine=cq checks the budget after every
 # materialization batch, so a 1-state budget trips deterministically.
@@ -73,10 +100,37 @@ fi
 grep -q 'partial stats:' "$OBS_TMP/budget.out"
 echo "observability smoke passed."
 
-echo "== [7/8] benchmark smoke (BENCH_*.json) =="
+echo "== [7/9] benchmark smoke (BENCH_*.json) =="
 cmake --build build -j "$JOBS" --target bench-smoke
 
-echo "== [8/8] lint =="
+echo "== [8/9] perf-regression gate (bench_compare vs committed baseline) =="
+if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
+  echo "perf gate skipped (ECRPQ_SKIP_PERF_GATE=1)."
+else
+  PERF_TMP="build/perf-gate"
+  mkdir -p "$PERF_TMP"
+  GATED=0
+  for current in build/BENCH_*.json; do
+    base_name="$(basename "$current")"
+    # Baseline = the copy committed at HEAD, not the working-tree file the
+    # bench-smoke stage just overwrote.
+    if ! git show "HEAD:$base_name" > "$PERF_TMP/$base_name" 2>/dev/null; then
+      echo "perf gate: no committed baseline for $base_name, skipping."
+      continue
+    fi
+    echo "-- $base_name"
+    build/tools/bench_compare "$PERF_TMP/$base_name" "$current"
+    GATED=$((GATED + 1))
+  done
+  if [ "$GATED" -eq 0 ]; then
+    echo "perf gate: no committed BENCH_*.json baselines found (run" \
+         "bench-smoke and commit the repo-root copies to arm the gate)."
+  else
+    echo "perf gate passed ($GATED file(s))."
+  fi
+fi
+
+echo "== [9/9] lint =="
 tools/run_lint.sh build
 
 echo "CI: all stages passed."

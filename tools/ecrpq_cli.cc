@@ -50,6 +50,8 @@ int Usage() {
       "crpq|adaptive] [--rel=name=relation-file]\n"
       "             [--stats] [--trace=<out.json>] [--budget-states=<n>]\n"
       "             [--budget-mem=<bytes>] [--budget-ms=<millis>]\n"
+      "  ecrpq_cli profile <graph-file> \"<query>\" "
+      "[--engine=...] [--rel=name=relation-file]\n"
       "  ecrpq_cli trace-check <trace.json>\n"
       "  ecrpq_cli sat --alphabet=<chars> \"<query>\"\n"
       "  ecrpq_cli explain <graph-file> \"<query>\" <v1> <v2> ...\n"
@@ -348,9 +350,80 @@ int Eval(const Args& args) {
   }
   if (args.stats) {
     std::printf("stats:\n%s", session.Report().ToString().c_str());
+    if (session.trace() != nullptr) {
+      std::printf("profile:\n%s", session.PhaseProfile().ToString().c_str());
+    }
   }
   if (!write_trace()) return 1;
   return result->satisfiable ? 0 : 1;
+}
+
+// profile: evaluate with tracing on and print the per-phase time breakdown.
+// The run is forced single-threaded (ECRPQ_THREADS=1): on one thread spans
+// nest properly, so the phase self-times telescope to the root span and the
+// closing coverage line is meaningful (~100% minus untraced work).
+int Profile(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  setenv("ECRPQ_THREADS", "1", /*overwrite=*/1);
+  Result<std::string> text = ReadFile(args.positional[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<GraphDb> db = GraphDbFromString(*text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "graph parse error: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Result<RelationRegistry> registry = LoadRegistry(args);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "relation load error: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  Result<EcrpqQuery> query =
+      ParseEcrpq(args.positional[1], db->alphabet(), &*registry);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::Session session;
+  session.EnableTrace();
+  Result<EvalResult> result = Status::Invalid("unset");
+  if (args.engine == "generic") {
+    EvalOptions options;
+    options.obs = &session;
+    options.num_threads = 1;
+    result = EvaluateGeneric(*db, *query, options);
+  } else if (args.engine == "cq") {
+    ReduceOptions reduce_options;
+    reduce_options.obs = &session;
+    reduce_options.num_threads = 1;
+    result = EvaluateViaCqReduction(*db, *query, /*use_treedec=*/true,
+                                    reduce_options);
+  } else if (args.engine == "crpq") {
+    result = EvaluateCrpq(*db, *query, /*use_treedec=*/true,
+                          /*max_answers=*/0, &session);
+  } else if (args.engine == "auto") {
+    EvalOptions options;
+    options.obs = &session;
+    options.num_threads = 1;
+    result = EvaluatePlanned(*db, *query, options);
+  } else {
+    return Usage();
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("satisfiable: %s, %zu answer(s)\n",
+              result->satisfiable ? "yes" : "no", result->answers.size());
+  std::printf("%s", session.PhaseProfile().ToString().c_str());
+  return 0;
 }
 
 // trace-check: schema-validate an exported trace file (tools/ci.sh gate).
@@ -516,6 +589,7 @@ int Main(int argc, char** argv) {
   if (command == "classify") return Classify(args);
   if (command == "check") return Check(args);
   if (command == "eval") return Eval(args);
+  if (command == "profile") return Profile(args);
   if (command == "trace-check") return TraceCheck(args);
   if (command == "sat") return Sat(args);
   if (command == "explain") return Explain(args);
