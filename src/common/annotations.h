@@ -1,0 +1,231 @@
+// Compile-time concurrency contracts: Clang thread-safety (capability)
+// annotations plus annotated synchronization primitives.
+//
+// Two layers live here:
+//
+//  1. The annotation macros (ECRPQ_GUARDED_BY, ECRPQ_REQUIRES, ...). Under
+//     clang they expand to the capability-analysis attributes checked by
+//     -Wthread-safety; under every other compiler they expand to nothing,
+//     so the tree builds identically with GCC. The ECRPQ_ANALYZE=
+//     thread-safety CMake mode (see the top-level CMakeLists.txt) compiles
+//     with the analysis promoted to errors.
+//
+//  2. Annotated wrappers over the standard primitives: Mutex, MutexLock,
+//     CondVar, and the phantom ExclusiveRole capability. Project rule
+//     (enforced by tools/ecrpq_lint, rule naked-mutex): *all* locking goes
+//     through these wrappers — a naked std::mutex or std::lock_guard
+//     anywhere else in the tree is a lint error, because the analysis
+//     cannot see through unannotated primitives and every unannotated
+//     locking site is a hole in the compile-time story.
+//
+// Style guide (docs/STATIC_ANALYSIS.md has the long form):
+//  - data owned by a lock       -> member annotated ECRPQ_GUARDED_BY(mu_);
+//  - function called under lock -> declaration annotated ECRPQ_REQUIRES(mu_);
+//  - function that must NOT be  -> ECRPQ_EXCLUDES(mu_) (deadlock guard);
+//    called under the lock
+//  - single-writer / freeze-then-share state with no runtime lock
+//                               -> guard with an ExclusiveRole and assert it
+//                                  at the contract's entry points.
+#ifndef ECRPQ_COMMON_ANNOTATIONS_H_
+#define ECRPQ_COMMON_ANNOTATIONS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>  // NOLINT(ecrpq-naked-mutex) -- the one wrapping site.
+#include <thread>
+
+#include "common/check.h"
+
+// ---------------------------------------------------------------------------
+// Attribute macros. The vocabulary and expansion follow the Clang
+// thread-safety documentation (and Abseil's thread_annotations.h); only the
+// spelling is project-prefixed.
+
+#if defined(__clang__) && !defined(SWIG)
+#define ECRPQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ECRPQ_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// On a class: instances of this type are capabilities (lockable things).
+#define ECRPQ_CAPABILITY(x) ECRPQ_THREAD_ANNOTATION(capability(x))
+
+// On a class: RAII object that acquires a capability at construction and
+// releases it at destruction (MutexLock below).
+#define ECRPQ_SCOPED_CAPABILITY ECRPQ_THREAD_ANNOTATION(scoped_lockable)
+
+// On a data member: reads and writes require holding the capability.
+#define ECRPQ_GUARDED_BY(x) ECRPQ_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer member: the pointed-to data (not the pointer) is guarded.
+#define ECRPQ_PT_GUARDED_BY(x) ECRPQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: the caller must hold the capability (shared: may read).
+#define ECRPQ_REQUIRES(...) \
+  ECRPQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ECRPQ_REQUIRES_SHARED(...) \
+  ECRPQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the capability.
+#define ECRPQ_ACQUIRE(...) \
+  ECRPQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ECRPQ_RELEASE(...) \
+  ECRPQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ECRPQ_TRY_ACQUIRE(...) \
+  ECRPQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On a function: must be called while NOT holding the capability.
+#define ECRPQ_EXCLUDES(...) ECRPQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts (to the analysis) that the capability is held on
+// entry, without acquiring it. This is the escape hatch that encodes
+// contracts with no runtime lock — the caller promises exclusivity and the
+// analysis checks every guarded access downstream. ECRPQ_ASSERT_EXCLUSIVE
+// is the same attribute under the name the style guide uses for phantom
+// (ExclusiveRole) capabilities.
+#define ECRPQ_ASSERT_CAPABILITY(x) \
+  ECRPQ_THREAD_ANNOTATION(assert_capability(x))
+#define ECRPQ_ASSERT_EXCLUSIVE(x) ECRPQ_ASSERT_CAPABILITY(x)
+
+// On a function returning a reference to a capability.
+#define ECRPQ_RETURN_CAPABILITY(x) ECRPQ_THREAD_ANNOTATION(lock_returned(x))
+
+// On a function: opt out of the analysis (wrapper internals only).
+#define ECRPQ_NO_THREAD_SAFETY_ANALYSIS \
+  ECRPQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ecrpq {
+
+// ---------------------------------------------------------------------------
+// Mutex: std::mutex with capability annotations and owner tracking.
+//
+// The owner id makes AssertHeld() real in every build mode (an ECRPQ_CHECK,
+// per the repo's CheckInvariants convention), so annotation misuse that
+// clang would catch at compile time also dies at runtime under GCC — the
+// belt to the analysis's suspenders. Tracking is two relaxed atomic stores
+// per lock/unlock, noise next to the lock operation itself.
+class ECRPQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ECRPQ_ACQUIRE() {
+    mu_.lock();
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+
+  void Unlock() ECRPQ_RELEASE() {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  bool TryLock() ECRPQ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // Dies unless the calling thread holds this mutex. Fires in every build
+  // mode; tests use it to demonstrate misuse detection (annotations_test).
+  void AssertHeld() const ECRPQ_ASSERT_CAPABILITY(this) {
+    ECRPQ_CHECK(owner_.load(std::memory_order_relaxed) ==
+                std::this_thread::get_id())
+        << "Mutex::AssertHeld: calling thread does not hold the mutex";
+  }
+
+ private:
+  friend class CondVar;
+
+  // BasicLockable view of the mutex for condition_variable_any: keeps the
+  // owner id honest across the unlock/sleep/relock inside a wait. Analysis
+  // is off here — from the caller's point of view CondVar::Wait holds the
+  // mutex before and after, which ECRPQ_REQUIRES on Wait() captures.
+  class WaitView {
+   public:
+    explicit WaitView(Mutex& mu) : mu_(mu) {}
+    void lock() ECRPQ_NO_THREAD_SAFETY_ANALYSIS {
+      mu_.mu_.lock();
+      mu_.owner_.store(std::this_thread::get_id(),
+                       std::memory_order_relaxed);
+    }
+    void unlock() ECRPQ_NO_THREAD_SAFETY_ANALYSIS {
+      mu_.owner_.store(std::thread::id(), std::memory_order_relaxed);
+      mu_.mu_.unlock();
+    }
+
+   private:
+    Mutex& mu_;
+  };
+
+  std::mutex mu_;  // NOLINT(ecrpq-naked-mutex) -- the wrapped primitive.
+  std::atomic<std::thread::id> owner_{};
+};
+
+// RAII lock for a Mutex. The scoped-capability annotation lets the analysis
+// treat the guarded region as the lock object's lifetime.
+class ECRPQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ECRPQ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ECRPQ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable paired with Mutex. No predicate overload on purpose:
+// a lambda predicate is a separate function the analysis cannot see into,
+// so waits are written as explicit `while (!cond) cv.Wait(mu);` loops whose
+// condition reads sit in the annotated caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases mu and sleeps; re-acquires mu before returning.
+  // May wake spuriously — always wait in a condition loop.
+  void Wait(Mutex& mu) ECRPQ_REQUIRES(mu) {
+    Mutex::WaitView view(mu);
+    cv_.wait(view);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // NOLINTNEXTLINE(ecrpq-naked-mutex) -- the wrapped primitive.
+  std::condition_variable_any cv_;
+};
+
+// ---------------------------------------------------------------------------
+// ExclusiveRole: a phantom capability — a compile-time token with no runtime
+// lock — for single-writer / build-then-freeze contracts.
+//
+// Usage (GraphDb's lazy CSR build is the in-tree example): annotate the
+// state covered by the contract ECRPQ_GUARDED_BY(role_), and have each
+// entry point that is allowed to touch it call role_.Assert() (or carry
+// ECRPQ_ASSERT_EXCLUSIVE(role_) on its declaration). The assertion is free
+// at runtime; its value is that any *new* code path reaching the guarded
+// state without passing an asserting entry point fails -Wthread-safety —
+// the contract cannot silently grow un-audited access sites.
+class ECRPQ_CAPABILITY("role") ExclusiveRole {
+ public:
+  // Copyable on purpose (unlike Mutex): the role is a compile-time token
+  // with no identity, and the owning objects (GraphDb, TupleSearcher) must
+  // stay movable/copyable.
+  ExclusiveRole() = default;
+
+  // Declares (to the analysis) that the caller is entitled to the role:
+  // it is either the single build-phase writer, or a reader in the frozen
+  // phase where the guarded state is immutable. Documentation + analysis
+  // anchor; no runtime effect.
+  void Assert() const ECRPQ_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_ANNOTATIONS_H_

@@ -173,13 +173,13 @@ std::string StatsReport::ToJson() const {
 }
 
 MetricsShard* Metrics::AcquireShard() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   shards_.emplace_back();
   return &shards_.back();
 }
 
 StatsReport Metrics::Aggregate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   StatsReport report;
   for (const MetricsShard& shard : shards_) {
     for (int i = 0; i < kNumCounters; ++i) {
@@ -199,7 +199,7 @@ StatsReport Metrics::Aggregate() const {
 }
 
 uint64_t Metrics::Total(CounterId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const MetricsShard& shard : shards_) {
     const uint64_t v = shard.Load(id);

@@ -33,8 +33,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
+
+#include "common/annotations.h"
 
 namespace ecrpq {
 namespace obs {
@@ -212,20 +213,22 @@ class Metrics {
 
   // Returns a fresh shard with a stable address (lives as long as the
   // Metrics object).
-  MetricsShard* AcquireShard();
+  MetricsShard* AcquireShard() ECRPQ_EXCLUDES(mutex_);
 
   // Folds all shards (sum / max per CounterKindOf). Safe to call while
   // writers are active: the result is then a consistent-enough snapshot of
   // a moment in the run (each counter individually exact at load time).
-  StatsReport Aggregate() const;
+  StatsReport Aggregate() const ECRPQ_EXCLUDES(mutex_);
 
   // Current folded value of a single counter — the cheap primitive budget
   // checks poll.
-  uint64_t Total(CounterId id) const;
+  uint64_t Total(CounterId id) const ECRPQ_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;            // Guards shards_ growth only.
-  std::deque<MetricsShard> shards_;     // deque: stable element addresses.
+  mutable Mutex mutex_;  // Guards shards_ growth only.
+  // deque: stable element addresses. Guarded as a container; the shards
+  // themselves are atomics written lock-free by their owning workers.
+  std::deque<MetricsShard> shards_ ECRPQ_GUARDED_BY(mutex_);
 };
 
 // Null-safe increment helpers: the disabled path is one predictable branch.

@@ -16,6 +16,7 @@ void EvalBudget::CheckInvariants() const {
 
 void Session::SetBudget(const EvalBudget& budget) {
   budget.CheckInvariants();
+  MutexLock lock(arm_mutex_);
   budget_ = budget;
   if (budget.timeout_millis > 0) {
     const auto new_deadline =
@@ -37,6 +38,7 @@ void Session::SetBudget(const EvalBudget& budget) {
 }
 
 bool Session::CheckBudget() {
+  MutexLock lock(arm_mutex_);
   if (!armed_) return false;
   if (Exhausted()) return true;
   if (budget_.max_product_states != 0 &&

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -82,9 +83,18 @@ class Session {
   //    (EvalBudget::CheckInvariants);
   //  - deadline monotonicity: re-arming may only keep or tighten an
   //    already-armed deadline, never push it later.
-  void SetBudget(const EvalBudget& budget);
-  bool armed() const { return armed_; }
-  const EvalBudget& budget() const { return budget_; }
+  // Arming state lives under arm_mutex_ so a re-arm can race a worker's
+  // CheckBudget() poll without tearing.
+  void SetBudget(const EvalBudget& budget) ECRPQ_EXCLUDES(arm_mutex_);
+  bool armed() const ECRPQ_EXCLUDES(arm_mutex_) {
+    MutexLock lock(arm_mutex_);
+    return armed_;
+  }
+  // By value: a reference could dangle across a concurrent re-arm.
+  EvalBudget budget() const ECRPQ_EXCLUDES(arm_mutex_) {
+    MutexLock lock(arm_mutex_);
+    return budget_;
+  }
 
   // Fast path for hot loops: has some limit already tripped?
   bool Exhausted() const {
@@ -95,7 +105,7 @@ class Session {
   // trips Exhausted() and the cancel token when one is crossed. Returns
   // Exhausted(). Cheap enough for a ~1k-iteration stride, not for every
   // iteration. No-op (false) when no budget is armed.
-  bool CheckBudget();
+  bool CheckBudget() ECRPQ_EXCLUDES(arm_mutex_);
 
   // Fired when the budget trips; engines already polling a CancelToken can
   // share this one.
@@ -127,10 +137,15 @@ class Session {
   Trace trace_;
   bool trace_enabled_ = false;
 
-  EvalBudget budget_;
-  bool armed_ = false;
-  bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
+  // Arming state: written by SetBudget, read by every CheckBudget poll.
+  // The tripped flag itself stays lock-free (exhausted_ below) so the
+  // Exhausted() fast path costs one relaxed load.
+  mutable Mutex arm_mutex_;
+  EvalBudget budget_ ECRPQ_GUARDED_BY(arm_mutex_);
+  bool armed_ ECRPQ_GUARDED_BY(arm_mutex_) = false;
+  bool has_deadline_ ECRPQ_GUARDED_BY(arm_mutex_) = false;
+  std::chrono::steady_clock::time_point deadline_
+      ECRPQ_GUARDED_BY(arm_mutex_){};
 
   std::atomic<bool> exhausted_{false};
   std::atomic<const char*> reason_{nullptr};

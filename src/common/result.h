@@ -10,8 +10,10 @@
 
 namespace ecrpq {
 
+// [[nodiscard]]: discarding a Result drops its error channel; see the note
+// on Status in common/status.h.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit conversions from values and from error Statuses keep call sites
   // terse: `return 42;` or `return Status::Invalid(...)`.

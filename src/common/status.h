@@ -30,7 +30,12 @@ enum class StatusCode : int {
 const char* StatusCodeToString(StatusCode code);
 
 // A Status is either OK (cheap: a null pointer) or carries a code + message.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a swallowed error — every call site
+// must propagate (ECRPQ_RETURN_NOT_OK), check, or Check() it. The
+// ECRPQ_ANALYZE and default builds promote the discard warning to an error
+// (-Werror=unused-result in the top-level CMakeLists.txt).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string msg);

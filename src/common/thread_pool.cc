@@ -10,20 +10,20 @@
 namespace ecrpq {
 
 void WaitGroup::Add(int n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   count_ += n;
   ECRPQ_CHECK_GE(count_, 0);
 }
 
 void WaitGroup::Done() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ECRPQ_CHECK_GT(count_, 0);
-  if (--count_ == 0) cv_.notify_all();
+  if (--count_ == 0) cv_.NotifyAll();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return count_ == 0; });
+  MutexLock lock(mutex_);
+  while (count_ != 0) cv_.Wait(mutex_);
 }
 
 ThreadPool::ThreadPool(int num_threads)
@@ -38,14 +38,18 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 int ThreadPool::DefaultNumThreads() {
+  // getenv is not thread-safe against concurrent setenv (concurrency-mt-
+  // unsafe), but nothing in this process mutates the environment after
+  // main() starts — reads of an immutable environment are safe.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("ECRPQ_THREADS"); env != nullptr) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
@@ -68,10 +72,10 @@ void ThreadPool::Submit(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -104,8 +108,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // shutdown_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();

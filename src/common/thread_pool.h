@@ -19,13 +19,13 @@
 #define ECRPQ_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace ecrpq {
 
@@ -44,14 +44,14 @@ class CancelToken {
 // Counts outstanding tasks; Wait() blocks until the count returns to zero.
 class WaitGroup {
  public:
-  void Add(int n = 1);
-  void Done();
-  void Wait();
+  void Add(int n = 1) ECRPQ_EXCLUDES(mutex_);
+  void Done() ECRPQ_EXCLUDES(mutex_);
+  void Wait() ECRPQ_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  int count_ ECRPQ_GUARDED_BY(mutex_) = 0;
 };
 
 class ThreadPool {
@@ -74,7 +74,7 @@ class ThreadPool {
   static int ResolveNumThreads(int requested);
 
   // Enqueues fn. With one thread, runs fn inline before returning.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) ECRPQ_EXCLUDES(mutex_);
 
   // Runs fn(0) .. fn(n - 1), blocking until all complete. Iterations are
   // claimed dynamically (an atomic counter), so the *schedule* is
@@ -85,14 +85,14 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ECRPQ_EXCLUDES(mutex_);
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ ECRPQ_GUARDED_BY(mutex_);
+  bool shutdown_ ECRPQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ecrpq

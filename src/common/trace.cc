@@ -28,25 +28,25 @@ uint64_t Trace::NowNs() const {
 
 void Trace::Record(const char* name, int tid, uint64_t start_ns,
                    uint64_t dur_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(Event{name, tid, start_ns, dur_ns, 0, false});
 }
 
 void Trace::Record(const char* name, int tid, uint64_t start_ns,
                    uint64_t dur_ns, uint64_t arg) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(Event{name, tid, start_ns, dur_ns, arg, true});
 }
 
 size_t Trace::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<Trace::Event> Trace::Events() const {
   std::vector<Event> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     snapshot = events_;
   }
   std::sort(snapshot.begin(), snapshot.end(),

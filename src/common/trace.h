@@ -17,10 +17,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace ecrpq {
@@ -46,15 +46,17 @@ class Trace {
   Trace& operator=(const Trace&) = delete;
 
   // Appends a completed event. Thread-safe.
-  void Record(const char* name, int tid, uint64_t start_ns, uint64_t dur_ns);
+  void Record(const char* name, int tid, uint64_t start_ns, uint64_t dur_ns)
+      ECRPQ_EXCLUDES(mutex_);
   void Record(const char* name, int tid, uint64_t start_ns, uint64_t dur_ns,
-              uint64_t arg);
+              uint64_t arg) ECRPQ_EXCLUDES(mutex_);
 
   // Nanoseconds since this Trace was constructed.
   uint64_t NowNs() const;
 
-  size_t NumEvents() const;
-  std::vector<Event> Events() const;  // Snapshot, sorted by (start, tid).
+  // Snapshot, sorted by (start, tid).
+  size_t NumEvents() const ECRPQ_EXCLUDES(mutex_);
+  std::vector<Event> Events() const ECRPQ_EXCLUDES(mutex_);
 
   // {"traceEvents":[...],"displayTimeUnit":"ms"} — events sorted by
   // (start, tid, name) so output layout is stable for a given set of spans.
@@ -63,8 +65,8 @@ class Trace {
 
  private:
   std::chrono::steady_clock::time_point origin_;
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ ECRPQ_GUARDED_BY(mutex_);
 };
 
 // RAII span. Usage:

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
@@ -316,9 +315,16 @@ Result<EvalResult> EvaluateParallel(
     bool aborted = false;
   };
   std::vector<Branch> branches(n);
-  std::vector<char> ready(n, 0);
-  std::mutex mutex;
-  std::condition_variable cv;
+  // Coordinator handshake: workers mark a branch ready under the mutex and
+  // the replay thread waits for branches in value order. branches[b] itself
+  // is published by the ready flip (write before, read after).
+  struct Coordinator {
+    explicit Coordinator(size_t n) : ready(n, 0) {}
+    Mutex mutex;
+    CondVar cv;
+    std::vector<char> ready ECRPQ_GUARDED_BY(mutex);
+  };
+  Coordinator coord(n);
   std::atomic<uint32_t> next{0};
 
   ThreadPool pool(threads);
@@ -342,10 +348,10 @@ Result<EvalResult> EvaluateParallel(
           branches[b].aborted = eng.result.aborted;
         }
         {
-          std::lock_guard<std::mutex> lock(mutex);
-          ready[b] = 1;
+          MutexLock lock(coord.mutex);
+          coord.ready[b] = 1;
         }
-        cv.notify_all();
+        coord.cv.NotifyAll();
       }
       wg.Done();
     });
@@ -359,8 +365,8 @@ Result<EvalResult> EvaluateParallel(
   bool any_event = false;
   for (VertexId b = 0; b < n && !stopped; ++b) {
     {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [&] { return ready[b] != 0; });
+      MutexLock lock(coord.mutex);
+      while (coord.ready[b] == 0) coord.cv.Wait(coord.mutex);
     }
     for (const RecordedAnswer& event : branches[b].events) {
       if (!any_event && options.capture_assignment) {

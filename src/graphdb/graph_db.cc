@@ -5,6 +5,7 @@
 namespace ecrpq {
 
 void GraphDb::AddEdge(VertexId from, Symbol symbol, VertexId to) {
+  csr_role_.Assert();  // Build phase: single-writer mutation.
   ECRPQ_CHECK_LT(from, num_vertices_);
   ECRPQ_CHECK_LT(to, num_vertices_);
   ECRPQ_CHECK_LT(symbol, static_cast<Symbol>(alphabet_.size()));
@@ -94,6 +95,7 @@ bool GraphDb::HasEdge(VertexId from, Symbol symbol, VertexId to) const {
 }
 
 size_t GraphDb::DedupEdges() {
+  csr_role_.Assert();  // Build phase: single-writer mutation.
   const size_t before = edges_.size();
   csr_valid_ = false;
   Finalize();

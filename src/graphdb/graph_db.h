@@ -13,6 +13,14 @@
 // once before handing a GraphDb to concurrent readers (the parallel
 // evaluation paths do); after that, all const accessors are safe to call
 // from any number of threads as long as no mutation interleaves.
+//
+// The build-then-freeze contract is encoded with a phantom capability
+// (csr_role_, an ExclusiveRole from common/annotations.h): every member
+// that the lazy build mutates is ECRPQ_GUARDED_BY(csr_role_), and only the
+// audited entry points — mutators during the single-writer build phase,
+// EnsureFinalized() on the read side — assert the role. Under
+// ECRPQ_ANALYZE=thread-safety any new code path that touches the CSR state
+// without passing an asserting entry point fails to compile.
 #ifndef ECRPQ_GRAPHDB_GRAPH_DB_H_
 #define ECRPQ_GRAPHDB_GRAPH_DB_H_
 
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "automata/alphabet.h"
+#include "common/annotations.h"
 #include "common/result.h"
 
 namespace ecrpq {
@@ -44,6 +53,7 @@ class GraphDb {
   Alphabet* mutable_alphabet() { return &alphabet_; }
 
   VertexId AddVertex() {
+    csr_role_.Assert();  // Build phase: single-writer mutation.
     csr_valid_ = false;
     return num_vertices_++;
   }
@@ -57,7 +67,10 @@ class GraphDb {
   // Number of stored edges. Duplicate AddEdge calls are counted until the
   // CSR build (first read access, Finalize() or DedupEdges()) collapses
   // them to set semantics.
-  size_t NumEdges() const { return edges_.size(); }
+  size_t NumEdges() const {
+    csr_role_.Assert();
+    return edges_.size();
+  }
 
   // Adds edge (from, symbol, to). Duplicates are tolerated and removed by
   // the CSR build — they never change query answers.
@@ -115,22 +128,30 @@ class GraphDb {
     auto operator<=>(const EdgeRec&) const = default;
   };
 
-  void EnsureFinalized() const {
+  // Asserts the CSR role for the caller: either this is the (single) build
+  // thread triggering the lazy build, or the structure is already frozen
+  // and the guarded state is immutable — the contract from the header
+  // comment. Downstream guarded reads then satisfy the analysis.
+  void EnsureFinalized() const ECRPQ_ASSERT_EXCLUSIVE(csr_role_) {
+    csr_role_.Assert();
     if (!csr_valid_) BuildCsr();
   }
-  void BuildCsr() const;
+  void BuildCsr() const ECRPQ_REQUIRES(csr_role_);
 
   Alphabet alphabet_;
   VertexId num_vertices_ = 0;
+  // The phantom capability guarding the lazily-(re)built state below.
+  ExclusiveRole csr_role_;
   // Canonical edge set; staged unsorted by AddEdge, sorted by
   // (from, symbol, to) and deduplicated by BuildCsr.
-  mutable std::vector<EdgeRec> edges_;
+  mutable std::vector<EdgeRec> edges_ ECRPQ_GUARDED_BY(csr_role_);
   // CSR views, rebuilt lazily from edges_.
-  mutable bool csr_valid_ = false;
-  mutable std::vector<uint32_t> out_offsets_;  // Size |V| + 1.
-  mutable std::vector<uint32_t> in_offsets_;   // Size |V| + 1.
-  mutable std::vector<LabeledEdge> out_edges_;
-  mutable std::vector<LabeledEdge> in_edges_;
+  mutable bool csr_valid_ ECRPQ_GUARDED_BY(csr_role_) = false;
+  // Offset arrays are size |V| + 1.
+  mutable std::vector<uint32_t> out_offsets_ ECRPQ_GUARDED_BY(csr_role_);
+  mutable std::vector<uint32_t> in_offsets_ ECRPQ_GUARDED_BY(csr_role_);
+  mutable std::vector<LabeledEdge> out_edges_ ECRPQ_GUARDED_BY(csr_role_);
+  mutable std::vector<LabeledEdge> in_edges_ ECRPQ_GUARDED_BY(csr_role_);
 };
 
 // Two-way navigation (2RPQ/C2RPQ support): a copy of `db` where every

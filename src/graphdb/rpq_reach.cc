@@ -97,6 +97,10 @@ std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
   std::vector<std::pair<VertexId, VertexId>> out;
   if (threads <= 1 || n < 2) {
     for (VertexId u = 0; u < n; ++u) {
+      // One poll per source BFS: a run is the natural coarse stride here.
+      // The caller's final CheckBudget turns the early exit into a clean
+      // ResourceExhausted — partial rows never surface as an OK answer.
+      if (obs != nullptr && obs->CheckBudget()) break;
       obs::Add(shard, obs::CounterId::kRpqBfsRuns);
       obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
       obs::ScopedTimer bfs_timer(shard, obs::HistogramId::kPhaseBfsNs);
@@ -115,6 +119,9 @@ std::vector<std::pair<VertexId, VertexId>> RpqReachAll(const GraphDb& db,
   std::vector<std::vector<VertexId>> per_source(n);
   ThreadPool pool(threads);
   pool.ParallelFor(n, [&](size_t u) {
+    // Same per-BFS poll as the sequential loop; once the budget trips,
+    // remaining sources fall through without running their search.
+    if (obs != nullptr && (obs->Exhausted() || obs->CheckBudget())) return;
     obs::Add(shard, obs::CounterId::kRpqBfsRuns);
     obs::Add(shard, obs::CounterId::kVisitedBytes, bfs_bytes);
     obs::ScopedTimer bfs_timer(shard, obs::HistogramId::kPhaseBfsNs);

@@ -51,6 +51,7 @@ Result<TupleSearcher> TupleSearcher::Create(const GraphDb* db,
 }
 
 const ReachSet& TupleSearcher::Reach(const std::vector<VertexId>& sources) {
+  owner_role_.Assert();  // Single-owner contract; see header.
   obs::Add(shard_, obs::CounterId::kReachQueries);
   if (options_.disable_memo) {
     obs::Add(shard_, obs::CounterId::kMemoMisses);
@@ -75,6 +76,7 @@ const ReachSet& TupleSearcher::Reach(const std::vector<VertexId>& sources) {
 
 bool TupleSearcher::Check(const std::vector<VertexId>& sources,
                           const std::vector<VertexId>& targets) {
+  owner_role_.Assert();  // Single-owner contract; see header.
   const ReachSet& reach = Reach(sources);
   return reach.targets.count(targets) > 0;
 }
@@ -82,6 +84,7 @@ bool TupleSearcher::Check(const std::vector<VertexId>& sources,
 std::optional<std::vector<std::vector<PathStep>>> TupleSearcher::WitnessPaths(
     const std::vector<VertexId>& sources,
     const std::vector<VertexId>& targets) {
+  owner_role_.Assert();  // Single-owner contract; see header.
   std::optional<std::vector<std::vector<PathStep>>> witness;
   RunBfs(sources, &targets, &witness);
   return witness;

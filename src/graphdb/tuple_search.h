@@ -69,24 +69,41 @@ class TupleSearcher {
   const TupleSearchOptions& options() const { return options_; }
 
   // Full accepting-reachability from `sources`, memoized.
-  const ReachSet& Reach(const std::vector<VertexId>& sources);
+  //
+  // Ownership contract (ReachMany): a searcher belongs to exactly one
+  // worker at a time — the memo, scratch and diagnostic counters are
+  // single-owner state with no lock, encoded by owner_role_ below. The
+  // coordinator may read diagnostics only after the pool has joined.
+  const ReachSet& Reach(const std::vector<VertexId>& sources)
+      ECRPQ_ASSERT_EXCLUSIVE(owner_role_);
 
   // Does some tuple of paths from sources to targets satisfy the relation?
   bool Check(const std::vector<VertexId>& sources,
-             const std::vector<VertexId>& targets);
+             const std::vector<VertexId>& targets)
+      ECRPQ_ASSERT_EXCLUSIVE(owner_role_);
 
   // Witness paths (one per tape) for a satisfying tuple, or nullopt. Runs a
   // fresh BFS with parent tracking.
   std::optional<std::vector<std::vector<PathStep>>> WitnessPaths(
       const std::vector<VertexId>& sources,
-      const std::vector<VertexId>& targets);
+      const std::vector<VertexId>& targets)
+      ECRPQ_ASSERT_EXCLUSIVE(owner_role_);
 
   // Total number of memoized source tuples (diagnostics).
-  size_t NumMemoizedSources() const { return memo_.size(); }
+  size_t NumMemoizedSources() const {
+    owner_role_.Assert();
+    return memo_.size();
+  }
 
   // Product states explored across all fresh searches (diagnostics).
-  size_t TotalExploredStates() const { return total_explored_; }
-  bool AnyAborted() const { return any_aborted_; }
+  size_t TotalExploredStates() const {
+    owner_role_.Assert();
+    return total_explored_;
+  }
+  bool AnyAborted() const {
+    owner_role_.Assert();
+    return any_aborted_;
+  }
 
  private:
   TupleSearcher(const GraphDb* db, JoinMachine* machine,
@@ -101,14 +118,15 @@ class TupleSearcher {
   ReachSet RunBfs(const std::vector<VertexId>& sources,
                   const std::vector<VertexId>* stop_at_target,
                   std::optional<std::vector<std::vector<PathStep>>>*
-                      witness_out);
+                      witness_out) ECRPQ_REQUIRES(owner_role_);
 
   // Dense-visited variant of the untargeted search: the
   // (vertex-tuple, finished-mask) part of the product state is coded into
   // `space` = |V|^r · 2^r dense ids and deduplicated with one DynamicBitset
   // per (lazily interned) joint machine state, replacing the hash-set
   // bookkeeping of the sparse path in the BFS hot loop.
-  ReachSet RunBfsDense(const std::vector<VertexId>& sources, uint64_t space);
+  ReachSet RunBfsDense(const std::vector<VertexId>& sources, uint64_t space)
+      ECRPQ_REQUIRES(owner_role_);
 
   // True when the dense coding fits the per-machine-state bit budget.
   bool DenseFeasible(uint64_t* space_out) const;
@@ -117,12 +135,15 @@ class TupleSearcher {
   JoinMachine* machine_;
   TupleSearchOptions options_;
   obs::MetricsShard* shard_;  // Null when no session attached.
-  size_t total_explored_ = 0;
-  bool any_aborted_ = false;
+  // Single-owner coordinator state: written only by the worker that owns
+  // this searcher (ReachMany's worker w owns searchers[w]); no lock.
+  ExclusiveRole owner_role_;
+  size_t total_explored_ ECRPQ_GUARDED_BY(owner_role_) = 0;
+  bool any_aborted_ ECRPQ_GUARDED_BY(owner_role_) = false;
   std::unordered_map<std::vector<VertexId>, std::unique_ptr<ReachSet>,
                      VectorHash<VertexId>>
-      memo_;
-  ReachSet unmemoized_scratch_;
+      memo_ ECRPQ_GUARDED_BY(owner_role_);
+  ReachSet unmemoized_scratch_ ECRPQ_GUARDED_BY(owner_role_);
 };
 
 // Evaluates Reach() for every tuple in `sources` across a thread pool.

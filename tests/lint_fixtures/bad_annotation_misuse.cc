@@ -1,0 +1,41 @@
+// Compile-fail fixture: touches ECRPQ_GUARDED_BY state without holding the
+// guarding capability. Under clang with -Wthread-safety promoted to errors
+// (the ECRPQ_ANALYZE=thread-safety mode) this file must NOT compile;
+// tests/lint_fixture_test.sh asserts that, and skips when clang is absent.
+// Under plain GCC the annotations are no-ops and the file is well-formed —
+// which is exactly why the fixture exists: it proves the analysis has teeth.
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  // Misuse 1: writes guarded state with no lock held.
+  void BadIncrement() { ++count_; }
+
+  // Misuse 2: annotated as requiring the lock, but the caller below invokes
+  // it without acquiring.
+  void IncrementLocked() ECRPQ_REQUIRES(mutex_) { ++count_; }
+  void BadCaller() { IncrementLocked(); }
+
+  // Misuse 3: acquires but never releases (scoped analysis catches the
+  // un-released capability at end of function).
+  void BadLeak() {
+    mutex_.Lock();
+    ++count_;
+  }
+
+  // Correct usage, for contrast: this one is fine under the analysis.
+  void GoodIncrement() {
+    ecrpq::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  ecrpq::Mutex mutex_;
+  int count_ ECRPQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

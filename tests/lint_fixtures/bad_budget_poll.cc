@@ -1,0 +1,22 @@
+// Lint fixture: an "engine" translation unit (passed to ecrpq_lint via
+// --treat-as-engine) whose search loop never polls Session::CheckBudget —
+// seeds ecrpq-budget-poll. Never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// A product-search loop with no budget poll anywhere in the TU: on a large
+// instance this runs to completion no matter what timeout or memory budget
+// the session armed.
+std::vector<size_t> EnumerateProducts(size_t n, size_t m) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      out.push_back(i * m + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace fixture

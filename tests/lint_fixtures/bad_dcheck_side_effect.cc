@@ -1,0 +1,21 @@
+// Lint fixture: seeds ecrpq-dcheck-side-effects — DCHECK conditions that
+// mutate state, so release builds (where dchecks compile out) behave
+// differently. Never compiled.
+#include <set>
+
+#define ECRPQ_DCHECK(cond) FixtureSink(cond)
+void FixtureSink(bool);
+
+namespace fixture {
+
+std::set<int> g_seen;
+
+void Observe(int x, int& count) {
+  ECRPQ_DCHECK(g_seen.insert(x).second);  // violation: mutating call
+  ECRPQ_DCHECK(count++ < 100);            // violation: ++ mutates state
+  ECRPQ_DCHECK((count = 0) == 0);         // violation: assignment
+  ECRPQ_DCHECK(count < 100);              // clean: pure read
+  ECRPQ_DCHECK(g_seen.count(x) == 1);     // clean: const call
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Lint fixture: seeds ecrpq-naked-mutex violations. Never compiled; input
+// for tests/lint_fixture_test.sh only.
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::mutex g_registry_mutex;  // violation: naked std::mutex
+std::condition_variable g_cv;  // violation: naked std::condition_variable
+
+struct Registry {
+  std::vector<int> items;
+  void Add(int x) {
+    std::lock_guard<std::mutex> lock(g_registry_mutex);  // violation
+    items.push_back(x);
+  }
+  void AddUnique(int x) {
+    std::unique_lock<std::mutex> lock(g_registry_mutex);  // violation
+    items.push_back(x);
+  }
+};
+
+// A suppressed occurrence must NOT fire (NOLINT with justification):
+// NOLINTNEXTLINE(ecrpq-naked-mutex) -- fixture: exercising the suppression.
+std::mutex g_suppressed_mutex;
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Lint fixture: seeds ecrpq-unordered-emission — answer emission fed
+// directly by hash-order iteration. Never compiled.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_set<int> g_reached;
+
+// violation: hash iteration order leaks into the emitted answer sequence,
+// breaking the byte-identical-at-every-pool-size determinism contract.
+void EmitReached(std::vector<int>& answers) {
+  for (int v : g_reached) {
+    answers.push_back(v);
+  }
+}
+
+// violation: same hazard through a map and an emission callback.
+void EmitPairs(const std::unordered_map<int, int>& memo,
+               void (*on_answer)(int, int)) {
+  for (const auto& kv : memo) {
+    on_answer(kv.first, kv.second);
+  }
+}
+
+// Clean: iteration that only aggregates (no emission) is fine — order does
+// not reach the caller.
+int SumReached() {
+  int total = 0;
+  for (int v : g_reached) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

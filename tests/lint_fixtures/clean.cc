@@ -1,0 +1,41 @@
+// Lint fixture: a file that follows every project rule — the negative
+// control for tests/lint_fixture_test.sh. Never compiled (the includes are
+// shaped like the real tree but resolution is irrelevant to the linter).
+#include <algorithm>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/dcheck.h"
+#include "common/obs.h"
+
+namespace fixture {
+
+class Accumulator {
+ public:
+  void Add(int x) {
+    ecrpq::MutexLock lock(mutex_);  // annotated wrapper, not std::lock_guard
+    values_.push_back(x);
+  }
+
+  // Engine-shaped loop that polls the budget every iteration and emits in
+  // sorted (deterministic) order.
+  void Emit(ecrpq::obs::Session* obs, std::vector<int>& answers) {
+    std::vector<int> snapshot;
+    {
+      ecrpq::MutexLock lock(mutex_);
+      snapshot = values_;
+    }
+    std::sort(snapshot.begin(), snapshot.end());
+    for (int v : snapshot) {
+      if (obs != nullptr && obs->CheckBudget()) break;
+      ECRPQ_DCHECK(v >= 0);  // pure condition: no side effects
+      answers.push_back(v);
+    }
+  }
+
+ private:
+  ecrpq::Mutex mutex_;
+  std::vector<int> values_ ECRPQ_GUARDED_BY(mutex_);
+};
+
+}  // namespace fixture

@@ -2,7 +2,9 @@
 # Full local CI: default build + tests, ASan/UBSan build + tests, TSan build
 # + parallel-layer tests, observability smoke (differential suite, CLI
 # --stats/--trace/--budget-*/profile), benchmark smoke run, perf-regression
-# gate, lint.
+# gate, lint, and the concurrency-contract stage (clang -Wthread-safety
+# build when clang is installed + tools/ecrpq_lint project rules + rule
+# fixtures).
 #
 #   tools/ci.sh [jobs]
 #
@@ -20,21 +22,21 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/9] configure + build (default) =="
+echo "== [1/10] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/9] ctest (default) =="
+echo "== [2/10] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/9] configure + build (address,undefined) =="
+echo "== [3/10] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/9] ctest (address,undefined) =="
+echo "== [4/10] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/9] TSan over the parallel layer (thread) =="
+echo "== [5/10] TSan over the parallel layer (thread) =="
 cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The threaded code paths: pool primitives, parallel determinism harness,
@@ -45,9 +47,9 @@ cmake --build build-tsan -j "$JOBS"
 # default. Death tests (BudgetInvariantsDeathTest etc.) stay out of the
 # regex: fork-style death tests and TSan don't mix.
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite'
+  -R 'AnnotationsTest|ThreadPool|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite'
 
-echo "== [6/9] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
+echo "== [6/10] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'DifferentialSuite|ObsTest|ObsHistogramTest|PhaseProfileTest|BenchDiffTest|JsonTest|BudgetInvariantsDeathTest'
 OBS_TMP="build/obs-smoke"
@@ -100,10 +102,10 @@ fi
 grep -q 'partial stats:' "$OBS_TMP/budget.out"
 echo "observability smoke passed."
 
-echo "== [7/9] benchmark smoke (BENCH_*.json) =="
+echo "== [7/10] benchmark smoke (BENCH_*.json) =="
 cmake --build build -j "$JOBS" --target bench-smoke
 
-echo "== [8/9] perf-regression gate (bench_compare vs committed baseline) =="
+echo "== [8/10] perf-regression gate (bench_compare vs committed baseline) =="
 if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
   echo "perf gate skipped (ECRPQ_SKIP_PERF_GATE=1)."
 else
@@ -130,7 +132,39 @@ else
   fi
 fi
 
-echo "== [9/9] lint =="
-tools/run_lint.sh build
+echo "== [9/10] lint =="
+tools/run_lint.sh build -j "$JOBS"
+
+echo "== [10/10] concurrency contracts (thread-safety build + ecrpq_lint) =="
+# Part 1: the whole tree under clang's capability analysis promoted to
+# errors (ECRPQ_ANALYZE=thread-safety). Clang-only by nature — skipped, not
+# failed, on machines without clang, matching the run_lint.sh degrade
+# policy. The lint fixture suite (below) keeps the annotation layer honest
+# even on GCC-only machines.
+CLANGXX=""
+if command -v clang++ >/dev/null 2>&1; then
+  CLANGXX=clang++
+else
+  for ver in 21 20 19 18 17 16 15 14; do
+    if command -v "clang++-$ver" >/dev/null 2>&1; then
+      CLANGXX="clang++-$ver"
+      break
+    fi
+  done
+fi
+if [ -n "$CLANGXX" ]; then
+  cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER="$CLANGXX" \
+      -DECRPQ_ANALYZE=thread-safety >/dev/null
+  cmake --build build-tsafety -j "$JOBS"
+  echo "thread-safety build passed ($CLANGXX, -Werror=thread-safety)."
+else
+  echo "thread-safety build skipped (no clang++ on PATH; the capability" \
+       "analysis only exists in clang)."
+fi
+# Part 2: the project-rule linter over the real tree (portable: python3).
+python3 tools/ecrpq_lint/ecrpq_lint.py --build-dir build
+# Part 3: the rule fixtures — every rule must still fire on its seeded
+# violation and stay quiet on the clean fixture.
+bash tests/lint_fixture_test.sh "$REPO_ROOT" "$REPO_ROOT/build"
 
 echo "CI: all stages passed."

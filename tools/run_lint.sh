@@ -2,7 +2,18 @@
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
 # first-party translation unit, using the compile database exported by CMake.
 #
-#   tools/run_lint.sh [build-dir] [-- extra clang-tidy args]
+#   tools/run_lint.sh [build-dir] [-j N] [--no-cache] [-- extra clang-tidy args]
+#
+# Parallelism: one clang-tidy job per TU, N at a time. N comes from -j,
+# else $ECRPQ_LINT_JOBS, else nproc.
+#
+# Caching: a TU whose lint inputs are unchanged since its last clean run is
+# skipped. The cache key hashes everything that can change the verdict: the
+# clang-tidy version string, .clang-tidy, the TU contents, its compile
+# command, and the contents of every first-party header (headers are linted
+# transitively via HeaderFilterRegex, so a header edit must invalidate every
+# TU). Keys live as stamp files under <build-dir>/lint-cache/. Only clean
+# runs are cached — a TU with findings re-runs until fixed.
 #
 # Exit status: 0 when clean (or when clang-tidy is not installed — the lint
 # gate degrades to a no-op on machines without it, matching the repo policy
@@ -11,12 +22,39 @@ set -u -o pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+JOBS="${ECRPQ_LINT_JOBS:-}"
+USE_CACHE=1
+
+if [ $# -gt 0 ] && [ "$1" != "--" ] && [ "$1" != "-j" ] && \
+   [ "$1" != "--no-cache" ]; then
   BUILD_DIR="$1"
   shift
 fi
+while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+  case "$1" in
+    -j)
+      JOBS="${2:?run_lint.sh: -j needs a value}"
+      shift 2
+      ;;
+    -j*)
+      JOBS="${1#-j}"
+      shift
+      ;;
+    --no-cache)
+      USE_CACHE=0
+      shift
+      ;;
+    *)
+      echo "run_lint.sh: unknown argument '$1'" >&2
+      exit 2
+      ;;
+  esac
+done
 if [ "${1:-}" = "--" ]; then
   shift
+fi
+if [ -z "$JOBS" ]; then
+  JOBS="$(nproc 2>/dev/null || echo 4)"
 fi
 
 # Locate clang-tidy: plain name first, then versioned binaries (newest wins).
@@ -50,21 +88,113 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # Every first-party translation unit. Headers are covered transitively via
-# HeaderFilterRegex in .clang-tidy.
+# HeaderFilterRegex in .clang-tidy. Lint fixtures (tests/lint_fixtures/) are
+# input data for tools/ecrpq_lint, not buildable TUs — skip them.
 mapfile -t SOURCES < <(
   find "$REPO_ROOT/src" "$REPO_ROOT/tools" "$REPO_ROOT/tests" \
        "$REPO_ROOT/bench" "$REPO_ROOT/examples" \
-       -name '*.cc' -o -name '*.cpp' 2>/dev/null | sort)
+       \( -name '*.cc' -o -name '*.cpp' \) \
+       -not -path '*/tests/lint_fixtures/*' 2>/dev/null | sort)
 if [ "${#SOURCES[@]}" -eq 0 ]; then
   echo "run_lint.sh: no sources found." >&2
   exit 1
 fi
 
-echo "run_lint.sh: $CLANG_TIDY over ${#SOURCES[@]} translation units..." >&2
+CACHE_DIR="$BUILD_DIR/lint-cache"
+mkdir -p "$CACHE_DIR"
+
+# Base key: anything that invalidates every TU at once.
+#  - tool version (check sets change between clang-tidy releases)
+#  - .clang-tidy config
+#  - every first-party header (transitive lint surface)
+#  - extra args passed after --
+BASE_KEY=""
+if [ "$USE_CACHE" -eq 1 ]; then
+  BASE_KEY="$(
+    {
+      "$CLANG_TIDY" --version 2>/dev/null
+      cat "$REPO_ROOT/.clang-tidy" 2>/dev/null
+      find "$REPO_ROOT/src" "$REPO_ROOT/tools" "$REPO_ROOT/tests" \
+           "$REPO_ROOT/bench" "$REPO_ROOT/examples" \
+           \( -name '*.h' -o -name '*.hpp' \) \
+           -not -path '*/tests/lint_fixtures/*' 2>/dev/null | sort |
+          xargs -r sha256sum
+      printf '%s\n' "$@"
+    } | sha256sum | cut -d' ' -f1)"
+fi
+
+# Per-TU compile command, keyed by absolute file path (python3 is in the
+# image; the compile db is JSON).
+CMD_HASHES="$CACHE_DIR/compile_cmd_hashes.txt"
+if [ "$USE_CACHE" -eq 1 ]; then
+  python3 - "$BUILD_DIR/compile_commands.json" >"$CMD_HASHES" <<'PYEOF'
+import hashlib, json, os, sys
+with open(sys.argv[1]) as f:
+    for entry in json.load(f):
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        cmd = entry.get("command") or " ".join(entry.get("arguments", []))
+        print(path, hashlib.sha256(cmd.encode()).hexdigest())
+PYEOF
+fi
+
+tu_key() {  # tu_key <src> -> content-hash cache key for one TU
+  local src="$1"
+  local cmd_hash
+  cmd_hash="$(awk -v p="$src" '$1 == p { print $2; exit }' "$CMD_HASHES")"
+  {
+    echo "$BASE_KEY"
+    echo "$cmd_hash"
+    sha256sum "$src"
+  } | sha256sum | cut -d' ' -f1
+}
+
+echo "run_lint.sh: $CLANG_TIDY over ${#SOURCES[@]} translation units" \
+     "(-j $JOBS, cache: $([ "$USE_CACHE" -eq 1 ] && echo on || echo off))..." >&2
+
+# Worker: lint one TU, honoring the cache. Output goes to a per-TU log so
+# parallel jobs don't interleave; the log is replayed on completion.
+lint_one() {  # lint_one <src> [extra clang-tidy args...]
+  local src="$1"
+  shift
+  local key="" stamp=""
+  if [ "$USE_CACHE" -eq 1 ]; then
+    key="$(tu_key "$src")"
+    stamp="$CACHE_DIR/$(printf '%s' "$src" | sha256sum | cut -d' ' -f1).stamp"
+    if [ -f "$stamp" ] && [ "$(cat "$stamp")" = "$key" ]; then
+      return 0  # clean at this exact key before; skip
+    fi
+  fi
+  local log
+  log="$(mktemp "$CACHE_DIR/log.XXXXXX")"
+  if "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$@" "$src" >"$log" 2>&1; then
+    [ -n "$stamp" ] && printf '%s' "$key" >"$stamp"
+    rm -f "$log"
+    return 0
+  fi
+  echo "--- $src" >&2
+  cat "$log" >&2
+  rm -f "$log"
+  return 1
+}
+
 STATUS=0
+running=0
+pids=()
 for src in "${SOURCES[@]}"; do
-  "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$@" "$src" || STATUS=1
+  lint_one "$src" "$@" &
+  pids+=($!)
+  running=$((running + 1))
+  if [ "$running" -ge "$JOBS" ]; then
+    if ! wait "${pids[0]}"; then STATUS=1; fi
+    pids=("${pids[@]:1}")
+    running=$((running - 1))
+  fi
 done
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then STATUS=1; fi
+done
+
 if [ "$STATUS" -ne 0 ]; then
   echo "run_lint.sh: findings above must be fixed (WarningsAsErrors: '*')." >&2
 fi
