@@ -18,6 +18,13 @@ bool IsTimeCounter(const std::string& name) {
   return name.find("_ns_p") != std::string::npos;
 }
 
+bool IsInformationalCounter(const std::string& name) {
+  // sched_-prefixed counters (steal attempts/successes) are properties of
+  // the work-stealing schedule, not of the work: they vary run to run by
+  // design and are exported for eyeballing only, never gated.
+  return name.compare(0, 6, "sched_") == 0;
+}
+
 std::string Fmt(double v) {
   char buf[64];
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
@@ -140,6 +147,9 @@ CompareReport CompareBenchRecords(const std::vector<BenchRecord>& baseline,
         report.notes.push_back(base.name + ": counter " + key +
                                " missing from current run");
         continue;
+      }
+      if (IsInformationalCounter(key)) {
+        continue;  // Scheduling-dependent by design; reported, never gated.
       }
       if (IsTimeCounter(key)) {
         // Wall-clock-valued counter: one-sided, time-style slack.

@@ -13,7 +13,9 @@
 //  - counters are compared per name with their own (tighter) slack, since
 //    most are deterministic work counts; counters whose name ends in "_ns"
 //    (histogram percentile exports such as phase_bfs_ns_p90) are wall-clock
-//    valued and get the time slack instead;
+//    valued and get the time slack instead; counters prefixed "sched_"
+//    (work-stealing steal traffic) are scheduling-dependent by design and
+//    are never compared at all;
 //  - comparisons are skipped with a note (not a failure) when the records
 //    are not comparable: build mode differs, threads differ, seed differs,
 //    or a benchmark exists on only one side. Improvements never fail.

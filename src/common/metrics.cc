@@ -34,6 +34,12 @@ const char* CounterName(CounterId id) {
       return "branches_explored";
     case CounterId::kAnswersEmitted:
       return "answers_emitted";
+    case CounterId::kStealAttempts:
+      return "steal_attempts";
+    case CounterId::kStealsSucceeded:
+      return "steals_succeeded";
+    case CounterId::kDirectionSwitches:
+      return "direction_switches";
     case CounterId::kNumCounters:
       break;
   }
@@ -66,6 +72,8 @@ const char* HistogramName(HistogramId id) {
       return "reach_set_size";
     case HistogramId::kBagWidth:
       return "bag_width";
+    case HistogramId::kFrontierOccupancy:
+      return "frontier_occupancy";
     case HistogramId::kNumHistograms:
       break;
   }
@@ -78,6 +86,7 @@ HistogramKind HistogramKindOf(HistogramId id) {
     case HistogramId::kFrontierSize:
     case HistogramId::kReachSetSize:
     case HistogramId::kBagWidth:
+    case HistogramId::kFrontierOccupancy:
       return HistogramKind::kSize;
     default:
       return HistogramKind::kTimeNs;

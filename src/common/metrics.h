@@ -55,6 +55,15 @@ enum class CounterId : int {
   kAssignmentsTried,           // Backtracking nodes in the generic engine.
   kBranchesExplored,           // Parallel branches claimed by workers.
   kAnswersEmitted,             // Answers emitted (pre-dedup, per branch).
+  // Work-stealing runtime (common/worklist.h). Scheduling-dependent: their
+  // values vary run to run under contention and are excluded from
+  // cross-pool-size determinism comparisons (bench export prefixes them
+  // "sched_" so bench_compare treats them as informational).
+  kStealAttempts,              // Steal probes by idle scheduler workers.
+  kStealsSucceeded,            // Steal probes that won a chunk.
+  // Direction-optimizing product BFS. Deterministic: the switch decision is
+  // a pure function of per-level frontier/unvisited sizes.
+  kDirectionSwitches,          // Top-down <-> bottom-up transitions.
   kNumCounters,
 };
 
@@ -83,6 +92,7 @@ enum class HistogramId : int {
   kFrontierSize,             // BFS frontier size at each pop.
   kReachSetSize,             // Accepting targets found per fresh BFS.
   kBagWidth,                 // Variables per materialized tree-dec bag.
+  kFrontierOccupancy,        // Frontier size per level (level-sync BFS).
   kNumHistograms,
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -64,6 +65,25 @@ int ThreadPool::DefaultNumThreads() {
 int ThreadPool::ResolveNumThreads(int requested) {
   if (requested == 0) return DefaultNumThreads();
   return requested < 1 ? 1 : requested;
+}
+
+ThreadPool* ThreadPool::Shared(int threads) {
+  if (threads < 1) threads = 1;
+  // Keyed by size: tests and options legitimately ask for different pool
+  // sizes in one process (the determinism suite runs 1/2/4/8). A handful of
+  // sizes ever occur, so the map stays tiny; the pools join their workers
+  // at static destruction.
+  struct Registry {
+    Mutex mutex;
+    std::map<int, std::unique_ptr<ThreadPool>> pools ECRPQ_GUARDED_BY(mutex);
+  };
+  // Function-local static: destroyed (joining all workers) at process
+  // exit, after main() returns — no leaks under LSan, no racing shutdown.
+  static Registry registry;
+  MutexLock lock(registry.mutex);
+  std::unique_ptr<ThreadPool>& pool = registry.pools[threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+  return pool.get();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {

@@ -73,6 +73,17 @@ class ThreadPool {
   // DefaultNumThreads(), anything else is clamped to at least 1.
   static int ResolveNumThreads(int requested);
 
+  // Process-shared pool of exactly max(1, threads) workers. Pools are
+  // created on first use, keyed by size, and live until process exit — the
+  // evaluation entry points use this so a short query does not pay thread
+  // spawn + join on every call (which would drown the parallel speedup for
+  // sub-millisecond workloads). Tasks from concurrent evaluations may
+  // interleave on the same workers; every caller already synchronizes with
+  // its own WaitGroup/coordinator, and determinism never depended on task
+  // placement. Do not fan out onto a shared pool from *inside* one of its
+  // own worker tasks: a worker blocking on work queued behind it deadlocks.
+  static ThreadPool* Shared(int threads);
+
   // Enqueues fn. With one thread, runs fn inline before returning.
   void Submit(std::function<void()> fn) ECRPQ_EXCLUDES(mutex_);
 

@@ -1,7 +1,6 @@
 #include "eval/generic_eval.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <memory>
 #include <unordered_set>
@@ -11,6 +10,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "common/worklist.h"
 #include "eval/merge.h"
 #include "query/validate.h"
 
@@ -325,37 +325,38 @@ Result<EvalResult> EvaluateParallel(
     std::vector<char> ready ECRPQ_GUARDED_BY(mutex);
   };
   Coordinator coord(n);
-  std::atomic<uint32_t> next{0};
 
-  ThreadPool pool(threads);
-  WaitGroup wg;
-  wg.Add(num_workers);
-  for (int w = 0; w < num_workers; ++w) {
-    pool.Submit([&, w] {
+  // Branch values are distributed through the work-stealing scheduler:
+  // worker w exclusively drives engines[w] (searcher memos are single-owner
+  // state), chunks of adjacent branch values keep memo locality, and idle
+  // workers steal whole chunks from busy ones — a branch with a heavy
+  // subtree no longer serializes the tail of the enumeration behind it.
+  // Start() returns immediately, so the ordered replay below runs
+  // concurrently with the search.
+  obs::MetricsShard* sched_shard = options.obs != nullptr
+                                       ? options.obs->metrics().AcquireShard()
+                                       : nullptr;
+  FrontierScheduler scheduler(ThreadPool::Shared(threads), sched_shard);
+  scheduler.Start(n, [&](size_t b, int w) {
+    ECRPQ_DCHECK(static_cast<size_t>(w) < engines.size());
+    if (!cancel.IsCancelled()) {
       Engine& eng = *engines[w];
-      for (uint32_t b = next.fetch_add(1, std::memory_order_relaxed); b < n;
-           b = next.fetch_add(1, std::memory_order_relaxed)) {
-        if (!cancel.IsCancelled()) {
-          obs::Span branch_span(TraceOf(options), "EvaluateGeneric.branch",
-                                b);
-          obs::Add(eng.shard, obs::CounterId::kBranchesExplored);
-          obs::ScopedTimer branch_timer(eng.shard,
-                                        obs::HistogramId::kPhaseBranchNs);
-          eng.ResetForBranch(&branches[b].events);
-          eng.assignment = base_assignment;
-          eng.assignment[branch_var] = b;
-          eng.SolveComponent(0, isolated_free);
-          branches[b].aborted = eng.result.aborted;
-        }
-        {
-          MutexLock lock(coord.mutex);
-          coord.ready[b] = 1;
-        }
-        coord.cv.NotifyAll();
-      }
-      wg.Done();
-    });
-  }
+      obs::Span branch_span(TraceOf(options), "EvaluateGeneric.branch", b);
+      obs::Add(eng.shard, obs::CounterId::kBranchesExplored);
+      obs::ScopedTimer branch_timer(eng.shard,
+                                    obs::HistogramId::kPhaseBranchNs);
+      eng.ResetForBranch(&branches[b].events);
+      eng.assignment = base_assignment;
+      eng.assignment[branch_var] = static_cast<VertexId>(b);
+      eng.SolveComponent(0, isolated_free);
+      branches[b].aborted = eng.result.aborted;
+    }
+    {
+      MutexLock lock(coord.mutex);
+      coord.ready[b] = 1;
+    }
+    coord.cv.NotifyAll();
+  });
 
   // Ordered replay on this thread: consume branches in value order and
   // apply the sequential side effects (global dedup, callback, cutoffs).
@@ -392,7 +393,7 @@ Result<EvalResult> EvaluateParallel(
     }
   }
   cancel.Cancel();
-  wg.Wait();
+  scheduler.Wait();
 
   // Final check (not just Exhausted()): a run whose totals crossed the
   // budget never returns OK, even when it finished between poll strides.

@@ -46,10 +46,10 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
   const VertexId n = static_cast<VertexId>(db.NumVertices());
 
   const int threads = ThreadPool::ResolveNumThreads(options.num_threads);
-  std::unique_ptr<ThreadPool> pool;
+  ThreadPool* pool = nullptr;
   if (threads > 1 && n > 1) {
     db.Finalize();  // The lazy CSR build is not thread-safe.
-    pool = std::make_unique<ThreadPool>(threads);
+    pool = ThreadPool::Shared(threads);
   }
   const int num_workers = pool != nullptr ? threads : 1;
 
@@ -146,8 +146,9 @@ Result<CqReduction> ReduceToCq(const GraphDb& db, const EcrpqQuery& query,
         }
       }
       const std::vector<const ReachSet*> reaches = ReachMany(
-          searcher_ptrs, batch, pool.get(),
-          options.obs != nullptr ? options.obs->cancel_token() : nullptr);
+          searcher_ptrs, batch, pool,
+          options.obs != nullptr ? options.obs->cancel_token() : nullptr,
+          shard);
       for (size_t b = 0; b < batch.size(); ++b) {
         ++reduction.source_tuples_enumerated;
         if (reaches[b] == nullptr) {

@@ -25,8 +25,16 @@ struct PathStep {
 
 // All v reachable from `source` along a path with label in L(lang).
 // `lang` has Symbol labels (ε allowed).
+//
+// The underlying product BFS is level-synchronous and direction-optimizing
+// (top-down frontier push over per-symbol CSR slices vs bottom-up pull over
+// the unvisited dense bitset, switched per level on frontier/unvisited
+// sizes). The reach set is the reachability closure and is independent of
+// traversal direction. With a non-null shard, the per-level frontier
+// occupancy and direction switches are recorded — both deterministic.
 std::vector<VertexId> RpqReachFrom(const GraphDb& db, const Nfa& lang,
-                                   VertexId source);
+                                   VertexId source,
+                                   obs::MetricsShard* shard = nullptr);
 
 // The full relation R_L as sorted (u, v) pairs. O(|V|·(|V|·|Q| + |E|·|δ|)).
 //

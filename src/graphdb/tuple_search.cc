@@ -1,13 +1,12 @@
 #include "graphdb/tuple_search.h"
 
 #include <algorithm>
-#include <atomic>
-#include <deque>
 #include <map>
 #include <utility>
 
 #include "common/bitset.h"
 #include "common/check.h"
+#include "common/worklist.h"
 
 namespace ecrpq {
 namespace {
@@ -125,7 +124,9 @@ ReachSet TupleSearcher::RunBfs(
   std::vector<Coded> states;
   // parent[i] = (predecessor id, packed joint label).
   std::vector<std::pair<uint32_t, Label>> parents;
-  std::deque<uint32_t> queue;
+  // States are interned in discovery order and popped in id order, so the
+  // BFS queue *is* `states` behind a cursor — no separate container, and
+  // the pop sequence is identical to the old explicit FIFO queue.
 
   auto intern = [&](Coded coded, uint32_t from, Label label) -> bool {
     auto [it, inserted] =
@@ -137,7 +138,6 @@ ReachSet TupleSearcher::RunBfs(
     }
     states.push_back(it->first);
     if (track_parents) parents.emplace_back(from, label);
-    queue.push_back(it->second);
     obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
     obs::Add(shard_, obs::CounterId::kVisitedBytes,
              SparseStateBytes(it->first.size()));
@@ -157,7 +157,6 @@ ReachSet TupleSearcher::RunBfs(
       ECRPQ_DCHECK(inserted);
       states.push_back(it->first);
       if (track_parents) parents.emplace_back(0u, 0u);
-      queue.push_back(0);
       obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
       obs::Add(shard_, obs::CounterId::kVisitedBytes,
                SparseStateBytes(it->first.size()));
@@ -175,9 +174,10 @@ ReachSet TupleSearcher::RunBfs(
 
   size_t pops = 0;
   uint64_t frontier_peak = 0;
-  while (!queue.empty()) {
-    frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
-    obs::Record(shard_, obs::HistogramId::kFrontierSize, queue.size());
+  for (uint32_t id = 0; id < states.size(); ++id) {
+    const size_t frontier_size = states.size() - id;
+    frontier_peak = std::max<uint64_t>(frontier_peak, frontier_size);
+    obs::Record(shard_, obs::HistogramId::kFrontierSize, frontier_size);
     if (options_.obs != nullptr &&
         (options_.obs->Exhausted() ||
          ((++pops & (kBudgetCheckStride - 1)) == 0 &&
@@ -185,8 +185,6 @@ ReachSet TupleSearcher::RunBfs(
       result.aborted = true;
       break;
     }
-    const uint32_t id = queue.front();
-    queue.pop_front();
     const Coded current = states[id];  // Copy: `states` grows below.
     const JoinMachine::State mstate = machine_state_of(current);
 
@@ -338,8 +336,14 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
     return (code << mask_bits) | mask;
   };
 
-  // (dense code, machine id) pairs; vertices/mask are decoded on pop.
-  std::deque<std::pair<uint64_t, uint32_t>> queue;
+  // Level-synchronous traversal: the BFS runs level by level over
+  // (dense code, machine id) pairs, appending discoveries to the next
+  // level. Pop order — and therefore every budget/abort point and counter —
+  // is identical to a FIFO queue, but the level structure gives the
+  // deterministic frontier-occupancy samples and keeps the accepting fold
+  // out of the hot loop (it runs once, word-parallel, at the end).
+  std::vector<std::pair<uint64_t, uint32_t>> level;
+  std::vector<std::pair<uint64_t, uint32_t>> next_level;
   size_t interned = 0;
 
   // Seed state.
@@ -349,7 +353,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
       const uint32_t mid = machine_id_of(m0);
       const uint64_t code = encode(sources, 0);
       visited_of(mid).Set(code);
-      queue.emplace_back(code, mid);
+      level.emplace_back(code, mid);
       interned = 1;
       obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
     }
@@ -361,18 +365,22 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
 
   size_t pops = 0;
   uint64_t frontier_peak = 0;
-  while (!queue.empty()) {
-    frontier_peak = std::max<uint64_t>(frontier_peak, queue.size());
-    obs::Record(shard_, obs::HistogramId::kFrontierSize, queue.size());
+  bool exhausted = false;
+  while (!level.empty() && !exhausted) {
+    obs::Record(shard_, obs::HistogramId::kFrontierOccupancy, level.size());
+    for (size_t pos = 0; pos < level.size(); ++pos) {
+    const size_t frontier_size = (level.size() - pos) + next_level.size();
+    frontier_peak = std::max<uint64_t>(frontier_peak, frontier_size);
+    obs::Record(shard_, obs::HistogramId::kFrontierSize, frontier_size);
     if (options_.obs != nullptr &&
         (options_.obs->Exhausted() ||
          ((++pops & (kBudgetCheckStride - 1)) == 0 &&
           options_.obs->CheckBudget()))) {
       result.aborted = true;
+      exhausted = true;
       break;
     }
-    const auto [code, mid] = queue.front();
-    queue.pop_front();
+    const auto [code, mid] = level[pos];
     uint64_t rest = code >> mask_bits;
     const uint32_t mask =
         static_cast<uint32_t>(code & ((uint64_t{1} << mask_bits) - 1));
@@ -383,9 +391,8 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
     // `machine_states` grows during successor expansion; copy, don't alias.
     const JoinMachine::State mstate = machine_states[mid];
 
-    if (machine_->IsAccepting(mstate)) {
-      result.targets.insert(current);
-    }
+    // (Accepting states are folded out of the visited bitsets after the
+    // traversal — see the word-parallel sweep below.)
 
     // Successor enumeration — identical column discipline to the sparse
     // path: each unfinished tape takes an out-edge or finishes (⊥), frozen
@@ -406,7 +413,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
             return false;
           }
           ++interned;
-          queue.emplace_back(ncode, nmid);
+          next_level.emplace_back(ncode, nmid);
           obs::Add(shard_, obs::CounterId::kProductStatesExpanded);
         }
         return true;
@@ -430,9 +437,33 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
       scratch[tape] = current[tape];
       return true;
     };
-    if (!recurse(recurse, 0, mask, false)) break;  // Budget exhausted.
+    if (!recurse(recurse, 0, mask, false)) {  // Budget exhausted.
+      exhausted = true;
+      break;
+    }
+    }
+    level.clear();
+    std::swap(level, next_level);
   }
   obs::RecordMax(shard_, obs::CounterId::kFrontierPeak, frontier_peak);
+
+  // Accepting fold, word-parallel: every state the BFS visited is a set bit
+  // in its machine state's dense bitset, so the reach set is the union of
+  // the accepting machine states' bitsets with the mask bits dropped. The
+  // sweep touches each 64-bit word once (zero words cost one compare) —
+  // this is the reduce pipeline's reach-set fold.
+  for (size_t mid = 0; mid < machine_states.size(); ++mid) {
+    if (visited[mid] == nullptr) continue;
+    if (!machine_->IsAccepting(machine_states[mid])) continue;
+    visited[mid]->ForEachSetBit([&](size_t code) {
+      uint64_t rest = static_cast<uint64_t>(code) >> mask_bits;
+      for (int i = r - 1; i >= 0; --i) {
+        current[i] = static_cast<VertexId>(rest % n);
+        rest /= n;
+      }
+      result.targets.insert(current);
+    });
+  }
 
   result.explored_states = interned;
   return result;
@@ -441,7 +472,7 @@ ReachSet TupleSearcher::RunBfsDense(const std::vector<VertexId>& sources,
 std::vector<const ReachSet*> ReachMany(
     const std::vector<TupleSearcher*>& searchers,
     const std::vector<std::vector<VertexId>>& sources, ThreadPool* pool,
-    CancelToken* cancel) {
+    CancelToken* cancel, obs::MetricsShard* shard) {
   ECRPQ_CHECK(!searchers.empty());
   std::vector<const ReachSet*> results(sources.size(), nullptr);
   if (sources.empty()) return results;
@@ -459,17 +490,15 @@ std::vector<const ReachSet*> ReachMany(
     }
     return results;
   }
-  // Worker w owns searchers[w]; tuples are claimed off a shared counter so
-  // an expensive tuple does not stall the rest of the batch.
-  std::atomic<size_t> next{0};
-  pool->ParallelFor(searchers.size(), [&](size_t w) {
-    TupleSearcher* s = searchers[w];
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < sources.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      if (cancel != nullptr && cancel->IsCancelled()) return;
-      results[i] = &s->Reach(sources[i]);
-    }
+  // Worker w owns searchers[w]; tuples are chunked into per-worker
+  // work-stealing deques, so an expensive tuple does not stall the rest of
+  // the batch and cheap tuples keep spatial locality within a chunk. Every
+  // tuple lands in slot i regardless of which worker ran it.
+  FrontierScheduler scheduler(pool, shard);
+  scheduler.Execute(sources.size(), [&](size_t i, int w) {
+    ECRPQ_DCHECK(static_cast<size_t>(w) < searchers.size());
+    if (cancel != nullptr && cancel->IsCancelled()) return;
+    results[i] = &searchers[w]->Reach(sources[i]);
   });
   return results;
 }

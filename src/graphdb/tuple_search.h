@@ -150,16 +150,19 @@ class TupleSearcher {
 // `searchers` holds one searcher per worker (all wrapping the same database
 // and options but *distinct* JoinMachines — the machine's lazy
 // determinization caches are not shareable across threads). Tuples are
-// claimed dynamically; slot i of the result always holds the ReachSet of
-// sources[i], so the output is deterministic for any pool size. The
+// distributed through a work-stealing FrontierScheduler; slot i of the
+// result always holds the ReachSet of sources[i], so the output is
+// deterministic for any pool size. The
 // pointers alias the searchers' memo tables and stay valid while the
 // searchers live (memoization must be enabled).
 //
 // When `cancel` is non-null and fires, remaining slots are left as nullptr.
+// With a non-null `shard`, the scheduler's steal counters are recorded there
+// (scheduling-dependent — diagnostics, never compared across runs).
 std::vector<const ReachSet*> ReachMany(
     const std::vector<TupleSearcher*>& searchers,
     const std::vector<std::vector<VertexId>>& sources, ThreadPool* pool,
-    CancelToken* cancel = nullptr);
+    CancelToken* cancel = nullptr, obs::MetricsShard* shard = nullptr);
 
 }  // namespace ecrpq
 

@@ -165,6 +165,19 @@ TEST(BenchDiffTest, CounterBlowupFailsAndTimeCounterGetsTimeSlack) {
   EXPECT_TRUE(CompareBenchRecords(baseline, current, no_counters).ok());
 }
 
+TEST(BenchDiffTest, SchedPrefixedCountersAreInformationalOnly) {
+  // Steal diagnostics depend on the OS scheduler's interleaving, so a
+  // "sched_" prefix marks a counter as exported-but-never-compared: even
+  // a 100x blowup must not gate.
+  std::vector<BenchRecord> baseline = BaselineRecords();
+  baseline[0].counters.emplace_back("sched_steal_attempts", 10.0);
+  std::vector<BenchRecord> current = baseline;
+  current[0].counters.back().second = 1000.0;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
+  current[0].counters.back().second = 0.0;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
+}
+
 TEST(BenchDiffTest, IncomparableRecordsSkipWithNotes) {
   const std::vector<BenchRecord> baseline = BaselineRecords();
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <set>
+#include <vector>
 
 #include "common/bitset.h"
 #include "common/hash.h"
@@ -169,6 +171,99 @@ TEST(BitsetTest, EmptyBitsetIsWellFormed) {
   EXPECT_EQ(bits.size(), 0u);
   EXPECT_EQ(bits.CountSet(), 0u);
   bits.Clear();
+}
+
+// ---- Word-parallel sweeps, property-checked against bit-at-a-time
+// reference loops on randomized inputs (sizes deliberately straddle word
+// boundaries so the last-partial-word masking is exercised). ----
+
+DynamicBitset RandomBitset(Rng& rng, size_t n, uint64_t density_pct) {
+  DynamicBitset bits(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Below(100) < density_pct) bits.Set(i);
+  }
+  return bits;
+}
+
+TEST(BitsetTest, BulkOpsMatchScalarReference) {
+  Rng rng(20220714);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                         size_t{65}, size_t{127}, size_t{320}, size_t{1000}}) {
+    for (int round = 0; round < 8; ++round) {
+      const DynamicBitset a = RandomBitset(rng, n, 40);
+      const DynamicBitset b = RandomBitset(rng, n, 40);
+
+      DynamicBitset or_fast = a;
+      or_fast.OrAssign(b);
+      DynamicBitset and_fast = a;
+      and_fast.AndAssign(b);
+      DynamicBitset diff_fast = a;
+      diff_fast.DifferenceAssign(b);
+
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(or_fast.Test(i), a.Test(i) || b.Test(i)) << n << ":" << i;
+        EXPECT_EQ(and_fast.Test(i), a.Test(i) && b.Test(i)) << n << ":" << i;
+        EXPECT_EQ(diff_fast.Test(i), a.Test(i) && !b.Test(i))
+            << n << ":" << i;
+      }
+      // The bulk ops must not disturb ghost bits past size(): counts derived
+      // from whole words stay exact.
+      EXPECT_EQ(or_fast.CountSet() + and_fast.CountSet(),
+                a.CountSet() + b.CountSet());
+      EXPECT_EQ(diff_fast.CountSet(), a.CountSet() - and_fast.CountSet());
+    }
+  }
+}
+
+TEST(BitsetTest, ForEachSetBitMatchesScalarScan) {
+  Rng rng(7151);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{64}, size_t{65},
+                         size_t{129}, size_t{500}}) {
+    for (const uint64_t density : {uint64_t{0}, uint64_t{3}, uint64_t{50},
+                                   uint64_t{100}}) {
+      const DynamicBitset bits = RandomBitset(rng, n, density);
+      std::vector<size_t> expected;
+      for (size_t i = 0; i < n; ++i) {
+        if (bits.Test(i)) expected.push_back(i);
+      }
+      std::vector<size_t> got;
+      bits.ForEachSetBit([&](size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, expected) << "n=" << n << " density=" << density;
+      EXPECT_EQ(got.size(), bits.CountSet());
+    }
+  }
+}
+
+TEST(BitsetTest, ForEachUnsetBitMatchesScalarScanAndStaysInRange) {
+  Rng rng(40414243);
+  for (const size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                         size_t{127}, size_t{130}}) {
+    for (const uint64_t density : {uint64_t{0}, uint64_t{50},
+                                   uint64_t{100}}) {
+      const DynamicBitset bits = RandomBitset(rng, n, density);
+      std::vector<size_t> expected;
+      for (size_t i = 0; i < n; ++i) {
+        if (!bits.Test(i)) expected.push_back(i);
+      }
+      std::vector<size_t> got;
+      bits.ForEachUnsetBit([&](size_t i) {
+        ASSERT_LT(i, n);  // Ghost bits past size() must never surface.
+        got.push_back(i);
+      });
+      EXPECT_EQ(got, expected) << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(BitsetTest, AnySetAndEquality) {
+  DynamicBitset a(100), b(100);
+  EXPECT_FALSE(a.AnySet());
+  EXPECT_TRUE(a == b);
+  a.Set(99);
+  EXPECT_TRUE(a.AnySet());
+  EXPECT_FALSE(a == b);
+  b.Set(99);
+  EXPECT_TRUE(a == b);
 }
 
 // Signed/overflow edge cases: the mixers must accept extreme and negative

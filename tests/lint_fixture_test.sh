@@ -2,7 +2,7 @@
 # Fixture tests for tools/ecrpq_lint: every project rule must fire on its
 # seeded-violation fixture, stay quiet on the clean fixture, and the real
 # tree must pass. Registered as ctest "lint_fixture_test" and run by
-# tools/ci.sh stage 10.
+# tools/ci.sh stage 11.
 #
 # Usage: lint_fixture_test.sh <repo_root> <build_dir>
 set -u
@@ -43,6 +43,9 @@ check unordered_emission_fires 1 "[ecrpq-unordered-emission]" \
     ${LINT} "${FIXTURES}/bad_unordered_emission.cc"
 check dcheck_side_effect_fires 1 "[ecrpq-dcheck-side-effects]" \
     ${LINT} "${FIXTURES}/bad_dcheck_side_effect.cc"
+check raw_worklist_fires 1 "[ecrpq-raw-worklist]" \
+    ${LINT} --treat-as-worklist-scope bad_raw_worklist.cc \
+    "${FIXTURES}/bad_raw_worklist.cc"
 
 # --- Precision checks. ----------------------------------------------------
 # NOLINT(ecrpq-naked-mutex) suppresses; the 4 unsuppressed sites remain.
@@ -66,6 +69,20 @@ if [ "${n_unord}" -eq 2 ]; then
   echo "ok   unordered_emission_precision (2 findings, aggregation loop quiet)"
 else
   echo "FAIL unordered_emission_precision: ${n_unord} findings, expected 2"
+  failures=$((failures + 1))
+fi
+# raw-worklist only applies inside src/eval + src/graphdb (or files forced
+# into scope): the same fixture without --treat-as-worklist-scope is quiet.
+check raw_worklist_scoped_to_hot_paths 0 - \
+    ${LINT} --rule ecrpq-raw-worklist "${FIXTURES}/bad_raw_worklist.cc"
+# 2 seeded findings; the NOLINT'd 0/1-BFS deque stays quiet.
+n_worklist="$(${LINT} --treat-as-worklist-scope bad_raw_worklist.cc \
+    "${FIXTURES}/bad_raw_worklist.cc" 2>/dev/null \
+    | grep -c 'ecrpq-raw-worklist')"
+if [ "${n_worklist}" -eq 2 ]; then
+  echo "ok   raw_worklist_precision (2 findings, NOLINT'd BFS deque quiet)"
+else
+  echo "FAIL raw_worklist_precision: ${n_worklist} findings, expected 2"
   failures=$((failures + 1))
 fi
 # Pure DCHECK conditions in the dcheck fixture stay quiet (3 seeded, 2 clean).

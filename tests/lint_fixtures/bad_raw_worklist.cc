@@ -1,0 +1,46 @@
+// Lint fixture: an evaluation-hot-path translation unit (passed to
+// ecrpq_lint via --treat-as-worklist-scope) that hand-rolls its fan-out
+// worklists from std::deque / std::queue instead of going through the
+// work-stealing runtime (common/worklist.h) — seeds ecrpq-raw-worklist.
+// Never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <queue>
+
+namespace fixture {
+
+// Finding 1: a deque used as a shared worklist of chunk indices.
+size_t DrainChunks(size_t n) {
+  std::deque<uint64_t> worklist;
+  for (uint64_t i = 0; i < n; ++i) worklist.push_back(i);
+  size_t drained = 0;
+  while (!worklist.empty()) {
+    worklist.pop_front();
+    ++drained;
+  }
+  return drained;
+}
+
+// Finding 2: a queue-typed frontier for a plain (unordered) fan-out.
+size_t DrainFrontier(size_t n) {
+  std::queue<uint64_t> frontier;
+  for (uint64_t i = 0; i < n; ++i) frontier.push(i);
+  size_t drained = 0;
+  while (!frontier.empty()) {
+    frontier.pop();
+    ++drained;
+  }
+  return drained;
+}
+
+// Suppressed: a queue whose pop order IS the algorithm (0/1-BFS) — the
+// legitimate use the rule's NOLINT escape hatch exists for.
+size_t ShortestPathOrder(size_t n) {
+  // NOLINTNEXTLINE(ecrpq-raw-worklist): 0/1-BFS needs deque pop order.
+  std::deque<uint64_t> queue;
+  for (uint64_t i = 0; i < n; ++i) queue.push_front(i);
+  return queue.size();
+}
+
+}  // namespace fixture

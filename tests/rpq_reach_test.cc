@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "automata/regex.h"
+#include "common/obs.h"
 #include "common/rng.h"
 #include "graphdb/generators.h"
 #include "graphdb/rpq_reach.h"
@@ -60,6 +63,37 @@ TEST(RpqReachTest, ReachAllMatchesPerSource) {
       ASSERT_EQ(in_all, in_from) << u << " -> " << v;
     }
   }
+}
+
+TEST(RpqReachTest, DirectionSwitchFiresOnDenseGraphAndPreservesResults) {
+  // A dense random graph with a permissive language saturates the product
+  // space within a couple of levels, so the Beamer heuristic must take at
+  // least one top-down -> bottom-up switch — this pins the pull phase as
+  // live code. Correctness cross-check: the witness search runs a separate
+  // sparse 0/1-BFS, so agreement between RpqReachFrom and
+  // RpqWitnessPath.has_value() exercises push/pull against an independent
+  // traversal.
+  Rng rng(77);
+  const GraphDb db = RandomGraph(&rng, 24, 6.0, 2);
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  const Nfa lang = Compile("(a|b)*", &alphabet);
+  obs::Session session;
+  obs::MetricsShard* shard = session.metrics().AcquireShard();
+  uint64_t switches_seen = 0;
+  for (VertexId u = 0; u < 24; ++u) {
+    const std::vector<VertexId> reached = RpqReachFrom(db, lang, u, shard);
+    for (VertexId v = 0; v < 24; ++v) {
+      const bool in_reach =
+          std::find(reached.begin(), reached.end(), v) != reached.end();
+      ASSERT_EQ(in_reach, RpqWitnessPath(db, lang, u, v).has_value())
+          << u << " -> " << v;
+    }
+  }
+  switches_seen =
+      session.Report()[obs::CounterId::kDirectionSwitches];
+  EXPECT_GT(switches_seen, 0u)
+      << "dense instance never entered the bottom-up phase; the "
+         "direction-optimizing pull path is dead code under this test";
 }
 
 TEST(RpqReachTest, WitnessPathIsValidAndInLanguage) {

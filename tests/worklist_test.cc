@@ -1,0 +1,278 @@
+// The work-stealing runtime behind the parallel evaluation layer:
+// WorkStealingDeque (Chase-Lev-style) and the FrontierScheduler built on it.
+#include "common/worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace ecrpq {
+namespace {
+
+using StealResult = WorkStealingDeque::StealResult;
+
+TEST(WorkStealingDequeTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(WorkStealingDeque(1).capacity(), 2u);
+  EXPECT_EQ(WorkStealingDeque(2).capacity(), 2u);
+  EXPECT_EQ(WorkStealingDeque(3).capacity(), 4u);
+  EXPECT_EQ(WorkStealingDeque(64).capacity(), 64u);
+  EXPECT_EQ(WorkStealingDeque(65).capacity(), 128u);
+}
+
+TEST(WorkStealingDequeTest, OwnerPushPopIsLifo) {
+  WorkStealingDeque deque(8);
+  EXPECT_EQ(deque.PopBottom(), std::nullopt);
+  deque.PushBottom(10);
+  deque.PushBottom(11);
+  deque.PushBottom(12);
+  EXPECT_EQ(deque.ApproxSize(), 3u);
+  EXPECT_EQ(deque.PopBottom(), 12u);
+  EXPECT_EQ(deque.PopBottom(), 11u);
+  EXPECT_EQ(deque.PopBottom(), 10u);
+  EXPECT_EQ(deque.PopBottom(), std::nullopt);
+  EXPECT_EQ(deque.ApproxSize(), 0u);
+}
+
+TEST(WorkStealingDequeTest, StealTakesOldestFirst) {
+  WorkStealingDeque deque(8);
+  uint64_t item = ~uint64_t{0};
+  EXPECT_EQ(deque.Steal(&item), StealResult::kEmpty);
+  deque.PushBottom(20);
+  deque.PushBottom(21);
+  deque.PushBottom(22);
+  ASSERT_EQ(deque.Steal(&item), StealResult::kStolen);
+  EXPECT_EQ(item, 20u);
+  ASSERT_EQ(deque.Steal(&item), StealResult::kStolen);
+  EXPECT_EQ(item, 21u);
+  // The owner takes the remaining item from the other end.
+  EXPECT_EQ(deque.PopBottom(), 22u);
+  EXPECT_EQ(deque.Steal(&item), StealResult::kEmpty);
+}
+
+TEST(WorkStealingDequeTest, ReusesSlotsAcrossManyPushPopCycles) {
+  // More traffic than capacity: indices wrap around the ring buffer.
+  WorkStealingDeque deque(4);
+  for (uint64_t round = 0; round < 100; ++round) {
+    deque.PushBottom(2 * round);
+    deque.PushBottom(2 * round + 1);
+    EXPECT_EQ(deque.PopBottom(), 2 * round + 1);
+    uint64_t item = 0;
+    ASSERT_EQ(deque.Steal(&item), StealResult::kStolen);
+    EXPECT_EQ(item, 2 * round);
+  }
+}
+
+// Owner pops while three thieves steal: every seeded item is taken exactly
+// once. The deque only shrinks after seeding, so kEmpty is a terminal state
+// for thieves and nullopt for the owner; kLost means retry.
+TEST(WorkStealingDequeTest, ConcurrentStealsConserveItems) {
+  constexpr size_t kItems = 20000;
+  WorkStealingDeque deque(kItems);
+  for (uint64_t i = 0; i < kItems; ++i) deque.PushBottom(i);
+
+  std::vector<std::atomic<int>> seen(kItems);
+  ThreadPool pool(4);
+  WaitGroup wg;
+  wg.Add(4);
+  pool.Submit([&] {  // Owner drains LIFO from the bottom.
+    while (std::optional<uint64_t> item = deque.PopBottom()) {
+      seen[*item].fetch_add(1, std::memory_order_relaxed);
+    }
+    wg.Done();
+  });
+  for (int t = 0; t < 3; ++t) {
+    pool.Submit([&] {
+      uint64_t item = 0;
+      for (;;) {
+        const StealResult r = deque.Steal(&item);
+        if (r == StealResult::kEmpty) break;
+        if (r == StealResult::kStolen) {
+          seen[item].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+// Thieves hammer a deque the owner keeps near-empty: exercises the
+// last-item CAS race (owner PopBottom vs thief Steal) and empty steals.
+// Conservation must still hold: each pushed item is taken exactly once.
+TEST(WorkStealingDequeTest, LastItemRaceConservesItems) {
+  constexpr uint64_t kRounds = 50000;
+  WorkStealingDeque deque(64);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> taken_by_owner{0};
+  std::atomic<uint64_t> taken_by_thieves{0};
+
+  ThreadPool pool(4);
+  WaitGroup wg;
+  wg.Add(4);
+  pool.Submit([&] {
+    // Push one, immediately try to pop it back: the deque holds at most one
+    // item, so every pop races the thieves for the last item.
+    uint64_t owner_count = 0;
+    for (uint64_t r = 0; r < kRounds; ++r) {
+      deque.PushBottom(r);
+      if (deque.PopBottom().has_value()) ++owner_count;
+    }
+    taken_by_owner.store(owner_count, std::memory_order_relaxed);
+    stop.store(true, std::memory_order_relaxed);
+    wg.Done();
+  });
+  for (int t = 0; t < 3; ++t) {
+    pool.Submit([&] {
+      uint64_t item = 0;
+      uint64_t thief_count = 0;
+      for (;;) {
+        const StealResult r = deque.Steal(&item);
+        if (r == StealResult::kStolen) {
+          ++thief_count;
+        } else if (stop.load(std::memory_order_relaxed)) {
+          // After the owner finished, the deque is empty for good.
+          break;
+        }
+      }
+      taken_by_thieves.fetch_add(thief_count, std::memory_order_relaxed);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(taken_by_owner.load() + taken_by_thieves.load(), kRounds);
+}
+
+TEST(FrontierSchedulerTest, ChunkSizeBounds) {
+  // One worker takes the whole range as a single chunk.
+  EXPECT_EQ(FrontierScheduler::ChunkSizeFor(1000, 1), 1000u);
+  EXPECT_EQ(FrontierScheduler::ChunkSizeFor(0, 1), 1u);
+  // ~8 chunks per worker, clamped to [1, 64].
+  EXPECT_EQ(FrontierScheduler::ChunkSizeFor(1024, 4), 32u);
+  EXPECT_EQ(FrontierScheduler::ChunkSizeFor(10, 4), 1u);
+  EXPECT_EQ(FrontierScheduler::ChunkSizeFor(1000000, 4), 64u);
+}
+
+TEST(FrontierSchedulerTest, CoversEveryIndexOnceAtEveryPoolSize) {
+  constexpr size_t kN = 10000;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    FrontierScheduler scheduler(&pool);
+    std::vector<std::atomic<int>> hits(kN);
+    scheduler.Execute(kN, [&](size_t i, int w) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, scheduler.num_workers());
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", pool " << threads;
+    }
+  }
+}
+
+TEST(FrontierSchedulerTest, NullPoolRunsInlineAsWorkerZero) {
+  FrontierScheduler scheduler(nullptr);
+  std::vector<size_t> order;
+  scheduler.Execute(5, [&](size_t i, int w) {
+    EXPECT_EQ(w, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(scheduler.num_workers(), 1);
+}
+
+TEST(FrontierSchedulerTest, ZeroItemsIsANoop) {
+  ThreadPool pool(4);
+  FrontierScheduler scheduler(&pool);
+  scheduler.Execute(0, [](size_t, int) { FAIL() << "body must not run"; });
+}
+
+// The worker id contract: callers index per-worker single-owner state
+// (engines, searchers) by `worker`, so no two tasks with the same worker id
+// may ever run concurrently.
+TEST(FrontierSchedulerTest, WorkerIdsNeverRunConcurrently) {
+  ThreadPool pool(4);
+  FrontierScheduler scheduler(&pool);
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<int>> in_flight(8);
+  std::atomic<bool> overlapped{false};
+  scheduler.Execute(kN, [&](size_t, int w) {
+    if (in_flight[w].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      overlapped.store(true, std::memory_order_relaxed);
+    }
+    in_flight[w].fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(overlapped.load());
+}
+
+// Uneven task costs force stealing: a few indices are much heavier, so idle
+// workers must take chunks from the loaded deques to finish. The steal
+// counters land in the shard (values are scheduling-dependent; only
+// presence and conservation are asserted).
+TEST(FrontierSchedulerTest, UnbalancedLoadStealsAndRecordsCounters) {
+  obs::Metrics metrics;
+  ThreadPool pool(4);
+  FrontierScheduler scheduler(&pool, metrics.AcquireShard());
+  constexpr size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<uint64_t> sink{0};
+  scheduler.Execute(kN, [&](size_t i, int) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i % 1024 == 0) {  // Four heavy islands pin their owners.
+      uint64_t acc = i;
+      for (int spin = 0; spin < 200000; ++spin) acc = acc * 2654435761u + 1;
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_GE(metrics.Total(obs::CounterId::kStealAttempts),
+            metrics.Total(obs::CounterId::kStealsSucceeded));
+}
+
+// Start() returns before the work finishes so a coordinator can consume
+// results concurrently (the generic_eval replay pattern); Wait() is the
+// barrier.
+TEST(FrontierSchedulerTest, StartReturnsBeforeCompletionAndWaitJoins) {
+  ThreadPool pool(4);
+  FrontierScheduler scheduler(&pool);
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> done(kN);
+  scheduler.Start(kN, [&](size_t i, int) {
+    done[i].store(1, std::memory_order_release);
+  });
+  // Consume in index order while workers are still running.
+  for (size_t i = 0; i < kN; ++i) {
+    while (done[i].load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  scheduler.Wait();
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(done[i].load(), 1);
+}
+
+// The destructor waits for an in-flight Start (so a scheduler can never
+// outlive its tasks' captures).
+TEST(FrontierSchedulerTest, DestructorWaitsForInFlightWork) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 512;
+  std::vector<std::atomic<int>> done(kN);
+  {
+    FrontierScheduler scheduler(&pool);
+    scheduler.Start(kN, [&](size_t i, int) {
+      done[i].store(1, std::memory_order_relaxed);
+    });
+  }
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(done[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace ecrpq

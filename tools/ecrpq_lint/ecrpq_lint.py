@@ -27,6 +27,15 @@ Rules (catalog + rationale in docs/STATIC_ANALYSIS.md):
       builds, so a side effect inside one changes behavior between build
       modes.
 
+  ecrpq-raw-worklist
+      No direct std::deque / std::queue worklists in the evaluation hot
+      paths (src/eval/, src/graphdb/): index-space fan-out goes through the
+      work-stealing runtime (WorkStealingDeque / FrontierScheduler in
+      common/worklist.h), which owns the chunking, stealing and steal
+      metrics. Algorithmic queues whose *pop order* is the algorithm (e.g.
+      the 0/1-BFS witness-path deque) stay — suppress with a justified
+      NOLINT.
+
 Sources come from the compile database (first-party TUs) plus first-party
 headers. Findings print as `path:line: [rule] message`; exit 1 on findings.
 Suppress a line with `NOLINT(ecrpq-<rule>)` or the following line with
@@ -61,6 +70,10 @@ ENGINE_FILES = [
 # The one file allowed to name the raw standard primitives.
 NAKED_MUTEX_ALLOWLIST = ["src/common/annotations.h"]
 
+# Directories whose TUs the raw-worklist rule applies to: the evaluation
+# hot paths that must use the work-stealing runtime for fan-out.
+RAW_WORKLIST_DIRS = ["src/eval/", "src/graphdb/"]
+
 FIRST_PARTY_DIRS = ["src", "tools", "tests", "bench", "examples"]
 EXCLUDE_DIR_PARTS = ["tests/lint_fixtures"]
 
@@ -92,11 +105,16 @@ MUTATING_CALL_RE = re.compile(
 ASSIGN_RE = re.compile(r"(?<![=!<>])=(?!=)")
 INCDEC_RE = re.compile(r"\+\+|--")
 
+# \b keeps priority_queue out: '_' is a word character, so "queue" inside
+# "priority_queue" has no boundary before it.
+RAW_WORKLIST_RE = re.compile(r"\bstd\s*::\s*(deque|queue)\b")
+
 RULES = [
     "ecrpq-naked-mutex",
     "ecrpq-budget-poll",
     "ecrpq-unordered-emission",
     "ecrpq-dcheck-side-effects",
+    "ecrpq-raw-worklist",
 ]
 
 
@@ -327,6 +345,25 @@ def check_dcheck_side_effects(relpath, raw_lines, stripped):
     return findings
 
 
+def check_raw_worklist(relpath, raw_lines, stripped, extra_scope):
+    in_scope = any(relpath.startswith(d) or ("/" + d) in relpath
+                   for d in RAW_WORKLIST_DIRS)
+    if not in_scope and os.path.basename(relpath) not in extra_scope:
+        return []
+    findings = []
+    supp = suppressed_lines(raw_lines, "ecrpq-raw-worklist")
+    for ln, line in enumerate(stripped.splitlines(), 1):
+        m = RAW_WORKLIST_RE.search(line)
+        if m and ln not in supp:
+            findings.append(Finding(
+                relpath, ln, "ecrpq-raw-worklist",
+                f"raw std::{m.group(1)} worklist in an evaluation hot "
+                "path; fan-out goes through WorkStealingDeque/"
+                "FrontierScheduler (common/worklist.h) — NOLINT only for "
+                "queues whose pop order is the algorithm"))
+    return findings
+
+
 def collect_sources(repo_root, build_dir):
     """First-party TUs from the compile database + first-party headers."""
     sources = []
@@ -420,6 +457,9 @@ def main():
     ap.add_argument("--treat-as-engine", action="append", default=[],
                     help="additional file(s) the budget-poll rule applies "
                          "to (fixture tests)")
+    ap.add_argument("--treat-as-worklist-scope", action="append", default=[],
+                    help="additional file(s) the raw-worklist rule applies "
+                         "to (fixture tests)")
     ap.add_argument("--clang-query", choices=["auto", "on", "off"],
                     default="auto")
     ap.add_argument("--list-rules", action="store_true")
@@ -478,6 +518,11 @@ def main():
             findings += check_unordered_emission(rel, raw_lines, stripped)
         if "ecrpq-dcheck-side-effects" in active:
             findings += check_dcheck_side_effects(rel, raw_lines, stripped)
+        if "ecrpq-raw-worklist" in active:
+            findings += check_raw_worklist(
+                rel, raw_lines, stripped,
+                [os.path.basename(f)
+                 for f in args.treat_as_worklist_scope])
 
     if not args.files:  # Tree runs also get the AST-level pass.
         findings += run_clang_query(repo_root, build_dir, files,
