@@ -4,6 +4,7 @@
 // into a hash lookup.
 #include <benchmark/benchmark.h>
 
+#include "common/obs.h"
 #include "common/rng.h"
 #include "eval/generic_eval.h"
 #include "query/parser.h"
@@ -30,13 +31,26 @@ void RunAblation(benchmark::State& state, bool disable_memo) {
   EvalOptions options;
   options.disable_memo = disable_memo;
   size_t product_states = 0;
+  // Per-evaluation memo effectiveness, from a fresh session each iteration
+  // so the export is a per-evaluation figure, not a running total.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
   for (auto _ : state) {
+    obs::Session session;
+    options.obs = &session;
     EvalResult result = EvaluateGeneric(db, query, options).ValueOrDie();
     product_states = result.stats.product_states;
+    const obs::StatsReport report = session.Report();
+    memo_hits = report[obs::CounterId::kMemoHits];
+    memo_misses = report[obs::CounterId::kMemoMisses];
     benchmark::DoNotOptimize(result);
   }
   state.counters["vertices"] = db.NumVertices();
   state.counters["product_states"] = static_cast<double>(product_states);
+  // cache_-prefixed: informational-only under tools/bench_compare (memo
+  // effectiveness is reported, never gated).
+  state.counters["cache_memo_hits"] = static_cast<double>(memo_hits);
+  state.counters["cache_memo_misses"] = static_cast<double>(memo_misses);
 }
 
 void BM_WithMemo(benchmark::State& state) { RunAblation(state, false); }

@@ -21,8 +21,12 @@ bool IsTimeCounter(const std::string& name) {
 bool IsInformationalCounter(const std::string& name) {
   // sched_-prefixed counters (steal attempts/successes) are properties of
   // the work-stealing schedule, not of the work: they vary run to run by
-  // design and are exported for eyeballing only, never gated.
-  return name.compare(0, 6, "sched_") == 0;
+  // design and are exported for eyeballing only, never gated. cache_-
+  // prefixed counters (hits/misses/evictions) likewise depend on cross-run
+  // history — whatever earlier iterations left in the process-wide caches —
+  // not on the benchmarked work itself.
+  return name.compare(0, 6, "sched_") == 0 ||
+         name.compare(0, 6, "cache_") == 0;
 }
 
 std::string Fmt(double v) {

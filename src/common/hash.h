@@ -4,6 +4,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -38,6 +41,57 @@ struct PairHash {
                        static_cast<uint64_t>(p.second));
   }
 };
+
+// Stable 64-bit hash of a byte string: word-at-a-time splitmix folding.
+// Process-stable AND build-stable (no ASLR-seeded state, unlike
+// std::hash<std::string> on some standard libraries), so values are safe
+// to use in cache shard selection and reproducible diagnostics. NOT a
+// substitute for exact key equality — the caching layer (common/cache.h)
+// always compares full keys and uses hashes for placement only.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ (bytes.size() * 0x9e3779b97f4a7c15ULL);
+  size_t i = 0;
+  while (i + 8 <= bytes.size()) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, 8);
+    h = HashMix64(h ^ word);
+    i += 8;
+  }
+  uint64_t tail = 0;
+  if (i < bytes.size()) {
+    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+    h = HashMix64(h ^ tail);
+  }
+  return HashMix64(h);
+}
+
+// Hash functor over std::string keys built from canonical serializations
+// (cache keys). Heterogeneous string_view lookup keeps callers allocation-
+// free on the probe path.
+struct BytesHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view bytes) const {
+    return static_cast<size_t>(HashBytes(bytes));
+  }
+  size_t operator()(const std::string& bytes) const {
+    return static_cast<size_t>(HashBytes(bytes));
+  }
+};
+
+// Appends the little-endian bytes of `v` to a canonical-serialization
+// buffer. The fixed width (no varint) keeps serializations prefix-free
+// per field, so concatenated fields can never alias across boundaries.
+inline void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
 
 }  // namespace ecrpq
 

@@ -40,6 +40,12 @@ const char* CounterName(CounterId id) {
       return "steals_succeeded";
     case CounterId::kDirectionSwitches:
       return "direction_switches";
+    case CounterId::kCacheHits:
+      return "cache_hits";
+    case CounterId::kCacheMisses:
+      return "cache_misses";
+    case CounterId::kCacheEvictions:
+      return "cache_evictions";
     case CounterId::kNumCounters:
       break;
   }
@@ -74,6 +80,8 @@ const char* HistogramName(HistogramId id) {
       return "bag_width";
     case HistogramId::kFrontierOccupancy:
       return "frontier_occupancy";
+    case HistogramId::kCacheLookupNs:
+      return "cache_lookup_ns";
     case HistogramId::kNumHistograms:
       break;
   }

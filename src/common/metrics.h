@@ -64,6 +64,14 @@ enum class CounterId : int {
   // Direction-optimizing product BFS. Deterministic: the switch decision is
   // a pure function of per-level frontier/unvisited sizes.
   kDirectionSwitches,          // Top-down <-> bottom-up transitions.
+  // Cross-query caching layer (common/cache.h). History-dependent: values
+  // depend on what earlier evaluations left in the process-wide caches, so
+  // — like the sched_ group — they are excluded from determinism
+  // comparisons and exported with a "cache_" name prefix that
+  // bench_compare treats as informational-only.
+  kCacheHits,                  // Cache lookups served from a live entry.
+  kCacheMisses,                // Cache lookups that found nothing.
+  kCacheEvictions,             // LRU entries evicted to respect the budget.
   kNumCounters,
 };
 
@@ -93,6 +101,7 @@ enum class HistogramId : int {
   kReachSetSize,             // Accepting targets found per fresh BFS.
   kBagWidth,                 // Variables per materialized tree-dec bag.
   kFrontierOccupancy,        // Frontier size per level (level-sync BFS).
+  kCacheLookupNs,            // One sharded-LRU lookup, hit or miss.
   kNumHistograms,
 };
 

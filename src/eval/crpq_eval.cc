@@ -3,10 +3,12 @@
 #include <string>
 #include <vector>
 
+#include "automata/interner.h"
 #include "cq/cq.h"
 #include "cq/eval_backtrack.h"
 #include "cq/eval_treedec.h"
 #include "cq/relational_db.h"
+#include "graphdb/reach_memo.h"
 #include "graphdb/rpq_reach.h"
 #include "query/validate.h"
 #include "synchro/tape_pack.h"
@@ -15,7 +17,7 @@ namespace ecrpq {
 
 Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
                                 bool use_treedec, size_t max_answers,
-                                obs::Session* obs) {
+                                obs::Session* obs, bool disable_cache) {
   obs::Span span(obs != nullptr ? obs->trace() : nullptr, "EvaluateCrpq");
   obs::MetricsShard* shard =
       obs != nullptr ? obs->metrics().AcquireShard() : nullptr;
@@ -80,9 +82,19 @@ Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
     ECRPQ_ASSIGN_OR_RAISE(Relation * rel, rdb.AddRelation(name, 2));
     {
       // One reach-atom materialization == one kPhaseReduceNs sample.
+      // Cached path: intern the language (dedups across atoms AND across
+      // queries — repeated regexes share one normalized automaton) and
+      // serve per-source reach sets from the epoch-keyed global memo.
+      // RpqReachFrom's output is independent of transition order, so the
+      // interned (normalized) automaton yields byte-identical rows.
       obs::ScopedTimer reduce_timer(shard, obs::HistogramId::kPhaseReduceNs);
-      for (const auto& [u, v] :
-           RpqReachAll(db, lang, /*num_threads=*/0, obs)) {
+      const std::vector<std::pair<VertexId, VertexId>> rows =
+          disable_cache
+              ? RpqReachAll(db, lang, /*num_threads=*/0, obs)
+              : RpqReachAllCached(
+                    db, AutomatonInterner::Global().Intern(lang, shard),
+                    /*num_threads=*/0, obs);
+      for (const auto& [u, v] : rows) {
         const uint32_t row[2] = {u, v};
         rel->Add(row);
         obs::Add(shard, obs::CounterId::kTuplesMaterialized);

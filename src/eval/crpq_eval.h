@@ -17,10 +17,17 @@ namespace ecrpq {
 // over the backtracking engine. A non-null `obs` session observes the
 // per-atom relation builds and the CQ phase and enforces the session budget
 // (Status::ResourceExhausted on trip).
+//
+// By default each reach atom's language NFA is interned (shared across
+// queries, see automata/interner.h) and its per-source reach sets are
+// served from the epoch-keyed global reach memo (graphdb/reach_memo.h).
+// `disable_cache` bypasses both — answers are byte-identical either way;
+// the flag exists for ablation and the ecrpq_cli --no-cache escape hatch.
 Result<EvalResult> EvaluateCrpq(const GraphDb& db, const EcrpqQuery& query,
                                 bool use_treedec = true,
                                 size_t max_answers = 0,
-                                obs::Session* obs = nullptr);
+                                obs::Session* obs = nullptr,
+                                bool disable_cache = false);
 
 }  // namespace ecrpq
 

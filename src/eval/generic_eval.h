@@ -48,6 +48,13 @@ struct EvalOptions {
   bool capture_assignment = false;
   // Disable per-source memoization in the component searches (ablation).
   bool disable_memo = false;
+  // Bypass the process-wide cross-query caches — plan cache (eval/planner),
+  // automaton interner (automata/interner.h) and reach-set memo
+  // (graphdb/reach_memo.h) — for this evaluation: nothing is looked up and
+  // nothing is published. Answers are byte-identical either way (the cache
+  // differential suite checks this); the switch exists as an escape hatch
+  // (ecrpq_cli --no-cache) and for cold-path benchmarking.
+  bool disable_cache = false;
   // Streaming: invoked once per *distinct* answer as it is found (before
   // the final sorted answer vector is produced). Returning false stops the
   // evaluation early. Boolean queries stream at most one (empty) tuple.

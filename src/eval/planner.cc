@@ -1,12 +1,30 @@
 #include "eval/planner.h"
 
 #include <sstream>
+#include <string>
 
+#include "automata/interner.h"
 #include "eval/crpq_eval.h"
 #include "eval/reduce_to_cq.h"
+#include "graphdb/reach_memo.h"
 #include "query/abstraction.h"
+#include "query/simplify.h"
 
 namespace ecrpq {
+
+namespace {
+
+std::string PlanCacheKey(const EcrpqQuery& query,
+                         const PlannerThresholds& thresholds) {
+  std::string key = CanonicalQueryKey(query);
+  // Thresholds move the regime boundaries, so they are part of the key.
+  AppendU32(&key, static_cast<uint32_t>(thresholds.max_cc_vertex));
+  AppendU32(&key, static_cast<uint32_t>(thresholds.max_cc_hedge));
+  AppendU32(&key, static_cast<uint32_t>(thresholds.max_treewidth));
+  return key;
+}
+
+}  // namespace
 
 const char* EvalRegimeName(EvalRegime r) {
   switch (r) {
@@ -93,11 +111,43 @@ QueryClassification ClassifyQuery(const EcrpqQuery& query,
   return c;
 }
 
+PlanCache& GlobalPlanCache() {
+  static PlanCache* cache = new PlanCache(4u << 20, /*num_shards=*/8);
+  return *cache;
+}
+
+void ClearGlobalCaches() {
+  GlobalPlanCache().Clear();
+  AutomatonInterner::Global().Clear();
+  ReachMemo::Global().Clear();
+}
+
+QueryClassification ClassifyQueryCached(const EcrpqQuery& query,
+                                        const PlannerThresholds& thresholds,
+                                        obs::MetricsShard* obs_shard) {
+  const std::string key = PlanCacheKey(query, thresholds);
+  PlanCache& cache = GlobalPlanCache();
+  if (std::optional<QueryClassification> hit = cache.Lookup(key, obs_shard)) {
+    return *hit;
+  }
+  // Racing classifiers of the same query may both compute — classification
+  // is a pure function of the key, so last-insert-wins is harmless, and
+  // not holding the shard lock across the treewidth computation keeps the
+  // cache responsive for unrelated queries.
+  const QueryClassification c = ClassifyQuery(query, thresholds);
+  cache.Insert(key, c, key.size() + sizeof(QueryClassification), obs_shard);
+  return c;
+}
+
 Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,
                                    const EvalOptions& options,
                                    const PlannerThresholds& thresholds,
                                    QueryClassification* classification_out) {
-  const QueryClassification c = ClassifyQuery(query, thresholds);
+  obs::MetricsShard* shard =
+      options.obs != nullptr ? options.obs->metrics().AcquireShard() : nullptr;
+  const QueryClassification c =
+      options.disable_cache ? ClassifyQuery(query, thresholds)
+                            : ClassifyQueryCached(query, thresholds, shard);
   if (classification_out != nullptr) *classification_out = c;
   ReduceOptions reduce_options;
   reduce_options.max_product_states = options.max_product_states;
@@ -105,7 +155,8 @@ Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,
   switch (c.engine) {
     case EngineChoice::kCrpqPipeline:
       return EvaluateCrpq(db, query, /*use_treedec=*/true,
-                          options.max_answers, options.obs);
+                          options.max_answers, options.obs,
+                          options.disable_cache);
     case EngineChoice::kCqReduction:
       return EvaluateViaCqReduction(db, query, /*use_treedec=*/true,
                                     reduce_options, options.max_answers);

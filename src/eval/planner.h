@@ -14,6 +14,8 @@
 
 #include <string>
 
+#include "common/cache.h"
+#include "common/hash.h"
 #include "common/result.h"
 #include "eval/generic_eval.h"
 #include "graphdb/graph_db.h"
@@ -66,6 +68,28 @@ struct QueryClassification {
 
 QueryClassification ClassifyQuery(const EcrpqQuery& query,
                                   const PlannerThresholds& thresholds = {});
+
+// Cached classification: the verdict is served from the process-wide plan
+// cache, keyed on CanonicalQueryKey(query) (query/simplify.h — exact
+// canonical bytes, so alpha-renamed / atom-permuted variants share one
+// entry and distinct structures never collide) plus the thresholds. The
+// expensive part of classification is the G^node treewidth computation;
+// a warm hit skips it entirely. `obs_shard` (nullable) receives
+// kCacheHits/kCacheMisses/kCacheLookupNs.
+QueryClassification ClassifyQueryCached(
+    const EcrpqQuery& query, const PlannerThresholds& thresholds = {},
+    obs::MetricsShard* obs_shard = nullptr);
+
+// The process-wide plan cache (tests, benches, stats).
+using PlanCache =
+    ShardedLruCache<std::string, QueryClassification, BytesHash>;
+PlanCache& GlobalPlanCache();
+
+// Drops every entry of every process-wide cross-query cache: the plan
+// cache, the automaton interner and the reach-set memo. Test and
+// cold-cache-benchmark hook; never required for correctness (epoch keys
+// already make stale reach entries unreachable).
+void ClearGlobalCaches();
 
 // Classifies and routes. `classification_out` (optional) receives the plan.
 Result<EvalResult> EvaluatePlanned(const GraphDb& db, const EcrpqQuery& query,

@@ -11,6 +11,9 @@ void GraphDb::AddEdge(VertexId from, Symbol symbol, VertexId to) {
   ECRPQ_CHECK_LT(symbol, static_cast<Symbol>(alphabet_.size()));
   edges_.push_back(EdgeRec{from, symbol, to});
   csr_valid_ = false;
+  // Even a duplicate triple bumps the epoch: cheap, and correctness only
+  // needs "no mutation without a bump", not the converse.
+  identity_.BumpEpoch();
 }
 
 void GraphDb::AddEdge(VertexId from, std::string_view symbol_name,

@@ -24,6 +24,7 @@
 #ifndef ECRPQ_GRAPHDB_GRAPH_DB_H_
 #define ECRPQ_GRAPHDB_GRAPH_DB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -38,6 +39,56 @@ namespace ecrpq {
 
 using VertexId = uint32_t;
 
+// Process-unique graph identity plus a monotone mutation epoch — the
+// invalidation token of the cross-query caching layer (reach-set memo).
+// A cache entry is keyed on (id, epoch); any mutation bumps the epoch, so
+// stale entries become unreachable by construction and age out of the LRU
+// instead of needing explicit invalidation.
+//
+// Copy/move semantics are the load-bearing part:
+//  - a COPIED graph gets a FRESH id (epoch restarts at 0): the copy can
+//    diverge from the original, and two diverging graphs must never share
+//    an (id, epoch) pair — that would resurrect the other graph's cache
+//    entries as wrong answers;
+//  - a MOVED-FROM graph hands its identity to the destination (the graph
+//    the entries describe lives there now) and re-seeds itself with a
+//    fresh id, keeping the moved-from shell safe to reuse.
+class GraphIdentity {
+ public:
+  GraphIdentity() : id_(NextId()) {}
+  GraphIdentity(const GraphIdentity&) : id_(NextId()) {}
+  GraphIdentity& operator=(const GraphIdentity&) {
+    id_ = NextId();
+    epoch_ = 0;
+    return *this;
+  }
+  GraphIdentity(GraphIdentity&& other) noexcept
+      : id_(other.id_), epoch_(other.epoch_) {
+    other.id_ = NextId();
+    other.epoch_ = 0;
+  }
+  GraphIdentity& operator=(GraphIdentity&& other) noexcept {
+    id_ = other.id_;
+    epoch_ = other.epoch_;
+    other.id_ = NextId();
+    other.epoch_ = 0;
+    return *this;
+  }
+
+  uint64_t id() const { return id_; }
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
+ private:
+  static uint64_t NextId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t id_;
+  uint64_t epoch_ = 0;
+};
+
 struct LabeledEdge {
   Symbol symbol;
   VertexId to;
@@ -50,11 +101,22 @@ class GraphDb {
   explicit GraphDb(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
 
   const Alphabet& alphabet() const { return alphabet_; }
-  Alphabet* mutable_alphabet() { return &alphabet_; }
+  Alphabet* mutable_alphabet() {
+    // Alphabet growth is a (conservative) mutation for cache purposes.
+    identity_.BumpEpoch();
+    return &alphabet_;
+  }
+
+  // Cache identity: process-unique graph id and the monotone epoch bumped
+  // by every mutator. (graph_id, graph_epoch) names one immutable snapshot
+  // of this graph's contents — the reach-set memo keys on it.
+  uint64_t graph_id() const { return identity_.id(); }
+  uint64_t graph_epoch() const { return identity_.epoch(); }
 
   VertexId AddVertex() {
     csr_role_.Assert();  // Build phase: single-writer mutation.
     csr_valid_ = false;
+    identity_.BumpEpoch();
     return num_vertices_++;
   }
 
@@ -139,6 +201,7 @@ class GraphDb {
   void BuildCsr() const ECRPQ_REQUIRES(csr_role_);
 
   Alphabet alphabet_;
+  GraphIdentity identity_;
   VertexId num_vertices_ = 0;
   // The phantom capability guarding the lazily-(re)built state below.
   ExclusiveRole csr_role_;

@@ -1,0 +1,98 @@
+// ReachMemo: process-wide cache of per-source RPQ reach sets, keyed on
+// (graph id, graph epoch, interned-NFA unique id, source vertex).
+//
+// Invalidation is by construction, not by callback: every GraphDb mutation
+// bumps the graph's monotone epoch (see GraphIdentity in graph_db.h), and
+// the epoch is part of the key — entries recorded against an earlier epoch
+// can never be returned for the mutated graph; they simply stop being
+// looked up and age out of the LRU. Likewise the NFA component is the
+// interner's never-reused unique id, so interner eviction cannot alias two
+// distinct languages onto one memo entry (no ABA).
+//
+// Every key component is exact (ids, not hashes of content), so a memo hit
+// is guaranteed to be the reach set RpqReachFrom would recompute — cached
+// and uncached evaluation are byte-identical, which the cache differential
+// suite checks over hundreds of seeded instances with interleaved graph
+// mutations.
+#ifndef ECRPQ_GRAPHDB_REACH_MEMO_H_
+#define ECRPQ_GRAPHDB_REACH_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "automata/interner.h"
+#include "common/cache.h"
+#include "common/hash.h"
+#include "common/obs.h"
+#include "graphdb/graph_db.h"
+
+namespace ecrpq {
+
+struct ReachMemoKey {
+  uint64_t graph_id = 0;
+  uint64_t graph_epoch = 0;
+  uint64_t nfa_id = 0;
+  VertexId source = 0;
+  bool operator==(const ReachMemoKey&) const = default;
+};
+
+struct ReachMemoKeyHash {
+  size_t operator()(const ReachMemoKey& k) const {
+    size_t h = HashCombine(0x5eacb007ULL, k.graph_id);
+    h = HashCombine(h, k.graph_epoch);
+    h = HashCombine(h, k.nfa_id);
+    return HashCombine(h, k.source);
+  }
+};
+
+class ReachMemo {
+ public:
+  static constexpr size_t kDefaultCapacityBytes = 64u << 20;  // 64 MiB.
+
+  // Sorted ascending (RpqReachFrom order); shared so eviction never
+  // invalidates a set an evaluation is still joining over.
+  using ReachSet = std::shared_ptr<const std::vector<VertexId>>;
+
+  explicit ReachMemo(size_t capacity_bytes = kDefaultCapacityBytes)
+      : cache_(capacity_bytes, /*num_shards=*/16) {}
+
+  // The process-wide instance every engine shares.
+  static ReachMemo& Global();
+
+  std::optional<ReachSet> Lookup(const ReachMemoKey& key,
+                                 obs::MetricsShard* obs_shard = nullptr) {
+    return cache_.Lookup(key, obs_shard);
+  }
+
+  void Insert(const ReachMemoKey& key, ReachSet set,
+              obs::MetricsShard* obs_shard = nullptr) {
+    const size_t cost = set->size() * sizeof(VertexId) + sizeof(ReachMemoKey);
+    cache_.Insert(key, std::move(set), cost, obs_shard);
+  }
+
+  void Clear() { cache_.Clear(); }
+  size_t SizeBytes() const { return cache_.SizeBytes(); }
+  size_t NumEntries() const { return cache_.NumEntries(); }
+
+  ShardedLruCache<ReachMemoKey, ReachSet, ReachMemoKeyHash>& cache() {
+    return cache_;
+  }
+
+ private:
+  ShardedLruCache<ReachMemoKey, ReachSet, ReachMemoKeyHash> cache_;
+};
+
+// Drop-in cached variant of RpqReachAll (graphdb/rpq_reach.h): identical
+// output — per-source reach sets concatenated in source order — with each
+// per-source set served from the global ReachMemo when a live entry exists
+// for this exact (graph snapshot, language) pair, and computed + inserted
+// otherwise. Misses run on the same pool/scheduler as the uncached path.
+std::vector<std::pair<VertexId, VertexId>> RpqReachAllCached(
+    const GraphDb& db, const InternedNfa& lang, int num_threads = 0,
+    obs::Session* obs = nullptr);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPHDB_REACH_MEMO_H_

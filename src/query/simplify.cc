@@ -1,10 +1,15 @@
 #include "query/simplify.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <tuple>
 #include <vector>
 
+#include "automata/interner.h"
+#include "common/hash.h"
 #include "query/builder.h"
 #include "query/validate.h"
 #include "synchro/builders.h"
@@ -95,6 +100,55 @@ Result<EcrpqQuery> SimplifyQuery(const EcrpqQuery& query,
   builder.Free(query.free_vars());
   if (stats != nullptr) *stats = local;
   return builder.Build();
+}
+
+std::string CanonicalQueryKey(const EcrpqQuery& query) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(query.NumNodeVars()));
+  AppendU32(&out, static_cast<uint32_t>(query.NumPathVars()));
+  // Free variables keep their order: it is the answer-tuple order, part of
+  // the query's meaning.
+  AppendU32(&out, static_cast<uint32_t>(query.free_vars().size()));
+  for (NodeVarId v : query.free_vars()) AppendU32(&out, v);
+  // Reach atoms in sorted order — atom listing order never affects the
+  // abstraction's measures or engine choice.
+  std::vector<ReachAtom> reach(query.reach_atoms());
+  std::sort(reach.begin(), reach.end(),
+            [](const ReachAtom& a, const ReachAtom& b) {
+              return std::tie(a.from, a.path, a.to) <
+                     std::tie(b.from, b.path, b.to);
+            });
+  AppendU32(&out, static_cast<uint32_t>(reach.size()));
+  for (const ReachAtom& atom : reach) {
+    AppendU32(&out, atom.from);
+    AppendU32(&out, atom.path);
+    AppendU32(&out, atom.to);
+  }
+  // Relation atoms: each serialized as (arity, alphabet size, canonical
+  // automaton bytes, path-variable list) with length prefixes, then the
+  // serializations sorted — display names are deliberately absent, content
+  // identifies the relation.
+  std::vector<std::string> rel_bytes;
+  rel_bytes.reserve(query.rel_atoms().size());
+  for (const RelAtom& atom : query.rel_atoms()) {
+    const SyncRelation& rel = query.relation(atom.relation);
+    std::string r;
+    AppendU32(&r, static_cast<uint32_t>(rel.arity()));
+    AppendU32(&r, static_cast<uint32_t>(rel.alphabet().size()));
+    const std::string nfa = CanonicalNfaBytes(rel.nfa());
+    AppendU32(&r, static_cast<uint32_t>(nfa.size()));
+    r += nfa;
+    AppendU32(&r, static_cast<uint32_t>(atom.paths.size()));
+    for (PathVarId p : atom.paths) AppendU32(&r, p);
+    rel_bytes.push_back(std::move(r));
+  }
+  std::sort(rel_bytes.begin(), rel_bytes.end());
+  AppendU32(&out, static_cast<uint32_t>(rel_bytes.size()));
+  for (const std::string& r : rel_bytes) {
+    AppendU32(&out, static_cast<uint32_t>(r.size()));
+    out += r;
+  }
+  return out;
 }
 
 }  // namespace ecrpq

@@ -38,6 +38,20 @@ Result<EcrpqQuery> SimplifyQuery(const EcrpqQuery& query,
                                  const SimplifyOptions& options = {},
                                  SimplifyStats* stats = nullptr);
 
+// Canonical structural serialization of a query — the plan-cache key
+// (eval/planner.h). Two queries map to the same bytes iff they have the
+// same structure up to (a) variable NAMES (ids are already positional, so
+// alpha-renamed variants serialize identically), (b) atom ORDER (reach and
+// relation atoms are serialized in sorted order), and (c) relation display
+// names (relations contribute their exact canonical automaton bytes, not
+// their labels). Everything the classifier depends on — the two-level
+// abstraction, its measures, IsCrpq — is invariant under exactly those
+// three quotients, so a classification cached under this key is correct
+// for every query that produces it. The serialization is exact (full
+// bytes, never a hash), so distinct structures can never collide into one
+// cache entry.
+std::string CanonicalQueryKey(const EcrpqQuery& query);
+
 }  // namespace ecrpq
 
 #endif  // ECRPQ_QUERY_SIMPLIFY_H_

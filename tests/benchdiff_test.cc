@@ -178,6 +178,19 @@ TEST(BenchDiffTest, SchedPrefixedCountersAreInformationalOnly) {
   EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
 }
 
+TEST(BenchDiffTest, CachePrefixedCountersAreInformationalOnly) {
+  // Cache hit/miss/eviction counts depend on what earlier iterations left
+  // in the process-wide caches, so like sched_ they are exported for
+  // eyeballing but never gated — a warm run vs a cold baseline must pass.
+  std::vector<BenchRecord> baseline = BaselineRecords();
+  baseline[0].counters.emplace_back("cache_hits", 0.0);
+  baseline[0].counters.emplace_back("cache_misses", 500.0);
+  std::vector<BenchRecord> current = baseline;
+  current[0].counters[current[0].counters.size() - 2].second = 500.0;
+  current[0].counters.back().second = 1.0;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
+}
+
 TEST(BenchDiffTest, IncomparableRecordsSkipWithNotes) {
   const std::vector<BenchRecord> baseline = BaselineRecords();
 

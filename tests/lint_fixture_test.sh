@@ -46,6 +46,9 @@ check dcheck_side_effect_fires 1 "[ecrpq-dcheck-side-effects]" \
 check raw_worklist_fires 1 "[ecrpq-raw-worklist]" \
     ${LINT} --treat-as-worklist-scope bad_raw_worklist.cc \
     "${FIXTURES}/bad_raw_worklist.cc"
+check raw_determinize_fires 1 "[ecrpq-raw-determinize]" \
+    ${LINT} --treat-as-determinize-scope bad_raw_determinize.cc \
+    "${FIXTURES}/bad_raw_determinize.cc"
 
 # --- Precision checks. ----------------------------------------------------
 # NOLINT(ecrpq-naked-mutex) suppresses; the 4 unsuppressed sites remain.
@@ -83,6 +86,20 @@ if [ "${n_worklist}" -eq 2 ]; then
   echo "ok   raw_worklist_precision (2 findings, NOLINT'd BFS deque quiet)"
 else
   echo "FAIL raw_worklist_precision: ${n_worklist} findings, expected 2"
+  failures=$((failures + 1))
+fi
+# raw-determinize only applies inside src/eval + src/graphdb (or files
+# forced into scope): the same fixture without the scope flag is quiet.
+check raw_determinize_scoped_to_hot_paths 0 - \
+    ${LINT} --rule ecrpq-raw-determinize "${FIXTURES}/bad_raw_determinize.cc"
+# 2 seeded findings; DeterminizeCached( and the NOLINT'd one-shot stay quiet.
+n_determinize="$(${LINT} --treat-as-determinize-scope bad_raw_determinize.cc \
+    "${FIXTURES}/bad_raw_determinize.cc" 2>/dev/null \
+    | grep -c 'ecrpq-raw-determinize')"
+if [ "${n_determinize}" -eq 2 ]; then
+  echo "ok   raw_determinize_precision (2 findings, cached/NOLINT'd quiet)"
+else
+  echo "FAIL raw_determinize_precision: ${n_determinize} findings, expected 2"
   failures=$((failures + 1))
 fi
 # Pure DCHECK conditions in the dcheck fixture stay quiet (3 seeded, 2 clean).

@@ -1,0 +1,52 @@
+// Lint fixture: an evaluation-hot-path translation unit (passed to
+// ecrpq_lint via --treat-as-determinize-scope) that calls Determinize(
+// directly instead of going through AutomatonInterner::DeterminizeCached
+// (automata/interner.h) — seeds ecrpq-raw-determinize. Never compiled.
+#include <cstddef>
+
+namespace fixture {
+
+struct Nfa {};
+struct Dfa {};
+
+// Finding 1: a raw subset construction in a per-atom loop.
+size_t MaterializeAtoms(size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Nfa lang;
+    Dfa dfa = Determinize(lang);
+    (void)dfa;
+    ++total;
+  }
+  return total;
+}
+
+// Finding 2: raw determinization spelled with interior whitespace — the
+// rule matches `Determinize (` too.
+size_t MaterializeOne() {
+  Nfa lang;
+  Dfa dfa = Determinize (lang);
+  (void)dfa;
+  return 1;
+}
+
+// Quiet: the cached entry point — `Determinize` inside `DeterminizeCached`
+// has no identifier boundary, so the rule must not fire here.
+size_t MaterializeCached() {
+  Nfa lang;
+  Dfa dfa = DeterminizeCached(lang);
+  (void)dfa;
+  return 1;
+}
+
+// Suppressed: a deliberately uncached one-shot automaton — the legitimate
+// use the rule's NOLINT escape hatch exists for.
+size_t MaterializeOneShot() {
+  Nfa lang;
+  // NOLINTNEXTLINE(ecrpq-raw-determinize): one-shot, not worth cache space.
+  Dfa dfa = Determinize(lang);
+  (void)dfa;
+  return 1;
+}
+
+}  // namespace fixture

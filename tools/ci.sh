@@ -47,11 +47,13 @@ cmake --build build-tsan -j "$JOBS"
 # default. Death tests (BudgetInvariantsDeathTest etc.) stay out of the
 # regex: fork-style death tests and TSan don't mix.
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'AnnotationsTest|ThreadPool|WorkStealing|FrontierScheduler|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite'
+  -R 'AnnotationsTest|ThreadPool|WorkStealing|FrontierScheduler|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite|CacheTest|AutomatonInternerTest|ReachMemoTest|PlanCacheTest'
 
 echo "== [6/11] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'DifferentialSuite|ObsTest|ObsHistogramTest|PhaseProfileTest|BenchDiffTest|JsonTest|BudgetInvariantsDeathTest'
+# (DifferentialSuite above includes CacheDifferentialSuite: cache-on with
+# interleaved graph mutations vs cache-off, byte-identical answers.)
 OBS_TMP="build/obs-smoke"
 mkdir -p "$OBS_TMP"
 {
@@ -100,6 +102,15 @@ if [ "$BUDGET_RC" -ne 3 ]; then
   exit 1
 fi
 grep -q 'partial stats:' "$OBS_TMP/budget.out"
+# --no-cache escape hatch: bypassing the cross-query caches must not change
+# a byte of output. (Each CLI run is its own process, so this checks the
+# flag plumbing and cold-path equality; warm-hit equality is covered by
+# CacheDifferentialSuite above.)
+build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" \
+  > "$OBS_TMP/eval-cached.out"
+build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" --no-cache \
+  > "$OBS_TMP/eval-nocache.out"
+diff "$OBS_TMP/eval-cached.out" "$OBS_TMP/eval-nocache.out"
 echo "observability smoke passed."
 
 echo "== [7/11] benchmark smoke (BENCH_*.json) =="

@@ -49,7 +49,8 @@ int Usage() {
       "  ecrpq_cli eval <graph-file> \"<query>\" [--engine=auto|generic|cq|"
       "crpq|adaptive] [--rel=name=relation-file]\n"
       "             [--stats] [--trace=<out.json>] [--budget-states=<n>]\n"
-      "             [--budget-mem=<bytes>] [--budget-ms=<millis>]\n"
+      "             [--budget-mem=<bytes>] [--budget-ms=<millis>] "
+      "[--no-cache]\n"
       "  ecrpq_cli profile <graph-file> \"<query>\" "
       "[--engine=...] [--rel=name=relation-file]\n"
       "  ecrpq_cli trace-check <trace.json>\n"
@@ -86,6 +87,9 @@ struct Args {
   uint64_t budget_states = 0;
   uint64_t budget_mem = 0;
   int64_t budget_ms = 0;
+  // Bypass the process-wide cross-query caches (plan cache, automaton
+  // interner, reach-set memo). Answers are identical either way.
+  bool no_cache = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -102,6 +106,8 @@ Args ParseArgs(int argc, char** argv) {
       args.strict = true;
     } else if (arg == "--stats") {
       args.stats = true;
+    } else if (arg == "--no-cache") {
+      args.no_cache = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       args.trace_path = arg.substr(strlen("--trace="));
     } else if (arg.rfind("--budget-states=", 0) == 0) {
@@ -300,6 +306,7 @@ int Eval(const Args& args) {
   if (args.engine == "generic") {
     EvalOptions options;
     options.obs = obs;
+    options.disable_cache = args.no_cache;
     result = EvaluateGeneric(*db, *query, options);
   } else if (args.engine == "cq") {
     ReduceOptions reduce_options;
@@ -308,11 +315,12 @@ int Eval(const Args& args) {
                                     reduce_options);
   } else if (args.engine == "crpq") {
     result = EvaluateCrpq(*db, *query, /*use_treedec=*/true,
-                          /*max_answers=*/0, obs);
+                          /*max_answers=*/0, obs, args.no_cache);
   } else if (args.engine == "adaptive") {
     AdaptiveReport report;
     AdaptiveOptions adaptive_options;
     adaptive_options.eval.obs = obs;
+    adaptive_options.eval.disable_cache = args.no_cache;
     result = EvaluateAdaptive(*db, *query, adaptive_options, &report);
     if (result.ok()) {
       std::printf("adaptive: budget=%zu fell_back=%s\n", report.phase1_budget,
@@ -322,6 +330,7 @@ int Eval(const Args& args) {
     QueryClassification c;
     EvalOptions options;
     options.obs = obs;
+    options.disable_cache = args.no_cache;
     result = EvaluatePlanned(*db, *query, options, {}, &c);
     if (result.ok()) std::printf("%s\n", c.ToString().c_str());
   } else {
@@ -397,6 +406,7 @@ int Profile(const Args& args) {
     EvalOptions options;
     options.obs = &session;
     options.num_threads = 1;
+    options.disable_cache = args.no_cache;
     result = EvaluateGeneric(*db, *query, options);
   } else if (args.engine == "cq") {
     ReduceOptions reduce_options;
@@ -406,11 +416,12 @@ int Profile(const Args& args) {
                                     reduce_options);
   } else if (args.engine == "crpq") {
     result = EvaluateCrpq(*db, *query, /*use_treedec=*/true,
-                          /*max_answers=*/0, &session);
+                          /*max_answers=*/0, &session, args.no_cache);
   } else if (args.engine == "auto") {
     EvalOptions options;
     options.obs = &session;
     options.num_threads = 1;
+    options.disable_cache = args.no_cache;
     result = EvaluatePlanned(*db, *query, options);
   } else {
     return Usage();

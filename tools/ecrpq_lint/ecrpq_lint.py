@@ -36,6 +36,15 @@ Rules (catalog + rationale in docs/STATIC_ANALYSIS.md):
       the 0/1-BFS witness-path deque) stay — suppress with a justified
       NOLINT.
 
+  ecrpq-raw-determinize
+      No direct Determinize( calls in the evaluation hot paths (src/eval/,
+      src/graphdb/): subset construction is exponential in the worst case
+      and must go through AutomatonInterner::DeterminizeCached
+      (automata/interner.h), which memoizes the DFA per (interned NFA,
+      label universe). A deliberately-uncached determinization (e.g. a
+      one-shot automaton that must not occupy cache budget) gets a
+      justified NOLINT.
+
 Sources come from the compile database (first-party TUs) plus first-party
 headers. Findings print as `path:line: [rule] message`; exit 1 on findings.
 Suppress a line with `NOLINT(ecrpq-<rule>)` or the following line with
@@ -60,6 +69,7 @@ import sys
 ENGINE_FILES = [
     "src/graphdb/tuple_search.cc",
     "src/graphdb/rpq_reach.cc",
+    "src/graphdb/reach_memo.cc",
     "src/eval/generic_eval.cc",
     "src/eval/reduce_to_cq.cc",
     "src/eval/crpq_eval.cc",
@@ -109,12 +119,18 @@ INCDEC_RE = re.compile(r"\+\+|--")
 # "priority_queue" has no boundary before it.
 RAW_WORKLIST_RE = re.compile(r"\bstd\s*::\s*(deque|queue)\b")
 
+# \b keeps DeterminizeCached( out: the leading boundary requires the match
+# to start a fresh identifier, and "Determinize" inside "DeterminizeCached"
+# is followed by 'C', not '('.
+RAW_DETERMINIZE_RE = re.compile(r"\bDeterminize\s*\(")
+
 RULES = [
     "ecrpq-naked-mutex",
     "ecrpq-budget-poll",
     "ecrpq-unordered-emission",
     "ecrpq-dcheck-side-effects",
     "ecrpq-raw-worklist",
+    "ecrpq-raw-determinize",
 ]
 
 
@@ -364,6 +380,25 @@ def check_raw_worklist(relpath, raw_lines, stripped, extra_scope):
     return findings
 
 
+def check_raw_determinize(relpath, raw_lines, stripped, extra_scope):
+    in_scope = any(relpath.startswith(d) or ("/" + d) in relpath
+                   for d in RAW_WORKLIST_DIRS)
+    if not in_scope and os.path.basename(relpath) not in extra_scope:
+        return []
+    findings = []
+    supp = suppressed_lines(raw_lines, "ecrpq-raw-determinize")
+    for ln, line in enumerate(stripped.splitlines(), 1):
+        if RAW_DETERMINIZE_RE.search(line) and ln not in supp:
+            findings.append(Finding(
+                relpath, ln, "ecrpq-raw-determinize",
+                "raw Determinize( in an evaluation hot path; subset "
+                "construction goes through "
+                "AutomatonInterner::DeterminizeCached "
+                "(automata/interner.h) — NOLINT only for deliberately "
+                "uncached one-shot automata"))
+    return findings
+
+
 def collect_sources(repo_root, build_dir):
     """First-party TUs from the compile database + first-party headers."""
     sources = []
@@ -460,6 +495,10 @@ def main():
     ap.add_argument("--treat-as-worklist-scope", action="append", default=[],
                     help="additional file(s) the raw-worklist rule applies "
                          "to (fixture tests)")
+    ap.add_argument("--treat-as-determinize-scope", action="append",
+                    default=[],
+                    help="additional file(s) the raw-determinize rule "
+                         "applies to (fixture tests)")
     ap.add_argument("--clang-query", choices=["auto", "on", "off"],
                     default="auto")
     ap.add_argument("--list-rules", action="store_true")
@@ -523,6 +562,11 @@ def main():
                 rel, raw_lines, stripped,
                 [os.path.basename(f)
                  for f in args.treat_as_worklist_scope])
+        if "ecrpq-raw-determinize" in active:
+            findings += check_raw_determinize(
+                rel, raw_lines, stripped,
+                [os.path.basename(f)
+                 for f in args.treat_as_determinize_scope])
 
     if not args.files:  # Tree runs also get the AST-level pass.
         findings += run_clang_query(repo_root, build_dir, files,
