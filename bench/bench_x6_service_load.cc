@@ -1,0 +1,201 @@
+// X6 (supplementary) — QueryService under multi-client load: end-to-end
+// request latency and throughput through the wire protocol, admission
+// control and the process-wide cross-query caches.
+//
+// Three regimes over one fixed 8-query read-only script per client:
+//   cold-1        a fresh service AND empty global caches every iteration,
+//                 one client: the worst-case rate a first-ever client sees
+//                 (pays classification, interning, every reach BFS).
+//   warm-1        one client against a long-lived, fully primed service:
+//                 the per-request floor (parse, admission, cache hits,
+//                 response rendering).
+//   warm-4        four concurrent client threads on the same primed
+//                 service, one session each: the headline serving rate.
+//                 On a single-core host the >= 5x edge over cold-1 comes
+//                 entirely from cache warmth (x5 measured ~100x cold/warm
+//                 per query); with real cores, session parallelism
+//                 stacks on top.
+//
+// The warm-4 run also exports the service_request_ns latency percentiles
+// (p50/p90/p99) and the admission split. Everything service_-prefixed is
+// informational-only under tools/bench_compare — admission traffic is
+// load-dependent, not a regression signal.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/dcheck.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "eval/planner.h"
+#include "graphdb/graph_db.h"
+#include "service/query_service.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr int kClients = 4;
+
+GraphDb BenchGraph() {
+  // Same shape as bench_x5's graph, scaled down so one cold iteration
+  // stays in the tens of milliseconds: symbol-skewed (a-heavy, b-rare) so
+  // (a|b)*-style sweeps do real work while answer sets stay small.
+  constexpr int kVertices = 256;
+  Rng rng(71);
+  GraphDb db(Alphabet::OfChars("ab"));
+  db.AddVertices(kVertices);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    const uint64_t a_degree = 2 + rng.Below(2);
+    for (uint64_t e = 0; e < a_degree; ++e) {
+      db.AddEdge(v, static_cast<Symbol>(0),
+                 static_cast<VertexId>(rng.Below(kVertices)));
+    }
+    if (rng.Below(2) == 0) {
+      db.AddEdge(v, static_cast<Symbol>(1),
+                 static_cast<VertexId>(rng.Below(kVertices)));
+    }
+  }
+  return db;
+}
+
+// Eight distinct read-only queries: each cold run pays eight
+// classifications and eight reach computations; each warm run hits eight
+// times across the plan cache, interner and reach memo.
+std::vector<std::string> ClientScript() {
+  // Every language is an (a|b)* sweep with a rare b-heavy suffix (the
+  // bench graph averages only ~0.5 b-edges per vertex): the cold
+  // per-source product BFS saturates the graph while the materialized
+  // reach relations — the warm path's per-request join work — stay near
+  // empty. Eight distinct languages => eight distinct interner/memo
+  // entries, so a cold pass misses every layer eight times.
+  const std::vector<std::string> kQueries = {
+      "q() := x -[/(a|b)*bbbbbbbb/]-> y",
+      "q() := x -[/(a|b)*bbbbbbba/]-> y",
+      "q() := x -[/(a|b)*abbbbbbb/]-> y",
+      "q() := x -[/(a|b)*bbbabbbb/]-> y",
+      "q() := x -[/a(a|b)*bbbbbbb/]-> y",
+      "q() := x -[/b(a|b)*bbbbbbb/]-> y",
+      "q() := x -[/(a|b)*bbbbbbab/]-> y",
+      "q() := x -[/(a|b)*babbbbbb/]-> y",
+  };
+  std::vector<std::string> script;
+  int next_id = 0;
+  for (const std::string& q : kQueries) {
+    script.push_back("{\"id\":\"q" + std::to_string(next_id++) +
+                     "\",\"op\":\"query\",\"query\":\"" + q + "\"}");
+  }
+  return script;
+}
+
+ServiceConfig BenchConfig() {
+  ServiceConfig config;
+  // Evaluations stay sequential: on this workload the queries are small,
+  // so serving-rate wins come from session concurrency and cache warmth,
+  // not from fanning each tiny query onto a worker pool.
+  config.pool_threads = 1;
+  // Real (non-binding here) limits so the admission bookkeeping runs at
+  // its production cost and the queue path is compiled in, not dead.
+  config.admission.max_concurrent = 2 * kClients;
+  config.admission.policy = OverflowPolicy::kQueue;
+  config.admission.queue_deadline_millis = 10'000;
+  return config;
+}
+
+void RunScript(ServiceSession* session,
+               const std::vector<std::string>& script) {
+  for (const std::string& line : script) {
+    std::string response = session->HandleLine(line);
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+// One checked pass: the scripts must answer status:"ok" end to end, or
+// the throughput numbers are measuring error paths.
+void CheckScript(QueryService& service,
+                 const std::vector<std::string>& script) {
+  auto session = service.OpenSession();
+  for (const std::string& line : script) {
+    const std::string response = session->HandleLine(line);
+    ECRPQ_CHECK(response.find("\"status\":\"ok\"") != std::string::npos);
+  }
+}
+
+void BM_ServiceSingleClientCold(benchmark::State& state) {
+  const std::vector<std::string> script = ClientScript();
+  {
+    QueryService probe(BenchConfig(), BenchGraph());
+    CheckScript(probe, script);
+  }
+  for (auto _ : state) {
+    ClearGlobalCaches();
+    QueryService service(BenchConfig(), BenchGraph());
+    auto session = service.OpenSession();
+    RunScript(session.get(), script);
+  }
+  ClearGlobalCaches();
+  state.counters["queries_per_iter"] = static_cast<double>(script.size());
+  state.counters["clients"] = 1;
+}
+BENCHMARK(BM_ServiceSingleClientCold)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceSingleClientWarm(benchmark::State& state) {
+  const std::vector<std::string> script = ClientScript();
+  ClearGlobalCaches();
+  QueryService service(BenchConfig(), BenchGraph());
+  CheckScript(service, script);  // Doubles as the cache primer.
+  for (auto _ : state) {
+    auto session = service.OpenSession();
+    RunScript(session.get(), script);
+  }
+  state.counters["queries_per_iter"] = static_cast<double>(script.size());
+  state.counters["clients"] = 1;
+}
+BENCHMARK(BM_ServiceSingleClientWarm)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceConcurrentClientsWarm(benchmark::State& state) {
+  const std::vector<std::string> script = ClientScript();
+  ClearGlobalCaches();
+  QueryService service(BenchConfig(), BenchGraph());
+  CheckScript(service, script);
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, &script] {
+        auto session = service.OpenSession();
+        RunScript(session.get(), script);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  state.counters["queries_per_iter"] =
+      static_cast<double>(kClients * script.size());
+  state.counters["clients"] = kClients;
+
+  // Latency distribution and admission split over the whole run, from the
+  // service-level metrics every session records into. All informational.
+  const obs::StatsReport report = service.Report();
+  const obs::HistogramData& latency =
+      report.hist(obs::HistogramId::kServiceRequestNs);
+  state.counters["service_p50_ns"] =
+      static_cast<double>(latency.Percentile(0.50));
+  state.counters["service_p90_ns"] =
+      static_cast<double>(latency.Percentile(0.90));
+  state.counters["service_p99_ns"] =
+      static_cast<double>(latency.Percentile(0.99));
+  const AdmissionCounters admission = service.admission_counters();
+  state.counters["service_admitted"] =
+      static_cast<double>(admission.admitted);
+  state.counters["service_queued"] = static_cast<double>(admission.queued);
+  state.counters["service_rejected"] =
+      static_cast<double>(admission.rejected);
+  state.counters["service_active_peak"] =
+      static_cast<double>(admission.active_peak);
+}
+BENCHMARK(BM_ServiceConcurrentClientsWarm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecrpq

@@ -30,6 +30,7 @@
 #define ECRPQ_COMMON_ANNOTATIONS_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>  // NOLINT(ecrpq-naked-mutex) -- the one wrapping site.
 #include <thread>
@@ -191,6 +192,16 @@ class CondVar {
   void Wait(Mutex& mu) ECRPQ_REQUIRES(mu) {
     Mutex::WaitView view(mu);
     cv_.wait(view);
+  }
+
+  // Like Wait, but gives up at `deadline`. Returns true when the deadline
+  // passed (the caller's condition may STILL have become true in the same
+  // instant — always re-check it), false on a possibly-spurious earlier
+  // wakeup. Used by bounded-deadline waits (admission-control queueing).
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      ECRPQ_REQUIRES(mu) {
+    Mutex::WaitView view(mu);
+    return cv_.wait_until(view, deadline) == std::cv_status::timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

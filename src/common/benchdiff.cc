@@ -24,9 +24,12 @@ bool IsInformationalCounter(const std::string& name) {
   // design and are exported for eyeballing only, never gated. cache_-
   // prefixed counters (hits/misses/evictions) likewise depend on cross-run
   // history — whatever earlier iterations left in the process-wide caches —
-  // not on the benchmarked work itself.
+  // not on the benchmarked work itself. service_-prefixed counters
+  // (admission-control admitted/queued/rejected traffic) depend on the
+  // concurrent load mix and queueing timing, same rule.
   return name.compare(0, 6, "sched_") == 0 ||
-         name.compare(0, 6, "cache_") == 0;
+         name.compare(0, 6, "cache_") == 0 ||
+         name.compare(0, 8, "service_") == 0;
 }
 
 std::string Fmt(double v) {

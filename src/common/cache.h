@@ -94,11 +94,12 @@ class ShardedLruCache {
   // fixed overhead, evicting LRU entries as needed. An entry that cannot
   // fit in an empty shard is dropped (the caller keeps its computed value;
   // it is simply not shared). Re-inserting an existing key replaces the
-  // value and re-charges the new cost.
+  // value and re-charges the new cost — including when the new cost is
+  // oversized: the old entry is removed first, so the cache never keeps
+  // serving a value its caller just tried to replace.
   void Insert(const Key& key, Value value, size_t cost_bytes,
               obs::MetricsShard* obs_shard = nullptr) {
     const size_t charge = cost_bytes + kCacheEntryOverheadBytes;
-    if (charge > per_shard_capacity_) return;  // Oversized: never cached.
     Shard& shard = ShardFor(key);
     MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
@@ -107,6 +108,7 @@ class ShardedLruCache {
       shard.lru.erase(it->second);
       shard.index.erase(it);
     }
+    if (charge > per_shard_capacity_) return;  // Oversized: never cached.
     EvictUntilFits(shard, charge, obs_shard);
     shard.lru.push_front(Entry{key, std::move(value), charge});
     shard.index.emplace(key, shard.lru.begin());

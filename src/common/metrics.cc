@@ -46,6 +46,14 @@ const char* CounterName(CounterId id) {
       return "cache_misses";
     case CounterId::kCacheEvictions:
       return "cache_evictions";
+    case CounterId::kServiceAdmitted:
+      return "service_admitted";
+    case CounterId::kServiceQueued:
+      return "service_queued";
+    case CounterId::kServiceRejected:
+      return "service_rejected";
+    case CounterId::kServiceActivePeak:
+      return "service_active_peak";
     case CounterId::kNumCounters:
       break;
   }
@@ -54,8 +62,10 @@ const char* CounterName(CounterId id) {
 }
 
 CounterKind CounterKindOf(CounterId id) {
-  return id == CounterId::kFrontierPeak ? CounterKind::kMax
-                                        : CounterKind::kSum;
+  return id == CounterId::kFrontierPeak ||
+                 id == CounterId::kServiceActivePeak
+             ? CounterKind::kMax
+             : CounterKind::kSum;
 }
 
 const char* HistogramName(HistogramId id) {
@@ -82,6 +92,8 @@ const char* HistogramName(HistogramId id) {
       return "frontier_occupancy";
     case HistogramId::kCacheLookupNs:
       return "cache_lookup_ns";
+    case HistogramId::kServiceRequestNs:
+      return "service_request_ns";
     case HistogramId::kNumHistograms:
       break;
   }

@@ -72,6 +72,15 @@ enum class CounterId : int {
   kCacheHits,                  // Cache lookups served from a live entry.
   kCacheMisses,                // Cache lookups that found nothing.
   kCacheEvictions,             // LRU entries evicted to respect the budget.
+  // Query-service admission control (service/admission.h). Load- and
+  // timing-dependent like the sched_ group: a queued-vs-admitted outcome
+  // depends on what else is in flight, so these are exported with a
+  // "service_" name prefix that bench_compare treats as
+  // informational-only.
+  kServiceAdmitted,            // Queries admitted (immediately or queued).
+  kServiceQueued,              // Queries that waited in the admission queue.
+  kServiceRejected,            // Queries rejected (policy or queue deadline).
+  kServiceActivePeak,          // Max concurrently admitted (max-aggregated).
   kNumCounters,
 };
 
@@ -102,6 +111,7 @@ enum class HistogramId : int {
   kBagWidth,                 // Variables per materialized tree-dec bag.
   kFrontierOccupancy,        // Frontier size per level (level-sync BFS).
   kCacheLookupNs,            // One sharded-LRU lookup, hit or miss.
+  kServiceRequestNs,         // QueryService request: admission -> response.
   kNumHistograms,
 };
 

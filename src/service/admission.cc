@@ -1,0 +1,135 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/dcheck.h"
+
+namespace ecrpq {
+
+void AdmissionTicket::Release() {
+  if (controller_ == nullptr) return;
+  AdmissionController* controller = controller_;
+  controller_ = nullptr;  // Empty before the callback: re-entrancy-proof.
+  controller->ReleaseCharge(charge_);
+}
+
+AdmissionCharge AdmissionController::Normalize(AdmissionCharge charge) const {
+  // An uncapped per-query axis under a capped global axis reserves the
+  // whole cap: the query may legitimately consume that much, so nothing
+  // else can soundly share the axis with it.
+  if (limits_.max_total_product_states != 0 && charge.product_states == 0) {
+    charge.product_states = limits_.max_total_product_states;
+  }
+  if (limits_.max_total_memory_bytes != 0 && charge.memory_bytes == 0) {
+    charge.memory_bytes = limits_.max_total_memory_bytes;
+  }
+  return charge;
+}
+
+bool AdmissionController::Impossible(const AdmissionCharge& charge) const {
+  return (limits_.max_total_product_states != 0 &&
+          charge.product_states > limits_.max_total_product_states) ||
+         (limits_.max_total_memory_bytes != 0 &&
+          charge.memory_bytes > limits_.max_total_memory_bytes);
+}
+
+bool AdmissionController::Fits(const AdmissionCharge& charge) const {
+  if (limits_.max_concurrent != 0 &&
+      active_slots_ >= limits_.max_concurrent) {
+    return false;
+  }
+  if (limits_.max_total_product_states != 0 &&
+      active_product_states_ + charge.product_states >
+          limits_.max_total_product_states) {
+    return false;
+  }
+  if (limits_.max_total_memory_bytes != 0 &&
+      active_memory_bytes_ + charge.memory_bytes >
+          limits_.max_total_memory_bytes) {
+    return false;
+  }
+  return true;
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(
+    AdmissionCharge charge, obs::MetricsShard* obs_shard) {
+  charge = Normalize(charge);
+  MutexLock lock(mutex_);
+  ++submitted_;
+  if (Impossible(charge)) {
+    // Exceeds a global cap outright: queueing could never help, so both
+    // policies reject immediately — the never-hang guarantee.
+    ++rejected_;
+    obs::Add(obs_shard, obs::CounterId::kServiceRejected);
+    return Status::ResourceExhausted(
+        "admission: reservation exceeds the global limit outright");
+  }
+  if (!Fits(charge)) {
+    if (limits_.policy == OverflowPolicy::kReject ||
+        limits_.queue_deadline_millis <= 0) {
+      ++rejected_;
+      obs::Add(obs_shard, obs::CounterId::kServiceRejected);
+      return Status::ResourceExhausted("admission: over global limits");
+    }
+    ++queued_;
+    obs::Add(obs_shard, obs::CounterId::kServiceQueued);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(limits_.queue_deadline_millis);
+    bool timed_out = false;
+    while (!Fits(charge)) {
+      if (timed_out) {
+        ++rejected_;
+        obs::Add(obs_shard, obs::CounterId::kServiceRejected);
+        return Status::ResourceExhausted(
+            "admission: queue deadline exceeded");
+      }
+      // One more Fits() re-check after a timeout wakeup: the reservation
+      // may have drained in the same instant the deadline fired.
+      timed_out = drained_cv_.WaitUntil(mutex_, deadline);
+    }
+  }
+  ++admitted_;
+  ++active_slots_;
+  active_product_states_ += charge.product_states;
+  active_memory_bytes_ += charge.memory_bytes;
+  active_peak_ =
+      std::max(active_peak_, static_cast<uint64_t>(active_slots_));
+  obs::Add(obs_shard, obs::CounterId::kServiceAdmitted);
+  obs::RecordMax(obs_shard, obs::CounterId::kServiceActivePeak,
+                 static_cast<uint64_t>(active_slots_));
+  return AdmissionTicket(this, charge);
+}
+
+void AdmissionController::ReleaseCharge(const AdmissionCharge& charge) {
+  {
+    MutexLock lock(mutex_);
+    ++released_;
+    ECRPQ_DCHECK(released_ <= admitted_);
+    ECRPQ_DCHECK(active_slots_ > 0);
+    ECRPQ_DCHECK(active_product_states_ >= charge.product_states);
+    ECRPQ_DCHECK(active_memory_bytes_ >= charge.memory_bytes);
+    --active_slots_;
+    active_product_states_ -= charge.product_states;
+    active_memory_bytes_ -= charge.memory_bytes;
+  }
+  // Every waiter re-checks its own charge; NotifyAll because one release
+  // can unblock several small reservations at once.
+  drained_cv_.NotifyAll();
+}
+
+AdmissionCounters AdmissionController::counters() const {
+  MutexLock lock(mutex_);
+  AdmissionCounters c;
+  c.submitted = submitted_;
+  c.admitted = admitted_;
+  c.queued = queued_;
+  c.rejected = rejected_;
+  c.released = released_;
+  c.active = admitted_ - released_;
+  c.active_peak = active_peak_;
+  return c;
+}
+
+}  // namespace ecrpq

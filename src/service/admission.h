@@ -1,0 +1,178 @@
+// AdmissionController: the query service's *global* resource governor.
+//
+// Per-query EvalBudgets (common/obs.h) bound what one evaluation may
+// consume; the admission controller bounds what ALL in-flight evaluations
+// may consume together, along three axes:
+//  - slots: at most `max_concurrent` queries evaluating at once;
+//  - product states: the sum of the in-flight queries' per-query
+//    max_product_states budgets never exceeds `max_total_product_states`;
+//  - memory: likewise for max_memory_bytes.
+// The product-state/memory accounting is reservation-based: a query is
+// charged its per-query budget cap (its worst case) up front, because a
+// cooperative budget is the only enforceable bound the engines expose. A
+// query whose per-query axis is UNLIMITED (0) while the global axis is
+// capped is charged the whole global cap — it can consume anything, so it
+// runs alone on that axis. (The QueryService applies its default per-query
+// budget before admission, so this conservative rule only bites when both
+// the request and the service default leave an axis open.)
+//
+// Over-limit submissions follow the configured OverflowPolicy:
+//  - kReject: fail immediately with Status::ResourceExhausted;
+//  - kQueue: wait on the controller's condition variable until the charge
+//    fits or `queue_deadline_millis` elapses, then ResourceExhausted. A
+//    charge that can NEVER fit (exceeds a global cap outright) is rejected
+//    immediately under either policy — queueing it would hang forever.
+//
+// Accounting is exact and queryable (counters()):
+//    submitted == admitted + rejected          (after every Admit returns)
+//    released  == admitted                     (once all tickets are dead)
+//    active    == admitted - released          (the gauge; 0 at drain)
+// The admission-control determinism test pins these identities under
+// concurrent saturation; AdmissionTicket's move-only RAII shape is what
+// makes "no double release on the cancel path" structural rather than
+// disciplined.
+#ifndef ECRPQ_SERVICE_ADMISSION_H_
+#define ECRPQ_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/annotations.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ecrpq {
+
+// What happens to a submission the limits cannot currently absorb.
+enum class OverflowPolicy {
+  kReject,  // Immediate Status::ResourceExhausted.
+  kQueue,   // Bounded wait (queue_deadline_millis), then ResourceExhausted.
+};
+
+struct AdmissionLimits {
+  // 0 always means "no limit on this axis".
+  int max_concurrent = 0;
+  uint64_t max_total_product_states = 0;
+  uint64_t max_total_memory_bytes = 0;
+  OverflowPolicy policy = OverflowPolicy::kReject;
+  // Max time a submission may wait under kQueue before it is rejected.
+  // Non-positive means kQueue degenerates to kReject.
+  int64_t queue_deadline_millis = 100;
+
+  bool Unlimited() const {
+    return max_concurrent == 0 && max_total_product_states == 0 &&
+           max_total_memory_bytes == 0;
+  }
+};
+
+// One submission's reservation against the global axes (a slot is always
+// charged implicitly). Zero on an axis means "uncapped query": under a
+// capped global axis it is normalized to the full cap (see header comment).
+struct AdmissionCharge {
+  uint64_t product_states = 0;
+  uint64_t memory_bytes = 0;
+};
+
+// Snapshot of the controller's lifetime accounting.
+struct AdmissionCounters {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t queued = 0;    // Submissions that waited at least once.
+  uint64_t rejected = 0;
+  uint64_t released = 0;  // Ticket releases (== admitted once drained).
+  uint64_t active = 0;    // Gauge: admitted - released.
+  uint64_t active_peak = 0;
+};
+
+class AdmissionController;
+
+// Move-only RAII grant: holding a live ticket IS being admitted; its
+// destructor (or one explicit Release()) returns the reservation. A
+// moved-from or released ticket is empty, so no code path — success,
+// budget trip, cancellation, early return — can double-release.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_), charge_(other.charge_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      charge_ = other.charge_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool valid() const { return controller_ != nullptr; }
+
+  // Returns the reservation now (idempotent; the destructor is a no-op
+  // afterwards).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, AdmissionCharge charge)
+      : controller_(controller), charge_(charge) {}
+
+  AdmissionController* controller_ = nullptr;
+  AdmissionCharge charge_{};
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionLimits& limits)
+      : limits_(limits) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  const AdmissionLimits& limits() const { return limits_; }
+
+  // Submits one query's reservation. Returns a live ticket on admission or
+  // Status::ResourceExhausted on rejection (immediate under kReject or an
+  // impossible charge, after the bounded wait under kQueue). `obs_shard`
+  // (nullable) receives kServiceAdmitted/kServiceQueued/kServiceRejected
+  // and the kServiceActivePeak high-water mark.
+  Result<AdmissionTicket> Admit(AdmissionCharge charge,
+                                obs::MetricsShard* obs_shard = nullptr)
+      ECRPQ_EXCLUDES(mutex_);
+
+  AdmissionCounters counters() const ECRPQ_EXCLUDES(mutex_);
+
+ private:
+  friend class AdmissionTicket;
+
+  // Normalizes an uncapped per-query axis to the full global cap.
+  AdmissionCharge Normalize(AdmissionCharge charge) const;
+  // True when `charge` exceeds a global cap on its own and so can never be
+  // admitted, no matter what drains.
+  bool Impossible(const AdmissionCharge& charge) const;
+  bool Fits(const AdmissionCharge& charge) const ECRPQ_REQUIRES(mutex_);
+  void ReleaseCharge(const AdmissionCharge& charge) ECRPQ_EXCLUDES(mutex_);
+
+  const AdmissionLimits limits_;
+
+  mutable Mutex mutex_;
+  CondVar drained_cv_;
+  uint64_t submitted_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t admitted_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t queued_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t rejected_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t released_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t active_peak_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  int active_slots_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t active_product_states_ ECRPQ_GUARDED_BY(mutex_) = 0;
+  uint64_t active_memory_bytes_ ECRPQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SERVICE_ADMISSION_H_

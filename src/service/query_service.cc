@@ -1,0 +1,322 @@
+#include "service/query_service.h"
+
+#include <utility>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/dcheck.h"
+#include "common/json.h"
+#include "eval/crpq_eval.h"
+#include "eval/generic_eval.h"
+#include "eval/planner.h"
+#include "graphdb/io.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+// RAII shared (reader) claim on a graph entry: many concurrent holders,
+// excluded by a writer.
+class GraphReadClaim {
+ public:
+  explicit GraphReadClaim(QueryService::GraphEntry* entry) : entry_(entry) {
+    MutexLock lock(entry_->mu);
+    while (entry_->writer) entry_->cv.Wait(entry_->mu);
+    ++entry_->active_readers;
+  }
+  ~GraphReadClaim() {
+    bool last = false;
+    {
+      MutexLock lock(entry_->mu);
+      last = --entry_->active_readers == 0;
+    }
+    if (last) entry_->cv.NotifyAll();
+  }
+  GraphReadClaim(const GraphReadClaim&) = delete;
+  GraphReadClaim& operator=(const GraphReadClaim&) = delete;
+
+ private:
+  QueryService::GraphEntry* entry_;
+};
+
+// RAII exclusive (writer) claim: excludes readers and other writers.
+class GraphWriteClaim {
+ public:
+  explicit GraphWriteClaim(QueryService::GraphEntry* entry) : entry_(entry) {
+    MutexLock lock(entry_->mu);
+    while (entry_->writer || entry_->active_readers > 0) {
+      entry_->cv.Wait(entry_->mu);
+    }
+    entry_->writer = true;
+  }
+  ~GraphWriteClaim() {
+    {
+      MutexLock lock(entry_->mu);
+      entry_->writer = false;
+    }
+    entry_->cv.NotifyAll();
+  }
+  GraphWriteClaim(const GraphWriteClaim&) = delete;
+  GraphWriteClaim& operator=(const GraphWriteClaim&) = delete;
+
+ private:
+  QueryService::GraphEntry* entry_;
+};
+
+std::string AnswersToJson(
+    const std::vector<std::vector<VertexId>>& answers) {
+  std::string out = "[";
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[";
+    for (size_t j = 0; j < answers[i].size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(answers[i][j]);
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServiceConfig& config)
+    : QueryService(config, GraphDb(Alphabet::OfChars("ab"))) {}
+
+QueryService::QueryService(const ServiceConfig& config, GraphDb base_graph)
+    : config_(config), admission_(config.admission) {
+  base_graph.Finalize();
+  GraphEntry* installed = InstallGraph("default", std::move(base_graph));
+  ECRPQ_CHECK(installed != nullptr);
+}
+
+std::unique_ptr<ServiceSession> QueryService::OpenSession() {
+  return std::unique_ptr<ServiceSession>(new ServiceSession(this));
+}
+
+QueryService::GraphEntry* QueryService::FindGraph(const std::string& name) {
+  MutexLock lock(registry_mutex_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+QueryService::GraphEntry* QueryService::InstallGraph(const std::string& name,
+                                                     GraphDb db) {
+  MutexLock lock(registry_mutex_);
+  auto [it, inserted] =
+      graphs_.emplace(name, std::make_unique<GraphEntry>(std::move(db)));
+  return inserted ? it->second.get() : nullptr;
+}
+
+ServiceSession::ServiceSession(QueryService* service)
+    : service_(service), shard_(service->metrics_.AcquireShard()) {}
+
+std::string ServiceSession::HandleLine(std::string_view line) {
+  // Request latency from arrival to response bytes — admission queueing
+  // and evaluation included; what a client actually waits for.
+  obs::ScopedTimer timer(shard_, obs::HistogramId::kServiceRequestNs);
+  if (line.size() > service_->config_.max_line_bytes) {
+    return ErrorResponseLine(nullptr, StatusCode::kCapacityExceeded,
+                             "request line exceeds max_line_bytes");
+  }
+  Result<ServiceRequest> req = ParseRequestLine(line);
+  if (!req.ok()) {
+    // Best-effort id recovery so the client can correlate the error: the
+    // line may be well-formed JSON that merely violated the protocol
+    // (unknown field, bad type). A malformed request does NOT consume its
+    // id — only executed requests do.
+    std::string id;
+    const std::string* id_ptr = nullptr;
+    Result<json::Value> doc = json::Parse(std::string(line));
+    if (doc.ok() && doc->is_object() && doc->GetString("id", &id) &&
+        !id.empty()) {
+      id_ptr = &id;
+    }
+    return ErrorResponseLine(id_ptr, req.status().code(),
+                             req.status().message());
+  }
+  if (!seen_ids_.insert(req->id).second) {
+    return ErrorResponseLine(&req->id, StatusCode::kInvalidArgument,
+                             "duplicate request id '" + req->id + "'");
+  }
+  Result<std::string> response = Execute(*req);
+  if (!response.ok()) {
+    return ErrorResponseLine(&req->id, response.status().code(),
+                             response.status().message());
+  }
+  return *std::move(response);
+}
+
+Result<std::string> ServiceSession::Execute(const ServiceRequest& req) {
+  switch (req.op) {
+    case RequestOp::kQuery:
+      return ExecuteQuery(req);
+    case RequestOp::kCreateGraph:
+      return ExecuteCreateGraph(req);
+    case RequestOp::kAddEdge:
+    case RequestOp::kAddVertex:
+      return ExecuteMutation(req);
+    case RequestOp::kPing: {
+      ResponseBuilder b(req.id);
+      return b.Finish();
+    }
+    case RequestOp::kStats: {
+      const AdmissionCounters c = service_->admission_counters();
+      ResponseBuilder b(req.id);
+      b.AddUint("submitted", c.submitted);
+      b.AddUint("admitted", c.admitted);
+      b.AddUint("queued", c.queued);
+      b.AddUint("rejected", c.rejected);
+      b.AddUint("released", c.released);
+      b.AddUint("active", c.active);
+      b.AddUint("active_peak", c.active_peak);
+      return b.Finish();
+    }
+    case RequestOp::kShutdown: {
+      shutdown_ = true;
+      ResponseBuilder b(req.id);
+      b.AddBool("shutting_down", true);
+      return b.Finish();
+    }
+  }
+  return Status::Internal("unhandled op");
+}
+
+Result<std::string> ServiceSession::ExecuteQuery(const ServiceRequest& req) {
+  QueryService::GraphEntry* entry = service_->FindGraph(req.graph);
+  if (entry == nullptr) {
+    return Status::NotFound("no graph named '" + req.graph + "'");
+  }
+
+  // Effective per-query budget: request override per axis, else the
+  // service default. This is also the admission reservation, so the global
+  // caps govern the worst case the budgets actually enforce.
+  obs::EvalBudget budget = req.budget;
+  const obs::EvalBudget& defaults = service_->config_.default_budget;
+  if (budget.max_product_states == 0) {
+    budget.max_product_states = defaults.max_product_states;
+  }
+  if (budget.max_memory_bytes == 0) {
+    budget.max_memory_bytes = defaults.max_memory_bytes;
+  }
+  if (budget.timeout_millis == 0) {
+    budget.timeout_millis = defaults.timeout_millis;
+  }
+
+  AdmissionCharge charge;
+  charge.product_states = budget.max_product_states;
+  charge.memory_bytes = budget.max_memory_bytes;
+  ECRPQ_ASSIGN_OR_RAISE(AdmissionTicket ticket,
+                        service_->admission_.Admit(charge, shard_));
+  // From here the reservation is held; every return path below releases it
+  // exactly once through the ticket's destructor.
+
+  GraphReadClaim read_claim(entry);
+  const GraphDb& db = entry->db;
+
+  Result<EcrpqQuery> query = ParseEcrpq(req.query, db.alphabet());
+  if (!query.ok()) return query.status();
+
+  obs::Session session;
+  if (!budget.Unlimited()) session.SetBudget(budget);
+  const bool no_cache = req.no_cache || service_->config_.disable_cache;
+
+  Result<EvalResult> result = Status::Internal("unset");
+  QueryClassification classification;
+  bool classified = false;
+  if (req.engine == "generic") {
+    EvalOptions options;
+    options.num_threads = service_->config_.pool_threads;
+    options.max_answers = static_cast<size_t>(req.max_answers);
+    options.disable_cache = no_cache;
+    options.obs = &session;
+    result = EvaluateGeneric(db, *query, options);
+  } else if (req.engine == "crpq") {
+    result = EvaluateCrpq(db, *query, /*use_treedec=*/true,
+                          static_cast<size_t>(req.max_answers), &session,
+                          no_cache);
+  } else {  // "auto": the planner routes through ClassifyQueryCached.
+    EvalOptions options;
+    options.num_threads = service_->config_.pool_threads;
+    options.max_answers = static_cast<size_t>(req.max_answers);
+    options.disable_cache = no_cache;
+    options.obs = &session;
+    result = EvaluatePlanned(db, *query, options, {}, &classification);
+    classified = true;
+  }
+
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      // A tripped budget still owes the client its partial stats — the
+      // "what had it done so far" channel, same as the CLI's exit-3 path.
+      std::string out =
+          ErrorResponseLine(&req.id, StatusCode::kResourceExhausted,
+                            result.status().message());
+      out.pop_back();  // Reopen the object for the extra member.
+      out += ",\"partial_stats\":" + session.Report().ToJson() + "}";
+      return out;
+    }
+    return result.status();
+  }
+
+  ResponseBuilder b(req.id);
+  b.AddBool("satisfiable", result->satisfiable);
+  b.AddUint("num_answers", result->answers.size());
+  b.AddRaw("answers", AnswersToJson(result->answers));
+  if (classified) {
+    b.AddString("engine", EngineChoiceName(classification.engine));
+  }
+  if (req.want_stats) {
+    b.AddRaw("stats", session.Report().ToJson());
+  }
+  return b.Finish();
+}
+
+Result<std::string> ServiceSession::ExecuteCreateGraph(
+    const ServiceRequest& req) {
+  GraphDb db = GraphDb(Alphabet::OfChars(req.alphabet));
+  if (!req.graph_text.empty()) {
+    ECRPQ_ASSIGN_OR_RAISE(db, GraphDbFromString(req.graph_text));
+  }
+  // Publish finalized: readers must never trigger the lazy CSR build.
+  db.Finalize();
+  const int vertices = db.NumVertices();
+  if (service_->InstallGraph(req.graph, std::move(db)) == nullptr) {
+    return Status::Invalid("graph '" + req.graph + "' already exists");
+  }
+  ResponseBuilder b(req.id);
+  b.AddUint("vertices", static_cast<uint64_t>(vertices));
+  return b.Finish();
+}
+
+Result<std::string> ServiceSession::ExecuteMutation(
+    const ServiceRequest& req) {
+  QueryService::GraphEntry* entry = service_->FindGraph(req.graph);
+  if (entry == nullptr) {
+    return Status::NotFound("no graph named '" + req.graph + "'");
+  }
+  GraphWriteClaim write_claim(entry);
+  GraphDb& db = entry->db;
+  if (req.op == RequestOp::kAddVertex) {
+    db.AddVertices(static_cast<int>(req.count));
+  } else {
+    const uint32_t limit = static_cast<uint32_t>(db.NumVertices());
+    if (req.from >= limit || req.to >= limit) {
+      return Status::OutOfRange("edge endpoint out of range (graph has " +
+                                std::to_string(limit) + " vertices)");
+    }
+    db.AddEdge(req.from, std::string_view(req.symbol), req.to);
+  }
+  // Rebuild the CSR before the exclusive claim drops: concurrent readers
+  // must only ever see a finalized graph (the lazy build is not
+  // thread-safe), and the epoch bump has already retired the reach memo's
+  // pre-mutation entries.
+  db.Finalize();
+  ResponseBuilder b(req.id);
+  b.AddUint("vertices", static_cast<uint64_t>(db.NumVertices()));
+  b.AddUint("edges", static_cast<uint64_t>(db.NumEdges()));
+  return b.Finish();
+}
+
+}  // namespace ecrpq

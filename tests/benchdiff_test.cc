@@ -191,6 +191,20 @@ TEST(BenchDiffTest, CachePrefixedCountersAreInformationalOnly) {
   EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
 }
 
+TEST(BenchDiffTest, ServicePrefixedCountersAreInformationalOnly) {
+  // Admission traffic (admitted/queued/rejected splits, active peaks) is a
+  // function of client timing and load, not of code quality — a run where
+  // more clients collided must not gate. Like sched_ and cache_, the
+  // "service_" prefix means exported-but-never-compared.
+  std::vector<BenchRecord> baseline = BaselineRecords();
+  baseline[0].counters.emplace_back("service_admitted", 100.0);
+  baseline[0].counters.emplace_back("service_rejected", 0.0);
+  std::vector<BenchRecord> current = baseline;
+  current[0].counters[current[0].counters.size() - 2].second = 10.0;
+  current[0].counters.back().second = 90.0;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
+}
+
 TEST(BenchDiffTest, IncomparableRecordsSkipWithNotes) {
   const std::vector<BenchRecord> baseline = BaselineRecords();
 

@@ -87,6 +87,23 @@ TEST(CacheTest, ReinsertReplacesInPlace) {
   EXPECT_EQ(*cache.Lookup("a"), 2);
 }
 
+TEST(CacheTest, ReinsertThatBecomesOversizedDropsTheOldEntry) {
+  StringCache cache(/*capacity_bytes=*/1 << 10, /*num_shards=*/1);
+  cache.Insert("a", 1, 64);
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  // Re-insert under the same key with a cost the cache cannot hold. The
+  // new value is rightly not cached — but the OLD value must go with it:
+  // a cache that keeps serving the small stale entry after the caller
+  // replaced it with an oversized one is returning wrong data forever.
+  cache.Insert("a", 2, 1 << 20);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.NumEntries(), 0u);
+  // The key is reusable afterwards.
+  cache.Insert("a", 3, 64);
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_EQ(*cache.Lookup("a"), 3);
+}
+
 TEST(CacheTest, GetOrInsertRunsFactoryOncePerKey) {
   StringCache cache(/*capacity_bytes=*/1 << 16, /*num_shards=*/4);
   int calls = 0;
@@ -283,6 +300,41 @@ TEST(ReachMemoTest, ConcurrentCachedReachIsConsistent) {
   pool.ParallelFor(8, [&](size_t) {
     ASSERT_EQ(RpqReachAllCached(db, interned), expected);
   });
+}
+
+TEST(ReachMemoTest, MovedFromGraphStopsServingTheOldIdentity) {
+  GraphDb db = TwoHopDb();
+  Alphabet alphabet = Alphabet::OfChars("ab");
+  const Nfa lang = CompileRegex("a*", &alphabet).ValueOrDie();
+  AutomatonInterner interner;
+  const InternedNfa interned = interner.Intern(lang);
+  ReachMemo::Global().Clear();
+  const auto original = RpqReachAllCached(db, interned);
+  const uint64_t original_id = db.graph_id();
+
+  // Move steals the identity: the stolen graph keeps serving the warm
+  // memo entries (it IS the same snapshot)...
+  GraphDb stolen = std::move(db);
+  EXPECT_EQ(stolen.graph_id(), original_id);
+  EXPECT_EQ(RpqReachAllCached(stolen, interned), original);
+
+  // ...while the moved-from shell holds a FRESH id at epoch 0. This is
+  // the load-bearing half: if the shell retained (id, epoch), whatever
+  // graph gets built in it next would silently serve the old graph's
+  // reach sets.
+  EXPECT_NE(db.graph_id(), original_id);
+  EXPECT_EQ(db.graph_epoch(), 0u);
+
+  // Rebuild the shell as a graph with the same shape but inverted labels:
+  // a* reachability collapses to the reflexive pairs. Cached and uncached
+  // answers must agree — a stale hit would resurrect `original`.
+  GraphDb rebuilt(Alphabet::OfChars("ab"));
+  rebuilt.AddVertices(4);
+  rebuilt.AddEdge(0, static_cast<Symbol>(1), 1);
+  rebuilt.AddEdge(1, static_cast<Symbol>(1), 2);
+  db = std::move(rebuilt);
+  EXPECT_EQ(RpqReachAllCached(db, interned), RpqReachAll(db, lang));
+  EXPECT_NE(RpqReachAllCached(db, interned), original);
 }
 
 TEST(PlanCacheTest, AlphaRenamedQueriesShareOneEntry) {

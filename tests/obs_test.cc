@@ -29,12 +29,16 @@ TEST(ObsTest, CounterVocabularyIsStable) {
   EXPECT_STREQ(obs::CounterName(CounterId::kFrontierPeak), "frontier_peak");
   EXPECT_STREQ(obs::CounterName(CounterId::kAnswersEmitted),
                "answers_emitted");
+  EXPECT_STREQ(obs::CounterName(CounterId::kServiceAdmitted),
+               "service_admitted");
   for (int i = 0; i < obs::kNumCounters; ++i) {
     const CounterId id = static_cast<CounterId>(i);
     EXPECT_NE(obs::CounterName(id), nullptr);
-    // The only peak (max-folded) counter today is the BFS frontier.
+    // The peak (max-folded) counters: the BFS frontier high-water mark
+    // and the service's concurrent-admissions high-water mark.
     EXPECT_EQ(obs::CounterKindOf(id) == CounterKind::kMax,
-              id == CounterId::kFrontierPeak)
+              id == CounterId::kFrontierPeak ||
+                  id == CounterId::kServiceActivePeak)
         << obs::CounterName(id);
   }
 }

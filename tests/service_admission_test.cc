@@ -1,0 +1,239 @@
+// Admission control under concurrent saturation: whatever the thread
+// interleaving, the controller's accounting is exact —
+//     submitted == admitted + rejected      (every submission decided)
+//     released  == admitted                 (every grant returned once)
+//     active    == 0                        (gauge drains)
+//     active_peak <= max_concurrent         (the limit actually limited)
+// — and the RAII ticket makes double-release structurally impossible.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "service/admission.h"
+#include "service/query_service.h"
+
+namespace ecrpq {
+namespace {
+
+void ExpectDrainedAccounting(const AdmissionCounters& c,
+                             uint64_t total_submitted) {
+  EXPECT_EQ(c.submitted, total_submitted);
+  EXPECT_EQ(c.admitted + c.rejected, c.submitted);
+  EXPECT_EQ(c.released, c.admitted);
+  EXPECT_EQ(c.active, 0u);
+}
+
+TEST(ServiceAdmissionTest, ConcurrentSaturationAccountingIsExact) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 3;
+  limits.policy = OverflowPolicy::kReject;
+  AdmissionController controller(limits);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&controller, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<AdmissionTicket> ticket = controller.Admit({});
+        if (!ticket.ok()) {
+          EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        // Hold the slot briefly so contention actually happens.
+        if (rng.Below(4) == 0) std::this_thread::yield();
+        // Half the grants release explicitly, half by destructor.
+        if (rng.Below(2) == 0) ticket->Release();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const AdmissionCounters c = controller.counters();
+  ExpectDrainedAccounting(c, kThreads * kPerThread);
+  EXPECT_GE(c.admitted, 1u);
+  EXPECT_LE(c.active_peak, 3u);
+}
+
+TEST(ServiceAdmissionTest, QueuePolicyAdmitsEveryoneWithinDeadline) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 1;
+  limits.policy = OverflowPolicy::kQueue;
+  limits.queue_deadline_millis = 10000;  // Generous: nobody should reject.
+  AdmissionController controller(limits);
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&controller] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<AdmissionTicket> ticket = controller.Admit({});
+        ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const AdmissionCounters c = controller.counters();
+  ExpectDrainedAccounting(c, kThreads * kPerThread);
+  EXPECT_EQ(c.rejected, 0u);
+  EXPECT_EQ(c.admitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(c.active_peak, 1u);
+}
+
+TEST(ServiceAdmissionTest, QueueDeadlineExpiresIntoRejection) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 1;
+  limits.policy = OverflowPolicy::kQueue;
+  limits.queue_deadline_millis = 20;
+  AdmissionController controller(limits);
+
+  Result<AdmissionTicket> held = controller.Admit({});
+  ASSERT_TRUE(held.ok());
+  // The slot never drains, so the second submission must come back
+  // rejected after the bounded wait — not hang.
+  Result<AdmissionTicket> waited = controller.Admit({});
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kResourceExhausted);
+  const AdmissionCounters mid = controller.counters();
+  EXPECT_EQ(mid.queued, 1u);
+  EXPECT_EQ(mid.rejected, 1u);
+  held->Release();
+  ExpectDrainedAccounting(controller.counters(), 2);
+}
+
+TEST(ServiceAdmissionTest, ImpossibleChargeRejectsImmediatelyUnderQueue) {
+  AdmissionLimits limits;
+  limits.max_total_product_states = 100;
+  limits.policy = OverflowPolicy::kQueue;
+  limits.queue_deadline_millis = 1000 * 60 * 60;  // Would hang if queued.
+  AdmissionController controller(limits);
+
+  AdmissionCharge charge;
+  charge.product_states = 200;  // Can never fit, no matter what drains.
+  Result<AdmissionTicket> ticket = controller.Admit(charge);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+  const AdmissionCounters c = controller.counters();
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.queued, 0u);  // Never entered the queue.
+}
+
+TEST(ServiceAdmissionTest, UncappedAxisReservesTheWholeCap) {
+  AdmissionLimits limits;
+  limits.max_total_product_states = 1000;
+  AdmissionController controller(limits);
+
+  // product_states == 0 means "this query is uncapped": it is charged the
+  // full global cap, so nothing else shares the axis while it runs.
+  Result<AdmissionTicket> unlimited = controller.Admit({});
+  ASSERT_TRUE(unlimited.ok());
+  AdmissionCharge small;
+  small.product_states = 1;
+  Result<AdmissionTicket> second = controller.Admit(small);
+  EXPECT_FALSE(second.ok());
+  unlimited->Release();
+  Result<AdmissionTicket> after = controller.Admit(small);
+  EXPECT_TRUE(after.ok());
+}
+
+TEST(ServiceAdmissionTest, TicketMoveAndExplicitReleaseNeverDoubleRelease) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 2;
+  AdmissionController controller(limits);
+  {
+    Result<AdmissionTicket> a = controller.Admit({});
+    ASSERT_TRUE(a.ok());
+    AdmissionTicket moved = std::move(*a);
+    EXPECT_TRUE(moved.valid());
+    moved.Release();
+    EXPECT_FALSE(moved.valid());
+    moved.Release();  // Idempotent.
+    // `a`'s shell and `moved` both destruct here; neither may release
+    // again.
+  }
+  AdmissionCounters c = controller.counters();
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_EQ(c.released, 1u);
+
+  {
+    Result<AdmissionTicket> b = controller.Admit({});
+    ASSERT_TRUE(b.ok());
+    Result<AdmissionTicket> c2 = controller.Admit({});
+    ASSERT_TRUE(c2.ok());
+    // Move-assignment over a live ticket releases the overwritten grant
+    // first — two admits, two releases, never three.
+    *b = std::move(*c2);
+  }
+  c = controller.counters();
+  ExpectDrainedAccounting(c, 3);
+}
+
+// Wire-level integration: a query whose effective budget cannot fit the
+// global cap is rejected on the wire as resource_exhausted, and a query
+// whose budget trips mid-evaluation reports resource_exhausted WITH its
+// partial stats. In both shapes the admission gauge drains back to zero.
+TEST(ServiceAdmissionTest, WireRejectionAndBudgetTripBothDrain) {
+  ServiceConfig config;
+  config.admission.max_total_product_states = 1000;
+  QueryService service(config);
+  auto session = service.OpenSession();
+
+  // Build a little chain so the query below does real work.
+  session->HandleLine("{\"id\":\"v\",\"op\":\"add_vertex\",\"count\":30}");
+  for (int i = 0; i + 1 < 30; ++i) {
+    session->HandleLine(
+        "{\"id\":\"e" + std::to_string(i) + "\",\"op\":\"add_edge\","
+        "\"from\":" + std::to_string(i) + ",\"symbol\":\"a\",\"to\":" +
+        std::to_string(i + 1) + "}");
+  }
+
+  // Reservation larger than the global cap: rejected before evaluation.
+  const std::string rejected = session->HandleLine(
+      "{\"id\":\"big\",\"op\":\"query\",\"query\":\"q(x) := x -[/a*/]-> y\","
+      "\"budget_states\":5000}");
+  Result<json::Value> doc = json::Parse(rejected);
+  ASSERT_TRUE(doc.ok()) << rejected;
+  std::string code;
+  ASSERT_TRUE(doc->GetString("code", &code)) << rejected;
+  EXPECT_EQ(code, "resource_exhausted");
+  EXPECT_EQ(doc->Find("partial_stats"), nullptr) << "never ran" << rejected;
+
+  // Tiny in-cap budget: admitted, then trips during evaluation; the error
+  // response carries the partial StatsReport.
+  const std::string tripped = session->HandleLine(
+      "{\"id\":\"tiny\",\"op\":\"query\",\"query\":\"q(x) := x -[/a*/]-> y\","
+      "\"engine\":\"generic\",\"budget_states\":3}");
+  doc = json::Parse(tripped);
+  ASSERT_TRUE(doc.ok()) << tripped;
+  ASSERT_TRUE(doc->GetString("code", &code)) << tripped;
+  EXPECT_EQ(code, "resource_exhausted");
+  const json::Value* stats = doc->Find("partial_stats");
+  ASSERT_NE(stats, nullptr) << tripped;
+  EXPECT_TRUE(stats->is_object()) << tripped;
+
+  // In-budget control query still succeeds and the gauge is fully drained.
+  const std::string ok = session->HandleLine(
+      "{\"id\":\"ok\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"budget_states\":900}");
+  std::string status;
+  ASSERT_TRUE(json::Parse(ok)->GetString("status", &status)) << ok;
+  EXPECT_EQ(status, "ok") << ok;
+
+  const AdmissionCounters c = service.admission_counters();
+  EXPECT_EQ(c.submitted, 3u);
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.released, 2u);
+  EXPECT_EQ(c.active, 0u);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,186 @@
+// Service determinism: N seeded client scripts executed CONCURRENTLY
+// (one session per thread) must produce, per client, the byte-identical
+// response stream that a sequential run of the same scripts produces.
+//
+// Why this holds: each script mutates only its own named graph (the shared
+// "default" graph is only ever queried), sessions execute their own
+// requests strictly in order, and every response carries only
+// deterministic fields (sorted answers, classification, validation
+// errors). The cross-query caches are shared between the concurrent
+// clients — a cache hit must never change response bytes, which is exactly
+// the PR-7 cache-transparency property, now pinned end-to-end through the
+// wire protocol. Runs at pool sizes 1 and 4 and with caches on and off;
+// the TSan CI stage runs this whole suite under the race detector.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/planner.h"
+#include "graphdb/graph_db.h"
+#include "service/query_service.h"
+
+namespace ecrpq {
+namespace {
+
+constexpr int kNumClients = 4;
+constexpr int kOpsPerClient = 25;
+
+GraphDb BaseGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphDb db(Alphabet::OfChars("ab"));
+  const int n = 8;
+  db.AddVertices(n);
+  for (int i = 0; i < 2 * n; ++i) {
+    db.AddEdge(static_cast<VertexId>(rng.Below(n)),
+               std::string_view(rng.Below(2) == 0 ? "a" : "b"),
+               static_cast<VertexId>(rng.Below(n)));
+  }
+  db.Finalize();
+  return db;
+}
+
+// One client's request lines. Mutations target the client's own graph
+// only; queries go to the own graph or (read-only) to "default". Invalid
+// requests are generated on purpose — their error responses are part of
+// the deterministic stream.
+std::vector<std::string> ClientScript(int client, uint64_t seed) {
+  Rng rng(seed * 977 + static_cast<uint64_t>(client));
+  const std::string g = "g" + std::to_string(client);
+  const std::vector<std::string> kQueries = {
+      "q(x) := x -[/a*/]-> y",
+      "q(x,y) := x -[/ab/]-> y",
+      "q() := x -[/a/]-> y, y -[/b/]-> z",
+      "q(x) := x -[/(a|b)*/]-> y, y -[/a/]-> x",
+      "q(x,y) := x -[/aa*/]-> y, x -[/b/]-> y",
+  };
+  std::vector<std::string> script;
+  int next_id = 0;
+  auto id = [&] { return "c" + std::to_string(client) + "-" +
+                         std::to_string(next_id++); };
+  script.push_back("{\"id\":\"" + id() + "\",\"op\":\"create_graph\","
+                   "\"graph\":\"" + g + "\",\"alphabet\":\"ab\"}");
+  script.push_back("{\"id\":\"" + id() + "\",\"op\":\"add_vertex\","
+                   "\"graph\":\"" + g + "\",\"count\":6}");
+  int vertices = 6;
+  for (int i = 0; i < kOpsPerClient; ++i) {
+    switch (rng.Below(6)) {
+      case 0:
+        script.push_back("{\"id\":\"" + id() + "\",\"op\":\"add_vertex\","
+                         "\"graph\":\"" + g + "\",\"count\":" +
+                         std::to_string(1 + rng.Below(3)) + "}");
+        vertices += 1;  // Lower bound; enough to keep edges mostly valid.
+        break;
+      case 1: {
+        // Sometimes deliberately out of range: a deterministic error.
+        const int hi = rng.Below(8) == 0 ? vertices + 10 : vertices;
+        script.push_back(
+            "{\"id\":\"" + id() + "\",\"op\":\"add_edge\",\"graph\":\"" + g +
+            "\",\"from\":" + std::to_string(rng.Below(hi)) +
+            ",\"symbol\":\"" + (rng.Below(2) == 0 ? "a" : "b") +
+            "\",\"to\":" + std::to_string(rng.Below(hi)) + "}");
+        break;
+      }
+      case 2:
+      case 3:
+        script.push_back(
+            "{\"id\":\"" + id() + "\",\"op\":\"query\",\"graph\":\"" + g +
+            "\",\"query\":\"" + kQueries[rng.Below(kQueries.size())] +
+            "\"}");
+        break;
+      case 4:
+        // Read-only traffic on the SHARED graph: many sessions evaluate
+        // on "default" concurrently.
+        script.push_back(
+            "{\"id\":\"" + id() + "\",\"op\":\"query\","
+            "\"query\":\"" + kQueries[rng.Below(kQueries.size())] +
+            "\",\"max_answers\":" + std::to_string(1 + rng.Below(5)) + "}");
+        break;
+      default:
+        script.push_back("{\"id\":\"" + id() + "\",\"op\":\"ping\"}");
+        break;
+    }
+  }
+  return script;
+}
+
+std::vector<std::string> RunScript(QueryService& service,
+                                   const std::vector<std::string>& script) {
+  auto session = service.OpenSession();
+  std::vector<std::string> responses;
+  responses.reserve(script.size());
+  for (const std::string& line : script) {
+    responses.push_back(session->HandleLine(line));
+  }
+  return responses;
+}
+
+class ServiceDifferentialSuite : public ::testing::TestWithParam<uint64_t> {};
+
+void RunDifferential(uint64_t seed, int pool_threads, bool disable_cache) {
+  ServiceConfig config;
+  config.pool_threads = pool_threads;
+  config.disable_cache = disable_cache;
+
+  std::vector<std::vector<std::string>> scripts;
+  for (int c = 0; c < kNumClients; ++c) {
+    scripts.push_back(ClientScript(c, seed));
+  }
+
+  // Oracle: one fresh service, clients run one after another. Disjoint
+  // mutation targets make the interleaving irrelevant.
+  std::vector<std::vector<std::string>> expected(kNumClients);
+  {
+    ClearGlobalCaches();  // Both runs start cache-cold.
+    QueryService service(config, BaseGraph(seed));
+    for (int c = 0; c < kNumClients; ++c) {
+      expected[c] = RunScript(service, scripts[c]);
+    }
+  }
+
+  // Concurrent run: same fresh setup, one thread per client.
+  std::vector<std::vector<std::string>> actual(kNumClients);
+  {
+    ClearGlobalCaches();
+    QueryService service(config, BaseGraph(seed));
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kNumClients; ++c) {
+      threads.emplace_back([&service, &scripts, &actual, c] {
+        actual[c] = RunScript(service, scripts[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (int c = 0; c < kNumClients; ++c) {
+    ASSERT_EQ(expected[c].size(), actual[c].size()) << "client " << c;
+    for (size_t i = 0; i < expected[c].size(); ++i) {
+      EXPECT_EQ(expected[c][i], actual[c][i])
+          << "client " << c << " line " << i << ": " << scripts[c][i];
+    }
+  }
+}
+
+TEST_P(ServiceDifferentialSuite, Pool1Cached) {
+  RunDifferential(GetParam(), 1, false);
+}
+
+TEST_P(ServiceDifferentialSuite, Pool4Cached) {
+  RunDifferential(GetParam(), 4, false);
+}
+
+TEST_P(ServiceDifferentialSuite, Pool1NoCache) {
+  RunDifferential(GetParam(), 1, true);
+}
+
+TEST_P(ServiceDifferentialSuite, Pool4NoCache) {
+  RunDifferential(GetParam(), 4, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceDifferentialSuite,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,251 @@
+// Service wire-protocol robustness: every line a client can throw at a
+// session — malformed JSON, truncations, oversized payloads, unknown
+// fields, duplicate ids, interleaved mutations — must come back as exactly
+// one parseable response line with a status, and the session must keep
+// serving afterwards. Never a crash, never a hang, never a dropped line.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+
+namespace ecrpq {
+namespace {
+
+// The protocol invariant, asserted after every HandleLine in this file:
+// the response parses as a JSON object carrying an `id` (string or null)
+// and a `status` of "ok" or "error"; errors also carry code + message.
+void ExpectWellFormed(const std::string& response, const std::string& input) {
+  Result<json::Value> doc = json::Parse(response);
+  ASSERT_TRUE(doc.ok()) << "unparseable response '" << response
+                        << "' for input '" << input << "'";
+  ASSERT_TRUE(doc->is_object()) << response;
+  const json::Value* id = doc->Find("id");
+  ASSERT_NE(id, nullptr) << response;
+  EXPECT_TRUE(id->is_string() || id->is_null()) << response;
+  std::string status;
+  ASSERT_TRUE(doc->GetString("status", &status)) << response;
+  ASSERT_TRUE(status == "ok" || status == "error") << response;
+  if (status == "error") {
+    std::string code, message;
+    EXPECT_TRUE(doc->GetString("code", &code)) << response;
+    EXPECT_TRUE(doc->GetString("message", &message)) << response;
+    EXPECT_NE(code, "ok") << response;
+  }
+}
+
+std::string Handle(ServiceSession* session, const std::string& line) {
+  const std::string response = session->HandleLine(line);
+  ExpectWellFormed(response, line);
+  return response;
+}
+
+bool IsError(const std::string& response, const std::string& code) {
+  Result<json::Value> doc = json::Parse(response);
+  std::string got;
+  return doc.ok() && doc->GetString("code", &got) && got == code;
+}
+
+bool IsOk(const std::string& response) {
+  Result<json::Value> doc = json::Parse(response);
+  std::string status;
+  return doc.ok() && doc->GetString("status", &status) && status == "ok";
+}
+
+TEST(ServiceProtocolTest, MalformedLinesAlwaysStructuredErrors) {
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  const std::vector<std::string> kBad = {
+      "",                          // Empty (the drivers skip blanks, but
+                                   // HandleLine itself must survive one).
+      "not json at all",
+      "{",                         // Truncated object.
+      "[1,2,3]",                   // Not an object.
+      "42",                        // Not an object.
+      "null",
+      "{}",                        // No id.
+      "{\"id\":\"x\"}",            // No op.
+      "{\"id\":\"\",\"op\":\"ping\"}",         // Empty id.
+      "{\"id\":42,\"op\":\"ping\"}",           // Non-string id.
+      "{\"id\":\"x\",\"op\":\"fly\"}",         // Unknown op.
+      "{\"id\":\"x\",\"op\":\"ping\",\"extra\":1}",      // Unknown field.
+      "{\"id\":\"x\",\"op\":\"ping\",\"id\":\"y\"}",     // Duplicate field.
+      "{\"id\":\"x\",\"op\":\"query\"}",                 // Missing query.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"\"}",  // Empty query.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q() := \"}",  // Bad text.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"engine\":\"warp\"}",                            // Unknown engine.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"max_answers\":-1}",                             // Negative uint.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"max_answers\":1.5}",                            // Non-integral.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"no_cache\":\"yes\"}",                           // Wrong type.
+      "{\"id\":\"x\",\"op\":\"query\",\"query\":\"q(x) := x -[/a/]-> y\","
+      "\"graph\":\"nope\"}",                             // Unknown graph.
+      "{\"id\":\"x\",\"op\":\"add_edge\",\"from\":0,\"to\":0}",  // No symbol.
+      "{\"id\":\"x\",\"op\":\"add_edge\",\"from\":5,\"symbol\":\"a\","
+      "\"to\":0}",                                       // Out of range.
+      "{\"id\":\"x\",\"op\":\"add_vertex\",\"count\":0}",
+      "{\"id\":\"x\",\"op\":\"create_graph\",\"graph\":\"default\"}",  // Dup.
+      "{\"id\":\"x\",\"op\":\"create_graph\",\"graph\":\"g\","
+      "\"text\":\"vertices 1\",\"alphabet\":\"ab\"}",    // text AND alphabet.
+      "{\"id\":\"x\",\"op\":\"ping\",\"graph\":\"\"}",   // Empty graph name.
+  };
+  int probe = 0;
+  for (const std::string& line : kBad) {
+    const std::string response = Handle(session.get(), line);
+    std::string status;
+    ASSERT_TRUE(json::Parse(response)->GetString("status", &status));
+    EXPECT_EQ(status, "error") << line << " -> " << response;
+    // The session survives every one of them.
+    EXPECT_TRUE(IsOk(Handle(session.get(),
+                            "{\"id\":\"alive-" + std::to_string(probe++) +
+                                "\",\"op\":\"ping\"}")));
+  }
+}
+
+TEST(ServiceProtocolTest, OversizedLineRejectedWithoutParsing) {
+  ServiceConfig config;
+  config.max_line_bytes = 256;
+  QueryService service(config);
+  auto session = service.OpenSession();
+  std::string big = "{\"id\":\"big\",\"op\":\"ping\",\"pad\":\"";
+  big += std::string(500, 'x');
+  big += "\"}";
+  const std::string response = Handle(session.get(), big);
+  EXPECT_TRUE(IsError(response, "capacity_exceeded")) << response;
+  EXPECT_TRUE(IsOk(Handle(session.get(), "{\"id\":\"p\",\"op\":\"ping\"}")));
+}
+
+TEST(ServiceProtocolTest, DuplicateRequestIdsRejectedPerSession) {
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  EXPECT_TRUE(IsOk(Handle(session.get(), "{\"id\":\"r\",\"op\":\"ping\"}")));
+  const std::string dup = Handle(session.get(), "{\"id\":\"r\",\"op\":\"ping\"}");
+  EXPECT_TRUE(IsError(dup, "invalid_argument")) << dup;
+  // A malformed request does not consume its id: after a protocol error
+  // under id "m", a valid request may still use "m".
+  Handle(session.get(), "{\"id\":\"m\",\"op\":\"ping\",\"junk\":true}");
+  EXPECT_TRUE(IsOk(Handle(session.get(), "{\"id\":\"m\",\"op\":\"ping\"}")));
+  // Sessions are independent id scopes.
+  auto other = service.OpenSession();
+  EXPECT_TRUE(IsOk(Handle(other.get(), "{\"id\":\"r\",\"op\":\"ping\"}")));
+}
+
+TEST(ServiceProtocolTest, TruncationsOfValidRequestNeverCrash) {
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  const std::string full =
+      "{\"id\":\"t\",\"op\":\"query\",\"query\":\"q(x) := x -[/a*/]-> y\","
+      "\"max_answers\":3,\"stats\":true}";
+  for (size_t len = 0; len < full.size(); ++len) {
+    // Every proper prefix is invalid JSON or an incomplete request; either
+    // way the answer is a structured error, not a crash.
+    const std::string response =
+        Handle(session.get(), full.substr(0, len));
+    std::string status;
+    ASSERT_TRUE(json::Parse(response)->GetString("status", &status));
+    EXPECT_EQ(status, "error") << full.substr(0, len);
+  }
+  EXPECT_TRUE(IsOk(Handle(session.get(), full)));
+}
+
+TEST(ServiceProtocolTest, InterleavedMutationsKeepSessionCoherent) {
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  int next_id = 0;
+  auto id = [&next_id] { return std::to_string(next_id++); };
+  EXPECT_TRUE(IsOk(Handle(
+      session.get(), "{\"id\":\"" + id() +
+                         "\",\"op\":\"add_vertex\",\"count\":2}")));
+  // Garbage between mutations must not corrupt the graph.
+  Handle(session.get(), "{\"op\":\"add_vertex\",\"count\":9}");  // No id.
+  Handle(session.get(), "{\"id\":\"" + id() +
+                            "\",\"op\":\"add_edge\",\"from\":99,"
+                            "\"symbol\":\"a\",\"to\":0}");  // Out of range.
+  EXPECT_TRUE(IsOk(Handle(
+      session.get(), "{\"id\":\"" + id() +
+                         "\",\"op\":\"add_edge\",\"from\":0,"
+                         "\"symbol\":\"a\",\"to\":1}")));
+  const std::string response = Handle(
+      session.get(), "{\"id\":\"" + id() +
+                         "\",\"op\":\"query\",\"query\":"
+                         "\"q(x) := x -[/a/]-> y\"}");
+  Result<json::Value> doc = json::Parse(response);
+  ASSERT_TRUE(doc.ok());
+  // Exactly the two vertices and one edge of the VALID mutations: the
+  // rejected ones (no id, endpoint 99) left no trace.
+  uint64_t num_answers = ~uint64_t{0};
+  ASSERT_TRUE(doc->GetUint64("num_answers", &num_answers)) << response;
+  EXPECT_EQ(num_answers, 1u) << response;
+}
+
+class ServiceProtocolFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomBytes(Rng* rng, int max_len, std::string_view charset) {
+  std::string out;
+  const int len = static_cast<int>(rng->Below(max_len + 1));
+  for (int i = 0; i < len; ++i) {
+    out += charset[rng->Below(charset.size())];
+  }
+  return out;
+}
+
+TEST_P(ServiceProtocolFuzz, ByteSoupNeverCrashesTheSession) {
+  Rng rng(GetParam());
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  // JSON-flavoured soup: heavy on structure characters so a fair share of
+  // lines get past the JSON parser into request validation.
+  constexpr std::string_view kCharset =
+      "{}[]\":,. \\abxyq0123456789idopngrhstuvePQ-/*";
+  for (int i = 0; i < 300; ++i) {
+    Handle(session.get(), RandomBytes(&rng, 120, kCharset));
+  }
+  EXPECT_TRUE(IsOk(Handle(session.get(), "{\"id\":\"end\",\"op\":\"ping\"}")));
+}
+
+TEST_P(ServiceProtocolFuzz, MutatedValidRequestsNeverCrashTheSession) {
+  Rng rng(GetParam() + 1000);
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  const std::vector<std::string> kTemplates = {
+      "{\"id\":\"$\",\"op\":\"ping\"}",
+      "{\"id\":\"$\",\"op\":\"stats\"}",
+      "{\"id\":\"$\",\"op\":\"add_vertex\",\"count\":3}",
+      "{\"id\":\"$\",\"op\":\"add_edge\",\"from\":1,\"symbol\":\"a\","
+      "\"to\":2}",
+      "{\"id\":\"$\",\"op\":\"query\",\"query\":\"q(x) := x -[/ab*/]-> y\","
+      "\"max_answers\":4}",
+      "{\"id\":\"$\",\"op\":\"create_graph\",\"graph\":\"g$\","
+      "\"alphabet\":\"ab\"}",
+  };
+  for (int i = 0; i < 300; ++i) {
+    std::string line = kTemplates[rng.Below(kTemplates.size())];
+    // Unique ids so the valid survivors are not all duplicate-id errors.
+    const std::string tag = std::to_string(i);
+    for (size_t pos = line.find('$'); pos != std::string::npos;
+         pos = line.find('$')) {
+      line.replace(pos, 1, tag);
+    }
+    // Corrupt 0-3 random bytes.
+    const int flips = static_cast<int>(rng.Below(4));
+    for (int f = 0; f < flips; ++f) {
+      line[rng.Below(line.size())] =
+          static_cast<char>(32 + rng.Below(95));
+    }
+    Handle(session.get(), line);
+  }
+  EXPECT_TRUE(IsOk(Handle(session.get(), "{\"id\":\"end\",\"op\":\"ping\"}")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceProtocolFuzz,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ecrpq

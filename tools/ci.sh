@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full local CI: default build + tests, ASan/UBSan build + tests, TSan build
 # + parallel-layer tests, observability smoke (differential suite, CLI
-# --stats/--trace/--budget-*/profile), benchmark smoke run, perf-regression
-# gate, lint, and the concurrency-contract stage (clang -Wthread-safety
-# build when clang is installed + tools/ecrpq_lint project rules + rule
-# fixtures).
+# --stats/--trace/--budget-*/profile), benchmark smoke run, service smoke
+# (batch driver round-trip, concurrent socket clients, warm-vs-cold
+# throughput gate), perf-regression gate, lint, and the concurrency-contract
+# stage (clang -Wthread-safety build when clang is installed +
+# tools/ecrpq_lint project rules + rule fixtures).
 #
 #   tools/ci.sh [jobs]
 #
@@ -22,34 +23,36 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/11] configure + build (default) =="
+echo "== [1/12] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/11] ctest (default) =="
+echo "== [2/12] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/11] configure + build (address,undefined) =="
+echo "== [3/12] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/11] ctest (address,undefined) =="
+echo "== [4/12] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/11] TSan over the parallel layer (thread) =="
+echo "== [5/12] TSan over the parallel layer (thread) =="
 cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The threaded code paths: pool primitives, parallel determinism harness,
 # the CSR graph layout, the engines that fan out over the pool and the
 # observability layer (metrics shards, histogram recording, budget trips,
-# differential suite). Run with a multi-worker default so the pool actually
-# spawns threads even when the suite's own options ask for the hardware
-# default. Death tests (BudgetInvariantsDeathTest etc.) stay out of the
-# regex: fork-style death tests and TSan don't mix.
+# differential suite) and the service layer (admission controller under
+# saturation, concurrent sessions vs the sequential oracle, protocol fuzz).
+# Run with a multi-worker default so the pool actually spawns threads even
+# when the suite's own options ask for the hardware default. Death tests
+# (BudgetInvariantsDeathTest etc.) stay out of the regex: fork-style death
+# tests and TSan don't mix.
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'AnnotationsTest|ThreadPool|WorkStealing|FrontierScheduler|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite|CacheTest|AutomatonInternerTest|ReachMemoTest|PlanCacheTest'
+  -R 'AnnotationsTest|ThreadPool|WorkStealing|FrontierScheduler|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite|CacheTest|AutomatonInternerTest|ReachMemoTest|PlanCacheTest|ServiceProtocol|ServiceDifferential|ServiceAdmission'
 
-echo "== [6/11] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
+echo "== [6/12] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'DifferentialSuite|ObsTest|ObsHistogramTest|PhaseProfileTest|BenchDiffTest|JsonTest|BudgetInvariantsDeathTest'
 # (DifferentialSuite above includes CacheDifferentialSuite: cache-on with
@@ -113,10 +116,134 @@ build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" --no-cache \
 diff "$OBS_TMP/eval-cached.out" "$OBS_TMP/eval-nocache.out"
 echo "observability smoke passed."
 
-echo "== [7/11] benchmark smoke (BENCH_*.json) =="
+echo "== [7/12] benchmark smoke (BENCH_*.json) =="
 cmake --build build -j "$JOBS" --target bench-smoke
 
-echo "== [8/11] scaling smoke (e11 suite: 4 threads must beat 1 thread) =="
+echo "== [8/12] service smoke (batch driver + socket clients + x6 throughput) =="
+SVC_TMP="build/service-smoke"
+mkdir -p "$SVC_TMP"
+{
+  echo "alphabet a b"
+  echo "vertices 4"
+  echo "edge 0 a 1"
+  echo "edge 1 a 2"
+  echo "edge 2 a 3"
+} > "$SVC_TMP/graph.txt"
+# A batch script that crosses every response shape: ping, query, mutations
+# that grow the answer set, a malformed line (structured error, id null), a
+# duplicate request id, and shutdown.
+cat > "$SVC_TMP/requests.jsonl" <<'EOF'
+{"id":"r1","op":"ping"}
+{"id":"r2","op":"query","query":"q(x) := x -[/aa/]-> y"}
+{"id":"r3","op":"add_vertex","count":1}
+{"id":"r4","op":"add_edge","from":3,"symbol":"a","to":4}
+{"id":"r5","op":"query","query":"q(x) := x -[/aa/]-> y"}
+this is not json
+{"id":"r5","op":"ping"}
+{"id":"r6","op":"shutdown"}
+EOF
+build/tools/ecrpq_cli serve --batch="$SVC_TMP/requests.jsonl" \
+  --graph="$SVC_TMP/graph.txt" > "$SVC_TMP/batch1.out" 2>/dev/null
+# The batch driver is deterministic: a second identical run (its own
+# process, so its own cold caches) must be byte-identical.
+build/tools/ecrpq_cli serve --batch="$SVC_TMP/requests.jsonl" \
+  --graph="$SVC_TMP/graph.txt" > "$SVC_TMP/batch2.out" 2>/dev/null
+diff "$SVC_TMP/batch1.out" "$SVC_TMP/batch2.out"
+# Spot-check the content: the aa-chain query gains an answer after the
+# add_vertex/add_edge pair, the garbage line comes back as a structured
+# parse_error with a null id, and the reused id is refused.
+grep -q '"id":"r2","status":"ok".*"num_answers":2' "$SVC_TMP/batch1.out"
+grep -q '"id":"r5","status":"ok".*"num_answers":3' "$SVC_TMP/batch1.out"
+grep -q '"id":null,"status":"error","code":"parse_error"' "$SVC_TMP/batch1.out"
+grep -q '"id":"r5","status":"error","code":"invalid_argument".*duplicate' \
+  "$SVC_TMP/batch1.out"
+# Socket transport: two concurrent clients over a Unix socket against a
+# 4-thread service; every response must carry the matching request id and
+# the right answer count, whatever the interleaving. The timeout is a
+# watchdog — a hung accept loop fails the stage instead of wedging CI.
+rm -f "$SVC_TMP/svc.sock"
+ECRPQ_THREADS=4 timeout 120 build/tools/ecrpq_cli serve \
+  --listen-unix="$SVC_TMP/svc.sock" --graph="$SVC_TMP/graph.txt" \
+  2> "$SVC_TMP/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SVC_TMP/svc.sock" ] && break
+  sleep 0.1
+done
+python3 - "$SVC_TMP/svc.sock" <<'PYEOF'
+import json, socket, sys, threading
+path = sys.argv[1]
+errors = []
+def client(cid):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(path)
+        f = s.makefile("rwb")
+        for i in range(20):
+            rid = f"c{cid}-{i}"
+            if i % 2 == 0:
+                req = {"id": rid, "op": "ping"}
+            else:
+                req = {"id": rid, "op": "query",
+                       "query": "q(x) := x -[/aa/]-> y"}
+            f.write((json.dumps(req) + "\n").encode())
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["id"] == rid, resp
+            assert resp["status"] == "ok", resp
+            if i % 2 == 1:
+                assert resp["num_answers"] == 2, resp
+        s.close()
+    except Exception as e:
+        errors.append(f"client {cid}: {e!r}")
+threads = [threading.Thread(target=client, args=(c,)) for c in range(2)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+s.sendall(b'{"id":"bye","op":"shutdown"}\n')
+resp = s.makefile("rb").readline()
+assert b'"status":"ok"' in resp, resp
+print("service socket smoke: 2 clients x 20 requests, clean shutdown")
+PYEOF
+wait "$SERVER_PID"
+# Throughput gate over the fresh bench-smoke output: the warm concurrent
+# per-query rate must beat the cold single-client rate by >= 5x (the
+# cross-query caches are what a long-lived service exists to amortize).
+# Same skip knob as the perf gate: load spikes can flatten the ratio.
+if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
+  echo "service throughput check skipped (ECRPQ_SKIP_PERF_GATE=1)."
+else
+  python3 - build/BENCH_x6_service_load.json <<'PYEOF'
+import json, sys
+records = json.load(open(sys.argv[1]))
+def per_query_ns(prefix):
+    rates = [r["min_ns"] / r["counters"]["queries_per_iter"]
+             for r in records if r["name"].startswith(prefix)]
+    if not rates:
+        print(f"service smoke: no bench record matching {prefix}",
+              file=sys.stderr)
+        sys.exit(1)
+    return min(rates)
+cold = per_query_ns("BM_ServiceSingleClientCold")
+warm4 = per_query_ns("BM_ServiceConcurrentClientsWarm")
+ratio = cold / warm4
+print(f"service smoke: cold {cold/1e6:.2f}ms/query, warm-concurrent "
+      f"{warm4/1e6:.2f}ms/query ({ratio:.1f}x)")
+if ratio < 5.0:
+    print("service smoke FAILED: warm concurrent throughput is under 5x "
+          "the cold single-client rate", file=sys.stderr)
+    sys.exit(1)
+PYEOF
+fi
+echo "service smoke passed."
+
+echo "== [9/12] scaling smoke (e11 suite: 4 threads must beat 1 thread) =="
 NCORES="$(nproc 2>/dev/null || echo 1)"
 if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
   echo "scaling smoke skipped (ECRPQ_SKIP_PERF_GATE=1)."
@@ -156,7 +283,7 @@ PYEOF
   echo "scaling smoke passed."
 fi
 
-echo "== [9/11] perf-regression gate (bench_compare vs committed baseline) =="
+echo "== [10/12] perf-regression gate (bench_compare vs committed baseline) =="
 if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
   echo "perf gate skipped (ECRPQ_SKIP_PERF_GATE=1)."
 else
@@ -183,10 +310,10 @@ else
   fi
 fi
 
-echo "== [10/11] lint =="
+echo "== [11/12] lint =="
 tools/run_lint.sh build -j "$JOBS"
 
-echo "== [11/11] concurrency contracts (thread-safety build + ecrpq_lint) =="
+echo "== [12/12] concurrency contracts (thread-safety build + ecrpq_lint) =="
 # Part 1: the whole tree under clang's capability analysis promoted to
 # errors (ECRPQ_ANALYZE=thread-safety). Clang-only by nature — skipped, not
 # failed, on machines without clang, matching the run_lint.sh degrade

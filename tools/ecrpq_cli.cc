@@ -14,6 +14,8 @@
 #include <cstring>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -34,6 +36,8 @@
 #include "graphdb/io.h"
 #include "synchro/io.h"
 #include "query/parser.h"
+#include "service/query_service.h"
+#include "service/server.h"
 
 namespace ecrpq {
 namespace internal_cli {
@@ -58,7 +62,14 @@ int Usage() {
       "  ecrpq_cli explain <graph-file> \"<query>\" <v1> <v2> ...\n"
       "  ecrpq_cli count <graph-file> \"<query>\"\n"
       "  ecrpq_cli dot <graph-file>\n"
-      "  ecrpq_cli parse --alphabet=<chars> \"<query>\"\n");
+      "  ecrpq_cli parse --alphabet=<chars> \"<query>\"\n"
+      "  ecrpq_cli serve (--batch=<file>|- | --listen-unix=<path> | "
+      "--listen-tcp=<port>)\n"
+      "             [--graph=<graph-file>] [--pool=<n>] "
+      "[--max-concurrent=<n>]\n"
+      "             [--max-states=<n>] [--max-mem=<bytes>] "
+      "[--admission=reject|queue]\n"
+      "             [--queue-ms=<millis>] [--no-cache]\n");
   return 2;
 }
 
@@ -90,6 +101,17 @@ struct Args {
   // Bypass the process-wide cross-query caches (plan cache, automaton
   // interner, reach-set memo). Answers are identical either way.
   bool no_cache = false;
+  // serve only: transport selection plus service/admission configuration.
+  std::string batch_path;    // "-" reads stdin.
+  std::string listen_unix;
+  int listen_tcp = -1;       // >= 0 once --listen-tcp is given (0 = ephemeral).
+  std::string graph_path;    // Installed as the "default" graph.
+  int pool = 0;
+  uint64_t max_concurrent = 0;
+  uint64_t max_states = 0;
+  uint64_t max_mem = 0;
+  std::string admission = "reject";
+  int64_t queue_ms = 100;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -119,6 +141,33 @@ Args ParseArgs(int argc, char** argv) {
     } else if (arg.rfind("--budget-ms=", 0) == 0) {
       args.budget_ms =
           std::strtoll(arg.c_str() + strlen("--budget-ms="), nullptr, 10);
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      args.batch_path = arg.substr(strlen("--batch="));
+    } else if (arg.rfind("--listen-unix=", 0) == 0) {
+      args.listen_unix = arg.substr(strlen("--listen-unix="));
+    } else if (arg.rfind("--listen-tcp=", 0) == 0) {
+      args.listen_tcp =
+          static_cast<int>(std::strtol(arg.c_str() + strlen("--listen-tcp="),
+                                       nullptr, 10));
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      args.graph_path = arg.substr(strlen("--graph="));
+    } else if (arg.rfind("--pool=", 0) == 0) {
+      args.pool = static_cast<int>(
+          std::strtol(arg.c_str() + strlen("--pool="), nullptr, 10));
+    } else if (arg.rfind("--max-concurrent=", 0) == 0) {
+      args.max_concurrent = std::strtoull(
+          arg.c_str() + strlen("--max-concurrent="), nullptr, 10);
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      args.max_states =
+          std::strtoull(arg.c_str() + strlen("--max-states="), nullptr, 10);
+    } else if (arg.rfind("--max-mem=", 0) == 0) {
+      args.max_mem =
+          std::strtoull(arg.c_str() + strlen("--max-mem="), nullptr, 10);
+    } else if (arg.rfind("--admission=", 0) == 0) {
+      args.admission = arg.substr(strlen("--admission="));
+    } else if (arg.rfind("--queue-ms=", 0) == 0) {
+      args.queue_ms =
+          std::strtoll(arg.c_str() + strlen("--queue-ms="), nullptr, 10);
     } else if (arg.rfind("--rel=", 0) == 0) {
       const std::string spec = arg.substr(strlen("--rel="));
       const size_t eq = spec.find('=');
@@ -593,6 +642,90 @@ int Parse(const Args& args) {
   return 0;
 }
 
+int Serve(const Args& args) {
+  if (args.admission != "reject" && args.admission != "queue") {
+    std::fprintf(stderr, "unknown --admission policy '%s'\n",
+                 args.admission.c_str());
+    return Usage();
+  }
+  const int transports = (args.batch_path.empty() ? 0 : 1) +
+                         (args.listen_unix.empty() ? 0 : 1) +
+                         (args.listen_tcp >= 0 ? 1 : 0);
+  if (transports != 1) {
+    std::fprintf(stderr,
+                 "serve needs exactly one of --batch / --listen-unix / "
+                 "--listen-tcp\n");
+    return Usage();
+  }
+
+  ServiceConfig config;
+  config.pool_threads = args.pool;
+  config.admission.max_concurrent = args.max_concurrent;
+  config.admission.max_total_product_states = args.max_states;
+  config.admission.max_total_memory_bytes = args.max_mem;
+  config.admission.policy = args.admission == "queue" ? OverflowPolicy::kQueue
+                                                      : OverflowPolicy::kReject;
+  config.admission.queue_deadline_millis = args.queue_ms;
+  config.default_budget.max_product_states = args.budget_states;
+  config.default_budget.max_memory_bytes = args.budget_mem;
+  config.default_budget.timeout_millis = args.budget_ms;
+  config.disable_cache = args.no_cache;
+
+  std::unique_ptr<QueryService> service;
+  if (!args.graph_path.empty()) {
+    Result<std::string> text = ReadFile(args.graph_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<GraphDb> db = GraphDbFromString(*text);
+    if (!db.ok()) {
+      std::fprintf(stderr, "graph parse error: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    service = std::make_unique<QueryService>(config, *std::move(db));
+  } else {
+    service = std::make_unique<QueryService>(config);
+  }
+
+  if (!args.batch_path.empty()) {
+    if (args.batch_path == "-") {
+      const Status s = RunBatch(*service, std::cin, std::cout);
+      return s.ok() ? 0 : 1;
+    }
+    std::ifstream in(args.batch_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.batch_path.c_str());
+      return 1;
+    }
+    const Status s = RunBatch(*service, in, std::cout);
+    return s.ok() ? 0 : 1;
+  }
+
+  SocketServer server(service.get());
+  if (!args.listen_unix.empty()) {
+    const Status s = server.ListenUnix(args.listen_unix);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "listening on unix:%s\n", args.listen_unix.c_str());
+  } else {
+    int port = 0;
+    const Status s = server.ListenTcp(args.listen_tcp, &port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    // The scripted socket tests scrape this line for the ephemeral port.
+    std::fprintf(stderr, "listening on tcp:127.0.0.1:%d\n", port);
+  }
+  std::fflush(stderr);
+  server.Serve();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -608,6 +741,7 @@ int Main(int argc, char** argv) {
   if (command == "count") return Count(args);
   if (command == "dot") return Dot(args);
   if (command == "parse") return Parse(args);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
 
