@@ -27,9 +27,13 @@ bool IsInformationalCounter(const std::string& name) {
   // not on the benchmarked work itself. service_-prefixed counters
   // (admission-control admitted/queued/rejected traffic) depend on the
   // concurrent load mix and queueing timing, same rule.
+  // telemetry_-prefixed counters (event-log records written, postmortem
+  // dumps) count observability traffic, which tracks load and error mix
+  // rather than the benchmarked work.
   return name.compare(0, 6, "sched_") == 0 ||
          name.compare(0, 6, "cache_") == 0 ||
-         name.compare(0, 8, "service_") == 0;
+         name.compare(0, 8, "service_") == 0 ||
+         name.compare(0, 10, "telemetry_") == 0;
 }
 
 std::string Fmt(double v) {

@@ -14,9 +14,10 @@
 //    most are deterministic work counts; counters whose name ends in "_ns"
 //    (histogram percentile exports such as phase_bfs_ns_p90) are wall-clock
 //    valued and get the time slack instead; counters prefixed "sched_"
-//    (work-stealing steal traffic), "cache_" (cross-run cache history) or
-//    "service_" (admission-control traffic) are scheduling- or
-//    history-dependent by design and are never compared at all;
+//    (work-stealing steal traffic), "cache_" (cross-run cache history),
+//    "service_" (admission-control traffic) or "telemetry_" (event-log /
+//    flight-recorder traffic) are scheduling- or history-dependent by
+//    design and are never compared at all;
 //  - comparisons are skipped with a note (not a failure) when the records
 //    are not comparable: build mode differs, threads differ, seed differs,
 //    or a benchmark exists on only one side. Improvements never fail.

@@ -1,0 +1,32 @@
+#include "common/event_log.h"
+
+#include "common/dcheck.h"
+
+namespace ecrpq {
+namespace obs {
+
+EventLog::EventLog(const std::string& path) : path_(path) {
+  MutexLock lock(mutex_);
+  out_.open(path, std::ios::app);
+  ok_ = static_cast<bool>(out_);
+}
+
+void EventLog::Append(std::string_view json_object) {
+  ECRPQ_DCHECK(json_object.find('\n') == std::string_view::npos)
+      << "event-log records must be single-line JSON objects";
+  MutexLock lock(mutex_);
+  if (!out_) return;
+  out_.write(json_object.data(),
+             static_cast<std::streamsize>(json_object.size()));
+  out_.put('\n');
+  out_.flush();
+  ++lines_written_;
+}
+
+uint64_t EventLog::lines_written() const {
+  MutexLock lock(mutex_);
+  return lines_written_;
+}
+
+}  // namespace obs
+}  // namespace ecrpq

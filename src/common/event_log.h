@@ -1,0 +1,59 @@
+// EventLog: append-only JSON-lines sink for structured service events
+// (slow queries, budget trips, protocol errors).
+//
+// The log is a dumb, thread-safe appender: callers hand it one complete
+// JSON object per event (no trailing newline) and it writes exactly one
+// line per call, flushed, under one mutex — so concurrent sessions never
+// interleave bytes within a line and a crash loses at most the event being
+// written. Record CONSTRUCTION lives with the callers (the query service
+// builds its records in service terms); this file knows nothing about the
+// wire protocol.
+//
+// Schema of the service's query records (documented for consumers;
+// docs/OBSERVABILITY.md carries the full version):
+//   {"event":"query","ts_ms":...,"trace_id":"...","request_id":"...", ...}
+#ifndef ECRPQ_COMMON_EVENT_LOG_H_
+#define ECRPQ_COMMON_EVENT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/annotations.h"
+#include "common/status.h"
+
+namespace ecrpq {
+namespace obs {
+
+class EventLog {
+ public:
+  // Opens `path` for append (creating it if missing). Check ok() before
+  // relying on the log; Append on a failed log is a silent no-op so the
+  // serving path never has to branch on sink health.
+  explicit EventLog(const std::string& path);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+  // Writes `json_object` + '\n' and flushes. `json_object` must be one
+  // complete JSON object with no embedded newline (ECRPQ_DCHECKed).
+  void Append(std::string_view json_object) ECRPQ_EXCLUDES(mutex_);
+
+  // Lifetime count of lines written (test/obs hook).
+  uint64_t lines_written() const ECRPQ_EXCLUDES(mutex_);
+
+ private:
+  const std::string path_;
+  bool ok_ = false;
+  mutable Mutex mutex_;
+  std::ofstream out_ ECRPQ_GUARDED_BY(mutex_);
+  uint64_t lines_written_ ECRPQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace obs
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_EVENT_LOG_H_

@@ -54,6 +54,10 @@ const char* CounterName(CounterId id) {
       return "service_rejected";
     case CounterId::kServiceActivePeak:
       return "service_active_peak";
+    case CounterId::kTelemetryEventsLogged:
+      return "telemetry_events_logged";
+    case CounterId::kTelemetryPostmortemDumps:
+      return "telemetry_postmortem_dumps";
     case CounterId::kNumCounters:
       break;
   }
@@ -94,6 +98,8 @@ const char* HistogramName(HistogramId id) {
       return "cache_lookup_ns";
     case HistogramId::kServiceRequestNs:
       return "service_request_ns";
+    case HistogramId::kServiceQueueNs:
+      return "service_queue_ns";
     case HistogramId::kNumHistograms:
       break;
   }

@@ -81,6 +81,11 @@ enum class CounterId : int {
   kServiceQueued,              // Queries that waited in the admission queue.
   kServiceRejected,            // Queries rejected (policy or queue deadline).
   kServiceActivePeak,          // Max concurrently admitted (max-aggregated).
+  // Request-telemetry layer (event log, flight recorder). Load-dependent
+  // like the service_ group; exported with a "telemetry_" name prefix that
+  // bench_compare treats as informational-only.
+  kTelemetryEventsLogged,      // Records appended to the JSON-lines log.
+  kTelemetryPostmortemDumps,   // Flight-recorder postmortem files written.
   kNumCounters,
 };
 
@@ -112,6 +117,7 @@ enum class HistogramId : int {
   kFrontierOccupancy,        // Frontier size per level (level-sync BFS).
   kCacheLookupNs,            // One sharded-LRU lookup, hit or miss.
   kServiceRequestNs,         // QueryService request: admission -> response.
+  kServiceQueueNs,           // Admission wait per query (0 when unqueued).
   kNumHistograms,
 };
 

@@ -29,6 +29,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "common/annotations.h"
 #include "common/metrics.h"
@@ -77,6 +79,14 @@ class Session {
   // Tracing is off (trace() == nullptr, spans are no-ops) until enabled.
   void EnableTrace() { trace_enabled_ = true; }
   Trace* trace() { return trace_enabled_ ? &trace_ : nullptr; }
+
+  // Request-scoped trace id (wire-propagated by the query service, empty
+  // outside a service context). Set once before evaluation starts; spans
+  // recorded under this session belong to this id, which is what makes
+  // concurrent sessions' traces linkable after export
+  // (Trace::ToJson(trace_id)).
+  void SetTraceId(std::string trace_id) { trace_id_ = std::move(trace_id); }
+  const std::string& trace_id() const { return trace_id_; }
 
   // Arms (or re-arms) the budget. Invariants, enforced in every build mode:
   //  - at least one limit is non-zero and timeout_millis >= 0
@@ -136,6 +146,7 @@ class Session {
   Metrics metrics_;
   Trace trace_;
   bool trace_enabled_ = false;
+  std::string trace_id_;
 
   // Arming state: written by SetBudget, read by every CheckBudget poll.
   // The tripped flag itself stays lock-free (exhausted_ below) so the

@@ -1,0 +1,76 @@
+#include "common/telemetry.h"
+
+#include <sstream>
+
+namespace ecrpq {
+namespace obs {
+
+namespace {
+
+void AppendCounter(const char* name, CounterKind kind, uint64_t value,
+                   std::ostringstream* out) {
+  // Max-folded counters (peaks) are gauges in Prometheus terms: they can
+  // stay flat or be out-raced, they are not monotone sums.
+  *out << "# TYPE ecrpq_" << name
+       << (kind == CounterKind::kMax ? " gauge\n" : " counter\n");
+  *out << "ecrpq_" << name << " " << value << "\n";
+}
+
+void AppendHistogram(const char* name, const HistogramData& h,
+                     std::ostringstream* out) {
+  *out << "# TYPE ecrpq_" << name << " summary\n";
+  *out << "ecrpq_" << name << "_count " << h.Count() << "\n";
+  *out << "ecrpq_" << name << "_sum " << h.sum << "\n";
+  *out << "ecrpq_" << name << "{quantile=\"0.5\"} " << h.Percentile(0.50)
+       << "\n";
+  *out << "ecrpq_" << name << "{quantile=\"0.9\"} " << h.Percentile(0.90)
+       << "\n";
+  *out << "ecrpq_" << name << "{quantile=\"0.99\"} " << h.Percentile(0.99)
+       << "\n";
+  *out << "ecrpq_" << name << "_max " << h.max << "\n";
+}
+
+}  // namespace
+
+std::string RenderStatsExposition(const StatsReport& report) {
+  std::ostringstream out;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    AppendCounter(CounterName(id), CounterKindOf(id), report.values[i], &out);
+  }
+  for (int i = 0; i < kNumHistograms; ++i) {
+    const HistogramId id = static_cast<HistogramId>(i);
+    const HistogramData& h = report.histograms[i];
+    if (h.Empty()) continue;  // Match StatsReport: silent when unused.
+    AppendHistogram(HistogramName(id), h, &out);
+  }
+  return out.str();
+}
+
+void TelemetryRegistry::RegisterGroup(const std::string& prefix, GroupFn fn) {
+  MutexLock lock(mutex_);
+  groups_.push_back(Group{prefix, std::move(fn)});
+}
+
+std::string TelemetryRegistry::Render(const StatsReport& report) const {
+  std::ostringstream out;
+  out << RenderStatsExposition(report);
+  // Snapshot the provider list, then run the callbacks unlocked: a provider
+  // may itself take locks (admission mutex) and must not nest under ours.
+  std::vector<Group> groups;
+  {
+    MutexLock lock(mutex_);
+    groups = groups_;
+  }
+  for (const Group& group : groups) {
+    const GaugeGroup values = group.fn();
+    for (const auto& [suffix, value] : values) {
+      out << "# TYPE ecrpq_" << group.prefix << suffix << " gauge\n";
+      out << "ecrpq_" << group.prefix << suffix << " " << value << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ecrpq

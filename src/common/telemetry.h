@@ -1,0 +1,88 @@
+// TelemetryRegistry: point-in-time, Prometheus-style text exposition of
+// everything the process can report about itself — the StatsReport
+// vocabulary (counters and histograms with count/sum/p50/p90/p99) plus
+// registered gauge providers (admission accounting, cache occupancy, ...).
+//
+// Two consistency grades, deliberately distinct:
+//  - StatsReport metrics are folded from lock-free shards; each value is
+//    individually exact at load time but the set is not a cross-counter
+//    atomic snapshot (that is the shards' wait-free contract);
+//  - a gauge GROUP registered through RegisterGroup is produced by ONE
+//    callback invocation, so a provider that reads all of its values under
+//    one lock (AdmissionController::counters() does) gets its internal
+//    identities — submitted == admitted + rejected,
+//    released + active == admitted — preserved verbatim in every snapshot.
+//    This is what lets the exposition promise the admission drain
+//    identities at every instant a snapshot is taken.
+//
+// Layering: this file is src/common and knows nothing about src/service;
+// the service registers its providers at construction.
+//
+// Exposition format (text/plain, Prometheus-flavored):
+//   # TYPE ecrpq_product_states_expanded counter
+//   ecrpq_product_states_expanded 41
+//   # TYPE ecrpq_service_request_ns summary
+//   ecrpq_service_request_ns_count 3
+//   ecrpq_service_request_ns_sum 120000
+//   ecrpq_service_request_ns{quantile="0.5"} 65535
+//   ...
+//   # TYPE ecrpq_admission_submitted gauge
+//   ecrpq_admission_submitted 7
+// Lines are emitted in a deterministic order (enum order, then groups in
+// registration order) so two snapshots of identical state are
+// byte-identical.
+#ifndef ECRPQ_COMMON_TELEMETRY_H_
+#define ECRPQ_COMMON_TELEMETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/metrics.h"
+
+namespace ecrpq {
+namespace obs {
+
+class TelemetryRegistry {
+ public:
+  // One atomically-produced set of (suffix, value) pairs; the full metric
+  // name is "ecrpq_" + group prefix + suffix.
+  using GaugeGroup = std::vector<std::pair<std::string, uint64_t>>;
+  using GroupFn = std::function<GaugeGroup()>;
+
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  // Registers a gauge-group provider under `prefix` (e.g. "admission_").
+  // The callback runs on every Render call; it must be thread-safe and
+  // should return all values it wants treated as one consistent snapshot.
+  void RegisterGroup(const std::string& prefix, GroupFn fn)
+      ECRPQ_EXCLUDES(mutex_);
+
+  // Renders `report` plus every registered group. Thread-safe; safe to call
+  // while metric writers are active (see the consistency notes above).
+  std::string Render(const StatsReport& report) const ECRPQ_EXCLUDES(mutex_);
+
+ private:
+  struct Group {
+    std::string prefix;
+    GroupFn fn;
+  };
+
+  mutable Mutex mutex_;  // Guards group registration vs. Render.
+  std::vector<Group> groups_ ECRPQ_GUARDED_BY(mutex_);
+};
+
+// Renders just the StatsReport portion of the exposition (no gauges) —
+// the shared core of TelemetryRegistry::Render, exposed for tests and for
+// contexts with no registry (CLI one-shot runs).
+std::string RenderStatsExposition(const StatsReport& report);
+
+}  // namespace obs
+}  // namespace ecrpq
+
+#endif  // ECRPQ_COMMON_TELEMETRY_H_

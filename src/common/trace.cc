@@ -79,12 +79,25 @@ std::string EscapeJson(const char* s) {
   return out;
 }
 
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
-std::string Trace::ToJson() const {
+std::string Trace::ToJson(std::string_view trace_id) const {
   const std::vector<Event> events = Events();
   std::ostringstream out;
-  out << "{\"traceEvents\": [\n";
+  out << "{";
+  if (!trace_id.empty()) {
+    out << "\"traceId\": \"" << EscapeJson(trace_id) << "\", ";
+  }
+  out << "\"traceEvents\": [\n";
   for (size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
     out << "  {\"name\": \"" << EscapeJson(e.name)

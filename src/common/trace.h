@@ -60,7 +60,11 @@ class Trace {
 
   // {"traceEvents":[...],"displayTimeUnit":"ms"} — events sorted by
   // (start, tid, name) so output layout is stable for a given set of spans.
-  std::string ToJson() const;
+  // A non-empty `trace_id` adds a top-level "traceId" key, which is how the
+  // query service links one request's exported trace back to the wire
+  // trace_id it was submitted under (extra top-level keys are fine for both
+  // chrome://tracing and ValidateTraceJson).
+  std::string ToJson(std::string_view trace_id = {}) const;
   Status WriteFile(const std::string& path) const;
 
  private:

@@ -76,6 +76,19 @@ std::string QueryClassification::ToString() const {
   return out.str();
 }
 
+std::string QueryClassification::ToJson() const {
+  std::ostringstream out;
+  out << "{\"cc_vertex\": " << measures.cc_vertex
+      << ", \"cc_hedge\": " << measures.cc_hedge
+      << ", \"tw\": " << measures.treewidth << ", \"tw_exact\": "
+      << (measures.treewidth_exact ? "true" : "false") << ", \"is_crpq\": "
+      << (is_crpq ? "true" : "false") << ", \"eval_regime\": \""
+      << EvalRegimeName(eval_regime) << "\", \"param_regime\": \""
+      << ParamRegimeName(param_regime) << "\", \"engine\": \""
+      << EngineChoiceName(engine) << "\"}";
+  return out.str();
+}
+
 QueryClassification ClassifyQuery(const EcrpqQuery& query,
                                   const PlannerThresholds& thresholds) {
   QueryClassification c;

@@ -64,6 +64,11 @@ struct QueryClassification {
   EngineChoice engine = EngineChoice::kGeneric;
 
   std::string ToString() const;
+  // Compact single-line JSON verdict for the telemetry layer (event-log
+  // records, `trace` op metadata): the measures that drove the routing
+  // decision plus the chosen regimes and engine. Key order is fixed, so
+  // the serialization is deterministic.
+  std::string ToJson() const;
 };
 
 QueryClassification ClassifyQuery(const EcrpqQuery& query,

@@ -56,10 +56,16 @@ Result<AdmissionTicket> AdmissionController::Admit(
     AdmissionCharge charge, obs::MetricsShard* obs_shard) {
   charge = Normalize(charge);
   MutexLock lock(mutex_);
-  ++submitted_;
+  // submitted_ is bumped at each DECISION point (together with admitted_ or
+  // rejected_ under the same lock hold), not on entry: a queued submission
+  // releases the mutex inside WaitUntil, and an entry-time increment would
+  // let a concurrent counters() snapshot observe
+  // submitted > admitted + rejected. The telemetry exposition promises that
+  // identity at every instant, so undecided submissions stay invisible.
   if (Impossible(charge)) {
     // Exceeds a global cap outright: queueing could never help, so both
     // policies reject immediately — the never-hang guarantee.
+    ++submitted_;
     ++rejected_;
     obs::Add(obs_shard, obs::CounterId::kServiceRejected);
     return Status::ResourceExhausted(
@@ -68,6 +74,7 @@ Result<AdmissionTicket> AdmissionController::Admit(
   if (!Fits(charge)) {
     if (limits_.policy == OverflowPolicy::kReject ||
         limits_.queue_deadline_millis <= 0) {
+      ++submitted_;
       ++rejected_;
       obs::Add(obs_shard, obs::CounterId::kServiceRejected);
       return Status::ResourceExhausted("admission: over global limits");
@@ -80,6 +87,7 @@ Result<AdmissionTicket> AdmissionController::Admit(
     bool timed_out = false;
     while (!Fits(charge)) {
       if (timed_out) {
+        ++submitted_;
         ++rejected_;
         obs::Add(obs_shard, obs::CounterId::kServiceRejected);
         return Status::ResourceExhausted(
@@ -90,6 +98,7 @@ Result<AdmissionTicket> AdmissionController::Admit(
       timed_out = drained_cv_.WaitUntil(mutex_, deadline);
     }
   }
+  ++submitted_;
   ++admitted_;
   ++active_slots_;
   active_product_states_ += charge.product_states;

@@ -24,9 +24,14 @@
 //    immediately under either policy — queueing it would hang forever.
 //
 // Accounting is exact and queryable (counters()):
-//    submitted == admitted + rejected          (after every Admit returns)
+//    submitted == admitted + rejected          (at EVERY snapshot: the
+//                                               counters advance together
+//                                               at decision time, so even a
+//                                               snapshot racing a queued
+//                                               waiter sees the identity)
 //    released  == admitted                     (once all tickets are dead)
 //    active    == admitted - released          (the gauge; 0 at drain)
+//    released + active == admitted             (at every snapshot)
 // The admission-control determinism test pins these identities under
 // concurrent saturation; AdmissionTicket's move-only RAII shape is what
 // makes "no double release on the cancel path" structural rather than

@@ -11,18 +11,22 @@ namespace {
 
 // Per-op field whitelists (id/op are always allowed). Strictness contract:
 // anything not listed for the request's op is an error.
+// "trace_id" is in every whitelist: trace context may ride on any op.
 const std::set<std::string>& AllowedFields(RequestOp op) {
   static const std::set<std::string> kQueryFields = {
       "id",          "op",        "graph",     "query",
       "engine",      "max_answers", "budget_states", "budget_mem",
-      "budget_ms",   "no_cache",  "stats"};
-  static const std::set<std::string> kCreateFields = {"id", "op", "graph",
-                                                      "text", "alphabet"};
+      "budget_ms",   "no_cache",  "stats",     "trace_id"};
+  static const std::set<std::string> kCreateFields = {
+      "id", "op", "graph", "text", "alphabet", "trace_id"};
   static const std::set<std::string> kAddEdgeFields = {
-      "id", "op", "graph", "from", "symbol", "to"};
-  static const std::set<std::string> kAddVertexFields = {"id", "op", "graph",
-                                                         "count"};
-  static const std::set<std::string> kBareFields = {"id", "op"};
+      "id", "op", "graph", "from", "symbol", "to", "trace_id"};
+  static const std::set<std::string> kAddVertexFields = {
+      "id", "op", "graph", "count", "trace_id"};
+  static const std::set<std::string> kStatsFields = {"id", "op", "format",
+                                                     "trace_id"};
+  static const std::set<std::string> kTraceFields = {"id", "op", "trace_id"};
+  static const std::set<std::string> kBareFields = {"id", "op", "trace_id"};
   switch (op) {
     case RequestOp::kQuery:
       return kQueryFields;
@@ -32,8 +36,11 @@ const std::set<std::string>& AllowedFields(RequestOp op) {
       return kAddEdgeFields;
     case RequestOp::kAddVertex:
       return kAddVertexFields;
-    case RequestOp::kPing:
     case RequestOp::kStats:
+      return kStatsFields;
+    case RequestOp::kTrace:
+      return kTraceFields;
+    case RequestOp::kPing:
     case RequestOp::kShutdown:
       return kBareFields;
   }
@@ -82,6 +89,18 @@ Status GetBoolField(const json::Value& obj, const std::string& key,
 
 }  // namespace
 
+bool IsValidTraceId(std::string_view id) {
+  if (id.empty() || id.size() > kMaxTraceIdBytes) return false;
+  // Visible ASCII only: the id is echoed verbatim into JSON responses,
+  // trace exports and log lines; banning control bytes and non-ASCII here
+  // keeps every downstream serialization trivially safe.
+  for (const char c : id) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x21 || u > 0x7e || c == '"' || c == '\\') return false;
+  }
+  return true;
+}
+
 Result<ServiceRequest> ParseRequestLine(std::string_view line) {
   ECRPQ_ASSIGN_OR_RAISE(json::Value doc, json::Parse(std::string(line)));
   if (!doc.is_object()) {
@@ -117,6 +136,8 @@ Result<ServiceRequest> ParseRequestLine(std::string_view line) {
     req.op = RequestOp::kPing;
   } else if (op_name == "stats") {
     req.op = RequestOp::kStats;
+  } else if (op_name == "trace") {
+    req.op = RequestOp::kTrace;
   } else if (op_name == "shutdown") {
     req.op = RequestOp::kShutdown;
   } else {
@@ -129,6 +150,21 @@ Result<ServiceRequest> ParseRequestLine(std::string_view line) {
     if (allowed.find(key) == allowed.end()) {
       return Status::Invalid("unknown field '" + key + "' for op '" +
                              op_name + "'");
+    }
+  }
+
+  ECRPQ_RETURN_NOT_OK(GetStringField(doc, "trace_id", &req.trace_id));
+  if (doc.Find("trace_id") != nullptr) {
+    if (req.trace_id.empty()) {
+      return Status::Invalid("field 'trace_id' must be non-empty");
+    }
+    if (req.trace_id.size() > kMaxTraceIdBytes) {
+      return Status::Invalid("oversized trace_id (max " +
+                             std::to_string(kMaxTraceIdBytes) + " bytes)");
+    }
+    if (!IsValidTraceId(req.trace_id)) {
+      return Status::Invalid(
+          "field 'trace_id' must be visible ASCII without '\"' or '\\'");
     }
   }
 
@@ -197,8 +233,24 @@ Result<ServiceRequest> ParseRequestLine(std::string_view line) {
       }
       break;
     }
+    case RequestOp::kStats: {
+      ECRPQ_RETURN_NOT_OK(GetStringField(doc, "format", &req.stats_format));
+      if (!req.stats_format.empty() && req.stats_format != "counters" &&
+          req.stats_format != "prometheus") {
+        return Status::Invalid("unknown stats format '" + req.stats_format +
+                               "'");
+      }
+      break;
+    }
+    case RequestOp::kTrace: {
+      // The trace op LOOKS UP a retained trace, so here trace_id is the
+      // operand, not just context.
+      if (req.trace_id.empty()) {
+        return Status::Invalid("op 'trace' requires a 'trace_id' string");
+      }
+      break;
+    }
     case RequestOp::kPing:
-    case RequestOp::kStats:
     case RequestOp::kShutdown:
       break;
   }
@@ -265,6 +317,12 @@ const char* WireCodeName(StatusCode code) {
 
 std::string ErrorResponseLine(const std::string* id, StatusCode code,
                               std::string_view message) {
+  return ErrorResponseLine(id, code, message, /*trace_id=*/{});
+}
+
+std::string ErrorResponseLine(const std::string* id, StatusCode code,
+                              std::string_view message,
+                              std::string_view trace_id) {
   std::string out = "{\"id\":";
   if (id == nullptr) {
     out += "null";
@@ -273,7 +331,11 @@ std::string ErrorResponseLine(const std::string* id, StatusCode code,
   }
   out += ",\"status\":\"error\",\"code\":\"";
   out += WireCodeName(code);
-  out += "\",\"message\":\"" + JsonEscape(message) + "\"}";
+  out += "\",\"message\":\"" + JsonEscape(message) + "\"";
+  if (!trace_id.empty()) {
+    out += ",\"trace_id\":\"" + JsonEscape(trace_id) + "\"";
+  }
+  out += "}";
   return out;
 }
 

@@ -11,7 +11,11 @@
 //   {"id":"r4","op":"add_vertex","graph":"g","count":5}
 //   {"id":"r5","op":"add_edge","graph":"g","from":0,"symbol":"a","to":1}
 //   {"id":"r6","op":"ping"}   {"id":"r7","op":"stats"}
+//   {"id":"r7b","op":"stats","format":"prometheus"}
+//   {"id":"r7c","op":"trace","trace_id":"t1"}
 //   {"id":"r8","op":"shutdown"}
+// Every op additionally accepts an optional "trace_id" string (<= 128
+// visible-ASCII bytes), echoed on the response line; see ServiceRequest.
 //
 // Response:
 //   {"id":"r1","status":"ok", ...op-specific fields...}
@@ -44,12 +48,33 @@ enum class RequestOp {
   kAddVertex,
   kPing,
   kStats,
+  kTrace,
   kShutdown,
 };
+
+// Upper bound on a client-supplied trace_id; longer ids are a protocol
+// error ("oversized trace_id"), because the id is echoed on every response
+// line and retained server-side — an unbounded id is an amplification
+// vector.
+inline constexpr size_t kMaxTraceIdBytes = 128;
+
+// 1 to kMaxTraceIdBytes visible-ASCII bytes, excluding '"' and '\\' so the
+// id can be spliced verbatim into JSON responses, trace exports and log
+// lines. Parse-time gate for the wire field; also used for best-effort
+// trace_id recovery on lines that failed full parsing.
+bool IsValidTraceId(std::string_view id);
 
 struct ServiceRequest {
   std::string id;
   RequestOp op = RequestOp::kPing;
+  // Optional client-supplied trace context, allowed on every op: 1 to
+  // kMaxTraceIdBytes visible-ASCII bytes. When present it is echoed as a
+  // "trace_id" field on the response line (ok or error) and attached to the
+  // request's obs::Session, so the client can correlate its request with
+  // the server-side trace (`trace` op) and the event log. Absent (empty)
+  // keeps the response bytes exactly as before — the byte-determinism
+  // contract of the differential suite.
+  std::string trace_id;
   // Target graph; every session resolves names in the service-wide
   // registry ("default" is the graph the service owns from startup).
   std::string graph = "default";
@@ -74,6 +99,10 @@ struct ServiceRequest {
 
   // op == kAddVertex.
   uint64_t count = 1;
+
+  // op == kStats: "" (legacy counters response), "counters" (same,
+  // explicit) or "prometheus" (full telemetry exposition).
+  std::string stats_format;
 };
 
 // Parses and validates one request line. Errors (ParseError /
@@ -90,8 +119,13 @@ const char* WireCodeName(StatusCode code);
 
 // {"id":<id or null>,"status":"error","code":...,"message":...}
 // `id` == nullptr means the id could not be recovered from the line.
+// A non-empty `trace_id` appends ,"trace_id":"..." — the echo contract
+// holds on error lines too.
 std::string ErrorResponseLine(const std::string* id, StatusCode code,
                               std::string_view message);
+std::string ErrorResponseLine(const std::string* id, StatusCode code,
+                              std::string_view message,
+                              std::string_view trace_id);
 
 // Incremental builder for ok responses:
 //   ResponseBuilder b(id); b.AddBool("satisfiable", true); b.Finish();

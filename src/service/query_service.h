@@ -5,8 +5,10 @@
 //
 // Shape:
 //  - the SERVICE owns the graphs (a named registry; "default" is installed
-//    at construction), the service-level obs::Metrics, and the
-//    AdmissionController;
+//    at construction), the service-level obs::Metrics, the
+//    AdmissionController, and the request-telemetry sinks (the
+//    TelemetryRegistry behind the `stats` exposition, the JSON-lines event
+//    log, and the postmortem configuration);
 //  - a SESSION is one client: it executes its requests strictly in order
 //    and produces exactly one response line per request line, so a
 //    client's response stream is a pure function of its request stream
@@ -15,6 +17,19 @@
 //  - EVALUATIONS fan out on the process-shared worker pool
 //    (ThreadPool::Shared via EvalOptions::num_threads = pool_threads),
 //    so concurrent queries share workers instead of spawning threads.
+//
+// Telemetry (ServiceConfig::telemetry, default on): every query runs under
+// an obs::Session with tracing enabled and a request-scoped trace id —
+// client-supplied via the wire "trace_id" field, else the deterministic
+// "auto:" + request id. The finished trace is retained per session (the
+// `trace` op serves it back as chrome://tracing JSON), the query is
+// appended to the event log when one is configured, and a per-session
+// flight recorder keeps a lock-free ring of recent request events that is
+// dumped as a postmortem on budget trips, admission rejections and
+// protocol errors (and, process-wide, on fatal signals — see
+// common/flight_recorder.h). A client-supplied trace_id is echoed on every
+// response line; an absent one changes no response byte, which is what
+// keeps the differential suite's byte-determinism contract intact.
 //
 // Concurrency contract per graph: a readers/writer discipline. Queries
 // hold a shared (read) claim and may run concurrently; mutation ops
@@ -36,15 +51,21 @@
 #ifndef ECRPQ_SERVICE_QUERY_SERVICE_H_
 #define ECRPQ_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 
 #include "common/annotations.h"
+#include "common/event_log.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/obs.h"
+#include "common/telemetry.h"
 #include "graphdb/graph_db.h"
 #include "service/admission.h"
 #include "service/protocol.h"
@@ -66,6 +87,18 @@ struct ServiceConfig {
   // Requests longer than this are answered with a structured error and
   // never parsed.
   size_t max_line_bytes = 1 << 20;
+
+  // Request telemetry (see the header comment). Off = no per-query
+  // tracing, no trace retention, no event log, no flight-recorder events —
+  // the configuration the telemetry-overhead bench compares against.
+  bool telemetry = true;
+  // JSON-lines event log path; empty disables the log.
+  std::string event_log_path;
+  // Queries faster than this stay out of the event log (0 = log every
+  // query). Errors and budget trips are always logged.
+  int64_t slow_ms = 0;
+  // Directory for flight-recorder postmortem dumps; empty disables them.
+  std::string postmortem_dir;
 };
 
 class QueryService {
@@ -89,6 +122,19 @@ class QueryService {
   // service_request_ns latency histogram every session records into.
   obs::StatsReport Report() const { return metrics_.Aggregate(); }
 
+  // Point-in-time Prometheus-style exposition: the service StatsReport
+  // plus the admission gauge group (one locked counters() call, so the
+  // drain identities hold in every snapshot) and the process-wide cache
+  // gauges. Served by the `stats` op with format=prometheus and polled by
+  // `ecrpq_cli top`.
+  std::string RenderTelemetry() const {
+    return telemetry_registry_.Render(Report());
+  }
+
+  // The configured event log, or nullptr. A configured-but-unopenable log
+  // reports !ok() here; `serve` refuses to start on it.
+  const obs::EventLog* event_log() const { return event_log_.get(); }
+
   // One registered graph plus its readers/writer state. Implementation
   // detail, public only for the file-local claim helpers in
   // query_service.cc. Entries are created under registry_mutex_ and never
@@ -111,6 +157,8 @@ class QueryService {
  private:
   friend class ServiceSession;
 
+  void RegisterTelemetryGroups();
+
   GraphEntry* FindGraph(const std::string& name)
       ECRPQ_EXCLUDES(registry_mutex_);
   // Nullptr when the name is already taken.
@@ -120,6 +168,9 @@ class QueryService {
   const ServiceConfig config_;
   mutable obs::Metrics metrics_;
   AdmissionController admission_;
+  obs::TelemetryRegistry telemetry_registry_;
+  std::unique_ptr<obs::EventLog> event_log_;
+  std::atomic<uint64_t> next_session_id_{0};
   mutable Mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<GraphEntry>> graphs_
       ECRPQ_GUARDED_BY(registry_mutex_);
@@ -130,6 +181,9 @@ class QueryService {
 // from opening many sessions.
 class ServiceSession {
  public:
+  // Traces retained for the `trace` op per session; oldest evicted first.
+  static constexpr size_t kMaxRetainedTraces = 16;
+
   ServiceSession(const ServiceSession&) = delete;
   ServiceSession& operator=(const ServiceSession&) = delete;
 
@@ -143,6 +197,9 @@ class ServiceSession {
   // drivers stop their loops on it.
   bool shutdown_requested() const { return shutdown_; }
 
+  // This session's flight recorder (postmortem/test hook).
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   friend class QueryService;
   explicit ServiceSession(QueryService* service);
@@ -152,11 +209,29 @@ class ServiceSession {
   Result<std::string> ExecuteQuery(const ServiceRequest& req);
   Result<std::string> ExecuteCreateGraph(const ServiceRequest& req);
   Result<std::string> ExecuteMutation(const ServiceRequest& req);
+  Result<std::string> ExecuteStats(const ServiceRequest& req);
+  Result<std::string> ExecuteTrace(const ServiceRequest& req);
+
+  // Telemetry plumbing (all no-ops when config.telemetry is off).
+  void RetainTrace(const std::string& trace_id, std::string trace_json);
+  const std::string* FindRetainedTrace(const std::string& trace_id) const;
+  void RecordFlightEvent(const char* name, uint64_t start_ns,
+                         uint64_t dur_ns, uint64_t arg = 0);
+  // Dumps the session recorder to config.postmortem_dir (no-op when the
+  // dir is empty). `why` becomes part of the dumped trace's traceId.
+  void MaybeDumpPostmortem(const std::string& trace_id);
 
   QueryService* service_;
   obs::MetricsShard* shard_;  // Owned by the service's Metrics registry.
   std::unordered_set<std::string> seen_ids_;
   bool shutdown_ = false;
+  uint64_t session_id_ = 0;
+  uint64_t request_seq_ = 0;
+  uint64_t postmortem_seq_ = 0;
+  obs::FlightRecorder recorder_;
+  // (trace_id, chrome-trace JSON), insertion order; linear scan is fine at
+  // kMaxRetainedTraces entries.
+  std::deque<std::pair<std::string, std::string>> recent_traces_;
 };
 
 }  // namespace ecrpq

@@ -205,6 +205,20 @@ TEST(BenchDiffTest, ServicePrefixedCountersAreInformationalOnly) {
   EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
 }
 
+TEST(BenchDiffTest, TelemetryPrefixedCountersAreInformationalOnly) {
+  // Event-log records written and postmortem dumps track the load and
+  // error mix of a run, not the benchmarked work. Like sched_, cache_ and
+  // service_, the "telemetry_" prefix means exported-but-never-compared —
+  // a run that logged 100x more events must not gate.
+  std::vector<BenchRecord> baseline = BaselineRecords();
+  baseline[0].counters.emplace_back("telemetry_events_logged", 1.0);
+  baseline[0].counters.emplace_back("telemetry_postmortem_dumps", 0.0);
+  std::vector<BenchRecord> current = baseline;
+  current[0].counters[current[0].counters.size() - 2].second = 100.0;
+  current[0].counters.back().second = 7.0;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, CompareOptions{}).ok());
+}
+
 TEST(BenchDiffTest, IncomparableRecordsSkipWithNotes) {
   const std::vector<BenchRecord> baseline = BaselineRecords();
 

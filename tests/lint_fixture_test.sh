@@ -49,6 +49,9 @@ check raw_worklist_fires 1 "[ecrpq-raw-worklist]" \
 check raw_determinize_fires 1 "[ecrpq-raw-determinize]" \
     ${LINT} --treat-as-determinize-scope bad_raw_determinize.cc \
     "${FIXTURES}/bad_raw_determinize.cc"
+check raw_logging_fires 1 "[ecrpq-raw-logging]" \
+    ${LINT} --treat-as-logging-scope bad_raw_logging.cc \
+    "${FIXTURES}/bad_raw_logging.cc"
 
 # --- Precision checks. ----------------------------------------------------
 # NOLINT(ecrpq-naked-mutex) suppresses; the 4 unsuppressed sites remain.
@@ -100,6 +103,21 @@ if [ "${n_determinize}" -eq 2 ]; then
   echo "ok   raw_determinize_precision (2 findings, cached/NOLINT'd quiet)"
 else
   echo "FAIL raw_determinize_precision: ${n_determinize} findings, expected 2"
+  failures=$((failures + 1))
+fi
+# raw-logging only applies inside src/service + src/eval (or files forced
+# into scope): the same fixture without the scope flag is quiet.
+check raw_logging_scoped_to_service_eval 0 - \
+    ${LINT} --rule ecrpq-raw-logging "${FIXTURES}/bad_raw_logging.cc"
+# 3 seeded findings; the NOLINT'd last-resort write, the FILE*-typed log
+# stream and the snprintf-into-buffer all stay quiet.
+n_logging="$(${LINT} --treat-as-logging-scope bad_raw_logging.cc \
+    "${FIXTURES}/bad_raw_logging.cc" 2>/dev/null \
+    | grep -c 'ecrpq-raw-logging')"
+if [ "${n_logging}" -eq 3 ]; then
+  echo "ok   raw_logging_precision (3 findings, FILE*/snprintf/NOLINT quiet)"
+else
+  echo "FAIL raw_logging_precision: ${n_logging} findings, expected 3"
   failures=$((failures + 1))
 fi
 # Pure DCHECK conditions in the dcheck fixture stay quiet (3 seeded, 2 clean).

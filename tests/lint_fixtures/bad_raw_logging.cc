@@ -1,0 +1,31 @@
+// Lint fixture: seeds ecrpq-raw-logging violations. Never compiled; input
+// for tests/lint_fixture_test.sh only.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void HandleSlowQuery(const char* plan) {
+  std::fprintf(stderr, "slow plan: %s\n", plan);  // violation: qualified
+}
+
+void WarnOnRetry() {
+  fprintf(stderr, "retrying\n");  // violation: unqualified spelling
+}
+
+void DumpVerdict(int cc_vertex) {
+  std::cerr << "cc_vertex=" << cc_vertex << "\n";  // violation: std::cerr
+}
+
+// A suppressed occurrence must NOT fire (NOLINT with justification):
+// NOLINTNEXTLINE(ecrpq-raw-logging) -- fixture: signal-handler-style path.
+void LastResort() { std::fprintf(stderr, "fatal\n"); }
+
+// Writes that are not the stderr stream must NOT fire: a real log FILE*
+// and formatting into a buffer are both fine.
+void WriteEventRecord(std::FILE* event_log, char* buf, int n) {
+  std::fprintf(event_log, "{\"event\":\"query\"}\n");
+  std::snprintf(buf, static_cast<size_t>(n), "%d", 42);
+}
+
+}  // namespace fixture

@@ -5,7 +5,9 @@
 // serving afterwards. Never a crash, never a hang, never a dropped line.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -107,6 +109,149 @@ TEST(ServiceProtocolTest, MalformedLinesAlwaysStructuredErrors) {
                             "{\"id\":\"alive-" + std::to_string(probe++) +
                                 "\",\"op\":\"ping\"}")));
   }
+}
+
+TEST(ServiceProtocolTest, TraceAndStatsOpsMalformedInputs) {
+  QueryService service{ServiceConfig{}};
+  auto session = service.OpenSession();
+  std::vector<std::string> bad = {
+      "{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":\"t\","
+      "\"trace_id\":\"u\"}",                          // Duplicate trace_id.
+      "{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":\"\"}",   // Empty.
+      "{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":42}",     // Non-string.
+      "{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":\"has space\"}",
+      "{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":\"tab\\there\"}",
+      "{\"id\":\"x\",\"op\":\"stats\",\"format\":\"xml\"}",  // Unknown fmt.
+      "{\"id\":\"x\",\"op\":\"stats\",\"format\":7}",        // Non-string.
+      "{\"id\":\"x\",\"op\":\"stats\",\"query\":\"q\"}",     // Field of
+                                                             // another op.
+      "{\"id\":\"x\",\"op\":\"trace\"}",               // No trace_id.
+      "{\"id\":\"x\",\"op\":\"trace\",\"trace_id\":\"t\",\"extra\":1}",
+  };
+  // Oversized trace_id (limit is 128 bytes).
+  bad.push_back("{\"id\":\"x\",\"op\":\"ping\",\"trace_id\":\"" +
+                std::string(129, 'a') + "\"}");
+  int probe = 0;
+  for (const std::string& line : bad) {
+    const std::string response = Handle(session.get(), line);
+    std::string status;
+    ASSERT_TRUE(json::Parse(response)->GetString("status", &status));
+    EXPECT_EQ(status, "error") << line << " -> " << response;
+    EXPECT_TRUE(IsOk(Handle(session.get(),
+                            "{\"id\":\"alive-" + std::to_string(probe++) +
+                                "\",\"op\":\"ping\"}")));
+  }
+  // A trace_id on an UNKNOWN op is still echoed on the error line: the
+  // best-effort recovery pass pulls a valid trace_id out of the rejected
+  // request so the client can correlate the failure.
+  const std::string unknown_op = Handle(
+      session.get(),
+      "{\"id\":\"x\",\"op\":\"fly\",\"trace_id\":\"corr-7\"}");
+  EXPECT_TRUE(IsError(unknown_op, "invalid_argument")) << unknown_op;
+  Result<json::Value> doc = json::Parse(unknown_op);
+  std::string echoed;
+  ASSERT_TRUE(doc->GetString("trace_id", &echoed)) << unknown_op;
+  EXPECT_EQ(echoed, "corr-7");
+  // Asking for a trace nobody retained is not_found, not a crash.
+  const std::string missing = Handle(
+      session.get(),
+      "{\"id\":\"y\",\"op\":\"trace\",\"trace_id\":\"never-ran\"}");
+  EXPECT_TRUE(IsError(missing, "not_found")) << missing;
+}
+
+// One line from the exposition: "<name> <value>". Returns false when the
+// metric is absent (the "# TYPE" comment lines never match).
+bool FindMetric(const std::string& exposition, const std::string& name,
+                uint64_t* value) {
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string line = exposition.substr(pos, eol - pos);
+    if (line.size() > name.size() + 1 &&
+        line.compare(0, name.size(), name) == 0 &&
+        line[name.size()] == ' ') {
+      *value = std::stoull(line.substr(name.size() + 1));
+      return true;
+    }
+    pos = eol + 1;
+  }
+  return false;
+}
+
+// The exposition's gauge-group contract under fire: 8 threads hammer the
+// service with interleaved mutations and queries (the admission slots are
+// scarce, so a real mix of admitted and rejected) while the main thread
+// scrapes snapshots. EVERY snapshot — not just the drained end state —
+// must satisfy the admission identities, because the whole group is
+// produced by one locked counters() call.
+TEST(ServiceProtocolTest, ExpositionIdentitiesHoldUnderMutationStorm) {
+  ServiceConfig config;
+  config.pool_threads = 1;
+  config.admission.max_concurrent = 2;  // Scarce: forces live rejections.
+  QueryService service(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;
+  std::atomic<int> remaining{kThreads};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &remaining, t] {
+      auto session = service.OpenSession();
+      const std::string g = "storm" + std::to_string(t);
+      session->HandleLine("{\"id\":\"c\",\"op\":\"create_graph\","
+                          "\"graph\":\"" + g + "\",\"alphabet\":\"ab\"}");
+      session->HandleLine("{\"id\":\"v\",\"op\":\"add_vertex\","
+                          "\"graph\":\"" + g + "\",\"count\":4}");
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::string tag = std::to_string(i);
+        session->HandleLine(
+            "{\"id\":\"e" + tag + "\",\"op\":\"add_edge\",\"graph\":\"" +
+            g + "\",\"from\":" + std::to_string(i % 4) +
+            ",\"symbol\":\"a\",\"to\":" + std::to_string((i + 1) % 4) + "}");
+        // Admitted or rejected, the response is structured either way;
+        // what this test pins is the accounting, not the outcome.
+        session->HandleLine(
+            "{\"id\":\"q" + tag + "\",\"op\":\"query\",\"graph\":\"" + g +
+            "\",\"query\":\"q(x) := x -[/a*/]-> y\",\"trace_id\":\"s" +
+            std::to_string(t) + "-" + tag + "\"}");
+      }
+      remaining.fetch_sub(1);
+    });
+  }
+
+  auto check_snapshot = [&service](bool require_drained) {
+    const std::string exposition = service.RenderTelemetry();
+    uint64_t submitted = 0, admitted = 0, rejected = 0, released = 0,
+             active = 0;
+    ASSERT_TRUE(FindMetric(exposition, "ecrpq_admission_submitted",
+                           &submitted));
+    ASSERT_TRUE(FindMetric(exposition, "ecrpq_admission_admitted",
+                           &admitted));
+    ASSERT_TRUE(FindMetric(exposition, "ecrpq_admission_rejected",
+                           &rejected));
+    ASSERT_TRUE(FindMetric(exposition, "ecrpq_admission_released",
+                           &released));
+    ASSERT_TRUE(FindMetric(exposition, "ecrpq_admission_active", &active));
+    EXPECT_EQ(submitted, admitted + rejected);
+    EXPECT_EQ(released + active, admitted);
+    if (require_drained) {
+      EXPECT_EQ(released, admitted);
+      EXPECT_EQ(active, 0u);
+      EXPECT_EQ(submitted,
+                uint64_t{kThreads} * uint64_t{kRequestsPerThread});
+    }
+  };
+
+  while (remaining.load() > 0) {
+    check_snapshot(/*require_drained=*/false);
+    if (HasFatalFailure()) break;
+  }
+  for (std::thread& w : workers) w.join();
+  // Drained: released catches admitted, the active gauge is zero, and
+  // every query op submitted exactly once.
+  check_snapshot(/*require_drained=*/true);
 }
 
 TEST(ServiceProtocolTest, OversizedLineRejectedWithoutParsing) {

@@ -3,9 +3,10 @@
 # + parallel-layer tests, observability smoke (differential suite, CLI
 # --stats/--trace/--budget-*/profile), benchmark smoke run, service smoke
 # (batch driver round-trip, concurrent socket clients, warm-vs-cold
-# throughput gate), perf-regression gate, lint, and the concurrency-contract
-# stage (clang -Wthread-safety build when clang is installed +
-# tools/ecrpq_lint project rules + rule fixtures).
+# throughput gate, telemetry-overhead gate), telemetry smoke (wire trace-id
+# echo, prometheus exposition, event-log JSON-lines), perf-regression gate,
+# lint, and the concurrency-contract stage (clang -Wthread-safety build when
+# clang is installed + tools/ecrpq_lint project rules + rule fixtures).
 #
 #   tools/ci.sh [jobs]
 #
@@ -23,21 +24,21 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 cd "$REPO_ROOT"
 
-echo "== [1/12] configure + build (default) =="
+echo "== [1/13] configure + build (default) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "== [2/12] ctest (default) =="
+echo "== [2/13] ctest (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/12] configure + build (address,undefined) =="
+echo "== [3/13] configure + build (address,undefined) =="
 cmake -B build-asan -S . -DECRPQ_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 
-echo "== [4/12] ctest (address,undefined) =="
+echo "== [4/13] ctest (address,undefined) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [5/12] TSan over the parallel layer (thread) =="
+echo "== [5/13] TSan over the parallel layer (thread) =="
 cmake -B build-tsan -S . -DECRPQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The threaded code paths: pool primitives, parallel determinism harness,
@@ -52,7 +53,7 @@ cmake --build build-tsan -j "$JOBS"
 ECRPQ_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'AnnotationsTest|ThreadPool|WorkStealing|FrontierScheduler|ParallelDeterminism|GraphDb|RpqReach|StreamingTest|TupleSearch|GenericEval|ObsTest|ObsHistogramTest|PhaseProfileTest|DifferentialSuite|CacheTest|AutomatonInternerTest|ReachMemoTest|PlanCacheTest|ServiceProtocol|ServiceDifferential|ServiceAdmission'
 
-echo "== [6/12] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
+echo "== [6/13] observability smoke (differential suite + CLI stats/trace/profile/budget) =="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'DifferentialSuite|ObsTest|ObsHistogramTest|PhaseProfileTest|BenchDiffTest|JsonTest|BudgetInvariantsDeathTest'
 # (DifferentialSuite above includes CacheDifferentialSuite: cache-on with
@@ -116,10 +117,10 @@ build/tools/ecrpq_cli eval "$OBS_TMP/graph.txt" "$OBS_QUERY" --no-cache \
 diff "$OBS_TMP/eval-cached.out" "$OBS_TMP/eval-nocache.out"
 echo "observability smoke passed."
 
-echo "== [7/12] benchmark smoke (BENCH_*.json) =="
+echo "== [7/13] benchmark smoke (BENCH_*.json) =="
 cmake --build build -j "$JOBS" --target bench-smoke
 
-echo "== [8/12] service smoke (batch driver + socket clients + x6 throughput) =="
+echo "== [8/13] service smoke (batch driver + socket clients + x6 throughput) =="
 SVC_TMP="build/service-smoke"
 mkdir -p "$SVC_TMP"
 {
@@ -241,9 +242,134 @@ if ratio < 5.0:
     sys.exit(1)
 PYEOF
 fi
+# Telemetry-overhead gate over the same bench-smoke output: the default
+# request-telemetry configuration (per-query tracing, trace retention,
+# flight-recorder events) must cost <= 5% per query on the warm serving
+# path vs ServiceConfig::telemetry = false. Same skip knob: the margin is
+# real but small, and a loaded machine can blur a few percent.
+if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
+  echo "telemetry overhead check skipped (ECRPQ_SKIP_PERF_GATE=1)."
+else
+  python3 - build/BENCH_x7_telemetry.json <<'PYEOF'
+import json, sys
+records = json.load(open(sys.argv[1]))
+def per_query_ns(name):
+    for r in records:
+        if r["name"] == name:
+            return r["min_ns"] / r["counters"]["queries_per_iter"]
+    print(f"telemetry gate: no bench record named {name}", file=sys.stderr)
+    sys.exit(1)
+off = per_query_ns("BM_ServiceWarmTelemetryOff")
+on = per_query_ns("BM_ServiceWarmTelemetryOn")
+overhead = on / off - 1.0
+print(f"telemetry gate: warm off {off/1e6:.3f}ms/query, on "
+      f"{on/1e6:.3f}ms/query ({overhead*100:+.1f}%)")
+if overhead > 0.05:
+    print("telemetry gate FAILED: telemetry-on warm path exceeds the 5% "
+          "per-query overhead budget", file=sys.stderr)
+    sys.exit(1)
+PYEOF
+fi
 echo "service smoke passed."
 
-echo "== [9/12] scaling smoke (e11 suite: 4 threads must beat 1 thread) =="
+echo "== [9/13] telemetry smoke (trace-id echo + exposition + event log) =="
+TEL_TMP="build/telemetry-smoke"
+rm -rf "$TEL_TMP"
+mkdir -p "$TEL_TMP"
+{
+  echo "alphabet a b"
+  echo "vertices 4"
+  echo "edge 0 a 1"
+  echo "edge 1 a 2"
+  echo "edge 2 a 3"
+} > "$TEL_TMP/graph.txt"
+# A served process with the full telemetry surface on: slow-ms=0 logs every
+# query, and the postmortem dir arms the flight-recorder dump path.
+rm -f "$TEL_TMP/svc.sock"
+ECRPQ_THREADS=2 timeout 120 build/tools/ecrpq_cli serve \
+  --listen-unix="$TEL_TMP/svc.sock" --graph="$TEL_TMP/graph.txt" \
+  --event-log="$TEL_TMP/events.jsonl" --slow-ms=0 \
+  --postmortem-dir="$TEL_TMP" 2> "$TEL_TMP/server.log" &
+TEL_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$TEL_TMP/svc.sock" ] && break
+  sleep 0.1
+done
+python3 - "$TEL_TMP/svc.sock" "$TEL_TMP/trace.json" <<'PYEOF'
+import json, socket, sys
+path, trace_out = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+f = s.makefile("rwb")
+def rt(line):
+    f.write((line + "\n").encode())
+    f.flush()
+    return f.readline().decode()
+# 1. A client trace id is echoed byte-identically on the response line.
+raw = rt('{"id":"t1","op":"query","query":"q(x) := x -[/aa/]-> y",'
+         '"trace_id":"smoke-1"}')
+assert '"trace_id":"smoke-1"' in raw, raw
+assert '"status":"ok"' in raw, raw
+# 2. An absent trace id leaves the response free of the field entirely.
+raw = rt('{"id":"t2","op":"ping"}')
+assert '"status":"ok"' in raw and "trace_id" not in raw, raw
+# 3. The prometheus exposition carries the metric families and the
+#    admission drain identities hold in the snapshot.
+resp = json.loads(rt('{"id":"t3","op":"stats","format":"prometheus"}'))
+assert resp["status"] == "ok", resp
+expo = resp["exposition"]
+metrics = {}
+for line in expo.splitlines():
+    if line.startswith("#") or " " not in line:
+        continue
+    name, value = line.rsplit(" ", 1)
+    try:
+        metrics[name] = int(value)
+    except ValueError:
+        pass
+for family in ("ecrpq_admission_submitted", "ecrpq_admission_admitted",
+               "ecrpq_admission_active", "ecrpq_service_request_ns_count"):
+    assert family in metrics, (family, expo)
+a = metrics
+assert a["ecrpq_admission_submitted"] == (
+    a["ecrpq_admission_admitted"] + a["ecrpq_admission_rejected"]), expo
+assert a["ecrpq_admission_released"] + a["ecrpq_admission_active"] == (
+    a["ecrpq_admission_admitted"]), expo
+# 4. The trace op serves the retained request trace back.
+resp = json.loads(rt('{"id":"t4","op":"trace","trace_id":"smoke-1"}'))
+assert resp["status"] == "ok", resp
+with open(trace_out, "w") as out:
+    json.dump(resp["trace"], out)
+# 5. Errors echo the trace id too (and are always event-logged).
+raw = rt('{"id":"t5","op":"query","query":"this is no query",'
+         '"trace_id":"smoke-err"}')
+assert '"status":"error"' in raw and '"trace_id":"smoke-err"' in raw, raw
+rt('{"id":"bye","op":"shutdown"}')
+print("telemetry smoke: echo + exposition identities + trace op ok")
+PYEOF
+wait "$TEL_PID"
+# The served-back trace must pass the same schema gate as CLI traces.
+build/tools/ecrpq_cli trace-check "$TEL_TMP/trace.json"
+# The event log is JSON-lines: every line parses, and both the ok query and
+# the error landed with their trace ids.
+python3 - "$TEL_TMP/events.jsonl" <<'PYEOF'
+import json, sys
+events = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        events.append(json.loads(line))
+assert events, "event log is empty"
+by_trace = {e.get("trace_id"): e for e in events if e.get("event") == "query"}
+ok = by_trace["smoke-1"]
+assert ok["status"] == "ok" and ok["query_key_hash"], ok
+assert "latency_ms" in ok and "cache" in ok and "budget" in ok, ok
+err = by_trace["smoke-err"]
+assert err["status"] != "ok", err
+print(f"telemetry smoke: {len(events)} event-log line(s) validate")
+PYEOF
+echo "telemetry smoke passed."
+
+echo "== [10/13] scaling smoke (e11 suite: 4 threads must beat 1 thread) =="
 NCORES="$(nproc 2>/dev/null || echo 1)"
 if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
   echo "scaling smoke skipped (ECRPQ_SKIP_PERF_GATE=1)."
@@ -283,7 +409,7 @@ PYEOF
   echo "scaling smoke passed."
 fi
 
-echo "== [10/12] perf-regression gate (bench_compare vs committed baseline) =="
+echo "== [11/13] perf-regression gate (bench_compare vs committed baseline) =="
 if [ "${ECRPQ_SKIP_PERF_GATE:-0}" = "1" ]; then
   echo "perf gate skipped (ECRPQ_SKIP_PERF_GATE=1)."
 else
@@ -310,10 +436,10 @@ else
   fi
 fi
 
-echo "== [11/12] lint =="
+echo "== [12/13] lint =="
 tools/run_lint.sh build -j "$JOBS"
 
-echo "== [12/12] concurrency contracts (thread-safety build + ecrpq_lint) =="
+echo "== [13/13] concurrency contracts (thread-safety build + ecrpq_lint) =="
 # Part 1: the whole tree under clang's capability analysis promoted to
 # errors (ECRPQ_ANALYZE=thread-safety). Clang-only by nature — skipped, not
 # failed, on machines without clang, matching the run_lint.sh degrade

@@ -10,6 +10,13 @@
 //   alphabet a b
 //   vertices 3
 //   edge 0 a 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
@@ -18,7 +25,10 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "common/flight_recorder.h"
+#include "common/json.h"
 #include "common/obs.h"
 #include "eval/adaptive.h"
 #include "query/validate.h"
@@ -69,7 +79,13 @@ int Usage() {
       "[--max-concurrent=<n>]\n"
       "             [--max-states=<n>] [--max-mem=<bytes>] "
       "[--admission=reject|queue]\n"
-      "             [--queue-ms=<millis>] [--no-cache]\n");
+      "             [--queue-ms=<millis>] [--no-cache]\n"
+      "             [--event-log=<path>] [--slow-ms=<millis>] "
+      "[--postmortem-dir=<dir>]\n"
+      "             [--no-telemetry]\n"
+      "  ecrpq_cli top (--connect-unix=<path> | --connect-tcp=<port>)\n"
+      "             [--interval-ms=<millis>] [--iterations=<n>] "
+      "[--no-clear]\n");
   return 2;
 }
 
@@ -112,6 +128,17 @@ struct Args {
   uint64_t max_mem = 0;
   std::string admission = "reject";
   int64_t queue_ms = 100;
+  // serve telemetry (see ServiceConfig).
+  std::string event_log_path;
+  int64_t slow_ms = 0;
+  std::string postmortem_dir;
+  bool no_telemetry = false;
+  // top only: where the server listens, how often to repaint.
+  std::string connect_unix;
+  int connect_tcp = -1;
+  int64_t interval_ms = 1000;
+  int iterations = 0;  // 0 = until the connection drops / interrupt.
+  bool no_clear = false;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -168,6 +195,28 @@ Args ParseArgs(int argc, char** argv) {
     } else if (arg.rfind("--queue-ms=", 0) == 0) {
       args.queue_ms =
           std::strtoll(arg.c_str() + strlen("--queue-ms="), nullptr, 10);
+    } else if (arg.rfind("--event-log=", 0) == 0) {
+      args.event_log_path = arg.substr(strlen("--event-log="));
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      args.slow_ms =
+          std::strtoll(arg.c_str() + strlen("--slow-ms="), nullptr, 10);
+    } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+      args.postmortem_dir = arg.substr(strlen("--postmortem-dir="));
+    } else if (arg == "--no-telemetry") {
+      args.no_telemetry = true;
+    } else if (arg.rfind("--connect-unix=", 0) == 0) {
+      args.connect_unix = arg.substr(strlen("--connect-unix="));
+    } else if (arg.rfind("--connect-tcp=", 0) == 0) {
+      args.connect_tcp = static_cast<int>(std::strtol(
+          arg.c_str() + strlen("--connect-tcp="), nullptr, 10));
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      args.interval_ms =
+          std::strtoll(arg.c_str() + strlen("--interval-ms="), nullptr, 10);
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      args.iterations = static_cast<int>(std::strtol(
+          arg.c_str() + strlen("--iterations="), nullptr, 10));
+    } else if (arg == "--no-clear") {
+      args.no_clear = true;
     } else if (arg.rfind("--rel=", 0) == 0) {
       const std::string spec = arg.substr(strlen("--rel="));
       const size_t eq = spec.find('=');
@@ -670,6 +719,10 @@ int Serve(const Args& args) {
   config.default_budget.max_memory_bytes = args.budget_mem;
   config.default_budget.timeout_millis = args.budget_ms;
   config.disable_cache = args.no_cache;
+  config.telemetry = !args.no_telemetry;
+  config.event_log_path = args.event_log_path;
+  config.slow_ms = args.slow_ms;
+  config.postmortem_dir = args.postmortem_dir;
 
   std::unique_ptr<QueryService> service;
   if (!args.graph_path.empty()) {
@@ -687,6 +740,17 @@ int Serve(const Args& args) {
     service = std::make_unique<QueryService>(config, *std::move(db));
   } else {
     service = std::make_unique<QueryService>(config);
+  }
+
+  // A misconfigured sink is a startup error, not a silently-dark log.
+  if (service->event_log() != nullptr && !service->event_log()->ok()) {
+    std::fprintf(stderr, "cannot open event log %s\n",
+                 args.event_log_path.c_str());
+    return 1;
+  }
+  if (!args.postmortem_dir.empty()) {
+    obs::FlightRecorder::InstallFatalSignalDump(args.postmortem_dir +
+                                                "/postmortem_fatal.json");
   }
 
   if (!args.batch_path.empty()) {
@@ -726,6 +790,114 @@ int Serve(const Args& args) {
   return 0;
 }
 
+// top: live metrics view. Connects to a serving ecrpq_cli, polls the
+// `stats` op with format=prometheus and repaints the exposition — a
+// scrape-by-hand client for the same bytes a metrics collector would pull.
+namespace {
+
+int ConnectToServer(const Args& args) {
+  if (!args.connect_unix.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (args.connect_unix.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return -1;
+    }
+    std::memcpy(addr.sun_path, args.connect_unix.c_str(),
+                args.connect_unix.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(args.connect_tcp));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line, buffering any over-read in `pending`.
+bool ReadLine(int fd, std::string* pending, std::string* line) {
+  while (true) {
+    const size_t pos = pending->find('\n');
+    if (pos != std::string::npos) {
+      *line = pending->substr(0, pos);
+      pending->erase(0, pos + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    pending->append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int Top(const Args& args) {
+  if (args.connect_unix.empty() && args.connect_tcp < 0) {
+    std::fprintf(
+        stderr, "top needs --connect-unix=<path> or --connect-tcp=<port>\n");
+    return Usage();
+  }
+  const int fd = ConnectToServer(args);
+  if (fd < 0) {
+    std::fprintf(stderr, "top: cannot connect to server\n");
+    return 1;
+  }
+  std::string pending;
+  int exit_code = 0;
+  for (int i = 0; args.iterations == 0 || i < args.iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.interval_ms));
+    }
+    const std::string request = "{\"id\":\"top" + std::to_string(i + 1) +
+                                "\",\"op\":\"stats\","
+                                "\"format\":\"prometheus\"}\n";
+    std::string line;
+    if (!WriteAll(fd, request) || !ReadLine(fd, &pending, &line)) {
+      std::fprintf(stderr, "top: connection lost\n");
+      exit_code = 1;
+      break;
+    }
+    Result<json::Value> doc = json::Parse(line);
+    std::string exposition;
+    if (!doc.ok() || !doc->is_object() ||
+        !doc->GetString("exposition", &exposition)) {
+      std::fprintf(stderr, "top: unexpected response: %s\n", line.c_str());
+      exit_code = 1;
+      break;
+    }
+    if (!args.no_clear) std::printf("\x1b[H\x1b[2J");
+    std::printf("%s", exposition.c_str());
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return exit_code;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -742,6 +914,7 @@ int Main(int argc, char** argv) {
   if (command == "dot") return Dot(args);
   if (command == "parse") return Parse(args);
   if (command == "serve") return Serve(args);
+  if (command == "top") return Top(args);
   return Usage();
 }
 

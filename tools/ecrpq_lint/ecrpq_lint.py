@@ -45,6 +45,18 @@ Rules (catalog + rationale in docs/STATIC_ANALYSIS.md):
       one-shot automaton that must not occupy cache budget) gets a
       justified NOLINT.
 
+  ecrpq-raw-logging
+      No fprintf(stderr, ...) / std::cerr in the service and evaluation
+      layers (src/service/, src/eval/): diagnostics there carry a
+      trace_id and must go through the structured event log
+      (obs::EventLog, common/event_log.h) or the metrics vocabulary so
+      they are machine-readable, rate-controllable and correlated with
+      the request. Raw stderr writes are invisible to the slow-query log
+      and interleave nondeterministically under concurrent sessions. A
+      deliberate raw write (e.g. a last-resort path inside the fatal
+      signal handler where no allocation is allowed) gets a justified
+      NOLINT.
+
 Sources come from the compile database (first-party TUs) plus first-party
 headers. Findings print as `path:line: [rule] message`; exit 1 on findings.
 Suppress a line with `NOLINT(ecrpq-<rule>)` or the following line with
@@ -83,6 +95,11 @@ NAKED_MUTEX_ALLOWLIST = ["src/common/annotations.h"]
 # Directories whose TUs the raw-worklist rule applies to: the evaluation
 # hot paths that must use the work-stealing runtime for fan-out.
 RAW_WORKLIST_DIRS = ["src/eval/", "src/graphdb/"]
+
+# Directories whose TUs the raw-logging rule applies to: the layers whose
+# diagnostics carry a trace_id and must go through the structured event
+# log instead of raw stderr.
+RAW_LOGGING_DIRS = ["src/service/", "src/eval/"]
 
 FIRST_PARTY_DIRS = ["src", "tools", "tests", "bench", "examples"]
 EXCLUDE_DIR_PARTS = ["tests/lint_fixtures"]
@@ -124,6 +141,12 @@ RAW_WORKLIST_RE = re.compile(r"\bstd\s*::\s*(deque|queue)\b")
 # is followed by 'C', not '('.
 RAW_DETERMINIZE_RE = re.compile(r"\bDeterminize\s*\(")
 
+# Matches both the qualified (std::fprintf) and unqualified spellings; the
+# \b before fprintf holds after "::" because ':' is a non-word character.
+# snprintf/fprintf-to-a-FILE* never match — only the stderr stream does.
+RAW_LOGGING_RE = re.compile(
+    r"\bfprintf\s*\(\s*stderr\b|\bstd\s*::\s*cerr\b")
+
 RULES = [
     "ecrpq-naked-mutex",
     "ecrpq-budget-poll",
@@ -131,6 +154,7 @@ RULES = [
     "ecrpq-dcheck-side-effects",
     "ecrpq-raw-worklist",
     "ecrpq-raw-determinize",
+    "ecrpq-raw-logging",
 ]
 
 
@@ -399,6 +423,28 @@ def check_raw_determinize(relpath, raw_lines, stripped, extra_scope):
     return findings
 
 
+def check_raw_logging(relpath, raw_lines, stripped, extra_scope):
+    in_scope = any(relpath.startswith(d) or ("/" + d) in relpath
+                   for d in RAW_LOGGING_DIRS)
+    if not in_scope and os.path.basename(relpath) not in extra_scope:
+        return []
+    findings = []
+    supp = suppressed_lines(raw_lines, "ecrpq-raw-logging")
+    for ln, line in enumerate(stripped.splitlines(), 1):
+        m = RAW_LOGGING_RE.search(line)
+        if m and ln not in supp:
+            what = ("std::cerr" if "cerr" in m.group(0)
+                    else "fprintf(stderr, ...)")
+            findings.append(Finding(
+                relpath, ln, "ecrpq-raw-logging",
+                f"raw {what} in a trace-id-carrying layer; route "
+                "diagnostics through the structured event log "
+                "(obs::EventLog, common/event_log.h) or the metrics "
+                "vocabulary — NOLINT only for allocation-free last-resort "
+                "paths (fatal signal handling)"))
+    return findings
+
+
 def collect_sources(repo_root, build_dir):
     """First-party TUs from the compile database + first-party headers."""
     sources = []
@@ -448,6 +494,10 @@ def run_clang_query(repo_root, build_dir, files, mode):
                   file=sys.stderr)
             sys.exit(2)
         return []
+    # Rules whose AST formulation must be narrowed to the rule's scope
+    # directories (the portable text matchers scope themselves; clang-query
+    # sees every TU).
+    rule_dirs = {"ecrpq-raw-logging": RAW_LOGGING_DIRS}
     rules_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "rules")
     rule_files = sorted(
@@ -475,6 +525,10 @@ def run_clang_query(repo_root, build_dir, files, mode):
             rel = os.path.relpath(path, repo_root)
             if any(rel.endswith(allow) for allow in NAKED_MUTEX_ALLOWLIST):
                 continue
+            scope = rule_dirs.get(rule)
+            if scope is not None and not any(rel.startswith(d)
+                                             for d in scope):
+                continue
             findings.append(Finding(rel, line, rule,
                                     "clang-query AST matcher fired"))
     return findings
@@ -499,6 +553,9 @@ def main():
                     default=[],
                     help="additional file(s) the raw-determinize rule "
                          "applies to (fixture tests)")
+    ap.add_argument("--treat-as-logging-scope", action="append", default=[],
+                    help="additional file(s) the raw-logging rule applies "
+                         "to (fixture tests)")
     ap.add_argument("--clang-query", choices=["auto", "on", "off"],
                     default="auto")
     ap.add_argument("--list-rules", action="store_true")
@@ -567,6 +624,11 @@ def main():
                 rel, raw_lines, stripped,
                 [os.path.basename(f)
                  for f in args.treat_as_determinize_scope])
+        if "ecrpq-raw-logging" in active:
+            findings += check_raw_logging(
+                rel, raw_lines, stripped,
+                [os.path.basename(f)
+                 for f in args.treat_as_logging_scope])
 
     if not args.files:  # Tree runs also get the AST-level pass.
         findings += run_clang_query(repo_root, build_dir, files,
